@@ -1,0 +1,105 @@
+package mrskyline_test
+
+// One benchmark per table and figure of the paper's evaluation (Section 7),
+// plus one per ablation called out in DESIGN.md. Each benchmark iteration
+// regenerates the complete figure at a small scale; run
+//
+//	go test -bench=Fig -benchtime=1x
+//
+// for a single full sweep per figure, or cmd/skybench for the full-size
+// tables with printed rows.
+
+import (
+	"fmt"
+	"testing"
+
+	"mrskyline/internal/datagen"
+	"mrskyline/internal/experiments"
+)
+
+// benchSetup keeps per-iteration work small while preserving every sweep
+// point of the figure being regenerated.
+func benchSetup() experiments.Setup {
+	return experiments.Setup{Seed: 1, Scale: 0.001, Nodes: 13, SlotsPerNode: 2}
+}
+
+func benchFigure(b *testing.B, name string) {
+	b.Helper()
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure(name, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatal("no tables produced")
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (a–d): runtime vs dimensionality on
+// independent data at both cardinalities, all four algorithms.
+func BenchmarkFig7(b *testing.B) { benchFigure(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8 (a–d): runtime vs dimensionality on
+// anti-correlated data at both cardinalities, all four algorithms.
+func BenchmarkFig8(b *testing.B) { benchFigure(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9 (a–d): runtime vs cardinality at
+// d ∈ {3, 8} on both distributions, all four algorithms.
+func BenchmarkFig9(b *testing.B) { benchFigure(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10: MR-GPMRS runtime vs reducer count
+// (1 = MR-GPSRS) on 8-dimensional data, both distributions.
+func BenchmarkFig10(b *testing.B) { benchFigure(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11 (a, b): measured vs estimated
+// partition-wise comparisons for the busiest mapper and reducer.
+func BenchmarkFig11(b *testing.B) { benchFigure(b, "fig11") }
+
+// BenchmarkAblationMerging contrasts the Section 5.4.1 group-merging
+// strategies (computation-cost vs communication-cost).
+func BenchmarkAblationMerging(b *testing.B) { benchFigure(b, "ablation-merge") }
+
+// BenchmarkAblationPruning measures what the Equation 2 bitstring pruning
+// buys (runtime and shuffle volume with pruning on vs off).
+func BenchmarkAblationPruning(b *testing.B) { benchFigure(b, "ablation-prune") }
+
+// BenchmarkAblationPPD sweeps fixed PPD values against the Section 3.3
+// heuristic.
+func BenchmarkAblationPPD(b *testing.B) { benchFigure(b, "ablation-ppd") }
+
+// BenchmarkAblationKernel swaps the in-task local skyline kernel (BNL vs
+// SFS), the paper's "optimize the local skyline computation" future work.
+func BenchmarkAblationKernel(b *testing.B) { benchFigure(b, "ablation-kernel") }
+
+// BenchmarkAblationHybrid compares the future-work Hybrid against fixed
+// algorithm choices across the regimes where each base algorithm wins.
+func BenchmarkAblationHybrid(b *testing.B) { benchFigure(b, "ablation-hybrid") }
+
+// BenchmarkAlgorithm benchmarks each algorithm end-to-end on a fixed
+// workload per distribution — the per-point cost underlying the figures.
+func BenchmarkAlgorithm(b *testing.B) {
+	const card, dim = 5000, 4
+	for _, dist := range []datagen.Distribution{datagen.Independent, datagen.AntiCorrelated} {
+		data := datagen.Generate(dist, card, dim, 1)
+		for _, algo := range experiments.AllAlgorithms() {
+			b.Run(fmt.Sprintf("%s/%v", algo, dist), func(b *testing.B) {
+				s := benchSetup()
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.RunAlgorithm(algo, s, data); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExtensionSKYMR compares the grid algorithms against the SKY-MR
+// extension baseline (not a paper figure).
+func BenchmarkExtensionSKYMR(b *testing.B) { benchFigure(b, "extension-skymr") }
+
+// BenchmarkExtensionScaleOut measures MR-GPMRS's simulated runtime as the
+// cluster grows at a fixed workload (not a paper figure).
+func BenchmarkExtensionScaleOut(b *testing.B) { benchFigure(b, "extension-scaleout") }

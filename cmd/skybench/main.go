@@ -1,0 +1,78 @@
+// Command skybench regenerates the paper's evaluation: every figure of
+// Section 7 plus the ablation studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	skybench -exp fig7                # one experiment
+//	skybench -exp fig7,fig10          # several
+//	skybench -exp all                 # everything
+//	skybench -exp all -scale 1        # the paper's full cardinalities
+//	skybench -exp fig9 -csv           # machine-readable output
+//
+// By default cardinalities are scaled down (see -scale) so the full suite
+// completes on a laptop while preserving the figures' shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mrskyline/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiments to run: comma-separated ids or 'all' (ids: "+strings.Join(experiments.FigureNames(), ", ")+")")
+		scale   = flag.Float64("scale", experiments.DefaultScale, "cardinality scale factor relative to the paper (1 = full size)")
+		nodes   = flag.Int("nodes", 13, "simulated cluster nodes (paper: 13)")
+		paper   = flag.Bool("paper", false, "use the paper's exact heterogeneous 13-machine cluster")
+		slots   = flag.Int("slots", 2, "task slots per node")
+		mappers = flag.Int("mappers", 0, "map tasks (0 = all slots)")
+		reds    = flag.Int("reducers", 0, "reduce tasks for MR-GPMRS (0 = one per node)")
+		ppd     = flag.Int("ppd", 0, "fixed partitions-per-dimension (0 = Section 3.3 heuristic)")
+		seed    = flag.Int64("seed", 1, "data generation seed")
+		noskip  = flag.Bool("noskip", false, "run even the combinations the paper reports as DNF")
+		asCSV   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	setup := experiments.Setup{
+		PaperCluster: *paper,
+		Nodes:        *nodes,
+		SlotsPerNode: *slots,
+		Mappers:      *mappers,
+		Reducers:     *reds,
+		PPD:          *ppd,
+		Seed:         *seed,
+		Scale:        *scale,
+		NoSkip:       *noskip,
+	}
+
+	var names []string
+	if *exp == "all" {
+		names = experiments.FigureNames()
+	} else {
+		names = strings.Split(*exp, ",")
+	}
+
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		start := time.Now()
+		res, err := experiments.RunFigure(name, setup)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (completed in %.1fs) ==\n\n", res.Name, time.Since(start).Seconds())
+		for _, tab := range res.Tables {
+			if *asCSV {
+				fmt.Printf("# %s\n%s\n", tab.Title, tab.CSV())
+			} else {
+				fmt.Println(tab.String())
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "data.csv")
+	if err := run("anticorrelated", 50, 3, 9, out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 50 {
+		t.Fatalf("wrote %d lines, want 50", len(lines))
+	}
+	if got := strings.Count(lines[0], ",") + 1; got != 3 {
+		t.Fatalf("dimensionality = %d, want 3", got)
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	a := filepath.Join(t.TempDir(), "a.csv")
+	b := filepath.Join(t.TempDir(), "b.csv")
+	if err := run("independent", 20, 2, 4, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("independent", 20, 2, 4, b); err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := os.ReadFile(a)
+	bb, _ := os.ReadFile(b)
+	if string(ba) != string(bb) {
+		t.Error("same seed produced different datasets")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("zipf", 10, 2, 1, ""); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if err := run("independent", -1, 2, 1, ""); err == nil {
+		t.Error("negative cardinality accepted")
+	}
+	if err := run("independent", 10, 0, 1, ""); err == nil {
+		t.Error("zero dimensionality accepted")
+	}
+	if err := run("independent", 1, 1, 1, filepath.Join(t.TempDir(), "no", "such", "dir", "f.csv")); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

@@ -1,0 +1,59 @@
+// Command skyreport regenerates every figure of the paper's evaluation,
+// runs the shape checks comparing measured behaviour against the paper's
+// findings, and writes a Markdown report (the source of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	skyreport -o EXPERIMENTS.md -scale 0.05
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mrskyline/internal/experiments"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output file (default stdout)")
+		scale    = flag.Float64("scale", experiments.DefaultScale, "cardinality scale factor relative to the paper")
+		nodes    = flag.Int("nodes", 13, "simulated cluster nodes")
+		paper    = flag.Bool("paper", false, "use the paper's exact heterogeneous 13-machine cluster")
+		slots    = flag.Int("slots", 2, "task slots per node")
+		reducers = flag.Int("reducers", 0, "MR-GPMRS reduce tasks (0 = one per node)")
+		seed     = flag.Int64("seed", 1, "data generation seed")
+		nosim    = flag.Bool("nosim", false, "report host wall-clock instead of simulated cluster time")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skyreport: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+
+	setup := experiments.Setup{
+		PaperCluster: *paper,
+		Nodes:        *nodes,
+		SlotsPerNode: *slots,
+		Reducers:     *reducers,
+		Seed:         *seed,
+		Scale:        *scale,
+		NoSim:        *nosim,
+	}
+	if err := experiments.Report(setup, w); err != nil {
+		fmt.Fprintf(os.Stderr, "skyreport: %v\n", err)
+		os.Exit(1)
+	}
+}

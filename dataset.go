@@ -1,0 +1,52 @@
+package mrskyline
+
+import (
+	"io"
+
+	"mrskyline/internal/datagen"
+	"mrskyline/internal/tuple"
+)
+
+// Generate returns a synthetic benchmark dataset in [0,1)^dim drawn from
+// one of the classic skyline evaluation distributions: "independent",
+// "correlated" or "anticorrelated" [Börzsönyi et al., ICDE 2001]. The
+// result is deterministic for a given seed.
+func Generate(distribution string, card, dim int, seed int64) ([][]float64, error) {
+	dist, err := datagen.ParseDistribution(distribution)
+	if err != nil {
+		return nil, err
+	}
+	return fromList(datagen.Generate(dist, card, dim, seed)), nil
+}
+
+// ReadCSV parses a dataset from comma-separated lines: one tuple per line,
+// blank lines and '#' comments skipped. All rows must share one width and
+// contain only finite numbers.
+func ReadCSV(r io.Reader) ([][]float64, error) {
+	l, err := datagen.ReadCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromList(l), nil
+}
+
+// WriteCSV writes a dataset as comma-separated lines.
+func WriteCSV(w io.Writer, data [][]float64) error {
+	return datagen.WriteCSV(w, toList(data))
+}
+
+func fromList(l tuple.List) [][]float64 {
+	out := make([][]float64, len(l))
+	for i, t := range l {
+		out[i] = t
+	}
+	return out
+}
+
+func toList(data [][]float64) tuple.List {
+	l := make(tuple.List, len(data))
+	for i, row := range data {
+		l[i] = row
+	}
+	return l
+}

@@ -1,0 +1,68 @@
+package mrskyline_test
+
+import (
+	"fmt"
+	"sort"
+
+	mrskyline "mrskyline"
+)
+
+// Example computes the skyline of a small dataset: cheaper and closer is
+// better, so only the Pareto-optimal rows survive.
+func Example() {
+	data := [][]float64{
+		{100, 5}, // dominated by {80, 3}
+		{80, 3},
+		{60, 8},
+		{90, 2},
+		{70, 9}, // dominated by {60, 8}
+	}
+	res, err := mrskyline.Compute(data, mrskyline.Options{Nodes: 2, PPD: 2})
+	if err != nil {
+		panic(err)
+	}
+	sky := res.Skyline
+	sort.Slice(sky, func(i, j int) bool { return sky[i][0] < sky[j][0] })
+	for _, t := range sky {
+		fmt.Println(t[0], t[1])
+	}
+	// Output:
+	// 60 8
+	// 80 3
+	// 90 2
+}
+
+// ExampleCompute_maximize flips a dimension's orientation: minimize price,
+// maximize rating.
+func ExampleCompute_maximize() {
+	data := [][]float64{
+		{100, 4.5},
+		{80, 4.0},
+		{90, 3.0}, // dominated: pricier than 80 and worse rated
+		{80, 4.5}, // dominates {100, 4.5} and {80, 4.0}
+	}
+	res, err := mrskyline.Compute(data, mrskyline.Options{
+		Nodes:    2,
+		PPD:      2,
+		Maximize: []bool{false, true},
+	})
+	if err != nil {
+		panic(err)
+	}
+	sky := res.Skyline
+	sort.Slice(sky, func(i, j int) bool { return sky[i][0] < sky[j][0] })
+	for _, t := range sky {
+		fmt.Println(t[0], t[1])
+	}
+	// Output:
+	// 80 4.5
+}
+
+// ExampleDominates shows the dominance test underlying every algorithm.
+func ExampleDominates() {
+	fmt.Println(mrskyline.Dominates([]float64{1, 2}, []float64{2, 2}, nil))
+	fmt.Println(mrskyline.Dominates([]float64{1, 2}, []float64{2, 1}, nil))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,75 @@
+// Hotels: the classic skyline motivating example — find hotels where no
+// other hotel is simultaneously cheaper, closer to the beach AND better
+// rated. Demonstrates mixed minimize/maximize dimensions and non-unit
+// domains on real-world-looking data.
+//
+//	go run ./examples/hotels
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	mrskyline "mrskyline"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Synthesize a city's hotel market: price correlates inversely with
+	// distance to the beach (close hotels charge more), ratings correlate
+	// loosely with price.
+	const n = 5000
+	hotels := make([][]float64, n)
+	names := make([]string, n)
+	for i := range hotels {
+		dist := 0.1 + rng.ExpFloat64()*3.0       // km to the beach
+		base := 300/(1+dist) + 40                // closer → pricier
+		price := base * (0.7 + rng.Float64()*.9) // nightly rate, EUR
+		rating := 3 + rng.Float64()*2            // 3.0–5.0 stars
+		if price > 200 {
+			rating = 3.5 + rng.Float64()*1.5 // expensive places rate a bit better
+		}
+		hotels[i] = []float64{price, dist, rating}
+		names[i] = fmt.Sprintf("hotel-%04d", i)
+	}
+
+	res, err := mrskyline.Compute(hotels, mrskyline.Options{
+		Algorithm: mrskyline.Hybrid,
+		// price ↓, distance ↓, rating ↑
+		Maximize: []bool{false, false, true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d hotels, %d on the skyline — %s in %v\n\n",
+		n, res.Stats.SkylineSize, res.Stats.Algorithm, res.Stats.Runtime)
+	fmt.Println("no other hotel beats these on price, beach distance and rating at once:")
+	fmt.Printf("%-12s  %8s  %8s  %6s\n", "hotel", "price", "beach", "stars")
+
+	sky := res.Skyline
+	sort.Slice(sky, func(i, j int) bool { return sky[i][0] < sky[j][0] })
+	show := len(sky)
+	if show > 12 {
+		show = 12
+	}
+	for _, h := range sky[:show] {
+		fmt.Printf("%-12s  %7.0f€  %6.2fkm  %5.1f★\n", nameOf(hotels, names, h), h[0], h[1], h[2])
+	}
+	if len(sky) > show {
+		fmt.Printf("… and %d more\n", len(sky)-show)
+	}
+}
+
+// nameOf recovers a hotel's name by value identity (fine for an example).
+func nameOf(hotels [][]float64, names []string, h []float64) string {
+	for i, row := range hotels {
+		if row[0] == h[0] && row[1] == h[1] && row[2] == h[2] {
+			return names[i]
+		}
+	}
+	return "?"
+}

@@ -1,0 +1,86 @@
+// Housing: end-to-end CSV workflow — write a listings dataset to disk,
+// read it back, and shortlist the Pareto-optimal homes (cheap, big, close
+// to the city, new). Demonstrates the CSV helpers, four mixed-orientation
+// dimensions, and run statistics.
+//
+//	go run ./examples/housing
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	mrskyline "mrskyline"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// Synthesize listings: price per m² falls with commute distance, and
+	// bigger, newer places cost more — the anti-correlation that makes
+	// housing shortlists long.
+	const n = 10_000
+	listings := make([][]float64, n)
+	for i := range listings {
+		commute := 5 + rng.Float64()*55 // minutes
+		size := 35 + rng.Float64()*165  // m²
+		age := rng.Float64() * 80       // years
+		sqm := 8000 - commute*90 - age*15 + rng.Float64()*900
+		price := sqm * size / 1000 // k€
+		listings[i] = []float64{price, size, commute, age}
+	}
+
+	dir, err := os.MkdirTemp("", "mrskyline-housing")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "listings.csv")
+
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mrskyline.WriteCSV(f, listings); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	in, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer in.Close()
+	data, err := mrskyline.ReadCSV(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := mrskyline.Compute(data, mrskyline.Options{
+		Algorithm: mrskyline.GPMRS,
+		// price ↓, size ↑, commute ↓, age ↓
+		Maximize: []bool{false, true, false, false},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := res.Stats
+	fmt.Printf("read %d listings from %s\n", len(data), path)
+	fmt.Printf("Pareto-optimal shortlist: %d homes (%s, %v)\n",
+		s.SkylineSize, s.Algorithm, s.Runtime)
+	fmt.Printf("grid %d^4: %d non-empty partitions, %d after pruning, %d groups\n\n",
+		s.PPD, s.NonEmpty, s.Surviving, s.Groups)
+
+	fmt.Printf("%9s  %6s  %9s  %6s\n", "price k€", "m²", "commute", "age")
+	for i, h := range res.Skyline {
+		if i == 10 {
+			fmt.Printf("… and %d more\n", len(res.Skyline)-10)
+			break
+		}
+		fmt.Printf("%9.0f  %6.0f  %7.0fmin  %5.0fy\n", h[0], h[1], h[2], h[3])
+	}
+}

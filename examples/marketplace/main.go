@@ -1,0 +1,68 @@
+// Marketplace: constrained and subspace skyline queries over a used-car
+// marketplace — "best deals under €20k within 100km", and "best overall
+// ignoring mileage". Demonstrates ComputeConstrained and ComputeSubspace.
+//
+//	go run ./examples/marketplace
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	mrskyline "mrskyline"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(21))
+
+	// Listings: price (k€), mileage (1000 km), age (years), distance (km).
+	// All minimized: a car is better when cheaper, fresher, newer, closer.
+	const n = 15_000
+	cars := make([][]float64, n)
+	for i := range cars {
+		age := rng.Float64() * 15
+		mileage := age*14 + rng.Float64()*40
+		price := 42 - 2.2*age - 0.08*mileage + rng.Float64()*6
+		if price < 0.5 {
+			price = 0.5 + rng.Float64()
+		}
+		cars[i] = []float64{price, mileage, age, rng.Float64() * 300}
+	}
+
+	// Query 1 — constrained skyline: budget of €20k, within 100 km.
+	constraints := []mrskyline.Range{
+		{Min: 0, Max: 20}, // price ≤ 20k€
+		mrskyline.Unbounded(),
+		mrskyline.Unbounded(),
+		{Min: 0, Max: 100}, // distance ≤ 100km
+	}
+	res, err := mrskyline.ComputeConstrained(cars, constraints, mrskyline.Options{Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("constrained skyline (≤ €20k, ≤ 100km): %d of %d cars, %s in %v\n",
+		len(res.Skyline), n, res.Stats.Algorithm, res.Stats.Runtime)
+	for i, car := range res.Skyline {
+		if i == 5 {
+			fmt.Printf("  … and %d more\n", len(res.Skyline)-5)
+			break
+		}
+		fmt.Printf("  €%5.1fk  %5.0ftkm  %4.1fy  %3.0fkm away\n", car[0], car[1], car[2], car[3])
+	}
+
+	// Query 2 — subspace skyline: ignore mileage and distance, judge by
+	// price and age alone.
+	sub, err := mrskyline.ComputeSubspace(cars, []int{0, 2}, mrskyline.Options{Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsubspace skyline (price × age only): %d cars\n", len(sub.Skyline))
+	for i, car := range sub.Skyline {
+		if i == 5 {
+			fmt.Printf("  … and %d more\n", len(sub.Skyline)-5)
+			break
+		}
+		fmt.Printf("  €%5.1fk  %4.1fy\n", car[0], car[1])
+	}
+}

@@ -1,0 +1,67 @@
+// Webservers: multi-criteria server selection across a fleet — minimize
+// p99 latency, cost per million requests, and error rate. Compares the
+// paper's two algorithms on the same workload and shows where each wins,
+// mirroring the paper's "best scenarios for each proposed algorithm"
+// discussion.
+//
+//	go run ./examples/webservers
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	mrskyline "mrskyline"
+)
+
+func main() {
+	// Two fleets with different performance trade-off structures:
+	//  - "tuned": independent metrics → tiny skyline → MR-GPSRS regime.
+	//  - "mixed": strongly anti-correlated metrics (fast servers are
+	//    expensive and error-prone under load) → huge skyline → MR-GPMRS
+	//    regime.
+	for _, fleet := range []struct {
+		name string
+		gen  func(rng *rand.Rand) []float64
+	}{
+		{"tuned (independent metrics)", func(rng *rand.Rand) []float64 {
+			return []float64{
+				5 + rng.Float64()*95,  // p99 latency ms
+				10 + rng.Float64()*40, // $/M requests
+				rng.Float64() * 2,     // error %
+			}
+		}},
+		{"mixed (anti-correlated metrics)", func(rng *rand.Rand) []float64 {
+			speed := rng.Float64() // 0 slow … 1 fast
+			return []float64{
+				5 + (1-speed)*95 + rng.Float64()*5, // fast → low latency
+				10 + speed*40 + rng.Float64()*4,    // fast → expensive
+				speed*1.5 + rng.Float64()*0.5,      // fast → flakier
+			}
+		}},
+	} {
+		rng := rand.New(rand.NewSource(3))
+		const n = 20_000
+		servers := make([][]float64, n)
+		for i := range servers {
+			servers[i] = fleet.gen(rng)
+		}
+
+		fmt.Printf("== fleet: %s (%d servers) ==\n", fleet.name, n)
+		for _, algo := range []mrskyline.Algorithm{mrskyline.GPSRS, mrskyline.GPMRS, mrskyline.Hybrid} {
+			res, err := mrskyline.Compute(servers, mrskyline.Options{
+				Algorithm: algo,
+				Nodes:     8,
+				Reducers:  8,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-18s %6d skyline servers  %10v  (pruned %d→%d partitions)\n",
+				res.Stats.Algorithm, res.Stats.SkylineSize, res.Stats.Runtime,
+				res.Stats.NonEmpty, res.Stats.Surviving)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module mrskyline
+
+go 1.22

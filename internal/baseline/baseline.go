@@ -1,0 +1,246 @@
+// Package baseline implements the MapReduce skyline algorithms the paper
+// compares against:
+//
+//   - MR-BNL [Zhang, Zhou, Guan: Adapting skyline computation to the
+//     MapReduce framework, DASFAA Workshops 2011]: each dimension is split
+//     into two halves, yielding 2^d subspaces; mappers compute one BNL
+//     local skyline per subspace; a single reducer merges the subspace
+//     skylines and removes cross-subspace false positives using the
+//     subspace codes.
+//   - MR-SFS [same source]: MR-BNL with the presorting local kernel. The
+//     paper skips it experimentally ("less efficient than MR-BNL"); it is
+//     included here for completeness and the kernel ablation.
+//   - MR-Angle [Chen, Hwang, Wu: MapReduce skyline query processing with a
+//     new angular partitioning approach, IPDPS Workshops 2012]: tuples are
+//     partitioned by hyperspherical angles (adapting [Vlachou et al.,
+//     SIGMOD 2008]); mappers compute one BNL local skyline per angular
+//     partition; a single reducer merges everything with BNL. Angular
+//     partitions cannot prune each other, but they slice the space so that
+//     each partition's local skyline is small.
+//
+// MR-Bitmap is omitted for the same reason the paper omits it: it cannot
+// handle continuous numeric domains.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/tuple"
+)
+
+// Config parametrizes the baseline algorithms.
+type Config struct {
+	// Engine executes the MapReduce job; required.
+	Engine *mapreduce.Engine
+	// NumMappers is the map task count; defaults to the cluster's total
+	// slots.
+	NumMappers int
+	// AngularPartitions is the number of angular partitions MR-Angle aims
+	// for; defaults to the mapper count, following the baseline paper's
+	// "one partition per map slot" guidance.
+	AngularPartitions int
+	// MaxAttempts bounds task attempts.
+	MaxAttempts int
+	// Lo and Hi bound the data domain per dimension; both nil selects the
+	// unit box [0,1)^d. MR-BNL splits each dimension at the domain
+	// midpoint; MR-Angle measures angles from the domain origin.
+	Lo, Hi []float64
+}
+
+func (c *Config) validate(d int) error {
+	if c.Engine == nil {
+		return fmt.Errorf("baseline: Config.Engine is required")
+	}
+	if (c.Lo == nil) != (c.Hi == nil) {
+		return fmt.Errorf("baseline: Lo and Hi must both be set or both nil")
+	}
+	if c.Lo != nil && d > 0 && (len(c.Lo) != d || len(c.Hi) != d) {
+		return fmt.Errorf("baseline: bounds dimensionality %d/%d does not match data d=%d", len(c.Lo), len(c.Hi), d)
+	}
+	return nil
+}
+
+// mid returns the per-dimension domain midpoints for d dimensions.
+func (c *Config) mid(d int) []float64 {
+	m := make([]float64, d)
+	for k := range m {
+		if c.Lo == nil {
+			m[k] = 0.5
+		} else {
+			m[k] = (c.Lo[k] + c.Hi[k]) / 2
+		}
+	}
+	return m
+}
+
+// origin returns the per-dimension domain origin for d dimensions.
+func (c *Config) origin(d int) []float64 {
+	o := make([]float64, d)
+	if c.Lo != nil {
+		copy(o, c.Lo)
+	}
+	return o
+}
+
+func (c *Config) mappers() int {
+	if c.NumMappers > 0 {
+		return c.NumMappers
+	}
+	return c.Engine.Cluster().TotalSlots()
+}
+
+// Stats reports a baseline run.
+type Stats struct {
+	// Algorithm names the baseline.
+	Algorithm string
+	// Partitions is the number of data partitions used (2^d subspaces for
+	// MR-BNL/MR-SFS, angular cells for MR-Angle).
+	Partitions int
+	// SkylineSize is the global skyline cardinality.
+	SkylineSize int
+	// DominanceTests counts tuple-pair comparisons across all tasks.
+	DominanceTests int64
+	// ShuffleBytes is the shuffled key+value volume.
+	ShuffleBytes int64
+	// Total is the wall-clock duration of the run.
+	Total time.Duration
+	// SimulatedTotal is the simulated cluster time of the job; zero unless
+	// the engine carries a mapreduce.SimConfig.
+	SimulatedTotal time.Duration
+}
+
+const counterDominanceTests = "baseline.dominance.tests"
+
+// runSingleReducerJob executes the shared shape of all three baselines:
+// mappers maintain one local-skyline window per partition id and emit
+// (partition, window); a single reducer merges and finishes. The
+// finishReduce callback implements the algorithm-specific global merge.
+func runSingleReducerJob(
+	cfg *Config,
+	name string,
+	data tuple.List,
+	locate func(t tuple.Tuple) int,
+	kernel skyline.Kernel,
+	finishReduce func(s map[int]tuple.List, cnt *skyline.Count) tuple.List,
+) (tuple.List, *mapreduce.Result, error) {
+	job := &mapreduce.Job{
+		Name:        name,
+		Input:       mapreduce.TupleInput(data),
+		NumMappers:  cfg.mappers(),
+		NumReducers: 1,
+		MaxAttempts: cfg.MaxAttempts,
+		NewMapper: func() mapreduce.Mapper {
+			windows := make(map[int]tuple.List)
+			pending := make(map[int]tuple.List) // batch-kernel buffers
+			var cnt skyline.Count
+			return mapreduce.MapperFuncs{
+				MapFn: func(_ *mapreduce.TaskContext, rec mapreduce.Record, _ mapreduce.Emitter) error {
+					t, err := mapreduce.DecodeTupleRecord(rec)
+					if err != nil {
+						return err
+					}
+					p := locate(t)
+					if kernel != skyline.KernelBNL {
+						pending[p] = append(pending[p], t)
+						return nil
+					}
+					windows[p] = skyline.InsertTuple(t, windows[p], &cnt)
+					return nil
+				},
+				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+					for p, buf := range pending {
+						windows[p] = kernel.Compute(buf, &cnt)
+					}
+					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
+					for _, w := range sortedWindows(windows) {
+						emit(encodeKey(w.id), tuple.EncodeList(w.list))
+					}
+					return nil
+				},
+			}
+		},
+		NewReducer: func() mapreduce.Reducer {
+			s := make(map[int]tuple.List)
+			var cnt skyline.Count
+			return mapreduce.ReducerFuncs{
+				ReduceFn: func(_ *mapreduce.TaskContext, key []byte, values [][]byte, _ mapreduce.Emitter) error {
+					p, err := decodeKey(key)
+					if err != nil {
+						return err
+					}
+					w := s[p]
+					for _, v := range values {
+						l, _, err := tuple.DecodeList(v)
+						if err != nil {
+							return err
+						}
+						for _, t := range l {
+							w = skyline.InsertTuple(t, w, &cnt)
+						}
+					}
+					s[p] = w
+					return nil
+				},
+				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+					sky := finishReduce(s, &cnt)
+					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
+					for _, t := range sky {
+						emit(nil, tuple.Encode(t))
+					}
+					return nil
+				},
+			}
+		},
+	}
+	res, err := cfg.Engine.Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(tuple.List, 0, len(res.Output))
+	for _, rec := range res.Output {
+		t, _, err := tuple.Decode(rec.Value)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, t)
+	}
+	return out, res, nil
+}
+
+type idWindow struct {
+	id   int
+	list tuple.List
+}
+
+// sortedWindows returns windows ordered by partition id for deterministic
+// emission.
+func sortedWindows(m map[int]tuple.List) []idWindow {
+	out := make([]idWindow, 0, len(m))
+	for id, l := range m {
+		if len(l) == 0 {
+			continue
+		}
+		out = append(out, idWindow{id, l})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].id < out[j-1].id; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func buildStats(name string, partitions int, sky tuple.List, res *mapreduce.Result, start time.Time) *Stats {
+	return &Stats{
+		Algorithm:      name,
+		Partitions:     partitions,
+		SkylineSize:    len(sky),
+		DominanceTests: res.Counters.Get(counterDominanceTests),
+		ShuffleBytes:   res.Counters.Get(mapreduce.CounterShuffleBytes),
+		Total:          time.Since(start),
+		SimulatedTotal: res.SimulatedTime,
+	}
+}

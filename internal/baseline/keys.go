@@ -1,0 +1,22 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// encodeKey renders a non-negative partition id as an 8-byte big-endian
+// shuffle key, so lexicographic key order equals numeric order.
+func encodeKey(id int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(id))
+	return b[:]
+}
+
+// decodeKey parses a key produced by encodeKey.
+func decodeKey(k []byte) (int, error) {
+	if len(k) != 8 {
+		return 0, fmt.Errorf("baseline: malformed key of %d bytes", len(k))
+	}
+	return int(binary.BigEndian.Uint64(k)), nil
+}

@@ -1,0 +1,194 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"mrskyline/internal/datagen"
+	"mrskyline/internal/tuple"
+)
+
+func unitBounds(d int) (tuple.Tuple, tuple.Tuple) {
+	lo := make(tuple.Tuple, d)
+	hi := make(tuple.Tuple, d)
+	for k := range hi {
+		hi[k] = 1
+	}
+	return lo, hi
+}
+
+func TestQuadTreeSingleLeaf(t *testing.T) {
+	lo, hi := unitBounds(2)
+	qt, err := buildQuadTree(tuple.List{{0.5, 0.5}}, lo, hi, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.numLeaves() != 1 {
+		t.Fatalf("leaves = %d, want 1", qt.numLeaves())
+	}
+	if qt.leaves[0].pruned {
+		t.Error("sole leaf pruned")
+	}
+}
+
+func TestQuadTreeSplitsOverCapacity(t *testing.T) {
+	lo, hi := unitBounds(2)
+	sample := datagen.Generate(datagen.Independent, 100, 2, 1)
+	qt, err := buildQuadTree(sample, lo, hi, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.numLeaves() < 4 {
+		t.Fatalf("100 samples with capacity 8 produced only %d leaves", qt.numLeaves())
+	}
+}
+
+func TestQuadTreeLocateConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []int{1, 2, 3, 5} {
+		lo, hi := unitBounds(d)
+		sample := datagen.Generate(datagen.Independent, 80, d, 3)
+		qt, err := buildQuadTree(sample, lo, hi, 4, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 300; trial++ {
+			p := make(tuple.Tuple, d)
+			for k := range p {
+				p[k] = rng.Float64()
+			}
+			leaf := qt.locate(p)
+			for k := 0; k < d; k++ {
+				if p[k] < leaf.lo[k] || p[k] >= leaf.hi[k] {
+					t.Fatalf("d=%d: point %v located in leaf [%v,%v)", d, p, leaf.lo, leaf.hi)
+				}
+			}
+		}
+	}
+}
+
+func TestQuadTreeLeafRegionsPartitionSpace(t *testing.T) {
+	// Leaves tile the space: every grid probe lands in exactly one leaf.
+	lo, hi := unitBounds(2)
+	sample := datagen.Generate(datagen.AntiCorrelated, 60, 2, 5)
+	qt, err := buildQuadTree(sample, lo, hi, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x < 1; x += 0.05 {
+		for y := 0.0; y < 1; y += 0.05 {
+			p := tuple.Tuple{x, y}
+			count := 0
+			for _, l := range qt.leaves {
+				if p[0] >= l.lo[0] && p[0] < l.hi[0] && p[1] >= l.lo[1] && p[1] < l.hi[1] {
+					count++
+				}
+			}
+			if count != 1 {
+				t.Fatalf("point %v covered by %d leaves", p, count)
+			}
+		}
+	}
+}
+
+func TestQuadTreePruningIsSound(t *testing.T) {
+	// A pruned leaf's entire region must be dominated by a sample point:
+	// no probe in a pruned leaf may be non-dominated.
+	sample := datagen.Generate(datagen.Independent, 200, 2, 9)
+	lo, hi := unitBounds(2)
+	qt, err := buildQuadTree(sample, lo, hi, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prunedSeen := 0
+	for _, l := range qt.leaves {
+		if !l.pruned {
+			continue
+		}
+		prunedSeen++
+		// Even the best point of the region (its min corner) is dominated.
+		dominated := false
+		for _, s := range sample {
+			if tuple.Dominates(s, l.lo) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("leaf [%v,%v) pruned without dominating sample", l.lo, l.hi)
+		}
+	}
+	if prunedSeen == 0 {
+		t.Error("200 independent samples pruned no leaves; pruning inert")
+	}
+}
+
+func TestQuadTreeMayDominate(t *testing.T) {
+	// Build a 2×2 split: four children of the root.
+	sample := tuple.List{{0.1, 0.1}, {0.9, 0.1}, {0.1, 0.9}, {0.9, 0.9}}
+	lo, hi := unitBounds(2)
+	qt, err := buildQuadTree(sample, lo, hi, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.numLeaves() != 4 {
+		t.Fatalf("leaves = %d, want 4", qt.numLeaves())
+	}
+	// Identify leaves by region.
+	find := func(x, y float64) int { return qt.locate(tuple.Tuple{x, y}).id }
+	ll := find(0.1, 0.1) // lower-left
+	ur := find(0.9, 0.9) // upper-right
+	lr := find(0.9, 0.1)
+	if !qt.mayDominate(ll, ur) {
+		t.Error("lower-left must be able to dominate upper-right")
+	}
+	if qt.mayDominate(ur, ll) {
+		t.Error("upper-right cannot dominate lower-left")
+	}
+	if !qt.mayDominate(ll, lr) {
+		t.Error("lower-left may dominate lower-right")
+	}
+	if qt.mayDominate(ll, ll) {
+		t.Error("a leaf must not self-dominate")
+	}
+	doms := qt.dominatorLeaves(ur)
+	if len(doms) == 0 {
+		t.Error("upper-right has no dominator leaves")
+	}
+}
+
+func TestQuadTreeRejectsAbsurdDimensionality(t *testing.T) {
+	d := 20
+	lo := make(tuple.Tuple, d)
+	hi := make(tuple.Tuple, d)
+	for k := range hi {
+		hi[k] = 1
+	}
+	if _, err := buildQuadTree(nil, lo, hi, 1, 4); err == nil {
+		t.Error("2^20-child quadtree accepted")
+	}
+	if _, err := buildQuadTree(nil, tuple.Tuple{0}, tuple.Tuple{1, 1}, 1, 4); err == nil {
+		t.Error("mismatched bounds accepted")
+	}
+}
+
+func TestQuadTreeDeterministic(t *testing.T) {
+	sample := datagen.Generate(datagen.AntiCorrelated, 120, 3, 4)
+	lo, hi := unitBounds(3)
+	a, err := buildQuadTree(sample, lo, hi, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildQuadTree(sample, lo, hi, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.numLeaves() != b.numLeaves() {
+		t.Fatal("leaf counts differ across builds")
+	}
+	for i := range a.leaves {
+		if !a.leaves[i].lo.Equal(b.leaves[i].lo) || a.leaves[i].pruned != b.leaves[i].pruned {
+			t.Fatalf("leaf %d differs across builds", i)
+		}
+	}
+}

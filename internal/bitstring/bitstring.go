@@ -1,0 +1,259 @@
+// Package bitstring implements the compact bitstring the paper uses to
+// represent the state of the grid partitioning (Section 3.2).
+//
+// A Bitstring holds one bit per grid partition: bit i is 1 while partition
+// p_i is considered "interesting" — non-empty and not yet pruned by
+// partition dominance. Local bitstrings produced by mappers are merged with
+// bitwise OR on the reducer (Algorithm 2); the global bitstring is then
+// shipped to every task through the distributed cache.
+//
+// The representation is a []uint64 word array. It is deliberately free of
+// any grid knowledge: index mathematics lives in internal/grid.
+package bitstring
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bitstring is a fixed-length sequence of bits. The zero value is an empty
+// bitstring of length 0; use New to create a sized one.
+type Bitstring struct {
+	n     int
+	words []uint64
+}
+
+// New returns a bitstring of n bits, all zero.
+func New(n int) *Bitstring {
+	if n < 0 {
+		panic(fmt.Sprintf("bitstring: negative length %d", n))
+	}
+	return &Bitstring{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices returns a bitstring of n bits with exactly the given bits set.
+func FromIndices(n int, idx ...int) *Bitstring {
+	bs := New(n)
+	for _, i := range idx {
+		bs.Set(i)
+	}
+	return bs
+}
+
+// Len returns the number of bits.
+func (b *Bitstring) Len() int { return b.n }
+
+// check panics on out-of-range access; partition indexes are computed, so an
+// out-of-range index is always a bug in the caller.
+func (b *Bitstring) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitstring: index %d out of range [0,%d)", i, b.n))
+	}
+}
+
+// Set sets bit i to 1.
+func (b *Bitstring) Set(i int) {
+	b.check(i)
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear sets bit i to 0.
+func (b *Bitstring) Clear(i int) {
+	b.check(i)
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Get reports whether bit i is 1.
+func (b *Bitstring) Get(i int) bool {
+	b.check(i)
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Or merges other into b with bitwise OR (BS_R = BS_R1 ∨ BS_R2 ∨ ...).
+// Both bitstrings must have the same length.
+func (b *Bitstring) Or(other *Bitstring) {
+	if b.n != other.n {
+		panic(fmt.Sprintf("bitstring: length mismatch %d vs %d", b.n, other.n))
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// And intersects b with other in place.
+func (b *Bitstring) And(other *Bitstring) {
+	if b.n != other.n {
+		panic(fmt.Sprintf("bitstring: length mismatch %d vs %d", b.n, other.n))
+	}
+	for i, w := range other.words {
+		b.words[i] &= w
+	}
+}
+
+// AndNot clears every bit of b that is set in other.
+func (b *Bitstring) AndNot(other *Bitstring) {
+	if b.n != other.n {
+		panic(fmt.Sprintf("bitstring: length mismatch %d vs %d", b.n, other.n))
+	}
+	for i, w := range other.words {
+		b.words[i] &^= w
+	}
+}
+
+// Count returns the number of set bits (the ρ of Section 3.3).
+func (b *Bitstring) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set (the loop condition of
+// Algorithm 7: "while BS_R ≠ 0").
+func (b *Bitstring) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (b *Bitstring) Clone() *Bitstring {
+	c := &Bitstring{n: b.n, words: make([]uint64, len(b.words))}
+	copy(c.words, b.words)
+	return c
+}
+
+// Equal reports whether both bitstrings have identical length and bits.
+func (b *Bitstring) Equal(other *Bitstring) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HighestSet returns the index of the highest set bit, or -1 if none is set.
+// Algorithm 7 uses it to pick the seed partition "with the largest index".
+func (b *Bitstring) HighestSet() int {
+	for i := len(b.words) - 1; i >= 0; i-- {
+		if w := b.words[i]; w != 0 {
+			return i*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// ForEachSet calls fn for every set bit in ascending index order.
+// If fn returns false, iteration stops early.
+func (b *Bitstring) ForEachSet(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the indexes of all set bits in ascending order.
+func (b *Bitstring) Indices() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEachSet(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// String renders the bits most-significant-last, e.g. "011110100" for the
+// running example of Figure 2 (bit 0 first, matching the paper's notation
+// BS_R(0, 1, 2, ..., n^d − 1)).
+func (b *Bitstring) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Parse builds a bitstring from a textual form as produced by String.
+func Parse(s string) (*Bitstring, error) {
+	b := New(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '1':
+			b.Set(i)
+		case '0':
+		default:
+			return nil, fmt.Errorf("bitstring: invalid character %q at position %d", s[i], i)
+		}
+	}
+	return b, nil
+}
+
+// Wire format: uvarint bit count | ceil(n/64) × uint64 words (little endian).
+
+// AppendEncode appends the wire encoding of b to dst.
+func (b *Bitstring) AppendEncode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(b.n))
+	for _, w := range b.words {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// Encode returns the wire encoding of b.
+func (b *Bitstring) Encode() []byte {
+	return b.AppendEncode(make([]byte, 0, binary.MaxVarintLen64+8*len(b.words)))
+}
+
+// Decode parses one bitstring from the front of buf, returning it and the
+// number of bytes consumed.
+func Decode(buf []byte) (*Bitstring, int, error) {
+	n, hdr := binary.Uvarint(buf)
+	if hdr <= 0 {
+		return nil, 0, fmt.Errorf("bitstring: truncated length header")
+	}
+	if n/8 > uint64(len(buf)) {
+		return nil, 0, fmt.Errorf("bitstring: truncated payload: %d bits with %d bytes left", n, len(buf)-hdr)
+	}
+	words := (int(n) + wordBits - 1) / wordBits
+	if len(buf)-hdr < words*8 {
+		return nil, 0, fmt.Errorf("bitstring: truncated payload: %d bits with %d bytes left", n, len(buf)-hdr)
+	}
+	b := &Bitstring{n: int(n), words: make([]uint64, words)}
+	off := hdr
+	for i := range b.words {
+		b.words[i] = binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+	}
+	// Reject garbage beyond the declared length: trailing bits in the last
+	// word must be zero for Equal/Count to behave.
+	if words > 0 {
+		if extra := words*wordBits - int(n); extra > 0 {
+			if b.words[words-1]>>(wordBits-uint(extra)) != 0 {
+				return nil, 0, fmt.Errorf("bitstring: nonzero bits beyond declared length %d", n)
+			}
+		}
+	}
+	return b, off, nil
+}

@@ -1,0 +1,258 @@
+package bitstring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSetClearGet(t *testing.T) {
+	b := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Errorf("fresh bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Get(i) {
+			t.Errorf("bit %d set after Clear", i)
+		}
+	}
+}
+
+func TestFigure2Example(t *testing.T) {
+	// The running example of Section 3.2: non-empty partitions of the 3×3
+	// grid give bitstring 011110100.
+	b, err := Parse("011110100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "011110100" {
+		t.Errorf("round trip = %q", got)
+	}
+	if got := b.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	want := []int{1, 2, 3, 4, 6}
+	got := b.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+	if got := b.HighestSet(); got != 6 {
+		t.Errorf("HighestSet = %d, want 6", got)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse("0120"); err == nil {
+		t.Error("Parse accepted invalid character")
+	}
+}
+
+func TestOrMatchesUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		ref := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+				ref[i] = true
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+				ref[i] = true
+			}
+		}
+		a.Or(b)
+		for i := 0; i < n; i++ {
+			if a.Get(i) != ref[i] {
+				t.Fatalf("n=%d bit %d: got %v want %v", n, i, a.Get(i), ref[i])
+			}
+		}
+	}
+}
+
+func TestAndNot(t *testing.T) {
+	a := FromIndices(10, 1, 2, 3, 7)
+	b := FromIndices(10, 2, 7, 9)
+	a.AndNot(b)
+	if got, want := a.String(), "0101000000"; got != want {
+		t.Errorf("AndNot = %q, want %q", got, want)
+	}
+}
+
+func TestCountAndAny(t *testing.T) {
+	b := New(200)
+	if b.Any() {
+		t.Error("empty bitstring Any = true")
+	}
+	if b.Count() != 0 {
+		t.Error("empty bitstring Count != 0")
+	}
+	b.Set(199)
+	if !b.Any() || b.Count() != 1 {
+		t.Error("single-bit bitstring misbehaves")
+	}
+}
+
+func TestHighestSetEmpty(t *testing.T) {
+	if got := New(77).HighestSet(); got != -1 {
+		t.Errorf("HighestSet on empty = %d, want -1", got)
+	}
+}
+
+func TestForEachSetEarlyStop(t *testing.T) {
+	b := FromIndices(100, 5, 50, 95)
+	var seen []int
+	b.ForEachSet(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 5 || seen[1] != 50 {
+		t.Errorf("early stop visited %v", seen)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromIndices(70, 3, 69)
+	c := a.Clone()
+	c.Clear(3)
+	if !a.Get(3) {
+		t.Error("Clone shares storage with original")
+	}
+	if !c.Get(69) || c.Get(3) {
+		t.Error("Clone content wrong")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromIndices(65, 0, 64)
+	b := FromIndices(65, 0, 64)
+	if !a.Equal(b) {
+		t.Error("identical bitstrings not Equal")
+	}
+	b.Clear(64)
+	if a.Equal(b) {
+		t.Error("different bitstrings Equal")
+	}
+	if a.Equal(New(66)) {
+		t.Error("different lengths Equal")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		rng := rand.New(rand.NewSource(seed))
+		b := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		enc := b.Encode()
+		dec, used, err := Decode(enc)
+		return err == nil && used == len(enc) && dec.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	enc := FromIndices(100, 1, 99).Encode()
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := Decode(enc[:i]); err == nil {
+			t.Errorf("Decode of %d/%d bytes succeeded", i, len(enc))
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBits(t *testing.T) {
+	// Claim 4 bits but set bit 10 in the word: must be rejected.
+	b := FromIndices(64, 10)
+	enc := b.Encode()
+	enc[0] = 4 // shrink declared length to 4 bits
+	if _, _, err := Decode(enc); err == nil {
+		t.Error("trailing garbage bits accepted")
+	}
+}
+
+func TestZeroLength(t *testing.T) {
+	b := New(0)
+	if b.Any() || b.Count() != 0 || b.HighestSet() != -1 {
+		t.Error("zero-length bitstring misbehaves")
+	}
+	enc := b.Encode()
+	dec, _, err := Decode(enc)
+	if err != nil || dec.Len() != 0 {
+		t.Errorf("zero-length round trip failed: %v", err)
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestOrLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(10).Or(New(11))
+}
+
+func BenchmarkOr(b *testing.B) {
+	x, y := New(1<<16), New(1<<16)
+	for i := 0; i < 1<<16; i += 17 {
+		y.Set(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Or(y)
+	}
+}
+
+func BenchmarkForEachSet(b *testing.B) {
+	x := New(1 << 16)
+	for i := 0; i < 1<<16; i += 5 {
+		x.Set(i)
+	}
+	b.ReportAllocs()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		x.ForEachSet(func(j int) bool { sum += j; return true })
+	}
+	_ = sum
+}
+
+func TestAnd(t *testing.T) {
+	a := FromIndices(10, 1, 2, 3, 7)
+	b := FromIndices(10, 2, 7, 9)
+	a.And(b)
+	if got, want := a.String(), "0010000100"; got != want {
+		t.Errorf("And = %q, want %q", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	a.And(New(11))
+}

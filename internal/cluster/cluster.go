@@ -1,0 +1,271 @@
+// Package cluster simulates the compute side of a MapReduce deployment: a
+// set of named nodes, each with a fixed number of task slots, onto which
+// map and reduce tasks are scheduled with data-locality preference and
+// bounded retry — the role Hadoop's JobTracker/TaskTrackers play in the
+// paper's 13-machine cluster.
+//
+// Tasks run as goroutines, so the wall-clock behaviour of the simulated
+// cluster mirrors the parallelism structure of the real one: a job with a
+// single reduce task serializes its merge work no matter how many nodes
+// exist, which is exactly the bottleneck MR-GPMRS is designed to remove.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Node describes one simulated machine.
+type Node struct {
+	// Name identifies the node; it must be unique within the cluster.
+	Name string
+	// Slots is the number of tasks the node can run concurrently.
+	Slots int
+	// Speed is the node's relative compute speed used by simulated-time
+	// accounting (1.0 = reference; the paper's cluster mixes 2.8 GHz and
+	// 2.13 GHz machines). Zero means 1.0.
+	Speed float64
+}
+
+// Task is one schedulable unit of work.
+type Task struct {
+	// Name is used in error messages.
+	Name string
+	// Preferred lists nodes that hold the task's input locally; the
+	// scheduler places the task there when a slot is free.
+	Preferred []string
+	// Run executes the task on the given node. A non-nil error triggers a
+	// retry on a different node (when possible) up to the attempt budget.
+	Run func(node string) error
+}
+
+// Stats aggregates scheduling telemetry across a Run call.
+type Stats struct {
+	// TasksRun counts task attempts that were started.
+	TasksRun int64
+	// LocalityHits counts attempts placed on a preferred node.
+	LocalityHits int64
+	// Retries counts attempts after a failure.
+	Retries int64
+	// PerNode counts attempts per node name.
+	PerNode map[string]int64
+}
+
+// Cluster is a fixed set of nodes with task slots. It is safe for
+// concurrent use; multiple jobs may share one cluster.
+type Cluster struct {
+	nodes []Node
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	free map[string]int
+}
+
+// New creates a cluster. Every node needs a unique name and at least one
+// slot.
+func New(nodes []Node) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: at least one node required")
+	}
+	free := make(map[string]int, len(nodes))
+	for _, n := range nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("cluster: empty node name")
+		}
+		if _, dup := free[n.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		if n.Slots < 1 {
+			return nil, fmt.Errorf("cluster: node %q has %d slots", n.Name, n.Slots)
+		}
+		if n.Speed < 0 {
+			return nil, fmt.Errorf("cluster: node %q has negative speed %g", n.Name, n.Speed)
+		}
+		free[n.Name] = n.Slots
+	}
+	c := &Cluster{nodes: append([]Node(nil), nodes...), free: free}
+	c.cond = sync.NewCond(&c.mu)
+	return c, nil
+}
+
+// Uniform is a convenience constructor: n nodes named node0..node{n-1} with
+// the given number of slots each.
+func Uniform(n, slots int) (*Cluster, error) {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{Name: fmt.Sprintf("node%d", i), Slots: slots}
+	}
+	return New(nodes)
+}
+
+// Nodes returns the node names in configuration order.
+func (c *Cluster) Nodes() []string {
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+// TotalSlots returns the cluster-wide slot count.
+func (c *Cluster) TotalSlots() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.Slots
+	}
+	return total
+}
+
+// SlotSpeeds returns one relative speed per slot (a node contributes its
+// speed once per slot), for simulated-time scheduling. Unset speeds read
+// as 1.0.
+func (c *Cluster) SlotSpeeds() []float64 {
+	var out []float64
+	for _, n := range c.nodes {
+		sp := n.Speed
+		if sp == 0 {
+			sp = 1
+		}
+		for i := 0; i < n.Slots; i++ {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// acquire blocks until a slot is free, preferring the preferred nodes and
+// avoiding the nodes in avoid (unless only avoided nodes exist). It returns
+// the chosen node name and whether the placement was local.
+func (c *Cluster) acquire(preferred []string, avoid map[string]bool, aborted *bool) (string, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if *aborted {
+			return "", false, errAborted
+		}
+		// Preferred node with a free slot?
+		for _, p := range preferred {
+			if avoid[p] {
+				continue
+			}
+			if c.free[p] > 0 {
+				c.free[p]--
+				return p, true, nil
+			}
+		}
+		// Any non-avoided node with a free slot (configuration order for
+		// determinism of the choice set, not of timing).
+		for _, n := range c.nodes {
+			if avoid[n.Name] {
+				continue
+			}
+			if c.free[n.Name] > 0 {
+				c.free[n.Name]--
+				return n.Name, false, nil
+			}
+		}
+		// Everything usable is busy — or everything is avoided; in the
+		// latter case relax the avoid set rather than deadlock.
+		if len(avoid) >= len(c.nodes) {
+			for n := range avoid {
+				delete(avoid, n)
+			}
+			continue
+		}
+		c.cond.Wait()
+	}
+}
+
+func (c *Cluster) release(node string) {
+	c.mu.Lock()
+	c.free[node]++
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+var errAborted = errors.New("cluster: job aborted after failure")
+
+// Run executes all tasks, each allowed maxAttempts attempts (min 1). It
+// returns the first task error once every started task has finished, or
+// nil. Stats, when non-nil, receives scheduling telemetry.
+func (c *Cluster) Run(tasks []Task, maxAttempts int, stats *Stats) error {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		aborted  bool
+		statMu   sync.Mutex
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			c.mu.Lock()
+			aborted = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		})
+	}
+	record := func(node string, local, retry bool) {
+		if stats == nil {
+			return
+		}
+		statMu.Lock()
+		defer statMu.Unlock()
+		stats.TasksRun++
+		if local {
+			stats.LocalityHits++
+		}
+		if retry {
+			stats.Retries++
+		}
+		if stats.PerNode == nil {
+			stats.PerNode = make(map[string]int64)
+		}
+		stats.PerNode[node]++
+	}
+
+	for i := range tasks {
+		task := tasks[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			avoid := make(map[string]bool)
+			var lastErr error
+			for attempt := 1; attempt <= maxAttempts; attempt++ {
+				node, local, err := c.acquire(task.Preferred, avoid, &aborted)
+				if err != nil {
+					return // job already failed elsewhere
+				}
+				record(node, local, attempt > 1)
+				lastErr = task.Run(node)
+				c.release(node)
+				if lastErr == nil {
+					return
+				}
+				// Blame the node and try elsewhere, as Hadoop's speculative
+				// re-execution does after a task-tracker failure.
+				avoid[node] = true
+			}
+			fail(fmt.Errorf("cluster: task %q failed after %d attempts: %w", task.Name, maxAttempts, lastErr))
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Paper returns the evaluation cluster of the reproduced paper: thirteen
+// commodity machines — twelve with an Intel Pentium D 2.8 GHz Core2 and
+// one with a 2.13 GHz part (speed 2.13/2.8 ≈ 0.76) — with the given task
+// slots per node.
+func Paper(slotsPerNode int) (*Cluster, error) {
+	nodes := make([]Node, 13)
+	for i := range nodes {
+		nodes[i] = Node{Name: fmt.Sprintf("node%d", i), Slots: slotsPerNode, Speed: 1.0}
+	}
+	nodes[12].Speed = 2.13 / 2.8
+	return New(nodes)
+}

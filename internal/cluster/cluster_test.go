@@ -1,0 +1,302 @@
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mrskyline/internal/cluster"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := cluster.New(nil); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	if _, err := cluster.New([]cluster.Node{{Name: "", Slots: 1}}); err == nil {
+		t.Error("empty node name accepted")
+	}
+	if _, err := cluster.New([]cluster.Node{{Name: "a", Slots: 0}}); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if _, err := cluster.New([]cluster.Node{{Name: "a", Slots: 1}, {Name: "a", Slots: 1}}); err == nil {
+		t.Error("duplicate node accepted")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	c, err := cluster.Uniform(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Nodes(); len(got) != 3 || got[0] != "node0" || got[2] != "node2" {
+		t.Errorf("Nodes = %v", got)
+	}
+	if c.TotalSlots() != 6 {
+		t.Errorf("TotalSlots = %d", c.TotalSlots())
+	}
+}
+
+func TestRunAllTasks(t *testing.T) {
+	c, _ := cluster.Uniform(4, 2)
+	var ran int64
+	tasks := make([]cluster.Task, 50)
+	for i := range tasks {
+		tasks[i] = cluster.Task{
+			Name: fmt.Sprintf("t%d", i),
+			Run: func(node string) error {
+				atomic.AddInt64(&ran, 1)
+				return nil
+			},
+		}
+	}
+	var stats cluster.Stats
+	if err := c.Run(tasks, 1, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 50 {
+		t.Errorf("ran %d tasks, want 50", ran)
+	}
+	if stats.TasksRun != 50 || stats.Retries != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	total := int64(0)
+	for _, n := range stats.PerNode {
+		total += n
+	}
+	if total != 50 {
+		t.Errorf("per-node totals = %v", stats.PerNode)
+	}
+}
+
+func TestSlotLimitRespected(t *testing.T) {
+	c, _ := cluster.Uniform(2, 3) // 6 slots total
+	var cur, peak int64
+	var mu sync.Mutex
+	tasks := make([]cluster.Task, 40)
+	for i := range tasks {
+		tasks[i] = cluster.Task{
+			Name: fmt.Sprintf("t%d", i),
+			Run: func(node string) error {
+				mu.Lock()
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				return nil
+			},
+		}
+	}
+	if err := c.Run(tasks, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if peak > 6 {
+		t.Errorf("peak concurrency %d exceeds 6 slots", peak)
+	}
+	if peak < 2 {
+		t.Errorf("peak concurrency %d shows no parallelism", peak)
+	}
+}
+
+func TestLocalityPreference(t *testing.T) {
+	c, _ := cluster.Uniform(4, 4)
+	var mu sync.Mutex
+	placed := map[string]string{}
+	tasks := make([]cluster.Task, 16)
+	for i := range tasks {
+		name := fmt.Sprintf("t%d", i)
+		pref := fmt.Sprintf("node%d", i%4)
+		tasks[i] = cluster.Task{
+			Name:      name,
+			Preferred: []string{pref},
+			Run: func(node string) error {
+				mu.Lock()
+				placed[name] = node
+				mu.Unlock()
+				return nil
+			},
+		}
+	}
+	var stats cluster.Stats
+	if err := c.Run(tasks, 1, &stats); err != nil {
+		t.Fatal(err)
+	}
+	// With 4 slots per node and 4 tasks per preferred node, every task fits
+	// on its preferred node.
+	if stats.LocalityHits != 16 {
+		t.Errorf("locality hits = %d, want 16 (placements: %v)", stats.LocalityHits, placed)
+	}
+}
+
+func TestRetryOnDifferentNode(t *testing.T) {
+	c, _ := cluster.Uniform(3, 1)
+	var mu sync.Mutex
+	var nodesTried []string
+	task := cluster.Task{
+		Name: "flaky",
+		Run: func(node string) error {
+			mu.Lock()
+			nodesTried = append(nodesTried, node)
+			n := len(nodesTried)
+			mu.Unlock()
+			if n < 3 {
+				return errors.New("simulated crash")
+			}
+			return nil
+		},
+	}
+	var stats cluster.Stats
+	if err := c.Run([]cluster.Task{task}, 5, &stats); err != nil {
+		t.Fatalf("retries did not recover: %v", err)
+	}
+	if len(nodesTried) != 3 {
+		t.Fatalf("attempts = %v", nodesTried)
+	}
+	if nodesTried[0] == nodesTried[1] || nodesTried[1] == nodesTried[2] || nodesTried[0] == nodesTried[2] {
+		t.Errorf("retries reused a blamed node: %v", nodesTried)
+	}
+	if stats.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", stats.Retries)
+	}
+}
+
+func TestRetryExhaustionFailsJob(t *testing.T) {
+	c, _ := cluster.Uniform(2, 1)
+	boom := errors.New("boom")
+	task := cluster.Task{Name: "doomed", Run: func(string) error { return boom }}
+	err := c.Run([]cluster.Task{task}, 3, nil)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestAvoidSetRelaxesOnSingleNode(t *testing.T) {
+	// With one node, a retry has nowhere else to go; the scheduler must
+	// relax the avoid set rather than deadlock.
+	c, _ := cluster.Uniform(1, 1)
+	attempts := 0
+	task := cluster.Task{
+		Name: "stubborn",
+		Run: func(node string) error {
+			attempts++
+			if attempts < 3 {
+				return errors.New("again")
+			}
+			return nil
+		},
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Run([]cluster.Task{task}, 5, nil) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("scheduler deadlocked on single-node retry")
+	}
+}
+
+func TestFailureAbortsQueuedTasks(t *testing.T) {
+	// After a task exhausts retries, queued tasks must not keep the job
+	// alive forever; Run returns the first error.
+	c, _ := cluster.Uniform(1, 1)
+	block := make(chan struct{})
+	var started int64
+	tasks := []cluster.Task{
+		{Name: "fail", Run: func(string) error { return errors.New("dead") }},
+	}
+	for i := 0; i < 20; i++ {
+		tasks = append(tasks, cluster.Task{Name: fmt.Sprintf("later%d", i), Run: func(string) error {
+			atomic.AddInt64(&started, 1)
+			<-block
+			return nil
+		}})
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Run(tasks, 1, nil) }()
+	// Unblock any tasks that did start before the failure propagated.
+	time.AfterFunc(100*time.Millisecond, func() { close(block) })
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run returned nil despite failed task")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after failure")
+	}
+}
+
+func TestConcurrentJobsShareCluster(t *testing.T) {
+	c, _ := cluster.Uniform(2, 2)
+	var wg sync.WaitGroup
+	for j := 0; j < 4; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tasks := make([]cluster.Task, 10)
+			for i := range tasks {
+				tasks[i] = cluster.Task{Name: "t", Run: func(string) error {
+					time.Sleep(100 * time.Microsecond)
+					return nil
+				}}
+			}
+			if err := c.Run(tasks, 1, nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestRunNoTasks(t *testing.T) {
+	c, _ := cluster.Uniform(1, 1)
+	if err := c.Run(nil, 1, nil); err != nil {
+		t.Errorf("Run(nil) = %v", err)
+	}
+}
+
+func TestPaperCluster(t *testing.T) {
+	c, err := cluster.Paper(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes()) != 13 || c.TotalSlots() != 26 {
+		t.Fatalf("paper cluster shape: %d nodes, %d slots", len(c.Nodes()), c.TotalSlots())
+	}
+	speeds := c.SlotSpeeds()
+	if len(speeds) != 26 {
+		t.Fatalf("slot speeds = %d", len(speeds))
+	}
+	slow := 0
+	for _, s := range speeds {
+		if s < 1 {
+			slow++
+		}
+	}
+	if slow != 2 {
+		t.Errorf("%d slow slots, want 2 (one heterogeneous node × 2 slots)", slow)
+	}
+}
+
+func TestNewRejectsNegativeSpeed(t *testing.T) {
+	if _, err := cluster.New([]cluster.Node{{Name: "a", Slots: 1, Speed: -1}}); err == nil {
+		t.Error("negative speed accepted")
+	}
+}
+
+func TestSlotSpeedsDefault(t *testing.T) {
+	c, _ := cluster.Uniform(2, 3)
+	for _, s := range c.SlotSpeeds() {
+		if s != 1 {
+			t.Fatalf("default speed = %v", s)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mrskyline/internal/bitstring"
+	"mrskyline/internal/grid"
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/tuple"
+)
+
+// BitstringResult is the outcome of the bitstring-generation phase.
+type BitstringResult struct {
+	// Grid is the grid the bitstring indexes.
+	Grid *grid.Grid
+	// Bitstring is the pruned global bitstring (Equation 2), ready for the
+	// distributed cache of the skyline job.
+	Bitstring *bitstring.Bitstring
+	// NonEmpty is the occupied-partition count before pruning.
+	NonEmpty int
+	// PPD is the grid's partitions-per-dimension.
+	PPD int
+	// AutoPPD reports whether the Section 3.3 job selected the PPD.
+	AutoPPD bool
+	// Job carries the MapReduce result (counters, timings).
+	Job *mapreduce.Result
+}
+
+// BuildBitstring runs the bitstring generation of Section 3.2 (Algorithms
+// 1–2) for a fixed grid: every mapper folds its split into a local
+// occupancy bitstring, a single reducer ORs the local bitstrings into the
+// global one and prunes dominated partitions.
+//
+// When disablePruning is set the reducer skips the Equation 2 step
+// (ablation only).
+func BuildBitstring(cfg *Config, g *grid.Grid, input mapreduce.Input, disablePruning bool) (*BitstringResult, error) {
+	job := &mapreduce.Job{
+		Name:        "bitstring-gen",
+		Input:       input,
+		NumMappers:  cfg.mappers(),
+		NumReducers: 1,
+		MaxAttempts: cfg.MaxAttempts,
+		NewMapper: func() mapreduce.Mapper {
+			// Algorithm 1.
+			local := bitstring.New(g.NumPartitions())
+			return mapreduce.MapperFuncs{
+				MapFn: func(_ *mapreduce.TaskContext, rec mapreduce.Record, _ mapreduce.Emitter) error {
+					t, err := cfg.decode(rec)
+					if err != nil {
+						return err
+					}
+					if t == nil {
+						return nil
+					}
+					if len(t) != g.Dim() {
+						return fmt.Errorf("core: tuple dimensionality %d does not match grid d=%d", len(t), g.Dim())
+					}
+					local.Set(g.Locate(t))
+					return nil
+				},
+				FlushFn: func(_ *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+					emit(nil, local.Encode())
+					return nil
+				},
+			}
+		},
+		NewReducer: func() mapreduce.Reducer {
+			// Algorithm 2.
+			global := bitstring.New(g.NumPartitions())
+			return mapreduce.ReducerFuncs{
+				ReduceFn: func(_ *mapreduce.TaskContext, _ []byte, values [][]byte, _ mapreduce.Emitter) error {
+					for _, v := range values {
+						local, _, err := bitstring.Decode(v)
+						if err != nil {
+							return err
+						}
+						global.Or(local)
+					}
+					return nil
+				},
+				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+					ctx.Counters.Add("bitstring.nonempty", int64(global.Count()))
+					if !disablePruning {
+						g.Prune(global)
+					}
+					ctx.Counters.Add("bitstring.surviving", int64(global.Count()))
+					emit(nil, global.Encode())
+					return nil
+				},
+			}
+		},
+	}
+	res, err := cfg.Engine.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Output) != 1 {
+		return nil, fmt.Errorf("core: bitstring job produced %d outputs, want 1", len(res.Output))
+	}
+	bs, _, err := bitstring.Decode(res.Output[0].Value)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding global bitstring: %w", err)
+	}
+	return &BitstringResult{
+		Grid:      g,
+		Bitstring: bs,
+		NonEmpty:  int(res.Counters.Get("bitstring.nonempty")),
+		PPD:       g.PPD(),
+		Job:       res,
+	}, nil
+}
+
+// ppdCandidates returns the candidate PPD series of Section 3.3 — the
+// integers from 2 to nm — optionally thinned to at most maxCandidates
+// values spread evenly across the range (endpoints always kept). A
+// maxCandidates < 0 keeps the full series; 0 applies the default bound.
+func ppdCandidates(card, d, maxCandidates int) []int {
+	nm := grid.MaxCandidatePPD(card, d, grid.MaxPartitions)
+	full := make([]int, 0, nm-1)
+	for j := 2; j <= nm; j++ {
+		full = append(full, j)
+	}
+	if maxCandidates == 0 {
+		maxCandidates = DefaultMaxPPDCandidates
+	}
+	if maxCandidates < 0 || len(full) <= maxCandidates {
+		return full
+	}
+	out := make([]int, 0, maxCandidates)
+	seen := make(map[int]bool, maxCandidates)
+	for i := 0; i < maxCandidates; i++ {
+		// Even spacing over the index range keeps both endpoints.
+		idx := i * (len(full) - 1) / (maxCandidates - 1)
+		j := full[idx]
+		if !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// ChoosePPDAndBitstring runs the extended MapReduce flow of Section 3.3:
+// mappers emit one local bitstring per candidate PPD, keyed by the
+// candidate; the single reducer merges each candidate's bitstrings, counts
+// non-empty partitions ρ, selects the candidate minimizing |c/ρ − c/j^d|,
+// prunes the winning global bitstring and returns it. The separate
+// bitstring-generation job becomes unnecessary: its work is subsumed here.
+func ChoosePPDAndBitstring(cfg *Config, d, card int, input mapreduce.Input, disablePruning bool) (*BitstringResult, error) {
+	candidates := ppdCandidates(card, d, cfg.MaxPPDCandidates)
+	if len(candidates) == 0 {
+		candidates = []int{2}
+	}
+	grids := make(map[int]*grid.Grid, len(candidates))
+	for _, j := range candidates {
+		g, err := cfg.newGrid(d, j)
+		if err != nil {
+			return nil, fmt.Errorf("core: candidate PPD %d: %w", j, err)
+		}
+		grids[j] = g
+	}
+
+	job := &mapreduce.Job{
+		Name:        "ppd-select",
+		Input:       input,
+		NumMappers:  cfg.mappers(),
+		NumReducers: 1,
+		MaxAttempts: cfg.MaxAttempts,
+		NewMapper: func() mapreduce.Mapper {
+			locals := make(map[int]*bitstring.Bitstring, len(candidates))
+			for _, j := range candidates {
+				locals[j] = bitstring.New(grids[j].NumPartitions())
+			}
+			return mapreduce.MapperFuncs{
+				MapFn: func(_ *mapreduce.TaskContext, rec mapreduce.Record, _ mapreduce.Emitter) error {
+					t, err := cfg.decode(rec)
+					if err != nil {
+						return err
+					}
+					if t == nil {
+						return nil
+					}
+					if len(t) != d {
+						return fmt.Errorf("core: tuple dimensionality %d, want %d", len(t), d)
+					}
+					for _, j := range candidates {
+						locals[j].Set(grids[j].Locate(t))
+					}
+					return nil
+				},
+				FlushFn: func(_ *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+					for _, j := range candidates {
+						emit(encodeKey(j), locals[j].Encode())
+					}
+					return nil
+				},
+			}
+		},
+		NewReducer: func() mapreduce.Reducer {
+			merged := make(map[int]*bitstring.Bitstring, len(candidates))
+			return mapreduce.ReducerFuncs{
+				ReduceFn: func(_ *mapreduce.TaskContext, key []byte, values [][]byte, _ mapreduce.Emitter) error {
+					j, err := decodeKey(key)
+					if err != nil {
+						return err
+					}
+					g, ok := grids[j]
+					if !ok {
+						return fmt.Errorf("core: unexpected PPD candidate %d", j)
+					}
+					global := bitstring.New(g.NumPartitions())
+					for _, v := range values {
+						local, _, err := bitstring.Decode(v)
+						if err != nil {
+							return err
+						}
+						global.Or(local)
+					}
+					merged[j] = global
+					return nil
+				},
+				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+					rho := make(map[int]int, len(merged))
+					for j, bs := range merged {
+						rho[j] = bs.Count()
+					}
+					best := grid.ChoosePPD(card, d, rho)
+					bs, ok := merged[best]
+					if !ok {
+						// No input at all: fall back to an empty PPD-2 grid.
+						best = candidates[0]
+						bs = bitstring.New(grids[best].NumPartitions())
+					}
+					ctx.Counters.Add("bitstring.nonempty", int64(bs.Count()))
+					if !disablePruning {
+						grids[best].Prune(bs)
+					}
+					ctx.Counters.Add("bitstring.surviving", int64(bs.Count()))
+					payload := binary.AppendUvarint(nil, uint64(best))
+					payload = bs.AppendEncode(payload)
+					emit(nil, payload)
+					return nil
+				},
+			}
+		},
+	}
+	res, err := cfg.Engine.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Output) != 1 {
+		return nil, fmt.Errorf("core: ppd job produced %d outputs, want 1", len(res.Output))
+	}
+	payload := res.Output[0].Value
+	best64, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("core: malformed ppd job output")
+	}
+	bs, _, err := bitstring.Decode(payload[n:])
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding chosen bitstring: %w", err)
+	}
+	best := int(best64)
+	return &BitstringResult{
+		Grid:      grids[best],
+		Bitstring: bs,
+		NonEmpty:  int(res.Counters.Get("bitstring.nonempty")),
+		PPD:       best,
+		AutoPPD:   true,
+		Job:       res,
+	}, nil
+}
+
+// prepare resolves the grid + global bitstring for an in-memory skyline
+// run.
+func prepare(cfg *Config, data tuple.List) (*BitstringResult, error) {
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	return prepareInput(cfg, mapreduce.TupleInput(data), data.Dim(), len(data))
+}
+
+// prepareInput resolves the grid + global bitstring for a skyline run over
+// an arbitrary input source. A fixed PPD uses the plain Algorithm 1–2 job.
+// With PPD 0 and a TPP target, the PPD comes directly from Equation 4
+// (n = (c/TPP)^(1/d)); with neither, the full Section 3.3 selection job
+// runs. card is the (possibly estimated) input cardinality.
+func prepareInput(cfg *Config, input mapreduce.Input, d, card int) (*BitstringResult, error) {
+	if err := cfg.validate(d); err != nil {
+		return nil, err
+	}
+	ppd := cfg.PPD
+	if ppd == 0 && cfg.TPP > 0 {
+		ppd = grid.PPDForTPP(card, d, cfg.TPP, grid.MaxPartitions)
+	}
+	if ppd != 0 {
+		g, err := cfg.newGrid(d, ppd)
+		if err != nil {
+			return nil, err
+		}
+		return BuildBitstring(cfg, g, input, cfg.DisablePruning)
+	}
+	return ChoosePPDAndBitstring(cfg, d, card, input, cfg.DisablePruning)
+}

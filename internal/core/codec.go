@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"mrskyline/internal/tuple"
+)
+
+// Shuffle keys are fixed-width big-endian integers so that the engine's
+// lexicographic key ordering coincides with numeric ordering.
+
+// encodeKey renders a non-negative integer id as an 8-byte big-endian key.
+func encodeKey(id int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(id))
+	return b[:]
+}
+
+// decodeKey parses a key produced by encodeKey.
+func decodeKey(k []byte) (int, error) {
+	if len(k) != 8 {
+		return 0, fmt.Errorf("core: malformed key of %d bytes", len(k))
+	}
+	return int(binary.BigEndian.Uint64(k)), nil
+}
+
+// partMap is the in-task representation of "a set of local skylines S_p for
+// non-empty partitions p" (the S of Algorithms 3 and 8).
+type partMap map[int]tuple.List
+
+// sortedPartitions returns the map's keys in ascending order; all emission
+// and comparison loops iterate in this order so task output is
+// byte-deterministic.
+func (pm partMap) sortedPartitions() []int {
+	out := make([]int, 0, len(pm))
+	for p := range pm {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// encodePartMap serializes a subset of pm (the partitions listed in parts,
+// skipping absent ones) as:
+//
+//	uvarint entryCount | entries × (uvarint partition | tuple list)
+func encodePartMap(pm partMap, parts []int) []byte {
+	cnt := 0
+	for _, p := range parts {
+		if len(pm[p]) > 0 {
+			cnt++
+		}
+	}
+	buf := binary.AppendUvarint(nil, uint64(cnt))
+	for _, p := range parts {
+		l := pm[p]
+		if len(l) == 0 {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(p))
+		buf = tuple.AppendEncodeList(buf, l)
+	}
+	return buf
+}
+
+// decodePartMap parses one encodePartMap payload.
+func decodePartMap(b []byte) (partMap, error) {
+	cnt, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("core: truncated partition map header")
+	}
+	if cnt > uint64(len(b)) {
+		return nil, fmt.Errorf("core: implausible partition map count %d", cnt)
+	}
+	off := n
+	pm := make(partMap, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		p, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("core: truncated partition id at entry %d", i)
+		}
+		off += n
+		l, m, err := tuple.DecodeList(b[off:])
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d: %w", p, err)
+		}
+		off += m
+		pm[int(p)] = l
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("core: %d trailing bytes after partition map", len(b)-off)
+	}
+	return pm, nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mrskyline/internal/tuple"
+)
+
+func TestKeyRoundTrip(t *testing.T) {
+	for _, id := range []int{0, 1, 255, 1 << 20, 1<<40 + 3} {
+		got, err := decodeKey(encodeKey(id))
+		if err != nil || got != id {
+			t.Errorf("decodeKey(encodeKey(%d)) = %d, %v", id, got, err)
+		}
+	}
+	if _, err := decodeKey([]byte{1, 2, 3}); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func TestKeyOrderingMatchesNumeric(t *testing.T) {
+	prev := encodeKey(0)
+	for id := 1; id < 5000; id += 7 {
+		cur := encodeKey(id)
+		if string(prev) >= string(cur) {
+			t.Fatalf("key ordering broken at %d", id)
+		}
+		prev = cur
+	}
+}
+
+func TestPartMapRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		pm := make(partMap)
+		nParts := rng.Intn(10)
+		for i := 0; i < nParts; i++ {
+			p := rng.Intn(1000)
+			l := make(tuple.List, 1+rng.Intn(5))
+			for j := range l {
+				l[j] = tuple.Tuple{rng.Float64(), rng.Float64()}
+			}
+			pm[p] = l
+		}
+		parts := pm.sortedPartitions()
+		enc := encodePartMap(pm, parts)
+		dec, err := decodePartMap(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != len(pm) {
+			t.Fatalf("decoded %d partitions, want %d", len(dec), len(pm))
+		}
+		for p, l := range pm {
+			got := dec[p]
+			if len(got) != len(l) {
+				t.Fatalf("partition %d: %d tuples, want %d", p, len(got), len(l))
+			}
+			for i := range l {
+				if !got[i].Equal(l[i]) {
+					t.Fatalf("partition %d tuple %d mismatch", p, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPartMapSubsetEncoding(t *testing.T) {
+	pm := partMap{1: {{0.1}}, 2: {{0.2}}, 3: {{0.3}}}
+	enc := encodePartMap(pm, []int{1, 3, 99}) // 99 absent: skipped
+	dec, err := decodePartMap(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 2 || dec[1] == nil || dec[3] == nil {
+		t.Errorf("subset decode = %v", dec)
+	}
+}
+
+func TestPartMapEmptyListsSkipped(t *testing.T) {
+	pm := partMap{5: {}}
+	enc := encodePartMap(pm, []int{5})
+	dec, err := decodePartMap(enc)
+	if err != nil || len(dec) != 0 {
+		t.Errorf("empty-list encoding: %v, %v", dec, err)
+	}
+}
+
+func TestPartMapDecodeErrors(t *testing.T) {
+	pm := partMap{1: {{0.5, 0.5}}}
+	enc := encodePartMap(pm, []int{1})
+	for i := 0; i < len(enc); i++ {
+		if _, err := decodePartMap(enc[:i]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", i)
+		}
+	}
+	if _, err := decodePartMap(append(enc, 0xFF)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, err := decodePartMap(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestPPDCandidates(t *testing.T) {
+	// Full series for small cardinality.
+	got := ppdCandidates(100, 2, -1) // nm = 10
+	if len(got) != 9 || got[0] != 2 || got[len(got)-1] != 10 {
+		t.Errorf("full candidates = %v", got)
+	}
+	// Thinned series keeps endpoints and stays within the bound.
+	got = ppdCandidates(1_000_000, 2, 8) // nm = 1000
+	if len(got) > 8 || got[0] != 2 || got[len(got)-1] != 1000 {
+		t.Errorf("thinned candidates = %v", got)
+	}
+	// Default bound applies when 0.
+	got = ppdCandidates(1_000_000, 2, 0)
+	if len(got) > DefaultMaxPPDCandidates {
+		t.Errorf("default-thinned candidates = %v", got)
+	}
+	// Tiny data: nm = 2, single candidate.
+	got = ppdCandidates(5, 3, 0)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("tiny candidates = %v", got)
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mrskyline/internal/datagen"
+	"mrskyline/internal/grid"
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/tuple"
+)
+
+// Config parametrizes the grid-partitioning skyline algorithms. The zero
+// value of every optional field selects the paper's default behaviour.
+type Config struct {
+	// Engine executes the MapReduce jobs; required.
+	Engine *mapreduce.Engine
+
+	// NumMappers is the map task count (the m of the paper). Defaults to
+	// the cluster's total slot count.
+	NumMappers int
+	// NumReducers is the reduce task count for MR-GPMRS (the r of
+	// Algorithm 8). MR-GPSRS always uses a single reducer. Defaults to the
+	// number of cluster nodes, matching the paper's "one reducer per node".
+	NumReducers int
+
+	// PPD fixes the partitions-per-dimension. Zero selects it with the
+	// MapReduce heuristic of Section 3.3.
+	PPD int
+	// TPP, with PPD 0, derives the grid granularity directly from
+	// Equation 4 (n = (c/TPP)^(1/d)) instead of running the Section 3.3
+	// selection job. Zero means "no target": PPD 0 then selects via the
+	// MapReduce heuristic.
+	TPP int
+	// MaxPPDCandidates bounds how many candidate PPD values the Section
+	// 3.3 job evaluates. The paper's mappers build one bitstring for every
+	// integer in [2, c^(1/d)], which is quadratic-plus memory at high
+	// cardinality; by default this implementation thins the series to at
+	// most DefaultMaxPPDCandidates values spread evenly across the range
+	// (always including both endpoints). Set to a negative value to force
+	// the full series.
+	MaxPPDCandidates int
+
+	// Kernel is the local-skyline algorithm inside tasks (default BNL, the
+	// paper's Algorithm 4; SFS is the future-work ablation).
+	Kernel skyline.Kernel
+	// Merge selects the group-merging policy of Section 5.4.1 (default:
+	// computation-cost balancing, the paper's choice).
+	Merge grid.MergeStrategy
+	// DisablePruning skips the Equation 2 partition pruning on the global
+	// bitstring (occupancy only). Ablation switch; never an improvement.
+	DisablePruning bool
+	// MaxAttempts bounds task attempts per the engine's retry policy.
+	MaxAttempts int
+
+	// Lo and Hi bound the data domain per dimension (half-open boxes
+	// [Lo, Hi)); both nil selects the unit box [0,1)^d the synthetic
+	// generators produce. Tuples outside the box are clamped into boundary
+	// grid cells, which degrades pruning but never correctness.
+	Lo, Hi []float64
+
+	// DecodeRecord parses one input record into a tuple inside map tasks.
+	// Nil selects the binary tuple codec (the format mapreduce.TupleInput
+	// produces). CSVRecordDecoder reads comma-separated text, the format
+	// DFS-resident datasets use. A (nil, nil) return skips the record
+	// (blank lines, comments).
+	DecodeRecord func(rec mapreduce.Record) (tuple.Tuple, error)
+}
+
+// decode parses a record with the configured decoder.
+func (c *Config) decode(rec mapreduce.Record) (tuple.Tuple, error) {
+	if c.DecodeRecord != nil {
+		return c.DecodeRecord(rec)
+	}
+	return mapreduce.DecodeTupleRecord(rec)
+}
+
+// CSVRecordDecoder returns a DecodeRecord for comma-separated text records
+// of dimensionality d; blank and '#'-comment lines are skipped.
+func CSVRecordDecoder(d int) func(rec mapreduce.Record) (tuple.Tuple, error) {
+	return func(rec mapreduce.Record) (tuple.Tuple, error) {
+		t, err := datagen.ParseTupleLine(string(rec.Value))
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			return nil, nil
+		}
+		if len(t) != d {
+			return nil, fmt.Errorf("core: CSV record has %d fields, want %d", len(t), d)
+		}
+		return t, nil
+	}
+}
+
+// DefaultMaxPPDCandidates is the default thinning bound for the PPD
+// selection job.
+const DefaultMaxPPDCandidates = 16
+
+// validate normalizes and checks the configuration against the data shape.
+func (c *Config) validate(d int) error {
+	if c.Engine == nil {
+		return fmt.Errorf("core: Config.Engine is required")
+	}
+	if d < 1 {
+		return fmt.Errorf("core: dimensionality must be ≥ 1, got %d", d)
+	}
+	if c.PPD < 0 {
+		return fmt.Errorf("core: PPD must be ≥ 0, got %d", c.PPD)
+	}
+	if c.PPD == 1 {
+		return fmt.Errorf("core: PPD 1 creates a single partition; use ≥ 2 or 0 for auto")
+	}
+	if (c.Lo == nil) != (c.Hi == nil) {
+		return fmt.Errorf("core: Lo and Hi must both be set or both nil")
+	}
+	if c.Lo != nil && (len(c.Lo) != d || len(c.Hi) != d) {
+		return fmt.Errorf("core: bounds dimensionality %d/%d does not match data d=%d", len(c.Lo), len(c.Hi), d)
+	}
+	return nil
+}
+
+// newGrid builds a d-dimensional grid with n PPD over the configured
+// domain (unit box by default).
+func (c *Config) newGrid(d, n int) (*grid.Grid, error) {
+	if c.Lo == nil {
+		return grid.New(d, n)
+	}
+	return grid.NewWithBounds(d, n, c.Lo, c.Hi)
+}
+
+func (c *Config) mappers() int {
+	if c.NumMappers > 0 {
+		return c.NumMappers
+	}
+	return c.Engine.Cluster().TotalSlots()
+}
+
+func (c *Config) reducers() int {
+	if c.NumReducers > 0 {
+		return c.NumReducers
+	}
+	return len(c.Engine.Cluster().Nodes())
+}
+
+// Stats reports what one algorithm run did: grid shape, pruning
+// effectiveness, job counters and phase timings. The experiment harness
+// turns these into the paper's figures.
+type Stats struct {
+	// Algorithm names the algorithm that produced the stats.
+	Algorithm string
+	// PPD is the grid's partitions-per-dimension (chosen or fixed).
+	PPD int
+	// AutoPPD reports whether the Section 3.3 job chose the PPD.
+	AutoPPD bool
+	// Partitions is n^d.
+	Partitions int
+	// NonEmpty is the number of occupied partitions before pruning.
+	NonEmpty int
+	// Surviving is the number of partitions left after Equation 2 pruning.
+	Surviving int
+	// Groups is the number of independent partition groups (MR-GPMRS).
+	Groups int
+	// MergedGroups is the number of reducer buckets after merging.
+	MergedGroups int
+	// SkylineSize is the global skyline cardinality.
+	SkylineSize int
+
+	// MapperPartCmpMax / ReducerPartCmpMax are the partition-wise
+	// comparison counts of the busiest mapper and reducer (the measured
+	// series of Figure 11).
+	MapperPartCmpMax  int64
+	ReducerPartCmpMax int64
+	// DominanceTests is the total number of tuple-pair dominance checks
+	// across all tasks of the skyline job.
+	DominanceTests int64
+	// ShuffleBytes is the total key+value volume shuffled by all jobs.
+	ShuffleBytes int64
+
+	// BitstringTime covers PPD selection and/or bitstring generation;
+	// SkylineTime covers the skyline job; Total is their sum. All three
+	// are host wall-clock times.
+	BitstringTime time.Duration
+	SkylineTime   time.Duration
+	Total         time.Duration
+	// SimulatedTotal is the summed simulated cluster time of both jobs;
+	// zero unless the engine carries a mapreduce.SimConfig. The experiment
+	// harness plots this, because the paper's runtime curves are cluster
+	// makespans, which a single host cannot observe as wall-clock.
+	SimulatedTotal time.Duration
+}
+
+// Counter names used by the skyline jobs.
+const (
+	// counterPartCmp accumulates executions of the critical operation of
+	// ComparePartitions (line 3 of Algorithm 5) within one task; tasks
+	// fold it into the job-level maxima below.
+	counterPartCmpMapMax    = "gp.partcmp.map"
+	counterPartCmpReduceMax = "gp.partcmp.reduce"
+	counterDominanceTests   = "gp.dominance.tests"
+)
+
+// cacheKeyBitstring is the distributed-cache entry holding the global
+// bitstring for the skyline jobs.
+const cacheKeyBitstring = "global-bitstring"

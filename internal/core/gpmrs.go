@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mrskyline/internal/bitstring"
+	"mrskyline/internal/grid"
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/tuple"
+)
+
+// GPMRS computes the skyline of data with MR-GPMRS (Section 5): the local
+// phase of Algorithm 8 on the mappers, independent partition groups
+// (Algorithm 7) merged down to the reducer count (Section 5.4.1), and
+// parallel reducers each finishing its groups independently (Algorithm 9),
+// with replicated partitions output only by their designated responsible
+// group (Section 5.4.2).
+func GPMRS(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
+	start := time.Now()
+	if len(data) == 0 {
+		return nil, &Stats{Algorithm: "MR-GPMRS"}, nil
+	}
+	prep, err := prepare(&cfg, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gpmrsRun(cfg, mapreduce.TupleInput(data), prep, start)
+}
+
+// GPMRSFromInput is GPMRS over an arbitrary input source; see
+// GPSRSFromInput for the contract of d and approxCard.
+func GPMRSFromInput(cfg Config, input mapreduce.Input, d, approxCard int) (tuple.List, *Stats, error) {
+	start := time.Now()
+	prep, err := prepareInput(&cfg, input, d, approxCard)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gpmrsRun(cfg, input, prep, start)
+}
+
+// gpmrsRun executes the skyline job of MR-GPMRS against an already-prepared
+// grid and bitstring; Hybrid reuses it after making its choice.
+func gpmrsRun(cfg Config, input mapreduce.Input, prep *BitstringResult, start time.Time) (tuple.List, *Stats, error) {
+	stats := statsFromPrep("MR-GPMRS", prep)
+	g, bs := prep.Grid, prep.Bitstring
+	r := cfg.reducers()
+
+	// Driver-side view of the deterministic group structure, for stats.
+	groups := g.IndependentGroups(bs)
+	merged := grid.MergeGroups(groups, r, cfg.Merge)
+	stats.Groups = len(groups)
+	stats.MergedGroups = len(merged)
+
+	skyStart := time.Now()
+	job := &mapreduce.Job{
+		Name:        "mr-gpmrs",
+		Input:       input,
+		NumMappers:  cfg.mappers(),
+		NumReducers: r,
+		MaxAttempts: cfg.MaxAttempts,
+		Cache:       mapreduce.Cache{cacheKeyBitstring: bs.Encode()},
+		// Bucket IDs are dense in [0, min(r, groups)), so identity routing
+		// sends bucket b to reduce task b (Algorithm 8's "i % r" with the
+		// merge step already applied).
+		Partition: func(key []byte, r int) int {
+			b, err := decodeKey(key)
+			if err != nil || b < 0 {
+				return 0
+			}
+			return b % r
+		},
+		NewMapper:  func() mapreduce.Mapper { return newGPMRSMapper(&cfg, g) },
+		NewReducer: func() mapreduce.Reducer { return newGPMRSReducer(&cfg, g) },
+	}
+	res, err := cfg.Engine.Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	sky, err := decodeTupleOutput(res.Output)
+	if err != nil {
+		return nil, nil, err
+	}
+	finishStats(stats, prep, res, sky, skyStart, start)
+	return sky, stats, nil
+}
+
+// newGPMRSMapper implements Algorithm 8: the local phase of Algorithm 3
+// (lines 1–10) followed by group generation (line 11) and distribution of
+// each merged group's local skylines to its reducer (lines 12–19).
+func newGPMRSMapper(cfg *Config, g *grid.Grid) mapreduce.Mapper {
+	var (
+		state *localState
+		bs    *bitstring.Bitstring
+	)
+	return mapreduce.MapperFuncs{
+		MapFn: func(ctx *mapreduce.TaskContext, rec mapreduce.Record, _ mapreduce.Emitter) error {
+			if state == nil {
+				var err error
+				bs, _, err = bitstring.Decode(ctx.Cache.MustGet(cacheKeyBitstring))
+				if err != nil {
+					return err
+				}
+				state = newLocalState(g, bs, cfg.Kernel)
+			}
+			t, err := cfg.decode(rec)
+			if err != nil || t == nil {
+				return err
+			}
+			return state.add(t)
+		},
+		FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+			if state == nil {
+				return nil // empty split contributes nothing
+			}
+			s := state.finish()
+			state.recordCounters(ctx, mapreduce.PhaseMap)
+			// Line 11: generate groups — identically on every mapper, as a
+			// pure function of the cached bitstring and the reducer count.
+			merged := grid.MergeGroups(g.IndependentGroups(bs), ctx.NumReducers, cfg.Merge)
+			for _, mg := range merged {
+				payload := encodePartMap(s, mg.Partitions)
+				if len(payload) <= 1 {
+					continue // this mapper holds nothing for the group
+				}
+				emit(encodeKey(mg.ID), payload)
+			}
+			return nil
+		},
+	}
+}
+
+// newGPMRSReducer implements Algorithm 9 for one reduce task. The task's
+// key is its merged-group bucket ID; the group structure is recomputed from
+// the cached bitstring, which also yields the responsible-partition
+// designation of Section 5.4.2.
+func newGPMRSReducer(cfg *Config, g *grid.Grid) mapreduce.Reducer {
+	var (
+		cnt     skyline.Count
+		partCmp int64
+	)
+	return mapreduce.ReducerFuncs{
+		ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emitter) error {
+			b, err := decodeKey(key)
+			if err != nil {
+				return err
+			}
+			bs, _, err := bitstring.Decode(ctx.Cache.MustGet(cacheKeyBitstring))
+			if err != nil {
+				return err
+			}
+			merged := grid.MergeGroups(g.IndependentGroups(bs), ctx.NumReducers, cfg.Merge)
+			var mg *grid.MergedGroup
+			for i := range merged {
+				if merged[i].ID == b {
+					mg = &merged[i]
+					break
+				}
+			}
+			if mg == nil {
+				return fmt.Errorf("core: reducer received unknown group bucket %d", b)
+			}
+			// Lines 1–8: merge the mappers' windows per partition.
+			s := make(partMap)
+			for _, v := range values {
+				pm, err := decodePartMap(v)
+				if err != nil {
+					return err
+				}
+				for p, l := range pm {
+					if !mg.HasPartition(p) {
+						return fmt.Errorf("core: bucket %d received foreign partition %d", b, p)
+					}
+					w := s[p]
+					for _, t := range l {
+						w = skyline.InsertTuple(t, w, &cnt)
+					}
+					s[p] = w
+				}
+			}
+			// Lines 9–10: eliminate false positives within the group.
+			comparePartitions(s, g, &cnt, &partCmp)
+			// Line 11 + Section 5.4.2: output only designated partitions.
+			for _, p := range s.sortedPartitions() {
+				if !mg.Responsible[p] {
+					continue
+				}
+				for _, t := range s[p] {
+					emit(nil, tuple.Encode(t))
+				}
+			}
+			return nil
+		},
+		FlushFn: func(ctx *mapreduce.TaskContext, _ mapreduce.Emitter) error {
+			ctx.Counters.SetMax(counterPartCmpReduceMax, partCmp)
+			ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
+			return nil
+		},
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mrskyline/internal/bitstring"
+	"mrskyline/internal/grid"
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/tuple"
+)
+
+// GPSRS computes the skyline of data with MR-GPSRS (Section 4): grid
+// partitioning, bitstring pruning, per-partition local skylines on the
+// mappers (Algorithm 3) and a single reducer assembling the global skyline
+// (Algorithm 6).
+func GPSRS(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
+	start := time.Now()
+	if len(data) == 0 {
+		return nil, &Stats{Algorithm: "MR-GPSRS"}, nil
+	}
+	prep, err := prepare(&cfg, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gpsrsRun(cfg, mapreduce.TupleInput(data), prep, start)
+}
+
+// GPSRSFromInput is GPSRS over an arbitrary input source (e.g. a
+// DFS-resident CSV file read through mapreduce.DFSLineInput with
+// CSVRecordDecoder) without materializing the data in memory. d is the
+// dimensionality; approxCard is the input cardinality — an estimate
+// suffices, and it is only consulted by the Section 3.3 PPD job when
+// cfg.PPD is 0.
+func GPSRSFromInput(cfg Config, input mapreduce.Input, d, approxCard int) (tuple.List, *Stats, error) {
+	start := time.Now()
+	prep, err := prepareInput(&cfg, input, d, approxCard)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gpsrsRun(cfg, input, prep, start)
+}
+
+// gpsrsRun executes the skyline job of MR-GPSRS against an already-prepared
+// grid and bitstring; Hybrid reuses it after making its choice.
+func gpsrsRun(cfg Config, input mapreduce.Input, prep *BitstringResult, start time.Time) (tuple.List, *Stats, error) {
+	stats := statsFromPrep("MR-GPSRS", prep)
+
+	skyStart := time.Now()
+	g, bs := prep.Grid, prep.Bitstring
+	job := &mapreduce.Job{
+		Name:        "mr-gpsrs",
+		Input:       input,
+		NumMappers:  cfg.mappers(),
+		NumReducers: 1,
+		MaxAttempts: cfg.MaxAttempts,
+		Cache:       mapreduce.Cache{cacheKeyBitstring: bs.Encode()},
+		NewMapper:   func() mapreduce.Mapper { return newGPMapper(&cfg, g) },
+		NewReducer: func() mapreduce.Reducer {
+			// Algorithm 6. State: the merged per-partition windows.
+			var (
+				merged = make(partMap)
+				cnt    skyline.Count
+			)
+			return mapreduce.ReducerFuncs{
+				ReduceFn: func(_ *mapreduce.TaskContext, key []byte, values [][]byte, _ mapreduce.Emitter) error {
+					// One key per partition; values are the mappers' local
+					// windows for it (lines 1–6).
+					p, err := decodeKey(key)
+					if err != nil {
+						return err
+					}
+					if p < 0 || p >= g.NumPartitions() {
+						return fmt.Errorf("core: partition key %d out of range", p)
+					}
+					w := merged[p]
+					for _, v := range values {
+						l, _, err := tuple.DecodeList(v)
+						if err != nil {
+							return err
+						}
+						for _, t := range l {
+							w = skyline.InsertTuple(t, w, &cnt)
+						}
+					}
+					merged[p] = w
+					return nil
+				},
+				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+					// Lines 7–8: eliminate cross-partition false positives,
+					// then output the union (line 9).
+					var partCmp int64
+					comparePartitions(merged, g, &cnt, &partCmp)
+					ctx.Counters.SetMax(counterPartCmpReduceMax, partCmp)
+					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
+					for _, p := range merged.sortedPartitions() {
+						for _, t := range merged[p] {
+							emit(nil, tuple.Encode(t))
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+	res, err := cfg.Engine.Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	sky, err := decodeTupleOutput(res.Output)
+	if err != nil {
+		return nil, nil, err
+	}
+	finishStats(stats, prep, res, sky, skyStart, start)
+	return sky, stats, nil
+}
+
+// newGPMapper wires localState into the Mapper contract for GPSRS
+// (Algorithm 3): the global bitstring is read from the distributed cache on
+// the first record, per-partition windows are maintained across the split,
+// and Flush emits one record per non-empty partition keyed by partition
+// index.
+func newGPMapper(cfg *Config, g *grid.Grid) mapreduce.Mapper {
+	var state *localState
+	return mapreduce.MapperFuncs{
+		MapFn: func(ctx *mapreduce.TaskContext, rec mapreduce.Record, _ mapreduce.Emitter) error {
+			if state == nil {
+				bs, _, err := bitstring.Decode(ctx.Cache.MustGet(cacheKeyBitstring))
+				if err != nil {
+					return err
+				}
+				state = newLocalState(g, bs, cfg.Kernel)
+			}
+			t, err := cfg.decode(rec)
+			if err != nil || t == nil {
+				return err
+			}
+			return state.add(t)
+		},
+		FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+			if state == nil {
+				return nil // empty split
+			}
+			s := state.finish()
+			state.recordCounters(ctx, mapreduce.PhaseMap)
+			for _, p := range s.sortedPartitions() {
+				emit(encodeKey(p), tuple.EncodeList(s[p]))
+			}
+			return nil
+		},
+	}
+}
+
+// decodeTupleOutput parses reducer output records (one encoded tuple each).
+func decodeTupleOutput(recs []mapreduce.Record) (tuple.List, error) {
+	out := make(tuple.List, 0, len(recs))
+	for _, rec := range recs {
+		t, _, err := tuple.Decode(rec.Value)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding skyline output: %w", err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// statsFromPrep seeds a Stats from the bitstring phase.
+func statsFromPrep(algo string, prep *BitstringResult) *Stats {
+	return &Stats{
+		Algorithm:      algo,
+		PPD:            prep.PPD,
+		AutoPPD:        prep.AutoPPD,
+		Partitions:     prep.Grid.NumPartitions(),
+		NonEmpty:       prep.NonEmpty,
+		Surviving:      prep.Bitstring.Count(),
+		ShuffleBytes:   prep.Job.Counters.Get(mapreduce.CounterShuffleBytes),
+		BitstringTime:  prep.Job.MapTime + prep.Job.ReduceTime,
+		SimulatedTotal: prep.Job.SimulatedTime,
+	}
+}
+
+// finishStats folds the skyline job's result into the Stats.
+func finishStats(st *Stats, prep *BitstringResult, res *mapreduce.Result, sky tuple.List, skyStart, start time.Time) {
+	st.SkylineSize = len(sky)
+	st.MapperPartCmpMax = res.Counters.GetMax(counterPartCmpMapMax)
+	st.ReducerPartCmpMax = res.Counters.GetMax(counterPartCmpReduceMax)
+	st.DominanceTests = res.Counters.Get(counterDominanceTests)
+	st.ShuffleBytes += res.Counters.Get(mapreduce.CounterShuffleBytes)
+	st.SkylineTime = time.Since(skyStart)
+	st.Total = time.Since(start)
+	st.SimulatedTotal += res.SimulatedTime
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"time"
+
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/tuple"
+)
+
+// DefaultHybridThreshold is the estimated-skyline-workload level above
+// which Hybrid switches from the single reducer of MR-GPSRS to the parallel
+// reducers of MR-GPMRS.
+const DefaultHybridThreshold = 20000
+
+// Hybrid implements the paper's future-work proposal: "a hybrid method can
+// be developed by combining MR-GPSRS and MR-GPMRS [that is] able to switch
+// between the two algorithms automatically".
+//
+// The switch uses only information the bitstring phase already produces, so
+// it costs nothing extra. The global bitstring gives the occupied-partition
+// count ρ before pruning and the surviving count after; with c input tuples
+// the average occupancy is c/ρ, so the tuples that survive partition
+// pruning — the upper bound of the work the reducer side will see — number
+// about surviving·c/ρ. MR-GPMRS's parallel reducers only pay off when this
+// workload is large (the paper: "the fraction of skyline tuples in the data
+// set needs to be high enough for the extra overhead to be offset"), so
+// Hybrid picks MR-GPMRS when the estimate exceeds threshold (and more than
+// one independent group exists to parallelize over), MR-GPSRS otherwise.
+func Hybrid(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
+	return hybridWithThreshold(cfg, data, DefaultHybridThreshold)
+}
+
+// HybridWithThreshold is Hybrid with an explicit switching threshold;
+// the ablation benchmarks sweep it.
+func HybridWithThreshold(cfg Config, data tuple.List, threshold int64) (tuple.List, *Stats, error) {
+	return hybridWithThreshold(cfg, data, threshold)
+}
+
+func hybridWithThreshold(cfg Config, data tuple.List, threshold int64) (tuple.List, *Stats, error) {
+	start := time.Now()
+	if len(data) == 0 {
+		return nil, &Stats{Algorithm: "Hybrid"}, nil
+	}
+	prep, err := prepare(&cfg, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	surviving := int64(prep.Bitstring.Count())
+	var estWorkload int64
+	if prep.NonEmpty > 0 {
+		estWorkload = surviving * int64(len(data)) / int64(prep.NonEmpty)
+	}
+	groups := prep.Grid.IndependentGroups(prep.Bitstring)
+	useMulti := estWorkload > threshold && len(groups) >= 2 && cfg.reducers() > 1
+
+	var (
+		sky tuple.List
+		st  *Stats
+	)
+	input := mapreduce.TupleInput(data)
+	if useMulti {
+		sky, st, err = gpmrsRun(cfg, input, prep, start)
+	} else {
+		sky, st, err = gpsrsRun(cfg, input, prep, start)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Algorithm = "Hybrid(" + st.Algorithm + ")"
+	return sky, st, nil
+}

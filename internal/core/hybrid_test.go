@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"mrskyline/internal/core"
+	"mrskyline/internal/datagen"
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/tuple"
+)
+
+func TestHybridCorrectness(t *testing.T) {
+	cfg := testConfig(t, 4, 2)
+	cfg.PPD = 3
+	cfg.NumReducers = 4
+	for _, dist := range []datagen.Distribution{datagen.Independent, datagen.AntiCorrelated} {
+		data := datagen.Generate(dist, 600, 4, 55)
+		want := skyline.Naive(data)
+		got, stats, err := core.Hybrid(cfg, data)
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		if !tuple.EqualAsSet(got, want) {
+			t.Fatalf("%v: wrong skyline", dist)
+		}
+		if !strings.HasPrefix(stats.Algorithm, "Hybrid(") {
+			t.Errorf("%v: Algorithm = %q", dist, stats.Algorithm)
+		}
+	}
+}
+
+func TestHybridSwitchesByThreshold(t *testing.T) {
+	cfg := testConfig(t, 4, 2)
+	cfg.PPD = 3
+	cfg.NumReducers = 4
+	data := datagen.Generate(datagen.AntiCorrelated, 800, 4, 5)
+
+	// Threshold 0 forces the multi-reducer branch (workload estimate is
+	// always positive here); an enormous threshold forces single-reducer.
+	_, multi, err := core.HybridWithThreshold(cfg, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Algorithm != "Hybrid(MR-GPMRS)" {
+		t.Errorf("low threshold chose %q", multi.Algorithm)
+	}
+	_, single, err := core.HybridWithThreshold(cfg, data, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Algorithm != "Hybrid(MR-GPSRS)" {
+		t.Errorf("high threshold chose %q", single.Algorithm)
+	}
+}
+
+func TestHybridEmpty(t *testing.T) {
+	cfg := testConfig(t, 2, 1)
+	got, stats, err := core.Hybrid(cfg, nil)
+	if err != nil || len(got) != 0 || stats.Algorithm != "Hybrid" {
+		t.Errorf("empty hybrid: %v, %+v, %v", got, stats, err)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"mrskyline/internal/bitstring"
+	"mrskyline/internal/grid"
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/tuple"
+)
+
+// localState is the shared mapper-side machinery of Algorithms 3 and 8:
+// per-partition local skyline windows gated by the global bitstring,
+// followed by cross-partition false-positive elimination.
+type localState struct {
+	g      *grid.Grid
+	bs     *bitstring.Bitstring
+	kernel skyline.Kernel
+	s      partMap
+	// buffered tuples per partition, used by the batch kernels (SFS, D&C),
+	// which need the whole partition before running.
+	pending map[int]tuple.List
+	cnt     skyline.Count
+	// partCmp counts partition-wise comparisons (Algorithm 5 line 3
+	// executions) performed by this task.
+	partCmp int64
+}
+
+func newLocalState(g *grid.Grid, bs *bitstring.Bitstring, kernel skyline.Kernel) *localState {
+	ls := &localState{g: g, bs: bs, kernel: kernel, s: make(partMap)}
+	if kernel != skyline.KernelBNL {
+		ls.pending = make(map[int]tuple.List)
+	}
+	return ls
+}
+
+// add processes one input tuple (Algorithm 3 lines 2–8): locate its
+// partition, skip it when the bitstring pruned the partition, otherwise
+// fold it into the partition's local skyline window.
+func (ls *localState) add(t tuple.Tuple) error {
+	if len(t) != ls.g.Dim() {
+		return fmt.Errorf("core: tuple dimensionality %d does not match grid d=%d", len(t), ls.g.Dim())
+	}
+	j := ls.g.Locate(t)
+	if !ls.bs.Get(j) {
+		return nil
+	}
+	if ls.pending != nil {
+		ls.pending[j] = append(ls.pending[j], t)
+		return nil
+	}
+	ls.s[j] = skyline.InsertTuple(t, ls.s[j], &ls.cnt)
+	return nil
+}
+
+// finish completes the local phase: materialize SFS windows if needed, then
+// run ComparePartitions across the mapper's partitions (Algorithm 3 lines
+// 9–10). It returns the resulting partition map.
+func (ls *localState) finish() partMap {
+	if ls.pending != nil {
+		for p, data := range ls.pending {
+			ls.s[p] = ls.kernel.Compute(data, &ls.cnt)
+		}
+		ls.pending = nil
+	}
+	comparePartitions(ls.s, ls.g, &ls.cnt, &ls.partCmp)
+	return ls.s
+}
+
+// recordCounters folds the task's comparison telemetry into its counter
+// set; max-counters give the busiest task per phase (Figure 11), the sum
+// counter gives total dominance work.
+func (ls *localState) recordCounters(ctx *mapreduce.TaskContext, phase mapreduce.Phase) {
+	name := counterPartCmpMapMax
+	if phase == mapreduce.PhaseReduce {
+		name = counterPartCmpReduceMax
+	}
+	ctx.Counters.SetMax(name, ls.partCmp)
+	ctx.Counters.Add(counterDominanceTests, ls.cnt.DominanceTests)
+}
+
+// comparePartitions implements Algorithm 5 applied to every partition of S
+// (as Algorithm 3 lines 9–10 and Algorithm 6 lines 7–8 do): for each local
+// skyline S_p, remove the tuples dominated by a tuple of any S_pi with
+// pi ∈ p.ADR. partCmp is incremented once per (p, pi) pair processed — the
+// "critical operation" the Section 6 cost model estimates.
+//
+// The result is order-independent: a tuple of S_p survives exactly when no
+// tuple in any anti-dominating partition's window dominates it, so mutating
+// S in place during the loop cannot change the outcome (a window tuple
+// removed early is itself dominated by a tuple in a window that also
+// filters S_p, by ADR transitivity).
+func comparePartitions(s partMap, g *grid.Grid, cnt *skyline.Count, partCmp *int64) {
+	parts := s.sortedPartitions()
+	for _, p := range parts {
+		sp := s[p]
+		for _, pi := range parts {
+			if pi == p || len(s[pi]) == 0 || !g.InADR(pi, p) {
+				continue
+			}
+			*partCmp++
+			sp = skyline.Filter(sp, s[pi], cnt)
+			if len(sp) == 0 {
+				break
+			}
+		}
+		s[p] = sp
+	}
+	// Drop partitions whose windows were fully eliminated so they are not
+	// shuffled as empty payloads.
+	for _, p := range parts {
+		if len(s[p]) == 0 {
+			delete(s, p)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package costmodel implements the cost estimation of Section 6: upper
+// bounds on the number of partition-wise comparisons (executions of the
+// critical operation in ComparePartitions, line 3 of Algorithm 5) performed
+// by mappers and reducers of the grid-partitioning skyline algorithms.
+//
+// The model assumes the worst case — every partition of every mapper is
+// non-empty, and comparing partitions prunes tuples but never empties a
+// partition — so its estimates are upper bounds: tight for mappers on
+// independent data and progressively looser for reducers and for
+// anti-correlated data, exactly the behaviour Figure 11 reports.
+//
+// After bitstring pruning, the surviving partitions form the d "best"
+// (d−1)-dimensional surfaces of the grid. Surface j (1 ≤ j ≤ d) holds the
+// cells whose j-th coordinate is 1 (1-based). A cell with coordinates
+// (c_1, …, c_d) needs ∏ c_k − 1 comparisons, the size of its
+// anti-dominating region (Equation 6). Summing per surface, subtracting
+// surface overlaps (cells with several coordinates equal to 1 counted
+// once), yields the mapper bound κ_mapper = Σ_j κ_j (Equation 8); a reducer
+// of MR-GPMRS processes one surface — the largest, s₁ — giving κ_reducer
+// (Equation 9).
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// RemainingPartitions is ρrem(n, d) of Equation 5: the number of surviving
+// partitions after bitstring pruning of a fully occupied n^d grid,
+// n^d − (n−1)^d.
+func RemainingPartitions(n, d int) int64 {
+	return ipow(n, d) - ipow(n-1, d)
+}
+
+// PartitionComparisons is ρdom of Equation 6: the number of partition-wise
+// comparisons for the single partition with the given 1-based grid
+// coordinates, ∏ c_k − 1.
+func PartitionComparisons(coords []int) int64 {
+	p := int64(1)
+	for _, c := range coords {
+		if c < 1 {
+			panic(fmt.Sprintf("costmodel: coordinates are 1-based, got %d", c))
+		}
+		p = satMul(p, int64(c))
+	}
+	return p - 1
+}
+
+// Kappa is κ(n, d) of Equation 7: the total partition-wise comparisons over
+// one full (unrestricted) surface sum Σ_{i₁..i_d = 1..n} (∏ i_k − 1).
+func Kappa(n, d int) int64 {
+	// Σ ∏ i_k factors into (Σ_{1..n} i)^d; subtracting 1 per cell gives
+	// the −n^d term.
+	s := int64(n) * int64(n+1) / 2
+	prod := int64(1)
+	for k := 0; k < d; k++ {
+		prod = satMul(prod, s)
+	}
+	return prod - ipow(n, d)
+}
+
+// KappaJ is κ_j(n, d) for surface j ∈ [1, d]: the comparisons of the cells
+// with c_j = 1, excluding overlap with surfaces 1..j−1 (their coordinates
+// range over [2, n] instead of [1, n]).
+func KappaJ(n, d, j int) int64 {
+	if j < 1 || j > d {
+		panic(fmt.Sprintf("costmodel: surface %d out of range [1,%d]", j, d))
+	}
+	full := int64(n) * int64(n+1) / 2 // Σ_{1..n} i
+	tail := full - 1                  // Σ_{2..n} i
+	prod, cells := int64(1), int64(1)
+	for k := 1; k <= d; k++ {
+		switch {
+		case k == j:
+			// c_j = 1 contributes factor 1 and one choice.
+		case k < j:
+			prod = satMul(prod, tail)
+			cells = satMul(cells, int64(n-1))
+		default:
+			prod = satMul(prod, full)
+			cells = satMul(cells, int64(n))
+		}
+	}
+	return prod - cells
+}
+
+// KappaMapper is κ_mapper(n, d) of Equation 8: the estimated partition-wise
+// comparisons of a single mapper, Σ_{j=1..d} κ_j(n, d).
+func KappaMapper(n, d int) int64 {
+	total := int64(0)
+	for j := 1; j <= d; j++ {
+		total += KappaJ(n, d, j)
+	}
+	return total
+}
+
+// KappaReducer is κ_reducer(n, d) of Equation 9: the estimated
+// partition-wise comparisons of the busiest MR-GPMRS reducer — the one
+// processing the biggest surface, s₁(n, d) = κ₁(n, d) with no overlap
+// subtracted.
+func KappaReducer(n, d int) int64 {
+	return KappaJ(n, d, 1)
+}
+
+// ipow computes n^d in saturating int64 arithmetic.
+func ipow(n, d int) int64 {
+	p := int64(1)
+	for i := 0; i < d; i++ {
+		p = satMul(p, int64(n))
+	}
+	return p
+}
+
+// satMul multiplies non-negative int64s, saturating at MaxInt64.
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}

@@ -1,0 +1,202 @@
+package costmodel_test
+
+import (
+	"testing"
+
+	"mrskyline/internal/costmodel"
+)
+
+func TestRemainingPartitionsSection6Example(t *testing.T) {
+	// "the number of remaining partitions after pruning for the 3×3 grid is
+	// 3² − 2² = 5."
+	if got := costmodel.RemainingPartitions(3, 2); got != 5 {
+		t.Errorf("ρrem(3,2) = %d, want 5", got)
+	}
+	if got := costmodel.RemainingPartitions(2, 3); got != 7 {
+		t.Errorf("ρrem(2,3) = %d, want 7", got)
+	}
+	if got := costmodel.RemainingPartitions(1, 4); got != 1 {
+		t.Errorf("ρrem(1,4) = %d, want 1", got)
+	}
+}
+
+func TestPartitionComparisonsSection6Example(t *testing.T) {
+	// "partition p2 has coordinates (1, 3) in the grid. The number of
+	// partition-wise comparisons for p2 is thus 1 × 3 − 1 = 2."
+	if got := costmodel.PartitionComparisons([]int{1, 3}); got != 2 {
+		t.Errorf("ρdom((1,3)) = %d, want 2", got)
+	}
+	if got := costmodel.PartitionComparisons([]int{1, 1, 1}); got != 0 {
+		t.Errorf("ρdom(origin) = %d, want 0", got)
+	}
+	if got := costmodel.PartitionComparisons([]int{2, 3, 4}); got != 23 {
+		t.Errorf("ρdom((2,3,4)) = %d, want 23", got)
+	}
+}
+
+func TestPartitionComparisonsPanicsOnZeroBased(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	costmodel.PartitionComparisons([]int{0, 1})
+}
+
+// bruteKappa sums Equation 7 directly.
+func bruteKappa(n, d int) int64 {
+	coords := make([]int, d)
+	for i := range coords {
+		coords[i] = 1
+	}
+	var total int64
+	for {
+		p := int64(1)
+		for _, c := range coords {
+			p *= int64(c)
+		}
+		total += p - 1
+		k := d - 1
+		for k >= 0 {
+			coords[k]++
+			if coords[k] <= n {
+				break
+			}
+			coords[k] = 1
+			k--
+		}
+		if k < 0 {
+			return total
+		}
+	}
+}
+
+// bruteKappaJ sums surface j directly: c_j = 1, dims before j in [2..n],
+// dims after j in [1..n].
+func bruteKappaJ(n, d, j int) int64 {
+	var rec func(k int, prod int64) int64
+	rec = func(k int, prod int64) int64 {
+		if k > d {
+			return prod - 1
+		}
+		lo, hi := 1, n
+		if k == j {
+			lo, hi = 1, 1
+		} else if k < j {
+			lo = 2
+		}
+		var total int64
+		for c := lo; c <= hi; c++ {
+			total += rec(k+1, prod*int64(c))
+		}
+		return total
+	}
+	return rec(1, 1)
+}
+
+func TestKappaMatchesBruteForce(t *testing.T) {
+	for _, cfg := range []struct{ n, d int }{{2, 2}, {3, 2}, {5, 2}, {3, 3}, {4, 3}, {2, 5}, {3, 4}} {
+		if got, want := costmodel.Kappa(cfg.n, cfg.d), bruteKappa(cfg.n, cfg.d); got != want {
+			t.Errorf("κ(%d,%d) = %d, want %d", cfg.n, cfg.d, got, want)
+		}
+		for j := 1; j <= cfg.d; j++ {
+			if got, want := costmodel.KappaJ(cfg.n, cfg.d, j), bruteKappaJ(cfg.n, cfg.d, j); got != want {
+				t.Errorf("κ_%d(%d,%d) = %d, want %d", j, cfg.n, cfg.d, got, want)
+			}
+		}
+	}
+}
+
+func TestKappaMapperIsSurfaceSum(t *testing.T) {
+	for _, cfg := range []struct{ n, d int }{{3, 2}, {4, 3}, {2, 6}} {
+		var want int64
+		for j := 1; j <= cfg.d; j++ {
+			want += costmodel.KappaJ(cfg.n, cfg.d, j)
+		}
+		if got := costmodel.KappaMapper(cfg.n, cfg.d); got != want {
+			t.Errorf("κmapper(%d,%d) = %d, want %d", cfg.n, cfg.d, got, want)
+		}
+	}
+}
+
+func TestKappaMapperCountsEachSurfaceCellOnce(t *testing.T) {
+	// The union of the d surfaces is the set of cells with some coordinate
+	// equal to 1 — exactly the ρrem surviving cells. κmapper must equal the
+	// direct sum of ρdom over that union (each cell once).
+	for _, cfg := range []struct{ n, d int }{{2, 2}, {3, 2}, {4, 2}, {3, 3}, {2, 4}} {
+		n, d := cfg.n, cfg.d
+		coords := make([]int, d)
+		for i := range coords {
+			coords[i] = 1
+		}
+		var want, cells int64
+		for {
+			onSurface := false
+			for _, c := range coords {
+				if c == 1 {
+					onSurface = true
+					break
+				}
+			}
+			if onSurface {
+				cells++
+				p := int64(1)
+				for _, c := range coords {
+					p *= int64(c)
+				}
+				want += p - 1
+			}
+			k := d - 1
+			for k >= 0 {
+				coords[k]++
+				if coords[k] <= n {
+					break
+				}
+				coords[k] = 1
+				k--
+			}
+			if k < 0 {
+				break
+			}
+		}
+		if got := costmodel.KappaMapper(n, d); got != want {
+			t.Errorf("κmapper(%d,%d) = %d, want %d", n, d, got, want)
+		}
+		if cells != costmodel.RemainingPartitions(n, d) {
+			t.Errorf("surface union of (%d,%d) has %d cells, ρrem says %d", n, d, cells, costmodel.RemainingPartitions(n, d))
+		}
+	}
+}
+
+func TestKappaReducerIsLargestSurface(t *testing.T) {
+	for _, cfg := range []struct{ n, d int }{{3, 2}, {4, 3}, {3, 4}} {
+		r := costmodel.KappaReducer(cfg.n, cfg.d)
+		for j := 1; j <= cfg.d; j++ {
+			if kj := costmodel.KappaJ(cfg.n, cfg.d, j); kj > r {
+				t.Errorf("κ_%d(%d,%d) = %d exceeds κreducer = %d", j, cfg.n, cfg.d, kj, r)
+			}
+		}
+		if r != costmodel.KappaJ(cfg.n, cfg.d, 1) {
+			t.Errorf("κreducer(%d,%d) != κ₁", cfg.n, cfg.d)
+		}
+	}
+}
+
+func TestKappaJPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	costmodel.KappaJ(3, 2, 3)
+}
+
+func TestNoOverflowAtGridCap(t *testing.T) {
+	// The largest grids the library allows (n^d ≤ 2^26) must not saturate.
+	for _, cfg := range []struct{ n, d int }{{8192, 2}, {40, 5}, {6, 10}} {
+		got := costmodel.KappaMapper(cfg.n, cfg.d)
+		if got < 0 || got == int64(^uint64(0)>>1) {
+			t.Errorf("κmapper(%d,%d) overflowed: %d", cfg.n, cfg.d, got)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mrskyline/internal/tuple"
+)
+
+// WriteCSV writes the tuples as comma-separated lines, one tuple per line,
+// using the shortest float formatting that round-trips.
+func WriteCSV(w io.Writer, l tuple.List) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range l {
+		for k, v := range t {
+			if k > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses tuples from comma-separated lines. Blank lines and lines
+// starting with '#' are skipped. All tuples must share one dimensionality
+// and contain only finite values.
+func ReadCSV(r io.Reader) (tuple.List, error) {
+	var out tuple.List
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		t := make(tuple.Tuple, len(fields))
+		for k, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("datagen: line %d field %d: %w", lineNo, k+1, err)
+			}
+			t[k] = v
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("datagen: reading CSV: %w", err)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParseTupleLine parses one CSV line into a tuple; it is the record decoder
+// the MapReduce text input format uses.
+func ParseTupleLine(line string) (tuple.Tuple, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil, nil
+	}
+	fields := strings.Split(line, ",")
+	t := make(tuple.Tuple, len(fields))
+	for k, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: field %d: %w", k+1, err)
+		}
+		t[k] = v
+	}
+	return t, nil
+}

@@ -1,0 +1,407 @@
+// Package dfs is an in-memory stand-in for the distributed file system a
+// MapReduce deployment runs on (HDFS in the paper's Hadoop cluster).
+//
+// Files are split into fixed-size blocks; each block is replicated on a
+// configurable number of simulated nodes. The MapReduce engine asks for a
+// file's block layout to derive input splits and schedules map tasks with
+// data locality (a mapper prefers a node hosting its split's first block),
+// exactly the structure Hadoop provides.
+//
+// The file system is safe for concurrent use.
+package dfs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// DefaultBlockSize is used when Config.BlockSize is zero. It is deliberately
+// small compared to HDFS's 64 MB: experiments at laptop scale still get
+// multi-block files and therefore meaningful splits.
+const DefaultBlockSize = 1 << 20
+
+// Config parametrizes a file system.
+type Config struct {
+	// BlockSize is the maximum block length in bytes.
+	BlockSize int
+	// Replication is the number of nodes each block is stored on; it is
+	// capped at the number of nodes.
+	Replication int
+	// Nodes names the storage nodes. Must be non-empty and unique.
+	Nodes []string
+}
+
+// FS is an in-memory distributed file system.
+type FS struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	files  map[string]*file
+	cursor int // round-robin placement cursor
+	down   map[string]bool
+}
+
+type file struct {
+	blocks []*block
+	size   int64
+}
+
+type block struct {
+	data  []byte
+	hosts []string
+}
+
+// BlockInfo describes one block of a file to the outside world.
+type BlockInfo struct {
+	// File is the file name.
+	File string
+	// Index is the block's position within the file.
+	Index int
+	// Offset is the byte offset of the block's first byte in the file.
+	Offset int64
+	// Length is the block length in bytes.
+	Length int
+	// Hosts lists the nodes holding a live replica.
+	Hosts []string
+}
+
+// FileInfo describes a file.
+type FileInfo struct {
+	Name   string
+	Size   int64
+	Blocks int
+}
+
+// New creates a file system.
+func New(cfg Config) (*FS, error) {
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if cfg.BlockSize < 1 {
+		return nil, fmt.Errorf("dfs: block size must be positive, got %d", cfg.BlockSize)
+	}
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("dfs: at least one node required")
+	}
+	seen := make(map[string]bool, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		if n == "" {
+			return nil, fmt.Errorf("dfs: empty node name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("dfs: duplicate node name %q", n)
+		}
+		seen[n] = true
+	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 1
+	}
+	if cfg.Replication > len(cfg.Nodes) {
+		cfg.Replication = len(cfg.Nodes)
+	}
+	return &FS{
+		cfg:   cfg,
+		files: make(map[string]*file),
+		down:  make(map[string]bool),
+	}, nil
+}
+
+// Nodes returns the configured node names.
+func (fs *FS) Nodes() []string {
+	out := make([]string, len(fs.cfg.Nodes))
+	copy(out, fs.cfg.Nodes)
+	return out
+}
+
+// BlockSize returns the configured block size.
+func (fs *FS) BlockSize() int { return fs.cfg.BlockSize }
+
+// placeReplicas picks Replication live hosts round-robin. Caller holds mu.
+func (fs *FS) placeReplicas() []string {
+	var hosts []string
+	n := len(fs.cfg.Nodes)
+	for i := 0; i < n && len(hosts) < fs.cfg.Replication; i++ {
+		h := fs.cfg.Nodes[(fs.cursor+i)%n]
+		if !fs.down[h] {
+			hosts = append(hosts, h)
+		}
+	}
+	fs.cursor = (fs.cursor + 1) % n
+	return hosts
+}
+
+// WriteFile stores data under name, replacing any existing file.
+func (fs *FS) WriteFile(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("dfs: empty file name")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &file{size: int64(len(data))}
+	for off := 0; off < len(data) || (off == 0 && len(data) == 0); off += fs.cfg.BlockSize {
+		end := off + fs.cfg.BlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		hosts := fs.placeReplicas()
+		if len(hosts) == 0 {
+			return fmt.Errorf("dfs: no live nodes to place block of %q", name)
+		}
+		b := &block{data: append([]byte(nil), data[off:end]...), hosts: hosts}
+		f.blocks = append(f.blocks, b)
+		if len(data) == 0 {
+			break
+		}
+	}
+	fs.files[name] = f
+	return nil
+}
+
+// Create returns a writer that accumulates data and stores it as name on
+// Close. It exists so producers can stream without assembling the file
+// themselves.
+func (fs *FS) Create(name string) (io.WriteCloser, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dfs: empty file name")
+	}
+	return &writer{fs: fs, name: name}, nil
+}
+
+type writer struct {
+	fs   *FS
+	name string
+	buf  []byte
+	done bool
+}
+
+func (w *writer) Write(p []byte) (int, error) {
+	if w.done {
+		return 0, fmt.Errorf("dfs: write to closed writer for %q", w.name)
+	}
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func (w *writer) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	return w.fs.WriteFile(w.name, w.buf)
+}
+
+// ReadFile returns the file's full contents.
+func (fs *FS) ReadFile(name string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	out := make([]byte, 0, f.size)
+	for i, b := range f.blocks {
+		if fs.liveHosts(b) == 0 {
+			return nil, fmt.Errorf("dfs: block %d of %q has no live replica", i, name)
+		}
+		out = append(out, b.data...)
+	}
+	return out, nil
+}
+
+// ReadAt reads up to len(p) bytes starting at byte offset off, returning the
+// number of bytes read. It returns io.EOF when off is at or beyond the end
+// of the file, mirroring io.ReaderAt semantics closely enough for the input
+// split reader.
+func (fs *FS) ReadAt(name string, p []byte, off int64) (int, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("dfs: negative offset %d", off)
+	}
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	n := 0
+	bs := int64(fs.cfg.BlockSize)
+	for n < len(p) && off < f.size {
+		bi := int(off / bs)
+		b := f.blocks[bi]
+		if fs.liveHosts(b) == 0 {
+			return n, fmt.Errorf("dfs: block %d of %q has no live replica", bi, name)
+		}
+		inner := int(off % bs)
+		c := copy(p[n:], b.data[inner:])
+		n += c
+		off += int64(c)
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (fs *FS) liveHosts(b *block) int {
+	live := 0
+	for _, h := range b.hosts {
+		if !fs.down[h] {
+			live++
+		}
+	}
+	return live
+}
+
+// Stat describes a file.
+func (fs *FS) Stat(name string) (FileInfo, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	return FileInfo{Name: name, Size: f.size, Blocks: len(f.blocks)}, nil
+}
+
+// Exists reports whether a file exists.
+func (fs *FS) Exists(name string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Delete removes a file. Deleting a non-existent file is an error so that
+// job-chain bookkeeping bugs surface.
+func (fs *FS) Delete(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// List returns the names of all files with the given prefix, sorted.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for name := range fs.files {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Blocks returns the block layout of a file, with only live replicas in
+// Hosts. The engine turns each block into one input split.
+func (fs *FS) Blocks(name string) ([]BlockInfo, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	out := make([]BlockInfo, len(f.blocks))
+	off := int64(0)
+	for i, b := range f.blocks {
+		var hosts []string
+		for _, h := range b.hosts {
+			if !fs.down[h] {
+				hosts = append(hosts, h)
+			}
+		}
+		out[i] = BlockInfo{File: name, Index: i, Offset: off, Length: len(b.data), Hosts: hosts}
+		off += int64(len(b.data))
+	}
+	return out, nil
+}
+
+// SetNodeDown marks a node as failed (true) or recovered (false). Blocks
+// whose replicas are all down become unreadable until recovery, which the
+// fault-injection tests exercise.
+func (fs *FS) SetNodeDown(node string, down bool) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	found := false
+	for _, n := range fs.cfg.Nodes {
+		if n == node {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("dfs: unknown node %q", node)
+	}
+	if down {
+		fs.down[node] = true
+	} else {
+		delete(fs.down, node)
+	}
+	return nil
+}
+
+// ReReplicate restores the configured replication factor for every block
+// that lost replicas to node failures, copying from a live replica onto
+// live nodes that do not yet hold the block — the job HDFS's NameNode does
+// continuously. Blocks with no live replica are irrecoverable and reported.
+func (fs *FS) ReReplicate() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var lost []string
+	for name, f := range fs.files {
+		for i, b := range f.blocks {
+			var live []string
+			holder := map[string]bool{}
+			for _, h := range b.hosts {
+				holder[h] = true
+				if !fs.down[h] {
+					live = append(live, h)
+				}
+			}
+			if len(live) == 0 {
+				lost = append(lost, fmt.Sprintf("%s/block%d", name, i))
+				continue
+			}
+			want := fs.cfg.Replication
+			if want > fs.liveNodeCount() {
+				want = fs.liveNodeCount()
+			}
+			// Copy onto live nodes not yet holding the block, round-robin.
+			newHosts := append([]string(nil), live...)
+			for i := 0; i < len(fs.cfg.Nodes) && len(newHosts) < want; i++ {
+				h := fs.cfg.Nodes[(fs.cursor+i)%len(fs.cfg.Nodes)]
+				if fs.down[h] || holder[h] {
+					continue
+				}
+				newHosts = append(newHosts, h)
+			}
+			fs.cursor = (fs.cursor + 1) % len(fs.cfg.Nodes)
+			b.hosts = newHosts
+		}
+	}
+	if len(lost) > 0 {
+		sort.Strings(lost)
+		return fmt.Errorf("dfs: %d blocks have no live replica: %v", len(lost), lost)
+	}
+	return nil
+}
+
+// liveNodeCount counts nodes not marked down. Caller holds mu.
+func (fs *FS) liveNodeCount() int {
+	n := 0
+	for _, name := range fs.cfg.Nodes {
+		if !fs.down[name] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,385 @@
+package dfs_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mrskyline/internal/dfs"
+)
+
+func newFS(t testing.TB, blockSize, replication, nodes int) *dfs.FS {
+	t.Helper()
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%d", i)
+	}
+	fs, err := dfs.New(dfs.Config{BlockSize: blockSize, Replication: replication, Nodes: names})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := dfs.New(dfs.Config{Nodes: nil}); err == nil {
+		t.Error("no nodes accepted")
+	}
+	if _, err := dfs.New(dfs.Config{BlockSize: -1, Nodes: []string{"a"}}); err == nil {
+		t.Error("negative block size accepted")
+	}
+	if _, err := dfs.New(dfs.Config{Nodes: []string{"a", "a"}}); err == nil {
+		t.Error("duplicate nodes accepted")
+	}
+	if _, err := dfs.New(dfs.Config{Nodes: []string{""}}); err == nil {
+		t.Error("empty node name accepted")
+	}
+	// Replication above node count is capped, not an error.
+	fs, err := dfs.New(dfs.Config{Replication: 10, Nodes: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := fs.Blocks("f")
+	if len(blocks[0].Hosts) != 2 {
+		t.Errorf("capped replication placed %d replicas", len(blocks[0].Hosts))
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := newFS(t, 16, 2, 4)
+	data := []byte("The quick brown fox jumps over the lazy dog, twice over.")
+	if err := fs.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("ReadFile = %q, want %q", got, data)
+	}
+	info, err := fs.Stat("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != int64(len(data)) {
+		t.Errorf("Size = %d, want %d", info.Size, len(data))
+	}
+	wantBlocks := (len(data) + 15) / 16
+	if info.Blocks != wantBlocks {
+		t.Errorf("Blocks = %d, want %d", info.Blocks, wantBlocks)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs := newFS(t, 16, 1, 2)
+	if err := fs.WriteFile("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("empty")
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty file read = %q, %v", got, err)
+	}
+	if !fs.Exists("empty") {
+		t.Error("empty file does not exist")
+	}
+}
+
+func TestBlockLayout(t *testing.T) {
+	fs := newFS(t, 10, 2, 3)
+	data := make([]byte, 35)
+	if err := fs.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := fs.Blocks("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(blocks))
+	}
+	off := int64(0)
+	for i, b := range blocks {
+		if b.Index != i || b.Offset != off {
+			t.Errorf("block %d: index=%d offset=%d", i, b.Index, b.Offset)
+		}
+		if len(b.Hosts) != 2 {
+			t.Errorf("block %d: %d replicas, want 2", i, len(b.Hosts))
+		}
+		off += int64(b.Length)
+	}
+	if off != 35 {
+		t.Errorf("total length %d", off)
+	}
+}
+
+func TestPlacementSpreads(t *testing.T) {
+	fs := newFS(t, 4, 1, 4)
+	if err := fs.WriteFile("f", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := fs.Blocks("f")
+	used := map[string]int{}
+	for _, b := range blocks {
+		for _, h := range b.Hosts {
+			used[h]++
+		}
+	}
+	if len(used) != 4 {
+		t.Errorf("round-robin placement used only %d of 4 nodes: %v", len(used), used)
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	fs := newFS(t, 8, 1, 3)
+	data := []byte("0123456789abcdefghijklmnop")
+	if err := fs.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Read across a block boundary.
+	buf := make([]byte, 10)
+	n, err := fs.ReadAt("f", buf, 5)
+	if err != nil || n != 10 {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if string(buf) != "56789abcde" {
+		t.Errorf("ReadAt content = %q", buf)
+	}
+	// Short read at the tail returns io.EOF.
+	n, err = fs.ReadAt("f", buf, int64(len(data))-3)
+	if err != io.EOF || n != 3 {
+		t.Errorf("tail ReadAt = %d, %v", n, err)
+	}
+	// Reading at EOF.
+	if _, err := fs.ReadAt("f", buf, int64(len(data))); err != io.EOF {
+		t.Errorf("EOF ReadAt err = %v", err)
+	}
+	// Negative offset.
+	if _, err := fs.ReadAt("f", buf, -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestDeleteAndList(t *testing.T) {
+	fs := newFS(t, 16, 1, 2)
+	for _, name := range []string{"a/1", "a/2", "b/1"} {
+		if err := fs.WriteFile(name, []byte(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fs.List("a/"); len(got) != 2 || got[0] != "a/1" || got[1] != "a/2" {
+		t.Errorf("List(a/) = %v", got)
+	}
+	if got := fs.List(""); len(got) != 3 {
+		t.Errorf("List() = %v", got)
+	}
+	if err := fs.Delete("a/1"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("a/1") {
+		t.Error("deleted file exists")
+	}
+	if err := fs.Delete("a/1"); err == nil {
+		t.Error("double delete accepted")
+	}
+	if _, err := fs.ReadFile("a/1"); err == nil {
+		t.Error("reading deleted file succeeded")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	fs := newFS(t, 16, 1, 2)
+	fs.WriteFile("f", []byte("old"))
+	fs.WriteFile("f", []byte("new content"))
+	got, err := fs.ReadFile("f")
+	if err != nil || string(got) != "new content" {
+		t.Errorf("overwrite read = %q, %v", got, err)
+	}
+}
+
+func TestCreateWriter(t *testing.T) {
+	fs := newFS(t, 8, 1, 2)
+	w, err := fs.Create("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(w, "hello ")
+	fmt.Fprintf(w, "world")
+	if fs.Exists("stream") {
+		t.Error("file visible before Close")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("stream")
+	if string(got) != "hello world" {
+		t.Errorf("streamed content = %q", got)
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Error("write after close accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+func TestNodeFailureAndRecovery(t *testing.T) {
+	fs := newFS(t, 8, 2, 3)
+	data := make([]byte, 40)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := fs.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// One node down: every block still has a replica (replication 2 over 3
+	// nodes), so reads succeed and Blocks reports reduced hosts.
+	if err := fs.SetNodeDown("node0", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("f"); err != nil {
+		t.Errorf("read with one node down failed: %v", err)
+	}
+	blocks, _ := fs.Blocks("f")
+	for _, b := range blocks {
+		for _, h := range b.Hosts {
+			if h == "node0" {
+				t.Error("down node reported as replica host")
+			}
+		}
+	}
+
+	// Two nodes down: some block loses all replicas.
+	fs.SetNodeDown("node1", true)
+	if _, err := fs.ReadFile("f"); err == nil {
+		t.Error("read succeeded with majority of nodes down")
+	}
+
+	// Recovery restores readability.
+	fs.SetNodeDown("node0", false)
+	fs.SetNodeDown("node1", false)
+	if _, err := fs.ReadFile("f"); err != nil {
+		t.Errorf("read after recovery failed: %v", err)
+	}
+	if err := fs.SetNodeDown("ghost", true); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	fs := newFS(t, 64, 2, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			name := fmt.Sprintf("file%d", i)
+			data := make([]byte, 300)
+			rng.Read(data)
+			for rep := 0; rep < 50; rep++ {
+				if err := fs.WriteFile(name, data); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := fs.ReadFile(name)
+				if err != nil || !bytes.Equal(got, data) {
+					t.Errorf("concurrent read mismatch: %v", err)
+					return
+				}
+				fs.List("")
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestErrorsOnMissing(t *testing.T) {
+	fs := newFS(t, 16, 1, 1)
+	if _, err := fs.Stat("nope"); err == nil {
+		t.Error("Stat on missing file succeeded")
+	}
+	if _, err := fs.Blocks("nope"); err == nil {
+		t.Error("Blocks on missing file succeeded")
+	}
+	if _, err := fs.ReadAt("nope", make([]byte, 1), 0); err == nil {
+		t.Error("ReadAt on missing file succeeded")
+	}
+	if err := fs.WriteFile("", nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := fs.Create(""); err == nil {
+		t.Error("Create with empty name accepted")
+	}
+}
+
+func TestReReplicate(t *testing.T) {
+	fs := newFS(t, 8, 2, 4)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := fs.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail one node, repair, then fail another that originally held
+	// replicas: reads must still succeed because repair re-spread them.
+	if err := fs.SetNodeDown("node0", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.ReReplicate(); err != nil {
+		t.Fatalf("ReReplicate: %v", err)
+	}
+	blocks, _ := fs.Blocks("f")
+	for i, b := range blocks {
+		if len(b.Hosts) < 2 {
+			t.Fatalf("block %d has %d live replicas after repair", i, len(b.Hosts))
+		}
+		for _, h := range b.Hosts {
+			if h == "node0" {
+				t.Fatalf("block %d still lists failed node", i)
+			}
+		}
+	}
+	fs.SetNodeDown("node1", true)
+	got, err := fs.ReadFile("f")
+	if err != nil {
+		t.Fatalf("read after repair + second failure: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content corrupted by re-replication")
+	}
+}
+
+func TestReReplicateReportsLostBlocks(t *testing.T) {
+	fs := newFS(t, 8, 1, 2) // replication 1: a single failure loses blocks
+	if err := fs.WriteFile("f", make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetNodeDown("node0", true)
+	fs.SetNodeDown("node1", true)
+	if err := fs.ReReplicate(); err == nil {
+		t.Fatal("all replicas lost but ReReplicate reported success")
+	}
+}
+
+func TestReReplicateCapsAtLiveNodes(t *testing.T) {
+	fs := newFS(t, 8, 3, 3)
+	fs.WriteFile("f", make([]byte, 8))
+	fs.SetNodeDown("node2", true)
+	if err := fs.ReReplicate(); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := fs.Blocks("f")
+	if len(blocks[0].Hosts) != 2 {
+		t.Errorf("replicas = %d, want 2 (all live nodes)", len(blocks[0].Hosts))
+	}
+}

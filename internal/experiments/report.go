@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ShapeCheck is one qualitative property a figure is expected to exhibit —
+// the reproduction target. Absolute numbers differ from the paper's
+// testbed by construction; these checks encode who wins, what scales, and
+// where the paper's DNF exclusions bite.
+type ShapeCheck struct {
+	// Figure is the experiment id the check applies to (e.g. "fig8").
+	Figure string
+	// Name is a short label.
+	Name string
+	// Claim quotes or paraphrases the paper's finding.
+	Claim string
+	// Eval inspects the figure's tables; ok reports whether the shape
+	// holds, detail explains the observation.
+	Eval func(res *FigureResult) (ok bool, detail string)
+}
+
+// cellFloat parses a runtime cell; DNF parses as +inf (it lost by
+// definition), empty as an error.
+func cellFloat(tab *Table, row int, col string) (float64, error) {
+	v := tab.Cell(row, col)
+	if v == "DNF" {
+		return inf, nil
+	}
+	if v == "" {
+		return 0, fmt.Errorf("missing cell (%d, %s)", row, col)
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+var inf = 1e300
+
+// ShapeChecks returns the reproduction criteria for every figure.
+func ShapeChecks() []ShapeCheck {
+	return []ShapeCheck{
+		{
+			Figure: "fig7",
+			Name:   "gpsrs-best-independent",
+			Claim:  `"For independent data distribution, MR-GPSRS performs the best" — in particular it never loses to MR-GPMRS, whose multiple reducers do not pay off on small skylines.`,
+			Eval: func(res *FigureResult) (bool, string) {
+				worst := 0.0
+				for _, tab := range res.Tables {
+					for i := range tab.Rows {
+						s, err1 := cellFloat(tab, i, AlgoGPSRS)
+						m, err2 := cellFloat(tab, i, AlgoGPMRS)
+						if err1 != nil || err2 != nil {
+							return false, "unparseable cells"
+						}
+						if r := s / m; r > worst {
+							worst = r
+						}
+					}
+				}
+				// Allow measurement noise: GPSRS within 25% of GPMRS on
+				// every point, and never slower by more.
+				return worst <= 1.25, fmt.Sprintf("max GPSRS/GPMRS runtime ratio %.2f (want ≤ 1.25)", worst)
+			},
+		},
+		{
+			Figure: "fig8",
+			Name:   "baselines-collapse-high-dim-anti",
+			Claim:  `"MR-Angle and MR-BNL cannot terminate in a reasonable period of time for higher dimensionalities" on anti-correlated data (Figures 8(b), 8(d)), while MR-GPMRS scales.`,
+			Eval: func(res *FigureResult) (bool, string) {
+				if len(res.Tables) < 2 {
+					return false, "missing high-cardinality table"
+				}
+				tab := res.Tables[1] // the (c,d) panel: high cardinality
+				for i := range tab.Rows {
+					dim, _ := strconv.Atoi(tab.Cell(i, "dim"))
+					if dim < 7 {
+						continue
+					}
+					g, err1 := cellFloat(tab, i, AlgoGPMRS)
+					b, err2 := cellFloat(tab, i, AlgoBNL)
+					a, err3 := cellFloat(tab, i, AlgoAngle)
+					if err1 != nil || err2 != nil || err3 != nil {
+						return false, "unparseable cells"
+					}
+					if g >= b || g >= a {
+						return false, fmt.Sprintf("at d=%d GPMRS (%.3f) does not beat baselines (%.3f, %.3f)", dim, g, b, a)
+					}
+				}
+				return true, "MR-GPMRS beats (or outlives) both baselines for every d ≥ 7"
+			},
+		},
+		{
+			Figure: "fig9",
+			Name:   "gpmrs-survives-8d-anti-cardinality",
+			Claim:  `Figure 9(d): on 8-d anti-correlated data MR-GPMRS handles every cardinality, while MR-GPSRS "fails to terminate in a reasonable period of time for the highest cardinalities" and the baselines stop even earlier.`,
+			Eval: func(res *FigureResult) (bool, string) {
+				if len(res.Tables) < 4 {
+					return false, "missing panel (d)"
+				}
+				tab := res.Tables[3]
+				for i := range tab.Rows {
+					if g, err := cellFloat(tab, i, AlgoGPMRS); err != nil || g >= inf {
+						return false, fmt.Sprintf("GPMRS missing at row %d", i)
+					}
+				}
+				last := len(tab.Rows) - 1
+				s, _ := cellFloat(tab, last, AlgoGPSRS)
+				b, _ := cellFloat(tab, last, AlgoBNL)
+				if s < inf && b < inf {
+					// At heavily scaled-down cardinalities nothing DNFs;
+					// then GPMRS must at least win outright at the top.
+					g, _ := cellFloat(tab, last, AlgoGPMRS)
+					return g < s && g < b, fmt.Sprintf("no DNFs at this scale; GPMRS=%.3f vs GPSRS=%.3f, BNL=%.3f at top cardinality", g, s, b)
+				}
+				return true, "single-reducer algorithms DNF at the highest cardinalities, MR-GPMRS completes all"
+			},
+		},
+		{
+			Figure: "fig10",
+			Name:   "reducers-help-anti-not-independent",
+			Claim:  `"For the independent data set, increasing reducers does not improve the skyline computation runtime. In contrast, more reducers clearly shortens the runtime for computing skyline on the anti-correlated data set", with the largest improvement from 1 to 5.`,
+			Eval: func(res *FigureResult) (bool, string) {
+				// The reducer count where the gain lands depends on the
+				// group-merge balance and the hardware (the paper saw the
+				// biggest step at 1→5 on its cluster); the claim checked
+				// here is the distribution asymmetry itself: some
+				// multi-reducer configuration clearly beats the single
+				// reducer on anti-correlated data, while none meaningfully
+				// beats it on independent data.
+				tab := res.Tables[0]
+				a1, err1 := cellFloat(tab, 0, "anticorrelated")
+				i1, err2 := cellFloat(tab, 0, "independent")
+				if err1 != nil || err2 != nil {
+					return false, "unparseable cells"
+				}
+				bestAnti, bestAntiR := a1, 1
+				iLast := i1
+				for row := 1; row < len(tab.Rows); row++ {
+					a, err1 := cellFloat(tab, row, "anticorrelated")
+					i, err2 := cellFloat(tab, row, "independent")
+					if err1 != nil || err2 != nil {
+						return false, "unparseable cells"
+					}
+					if a < bestAnti {
+						bestAnti = a
+						bestAntiR, _ = strconv.Atoi(tab.Cell(row, "reducers"))
+					}
+					iLast = i
+				}
+				antiImproves := bestAnti < a1
+				indepFlat := iLast < 1.5*i1
+				return antiImproves && indepFlat,
+					fmt.Sprintf("anti: 1 reducer %.3f → best %.3f at r=%d; independent 1→17: %.3f→%.3f",
+						a1, bestAnti, bestAntiR, i1, iLast)
+			},
+		},
+		{
+			Figure: "fig11",
+			Name:   "estimates-upper-bound-measured",
+			Claim:  `"the estimated cost is higher than the real cost in every case" — the Section 6 model upper-bounds the measured partition-wise comparisons for mappers and reducers on both distributions.`,
+			Eval: func(res *FigureResult) (bool, string) {
+				for _, tab := range res.Tables {
+					for i := range tab.Rows {
+						for _, pair := range [][2]string{
+							{"measured(indep)", "estimate(indep)"},
+							{"measured(anti)", "estimate(anti)"},
+						} {
+							m, err1 := strconv.ParseInt(tab.Cell(i, pair[0]), 10, 64)
+							e, err2 := strconv.ParseInt(tab.Cell(i, pair[1]), 10, 64)
+							if err1 != nil || err2 != nil {
+								return false, "unparseable cells"
+							}
+							if m > e {
+								return false, fmt.Sprintf("%s row %d: measured %d > estimate %d", tab.Title, i, m, e)
+							}
+						}
+					}
+				}
+				return true, "estimate ≥ measured at every point"
+			},
+		},
+		{
+			Figure: "ablation-prune",
+			Name:   "pruning-never-hurts-shuffle",
+			Claim:  "Bitstring pruning (Equation 2) can only remove data before the shuffle; shuffle volume with pruning is never larger than without.",
+			Eval: func(res *FigureResult) (bool, string) {
+				tab := res.Tables[0]
+				for i := range tab.Rows {
+					p, err1 := strconv.ParseInt(tab.Cell(i, "prunedShuffleB"), 10, 64)
+					u, err2 := strconv.ParseInt(tab.Cell(i, "unprunedShuffleB"), 10, 64)
+					if err1 != nil || err2 != nil {
+						return false, "unparseable cells"
+					}
+					if p > u {
+						return false, fmt.Sprintf("row %d: pruned shuffle %d > unpruned %d", i, p, u)
+					}
+				}
+				return true, "pruned shuffle ≤ unpruned shuffle everywhere"
+			},
+		},
+		{
+			Figure: "ablation-hybrid",
+			Name:   "hybrid-tracks-the-winner",
+			Claim:  "The future-work hybrid must never be meaningfully worse than the better of MR-GPSRS and MR-GPMRS (it runs the same jobs after a free decision).",
+			Eval: func(res *FigureResult) (bool, string) {
+				tab := res.Tables[0]
+				worst := 0.0
+				for i := range tab.Rows {
+					s, err1 := cellFloat(tab, i, "GPSRS[s]")
+					m, err2 := cellFloat(tab, i, "GPMRS[s]")
+					h, err3 := cellFloat(tab, i, "Hybrid[s]")
+					if err1 != nil || err2 != nil || err3 != nil {
+						return false, "unparseable cells"
+					}
+					best := s
+					if m < best {
+						best = m
+					}
+					if r := h / best; r > worst {
+						worst = r
+					}
+				}
+				return worst <= 1.25, fmt.Sprintf("max Hybrid/best ratio %.2f (want ≤ 1.25)", worst)
+			},
+		},
+	}
+}
+
+// Report runs every figure and shape check and renders a Markdown document
+// recording paper-vs-measured for each one. It is how EXPERIMENTS.md is
+// generated.
+func Report(s Setup, w io.Writer) error {
+	s = s.withDefaults()
+	fmt.Fprintf(w, "# EXPERIMENTS — paper vs. measured\n\n")
+	fmt.Fprintf(w, "Generated by `cmd/skyreport`. Setup: %d nodes × %d slots, %d reducers (0 = one per node), seed %d, scale %.3g (paper cardinalities × scale, floor 1000)",
+		s.Nodes, s.SlotsPerNode, s.Reducers, s.Seed, s.Scale)
+	if s.NoSim {
+		fmt.Fprintf(w, ", host wall-clock times.\n\n")
+	} else {
+		fmt.Fprintf(w, ", simulated cluster times (see `mapreduce.SimConfig`).\n\n")
+	}
+	fmt.Fprintf(w, "Absolute numbers are not comparable to the paper's 13-machine Hadoop\ncluster; each figure is reproduced by its *shape*, verified by the checks\nbelow (also enforced in `internal/experiments` tests at test scale).\n\n")
+
+	checksByFigure := map[string][]ShapeCheck{}
+	for _, c := range ShapeChecks() {
+		checksByFigure[c.Figure] = append(checksByFigure[c.Figure], c)
+	}
+
+	allPass := true
+	for _, name := range FigureNames() {
+		start := time.Now()
+		res, err := RunFigure(name, s)
+		if err != nil {
+			return fmt.Errorf("experiments: report: %s: %w", name, err)
+		}
+		fmt.Fprintf(w, "## %s (`%s`, ran in %.1fs)\n\n", res.Name, name, time.Since(start).Seconds())
+		for _, tab := range res.Tables {
+			fmt.Fprintf(w, "```\n%s```\n\n", tab.String())
+		}
+		for _, check := range checksByFigure[name] {
+			ok, detail := check.Eval(res)
+			status := "PASS"
+			if !ok {
+				status = "FAIL"
+				allPass = false
+			}
+			fmt.Fprintf(w, "- **[%s] %s** — %s\n  Measured: %s.\n", status, check.Name, check.Claim, detail)
+		}
+		fmt.Fprintln(w)
+	}
+	if allPass {
+		fmt.Fprintf(w, "**All shape checks passed.**\n")
+	} else {
+		fmt.Fprintf(w, "**Some shape checks failed** — see FAIL entries above; scale-sensitive\nshapes may need a larger `-scale`.\n")
+	}
+	return nil
+}
+
+// reportContainsFail is a test hook: it scans rendered report text for
+// failed checks.
+func reportContainsFail(report string) bool {
+	return strings.Contains(report, "[FAIL]")
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShapeChecksCoverKeyFigures(t *testing.T) {
+	covered := map[string]bool{}
+	for _, c := range ShapeChecks() {
+		covered[c.Figure] = true
+		if c.Name == "" || c.Claim == "" || c.Eval == nil {
+			t.Errorf("incomplete check %+v", c)
+		}
+	}
+	for _, fig := range []string{"fig7", "fig8", "fig9", "fig10", "fig11"} {
+		if !covered[fig] {
+			t.Errorf("no shape check for %s", fig)
+		}
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var b strings.Builder
+	if err := Report(tinySetup(), &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# EXPERIMENTS",
+		"## Figure 7",
+		"## Figure 11",
+		"Ablation: hybrid",
+		"estimates-upper-bound-measured",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Every check must have evaluated to PASS or FAIL (none skipped).
+	if got := strings.Count(out, "- **["); got != len(ShapeChecks()) {
+		t.Errorf("%d check lines rendered, want %d", got, len(ShapeChecks()))
+	}
+}
+
+func TestScaleRobustChecksPassAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// The fig11, pruning and hybrid checks do not depend on data scale;
+	// they must pass even on 1000-tuple sweeps. (Runtime-shape checks such
+	// as fig10's are validated at report scale instead.)
+	robust := map[string]bool{
+		"estimates-upper-bound-measured": true,
+		"pruning-never-hurts-shuffle":    true,
+		"hybrid-tracks-the-winner":       true,
+	}
+	// fig11 needs the paper's cluster shape (reducers ≥ groups per
+	// surface); see TestCostValidationEstimateIsUpperBound.
+	s := Setup{Seed: 7, Scale: 0.0001}
+	for _, check := range ShapeChecks() {
+		if !robust[check.Name] {
+			continue
+		}
+		res, err := RunFigure(check.Figure, s)
+		if err != nil {
+			t.Fatalf("%s: %v", check.Figure, err)
+		}
+		ok, detail := check.Eval(res)
+		if !ok {
+			t.Errorf("check %s failed at tiny scale: %s", check.Name, detail)
+		}
+	}
+}
+
+func TestReportContainsFailHook(t *testing.T) {
+	if !reportContainsFail("- **[FAIL] x** — y") {
+		t.Error("FAIL not detected")
+	}
+	if reportContainsFail("- **[PASS] x** — y") {
+		t.Error("PASS misdetected")
+	}
+}

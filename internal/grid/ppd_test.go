@@ -1,0 +1,74 @@
+package grid_test
+
+import (
+	"testing"
+
+	"mrskyline/internal/grid"
+)
+
+func TestMaxCandidatePPD(t *testing.T) {
+	cases := []struct {
+		card, d, maxParts int
+		want              int
+	}{
+		{1000, 2, 1 << 20, 31},     // floor(sqrt(1000)) = 31
+		{1000000, 3, 1 << 20, 100}, // floor(1e6^(1/3)) = 100
+		{1000000, 2, 10000, 100},   // capped: 100^2 = 10000 allowed
+		{1000000, 2, 9999, 99},     // capped below
+		{10, 5, 1 << 20, 2},        // tiny cardinality floors at 2
+		{0, 3, 1 << 20, 2},         // degenerate input
+		{100, 0, 1 << 20, 2},       // degenerate input
+	}
+	for _, c := range cases {
+		if got := grid.MaxCandidatePPD(c.card, c.d, c.maxParts); got != c.want {
+			t.Errorf("MaxCandidatePPD(%d, %d, %d) = %d, want %d", c.card, c.d, c.maxParts, got, c.want)
+		}
+	}
+}
+
+func TestPPDForTPP(t *testing.T) {
+	// Equation 4: n = (c/TPP)^(1/d).
+	if got := grid.PPDForTPP(1_000_000, 2, 100, 1<<20); got != 100 {
+		t.Errorf("PPDForTPP = %d, want 100", got)
+	}
+	if got := grid.PPDForTPP(8000, 3, 1000, 1<<20); got != 2 {
+		t.Errorf("PPDForTPP = %d, want 2", got)
+	}
+	// Floors at 2 even when the formula suggests 1.
+	if got := grid.PPDForTPP(100, 2, 1000, 1<<20); got != 2 {
+		t.Errorf("PPDForTPP small = %d, want 2", got)
+	}
+	// Invalid TPP falls back to the default rather than dividing by zero.
+	if got := grid.PPDForTPP(1_000_000, 2, 0, 1<<20); got < 2 {
+		t.Errorf("PPDForTPP with tpp=0 = %d", got)
+	}
+}
+
+func TestChoosePPD(t *testing.T) {
+	// With a perfectly independent distribution, ρ ≈ j^d (all partitions
+	// non-empty) and |c/ρ − c/j^d| = 0 for every candidate; ties resolve to
+	// the smallest PPD.
+	rho := map[int]int{2: 4, 3: 9, 4: 16}
+	if got := grid.ChoosePPD(10000, 2, rho); got != 2 {
+		t.Errorf("ChoosePPD uniform = %d, want 2", got)
+	}
+
+	// A clustered distribution: at j=4 only 4 of 16 partitions are
+	// non-empty, making TPPe = 2500 far from TPP = 625; j=2 with all 4
+	// non-empty is exact and must win.
+	rho = map[int]int{2: 4, 4: 4}
+	if got := grid.ChoosePPD(10000, 2, rho); got != 2 {
+		t.Errorf("ChoosePPD clustered = %d, want 2", got)
+	}
+
+	// Candidates with ρ = 0 are skipped.
+	rho = map[int]int{2: 0, 3: 9}
+	if got := grid.ChoosePPD(900, 2, rho); got != 3 {
+		t.Errorf("ChoosePPD zero-rho = %d, want 3", got)
+	}
+
+	// No usable candidates: falls back to 2.
+	if got := grid.ChoosePPD(900, 2, map[int]int{}); got != 2 {
+		t.Errorf("ChoosePPD empty = %d, want 2", got)
+	}
+}

@@ -1,0 +1,78 @@
+package grid
+
+import (
+	"mrskyline/internal/bitstring"
+)
+
+// Prune applies the partition pruning of Equation 2 in place: every bit
+// whose partition is dominated by some non-empty partition is cleared.
+// On entry bs must hold the occupancy bitstring of Equation 1 (bit i set ⟺
+// p_i non-empty); on return bit i is set ⟺ p_i is non-empty and not
+// dominated by any non-empty partition.
+//
+// The sweep runs in O(d·n^d) regardless of how many partitions are
+// non-empty. Let reach[c] = "some non-empty cell is ≤ c on every dimension"
+// — a d-dimensional prefix-OR of the occupancy array, computed one
+// dimension at a time. A cell c is dominated exactly when reach[c − 1⃗]
+// holds (1⃗ the all-ones vector), because a dominating cell must be
+// strictly below c on every dimension.
+func (g *Grid) Prune(bs *bitstring.Bitstring) {
+	if bs.Len() != g.total {
+		panic("grid: bitstring length does not match grid size")
+	}
+	reach := make([]bool, g.total)
+	bs.ForEachSet(func(i int) bool {
+		reach[i] = true
+		return true
+	})
+	// Prefix-OR along each dimension in turn. After processing dimension k,
+	// reach[c] accounts for all cells ≤ c on dimensions 0..k and equal on
+	// the rest; after all dimensions it is the full downward closure.
+	for k := 0; k < g.d; k++ {
+		stride := g.strides[k]
+		for i := 0; i < g.total; i++ {
+			// Coordinate of cell i on dimension k.
+			if (i/stride)%g.n == 0 {
+				continue
+			}
+			if reach[i-stride] {
+				reach[i] = true
+			}
+		}
+	}
+	// Clear cells whose "all coordinates minus one" predecessor is reached.
+	diag := 0
+	for k := 0; k < g.d; k++ {
+		diag += g.strides[k]
+	}
+	c := make([]int, g.d)
+	bs.ForEachSet(func(i int) bool {
+		g.Coords(i, c)
+		for k := 0; k < g.d; k++ {
+			if c[k] == 0 {
+				return true // touches a best boundary: cannot be dominated
+			}
+		}
+		if reach[i-diag] {
+			bs.Clear(i)
+		}
+		return true
+	})
+}
+
+// pruneNaive is the O(ρ·n^d) reference implementation of Equation 2 used to
+// cross-check Prune in tests: for every non-empty partition, clear all
+// partitions in its dominating region.
+func (g *Grid) pruneNaive(bs *bitstring.Bitstring) {
+	if bs.Len() != g.total {
+		panic("grid: bitstring length does not match grid size")
+	}
+	dominated := bitstring.New(g.total)
+	bs.ForEachSet(func(i int) bool {
+		for _, j := range g.DR(i) {
+			dominated.Set(j)
+		}
+		return true
+	})
+	bs.AndNot(dominated)
+}

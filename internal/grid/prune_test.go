@@ -1,0 +1,144 @@
+package grid_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mrskyline/internal/bitstring"
+	"mrskyline/internal/grid"
+)
+
+func TestPruneFigure2(t *testing.T) {
+	// Non-empty partitions of Figure 2 (bitstring 011110100): none of them
+	// dominates another, so pruning is a no-op.
+	g := mustGrid(t, 2, 3)
+	bs, err := bitstring.Parse("011110100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bs.Clone()
+	g.Prune(bs)
+	if !bs.Equal(want) {
+		t.Errorf("Prune changed %s to %s", want, bs)
+	}
+}
+
+func TestPruneFullGridSection6Example(t *testing.T) {
+	// Section 6's running example: with every partition of the 3×3 grid
+	// non-empty, p4, p5, p7 and p8 are dominated and pruned, leaving
+	// ρrem(3,2) = 3² − 2² = 5 partitions (the two best surfaces).
+	g := mustGrid(t, 2, 3)
+	bs := bitstring.New(9)
+	for i := 0; i < 9; i++ {
+		bs.Set(i)
+	}
+	g.Prune(bs)
+	if got, want := bs.String(), "111100100"; got != want {
+		t.Errorf("Prune = %s, want %s", got, want)
+	}
+	if bs.Count() != 5 {
+		t.Errorf("surviving partitions = %d, want 5", bs.Count())
+	}
+}
+
+func TestPruneKeepsDominators(t *testing.T) {
+	// A dominated partition is pruned even when the dominator is itself
+	// dominated (occupancy, not survival, drives Equation 2).
+	g := mustGrid(t, 2, 4)
+	bs := bitstring.New(16)
+	bs.Set(g.Index([]int{0, 0}))
+	bs.Set(g.Index([]int{1, 1}))
+	bs.Set(g.Index([]int{2, 2}))
+	bs.Set(g.Index([]int{3, 3}))
+	g.Prune(bs)
+	if bs.Count() != 1 || !bs.Get(g.Index([]int{0, 0})) {
+		t.Errorf("diagonal chain: survivors %v", bs.Indices())
+	}
+}
+
+func TestPruneMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, cfg := range []struct{ d, n int }{{1, 9}, {2, 5}, {3, 4}, {4, 3}, {5, 2}} {
+		g := mustGrid(t, cfg.d, cfg.n)
+		for trial := 0; trial < 40; trial++ {
+			bs := bitstring.New(g.NumPartitions())
+			density := rng.Float64()
+			for i := 0; i < bs.Len(); i++ {
+				if rng.Float64() < density {
+					bs.Set(i)
+				}
+			}
+			fast := bs.Clone()
+			slow := bs.Clone()
+			g.Prune(fast)
+			g.PruneNaive(slow)
+			if !fast.Equal(slow) {
+				t.Fatalf("d=%d n=%d: Prune=%s naive=%s input=%s", cfg.d, cfg.n, fast, slow, bs)
+			}
+		}
+	}
+}
+
+func TestPruneNeverDropsUndominatedNonEmpty(t *testing.T) {
+	// A surviving bit must (a) have been set before and (b) not be
+	// dominated by any set bit.
+	rng := rand.New(rand.NewSource(22))
+	g := mustGrid(t, 3, 3)
+	for trial := 0; trial < 50; trial++ {
+		bs := bitstring.New(g.NumPartitions())
+		for i := 0; i < bs.Len(); i++ {
+			if rng.Intn(3) == 0 {
+				bs.Set(i)
+			}
+		}
+		orig := bs.Clone()
+		g.Prune(bs)
+		for i := 0; i < bs.Len(); i++ {
+			if bs.Get(i) && !orig.Get(i) {
+				t.Fatal("Prune set a bit")
+			}
+			if !orig.Get(i) {
+				continue
+			}
+			dominated := false
+			for j := 0; j < bs.Len(); j++ {
+				if orig.Get(j) && g.PartitionDominates(j, i) {
+					dominated = true
+					break
+				}
+			}
+			if dominated == bs.Get(i) {
+				t.Fatalf("partition %d: dominated=%v but surviving=%v", i, dominated, bs.Get(i))
+			}
+		}
+	}
+}
+
+func TestPruneLengthMismatchPanics(t *testing.T) {
+	g := mustGrid(t, 2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Prune(bitstring.New(8))
+}
+
+func BenchmarkPrune(b *testing.B) {
+	g, err := grid.New(6, 6) // 46656 partitions
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	bs := bitstring.New(g.NumPartitions())
+	for i := 0; i < bs.Len(); i++ {
+		if rng.Intn(4) == 0 {
+			bs.Set(i)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Prune(bs.Clone())
+	}
+}

@@ -1,0 +1,119 @@
+package mapreduce_test
+
+import (
+	"errors"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mrskyline/internal/mapreduce"
+)
+
+// sumCombiner folds word-count "1" values into partial sums map-side.
+func sumCombiner() mapreduce.Combiner {
+	return mapreduce.CombinerFunc(func(key []byte, values [][]byte) ([][]byte, error) {
+		total := 0
+		for _, v := range values {
+			n, err := strconv.Atoi(string(v))
+			if err != nil {
+				return nil, err
+			}
+			total += n
+		}
+		return [][]byte{[]byte(strconv.Itoa(total))}, nil
+	})
+}
+
+// combinerWordCount is word count where the reducer sums partial counts,
+// so it works with and without the combiner.
+func combinerWordCount(input []string, mappers, reducers int) *mapreduce.Job {
+	job := wordCountJob(input, mappers, reducers)
+	job.NewReducer = func() mapreduce.Reducer {
+		return mapreduce.ReducerFuncs{
+			ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emitter) error {
+				total := 0
+				for _, v := range values {
+					n, err := strconv.Atoi(string(v))
+					if err != nil {
+						return err
+					}
+					total += n
+				}
+				emit(key, []byte(strconv.Itoa(total)))
+				return nil
+			},
+		}
+	}
+	return job
+}
+
+func TestCombinerCutsShuffleVolume(t *testing.T) {
+	e := newEngine(t, 3, 2)
+	input := []string{
+		strings.Repeat("spark ", 50) + "flink",
+		strings.Repeat("spark ", 50) + "beam",
+	}
+
+	plain, err := e.Run(combinerWordCount(input, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withC := combinerWordCount(input, 2, 2)
+	withC.NewCombiner = sumCombiner
+	combined, err := e.Run(withC)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(countsFromResult(plain), countsFromResult(combined)) {
+		t.Fatalf("combiner changed results: %v vs %v",
+			countsFromResult(plain), countsFromResult(combined))
+	}
+	want := map[string]int{"spark": 100, "flink": 1, "beam": 1}
+	if !reflect.DeepEqual(countsFromResult(combined), want) {
+		t.Fatalf("counts = %v, want %v", countsFromResult(combined), want)
+	}
+	ps := plain.Counters.Get(mapreduce.CounterShuffleBytes)
+	cs := combined.Counters.Get(mapreduce.CounterShuffleBytes)
+	if cs >= ps {
+		t.Errorf("combiner did not cut shuffle volume: %d vs %d", cs, ps)
+	}
+	// 2 mappers × ≤3 distinct words each = at most 6 shuffled records.
+	if got := combined.Counters.Get(mapreduce.CounterReduceInputRecords); got > 6 {
+		t.Errorf("reduce input records = %d after combining", got)
+	}
+}
+
+func TestCombinerErrorFailsTask(t *testing.T) {
+	e := newEngine(t, 2, 1)
+	job := combinerWordCount([]string{"a a"}, 1, 1)
+	job.NewCombiner = func() mapreduce.Combiner {
+		return mapreduce.CombinerFunc(func([]byte, [][]byte) ([][]byte, error) {
+			return nil, errors.New("combiner exploded")
+		})
+	}
+	job.MaxAttempts = 2
+	if _, err := e.Run(job); err == nil || !strings.Contains(err.Error(), "combiner exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCombinerMayExpandValues(t *testing.T) {
+	// A combiner returning multiple values per key must ship all of them.
+	e := newEngine(t, 2, 1)
+	job := combinerWordCount([]string{"x x x"}, 1, 1)
+	job.NewCombiner = func() mapreduce.Combiner {
+		return mapreduce.CombinerFunc(func(key []byte, values [][]byte) ([][]byte, error) {
+			// Pass values through untouched (identity combiner).
+			return values, nil
+		})
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countsFromResult(res)["x"]; got != 3 {
+		t.Errorf("identity combiner count = %d, want 3", got)
+	}
+}

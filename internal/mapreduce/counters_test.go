@@ -1,0 +1,90 @@
+package mapreduce_test
+
+import (
+	"sync"
+	"testing"
+
+	"mrskyline/internal/mapreduce"
+)
+
+func TestCountersAddGet(t *testing.T) {
+	c := mapreduce.NewCounters()
+	if c.Get("x") != 0 {
+		t.Error("fresh counter not zero")
+	}
+	c.Add("x", 3)
+	c.Add("x", 4)
+	if got := c.Get("x"); got != 7 {
+		t.Errorf("Get = %d", got)
+	}
+}
+
+func TestCountersSetMax(t *testing.T) {
+	c := mapreduce.NewCounters()
+	c.SetMax("m", 5)
+	c.SetMax("m", 3)
+	c.SetMax("m", 9)
+	if got := c.GetMax("m"); got != 9 {
+		t.Errorf("GetMax = %d", got)
+	}
+	if c.GetMax("absent") != 0 {
+		t.Error("absent max not zero")
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	a := mapreduce.NewCounters()
+	a.Add("s", 1)
+	a.SetMax("m", 10)
+	b := mapreduce.NewCounters()
+	b.Add("s", 2)
+	b.Add("t", 5)
+	b.SetMax("m", 7)
+	b.SetMax("n", 3)
+	a.Merge(b)
+	if a.Get("s") != 3 || a.Get("t") != 5 {
+		t.Errorf("sums after merge: s=%d t=%d", a.Get("s"), a.Get("t"))
+	}
+	if a.GetMax("m") != 10 || a.GetMax("n") != 3 {
+		t.Errorf("maxes after merge: m=%d n=%d", a.GetMax("m"), a.GetMax("n"))
+	}
+}
+
+func TestCountersSnapshot(t *testing.T) {
+	c := mapreduce.NewCounters()
+	c.Add("b", 2)
+	c.Add("a", 1)
+	c.SetMax("a", 9)
+	snap := c.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Sorted: "a", "a.max", "b".
+	if snap[0].Name != "a" || snap[0].Value != 1 ||
+		snap[1].Name != "a.max" || snap[1].Value != 9 ||
+		snap[2].Name != "b" || snap[2].Value != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := mapreduce.NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add("n", 1)
+				c.SetMax("m", int64(i*1000+j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Get("n") != 8000 {
+		t.Errorf("n = %d", c.Get("n"))
+	}
+	if c.GetMax("m") != 7999 {
+		t.Errorf("m = %d", c.GetMax("m"))
+	}
+}

@@ -1,0 +1,404 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mrskyline/internal/cluster"
+)
+
+// Phase identifies the half of a job a task belongs to; the fault injector
+// receives it.
+type Phase int
+
+const (
+	// PhaseMap marks map tasks.
+	PhaseMap Phase = iota
+	// PhaseReduce marks reduce tasks.
+	PhaseReduce
+)
+
+// String implements fmt.Stringer for Phase.
+func (p Phase) String() string {
+	if p == PhaseMap {
+		return "map"
+	}
+	return "reduce"
+}
+
+// Job describes one MapReduce execution.
+type Job struct {
+	// Name labels the job in errors and logs.
+	Name string
+	// Input supplies the splits; required.
+	Input Input
+	// NumMappers is the desired mapper count. Chunkable inputs honour it;
+	// block-backed inputs derive the count from their block layout.
+	// Defaults to the cluster's total slot count.
+	NumMappers int
+	// NumReducers is the reduce task count; defaults to 1 (the shape of
+	// MR-BNL, MR-Angle and MR-GPSRS).
+	NumReducers int
+	// NewMapper constructs a fresh Mapper per map-task attempt; required.
+	NewMapper func() Mapper
+	// NewReducer constructs a fresh Reducer per reduce-task attempt;
+	// required unless NumReducers is 0 and the job is map-only... reduce
+	// is always present in this repository, so it is simply required.
+	NewReducer func() Reducer
+	// Partition routes map-output keys to reducers; defaults to
+	// HashPartition.
+	Partition PartitionFunc
+	// NewCombiner, when non-nil, constructs a map-side combiner per map
+	// task; see Combiner.
+	NewCombiner func() Combiner
+	// Cache is the distributed cache content shipped to every task.
+	Cache Cache
+	// MaxAttempts bounds per-task attempts (default 3, mirroring Hadoop's
+	// mapred.map.max.attempts spirit).
+	MaxAttempts int
+}
+
+// Result is a finished job's output.
+type Result struct {
+	// Output contains every record emitted by the reducers. Records are
+	// ordered by reduce task, then emission order, so results are
+	// deterministic for deterministic jobs.
+	Output []Record
+	// Counters are the job's aggregated counters (successful attempts
+	// only).
+	Counters *Counters
+	// ClusterStats records scheduling telemetry for both phases.
+	ClusterStats cluster.Stats
+	// MapTime and ReduceTime are the wall-clock durations of the two
+	// phases (shuffle accounted to the reduce phase, as Hadoop reports).
+	MapTime    time.Duration
+	ReduceTime time.Duration
+	// SimulatedTime is the job's modelled duration on the simulated
+	// cluster; zero unless the engine carries a SimConfig. See SimConfig.
+	SimulatedTime time.Duration
+	// History records every task attempt of the job.
+	History *History
+}
+
+// Engine executes jobs on a simulated cluster.
+type Engine struct {
+	cluster *cluster.Cluster
+	// FaultInjector, when non-nil, is invoked at the start of every task
+	// attempt; a non-nil return fails the attempt. Tests use it to
+	// exercise retry behaviour.
+	FaultInjector func(phase Phase, taskID, attempt int) error
+	// Sim, when non-nil, turns on simulated-time accounting: task bodies
+	// are serialized for contention-free measurement and Result gains a
+	// SimulatedTime computed from the cluster schedule. See SimConfig.
+	Sim *SimConfig
+}
+
+// NewEngine creates an engine on the given cluster.
+func NewEngine(c *cluster.Cluster) *Engine {
+	return &Engine{cluster: c}
+}
+
+// Cluster returns the engine's cluster.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
+
+// keyedValues groups one reducer's input: values per key plus the order
+// keys first appeared is discarded — keys are processed in byte order for
+// determinism.
+type keyedValues map[string][][]byte
+
+// combineBuckets applies a map-side combiner to every per-reducer bucket:
+// records are grouped by key (in byte order, for determinism), folded
+// through the combiner, and re-emitted.
+func combineBuckets(c Combiner, buckets [][]Record) ([][]Record, error) {
+	out := make([][]Record, len(buckets))
+	for r, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		groups := make(keyedValues)
+		order := make([]string, 0, 4)
+		for _, rec := range bucket {
+			k := string(rec.Key)
+			if _, seen := groups[k]; !seen {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], rec.Value)
+		}
+		sort.Strings(order)
+		combined := make([]Record, 0, len(order))
+		for _, k := range order {
+			vals, err := c.Combine([]byte(k), groups[k])
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range vals {
+				combined = append(combined, Record{Key: []byte(k), Value: v})
+			}
+		}
+		out[r] = combined
+	}
+	return out, nil
+}
+
+// Run executes the job and returns its result. The first task failure
+// (after retries) aborts the job.
+func (e *Engine) Run(job *Job) (*Result, error) {
+	if job.Input == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no input", job.Name)
+	}
+	if job.NewMapper == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no mapper", job.Name)
+	}
+	if job.NewReducer == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no reducer", job.Name)
+	}
+	numReducers := job.NumReducers
+	if numReducers < 1 {
+		numReducers = 1
+	}
+	partition := job.Partition
+	if partition == nil {
+		partition = HashPartition
+	}
+	maxAttempts := job.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 3
+	}
+	mapperHint := job.NumMappers
+	if mapperHint < 1 {
+		mapperHint = e.cluster.TotalSlots()
+	}
+
+	splits, err := job.Input.Splits(mapperHint)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: splitting input: %w", job.Name, err)
+	}
+	numMappers := len(splits)
+	res := &Result{Counters: NewCounters(), History: &History{}}
+
+	// Simulated-time instrumentation: a one-slot semaphore serializes task
+	// bodies so each measured duration reflects that task's work alone.
+	var (
+		simSem     chan struct{}
+		mapDurs    []time.Duration
+		reduceDurs []time.Duration
+	)
+	if e.Sim != nil {
+		simSem = make(chan struct{}, 1)
+		mapDurs = make([]time.Duration, numMappers)
+		reduceDurs = make([]time.Duration, numReducers)
+	}
+
+	// ---- Map phase -------------------------------------------------------
+	mapStart := time.Now()
+	// mapOut[m][r] holds mapper m's records destined for reducer r.
+	mapOut := make([][][]Record, numMappers)
+	mapTasks := make([]cluster.Task, numMappers)
+	for m := 0; m < numMappers; m++ {
+		m := m
+		split := splits[m]
+		attempts := 0
+		mapTasks[m] = cluster.Task{
+			Name:      fmt.Sprintf("%s-map-%d", job.Name, m),
+			Preferred: split.Hosts(),
+			Run: func(node string) error {
+				attempts++
+				ctx := &TaskContext{
+					Job:         job.Name,
+					TaskID:      m,
+					Attempt:     attempts,
+					NumMappers:  numMappers,
+					NumReducers: numReducers,
+					Node:        node,
+					Cache:       job.Cache,
+					Counters:    NewCounters(),
+				}
+				if e.FaultInjector != nil {
+					if err := e.FaultInjector(PhaseMap, m, attempts); err != nil {
+						res.History.add(TaskRecord{Phase: PhaseMap, TaskID: m, Attempt: attempts, Node: node, Err: err.Error()})
+						return err
+					}
+				}
+				if simSem != nil {
+					simSem <- struct{}{}
+					defer func() { <-simSem }()
+				}
+				taskStart := time.Now()
+				record := func(err error) {
+					msg := ""
+					if err != nil {
+						msg = err.Error()
+					}
+					res.History.add(TaskRecord{
+						Phase: PhaseMap, TaskID: m, Attempt: attempts,
+						Node: node, Duration: time.Since(taskStart), Err: msg,
+					})
+				}
+				buckets := make([][]Record, numReducers)
+				emitted := int64(0)
+				emit := func(key, value []byte) {
+					r := partition(key, numReducers)
+					if r < 0 || r >= numReducers {
+						panic(fmt.Sprintf("mapreduce: partitioner returned %d for %d reducers", r, numReducers))
+					}
+					buckets[r] = append(buckets[r], Record{Key: key, Value: value})
+					emitted++
+				}
+				mapper := job.NewMapper()
+				inRecords := int64(0)
+				err := split.Each(func(rec Record) error {
+					inRecords++
+					return mapper.Map(ctx, rec, emit)
+				})
+				if err == nil {
+					err = mapper.Flush(ctx, emit)
+				}
+				if err != nil {
+					err = fmt.Errorf("map task %d on %s: %w", m, node, err)
+					record(err)
+					return err
+				}
+				if job.NewCombiner != nil {
+					buckets, err = combineBuckets(job.NewCombiner(), buckets)
+					if err != nil {
+						err = fmt.Errorf("map task %d on %s: combiner: %w", m, node, err)
+						record(err)
+						return err
+					}
+				}
+				ctx.Counters.Add(CounterMapInputRecords, inRecords)
+				ctx.Counters.Add(CounterMapOutputRecords, emitted)
+				// Install output and counters only on success.
+				if mapDurs != nil {
+					mapDurs[m] = time.Since(taskStart)
+				}
+				record(nil)
+				mapOut[m] = buckets
+				res.Counters.Merge(ctx.Counters)
+				return nil
+			},
+		}
+	}
+	if err := e.cluster.Run(mapTasks, maxAttempts, &res.ClusterStats); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	}
+	res.MapTime = time.Since(mapStart)
+
+	// ---- Shuffle ---------------------------------------------------------
+	reduceStart := time.Now()
+	reduceIn := make([]keyedValues, numReducers)
+	perReducerBytes := make([]int64, numReducers)
+	shuffleBytes := int64(0)
+	for r := 0; r < numReducers; r++ {
+		reduceIn[r] = make(keyedValues)
+	}
+	for m := 0; m < numMappers; m++ {
+		for r := 0; r < numReducers; r++ {
+			for _, rec := range mapOut[m][r] {
+				n := int64(len(rec.Key) + len(rec.Value))
+				shuffleBytes += n
+				perReducerBytes[r] += n
+				k := string(rec.Key)
+				reduceIn[r][k] = append(reduceIn[r][k], rec.Value)
+			}
+		}
+		mapOut[m] = nil // release as we go
+	}
+	res.Counters.Add(CounterShuffleBytes, shuffleBytes)
+
+	// ---- Reduce phase ----------------------------------------------------
+	reduceOut := make([][]Record, numReducers)
+	reduceTasks := make([]cluster.Task, numReducers)
+	for r := 0; r < numReducers; r++ {
+		r := r
+		groups := reduceIn[r]
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		attempts := 0
+		reduceTasks[r] = cluster.Task{
+			Name: fmt.Sprintf("%s-reduce-%d", job.Name, r),
+			Run: func(node string) error {
+				attempts++
+				ctx := &TaskContext{
+					Job:         job.Name,
+					TaskID:      r,
+					Attempt:     attempts,
+					NumMappers:  numMappers,
+					NumReducers: numReducers,
+					Node:        node,
+					Cache:       job.Cache,
+					Counters:    NewCounters(),
+				}
+				if e.FaultInjector != nil {
+					if err := e.FaultInjector(PhaseReduce, r, attempts); err != nil {
+						res.History.add(TaskRecord{Phase: PhaseReduce, TaskID: r, Attempt: attempts, Node: node, Err: err.Error()})
+						return err
+					}
+				}
+				if simSem != nil {
+					simSem <- struct{}{}
+					defer func() { <-simSem }()
+				}
+				taskStart := time.Now()
+				record := func(err error) {
+					msg := ""
+					if err != nil {
+						msg = err.Error()
+					}
+					res.History.add(TaskRecord{
+						Phase: PhaseReduce, TaskID: r, Attempt: attempts,
+						Node: node, Duration: time.Since(taskStart), Err: msg,
+					})
+				}
+				var out []Record
+				emitted := int64(0)
+				emit := func(key, value []byte) {
+					out = append(out, Record{Key: key, Value: value})
+					emitted++
+				}
+				reducer := job.NewReducer()
+				inRecords := int64(0)
+				for _, k := range keys {
+					vals := groups[k]
+					inRecords += int64(len(vals))
+					if err := reducer.Reduce(ctx, []byte(k), vals, emit); err != nil {
+						err = fmt.Errorf("reduce task %d on %s: %w", r, node, err)
+						record(err)
+						return err
+					}
+				}
+				if err := reducer.Flush(ctx, emit); err != nil {
+					err = fmt.Errorf("reduce task %d on %s: %w", r, node, err)
+					record(err)
+					return err
+				}
+				ctx.Counters.Add(CounterReduceInputKeys, int64(len(keys)))
+				ctx.Counters.Add(CounterReduceInputRecords, inRecords)
+				ctx.Counters.Add(CounterReduceOutputRecords, emitted)
+				if reduceDurs != nil {
+					reduceDurs[r] = time.Since(taskStart)
+				}
+				record(nil)
+				reduceOut[r] = out
+				res.Counters.Merge(ctx.Counters)
+				return nil
+			},
+		}
+	}
+	if err := e.cluster.Run(reduceTasks, maxAttempts, &res.ClusterStats); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	}
+	res.ReduceTime = time.Since(reduceStart)
+
+	if e.Sim != nil {
+		res.SimulatedTime = e.Sim.simulate(mapDurs, reduceDurs, perReducerBytes, e.cluster.SlotSpeeds())
+	}
+	for r := 0; r < numReducers; r++ {
+		res.Output = append(res.Output, reduceOut[r]...)
+	}
+	return res, nil
+}

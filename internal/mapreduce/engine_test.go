@@ -1,0 +1,510 @@
+package mapreduce_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"mrskyline/internal/cluster"
+	"mrskyline/internal/dfs"
+	"mrskyline/internal/mapreduce"
+)
+
+func newEngine(t testing.TB, nodes, slots int) *mapreduce.Engine {
+	t.Helper()
+	c, err := cluster.Uniform(nodes, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mapreduce.NewEngine(c)
+}
+
+// wordCountJob is the canonical smoke test: count words across lines.
+func wordCountJob(input []string, mappers, reducers int) *mapreduce.Job {
+	recs := make([]mapreduce.Record, len(input))
+	for i, line := range input {
+		recs[i] = mapreduce.Record{Value: []byte(line)}
+	}
+	return &mapreduce.Job{
+		Name:        "wordcount",
+		Input:       mapreduce.MemoryInput{Records: recs},
+		NumMappers:  mappers,
+		NumReducers: reducers,
+		NewMapper: func() mapreduce.Mapper {
+			return mapreduce.MapperFuncs{
+				MapFn: func(ctx *mapreduce.TaskContext, rec mapreduce.Record, emit mapreduce.Emitter) error {
+					for _, w := range strings.Fields(string(rec.Value)) {
+						emit([]byte(w), []byte("1"))
+					}
+					return nil
+				},
+			}
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return mapreduce.ReducerFuncs{
+				ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emitter) error {
+					emit(key, []byte(strconv.Itoa(len(values))))
+					return nil
+				},
+			}
+		},
+	}
+}
+
+func countsFromResult(res *mapreduce.Result) map[string]int {
+	out := map[string]int{}
+	for _, rec := range res.Output {
+		n, _ := strconv.Atoi(string(rec.Value))
+		out[string(rec.Key)] = n
+	}
+	return out
+}
+
+func TestWordCount(t *testing.T) {
+	e := newEngine(t, 3, 2)
+	input := []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the quick dog",
+	}
+	for _, reducers := range []int{1, 2, 5} {
+		res, err := e.Run(wordCountJob(input, 2, reducers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := countsFromResult(res)
+		want := map[string]int{"the": 3, "quick": 2, "brown": 1, "fox": 1, "lazy": 1, "dog": 2}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("reducers=%d: counts = %v, want %v", reducers, got, want)
+		}
+		if got := res.Counters.Get(mapreduce.CounterMapInputRecords); got != 3 {
+			t.Errorf("map input records = %d", got)
+		}
+		if got := res.Counters.Get(mapreduce.CounterMapOutputRecords); got != 10 {
+			t.Errorf("map output records = %d", got)
+		}
+		if got := res.Counters.Get(mapreduce.CounterReduceInputRecords); got != 10 {
+			t.Errorf("reduce input records = %d", got)
+		}
+		if got := res.Counters.Get(mapreduce.CounterReduceInputKeys); got != 6 {
+			t.Errorf("reduce input keys = %d", got)
+		}
+		if res.Counters.Get(mapreduce.CounterShuffleBytes) == 0 {
+			t.Error("shuffle bytes not counted")
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	e := newEngine(t, 4, 2)
+	input := []string{"b a c", "a c b", "c b a", "z y x w v u"}
+	var first []mapreduce.Record
+	for i := 0; i < 5; i++ {
+		res, err := e.Run(wordCountJob(input, 3, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res.Output
+			continue
+		}
+		if len(res.Output) != len(first) {
+			t.Fatalf("run %d: output length changed", i)
+		}
+		for j := range first {
+			if !bytes.Equal(res.Output[j].Key, first[j].Key) || !bytes.Equal(res.Output[j].Value, first[j].Value) {
+				t.Fatalf("run %d: output[%d] differs", i, j)
+			}
+		}
+	}
+}
+
+func TestValuesOrderedByMapper(t *testing.T) {
+	// All mappers emit under one key; values must arrive ordered by mapper
+	// index then emission order.
+	e := newEngine(t, 2, 2)
+	recs := make([]mapreduce.Record, 6)
+	for i := range recs {
+		recs[i] = mapreduce.Record{Value: []byte(strconv.Itoa(i))}
+	}
+	job := &mapreduce.Job{
+		Name:       "order",
+		Input:      mapreduce.MemoryInput{Records: recs},
+		NumMappers: 3,
+		NewMapper: func() mapreduce.Mapper {
+			return mapreduce.MapperFuncs{
+				MapFn: func(ctx *mapreduce.TaskContext, rec mapreduce.Record, emit mapreduce.Emitter) error {
+					emit([]byte("k"), []byte(fmt.Sprintf("m%d:%s", ctx.TaskID, rec.Value)))
+					return nil
+				},
+			}
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return mapreduce.ReducerFuncs{
+				ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emitter) error {
+					var parts []string
+					for _, v := range values {
+						parts = append(parts, string(v))
+					}
+					emit(key, []byte(strings.Join(parts, ",")))
+					return nil
+				},
+			}
+		},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "m0:0,m0:1,m1:2,m1:3,m2:4,m2:5"
+	if got := string(res.Output[0].Value); got != want {
+		t.Errorf("value order = %q, want %q", got, want)
+	}
+}
+
+func TestMapperFlushEmits(t *testing.T) {
+	// Flush-time emission is the pattern every skyline mapper uses.
+	e := newEngine(t, 2, 1)
+	recs := []mapreduce.Record{{Value: []byte("a")}, {Value: []byte("b")}}
+	job := &mapreduce.Job{
+		Name:       "flush",
+		Input:      mapreduce.MemoryInput{Records: recs},
+		NumMappers: 1,
+		NewMapper: func() mapreduce.Mapper {
+			var seen []string
+			return mapreduce.MapperFuncs{
+				MapFn: func(ctx *mapreduce.TaskContext, rec mapreduce.Record, emit mapreduce.Emitter) error {
+					seen = append(seen, string(rec.Value))
+					return nil
+				},
+				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+					emit(nil, []byte(strings.Join(seen, "+")))
+					return nil
+				},
+			}
+		},
+		NewReducer: identityReducer(),
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || string(res.Output[0].Value) != "a+b" {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func identityReducer() func() mapreduce.Reducer {
+	return func() mapreduce.Reducer {
+		return mapreduce.ReducerFuncs{
+			ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emitter) error {
+				for _, v := range values {
+					emit(key, v)
+				}
+				return nil
+			},
+		}
+	}
+}
+
+func TestDistributedCache(t *testing.T) {
+	e := newEngine(t, 2, 1)
+	job := &mapreduce.Job{
+		Name:       "cache",
+		Input:      mapreduce.MemoryInput{Records: []mapreduce.Record{{Value: []byte("x")}}},
+		NumMappers: 1,
+		Cache:      mapreduce.Cache{"greeting": []byte("hello")},
+		NewMapper: func() mapreduce.Mapper {
+			return mapreduce.MapperFuncs{
+				MapFn: func(ctx *mapreduce.TaskContext, rec mapreduce.Record, emit mapreduce.Emitter) error {
+					emit(nil, ctx.Cache.MustGet("greeting"))
+					return nil
+				},
+			}
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return mapreduce.ReducerFuncs{
+				ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emitter) error {
+					g, ok := ctx.Cache.Get("greeting")
+					if !ok {
+						return errors.New("cache missing in reducer")
+					}
+					for _, v := range values {
+						emit(nil, append(v, g...))
+					}
+					return nil
+				},
+			}
+		},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || string(res.Output[0].Value) != "hellohello" {
+		t.Errorf("output = %q", res.Output)
+	}
+	if _, ok := (mapreduce.Cache{}).Get("nope"); ok {
+		t.Error("empty cache returned a value")
+	}
+}
+
+func TestCacheMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(mapreduce.Cache{}).MustGet("nope")
+}
+
+func TestFaultInjectionRetries(t *testing.T) {
+	e := newEngine(t, 3, 1)
+	var mu sync.Mutex
+	injected := map[string]int{}
+	e.FaultInjector = func(phase mapreduce.Phase, taskID, attempt int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		key := fmt.Sprintf("%v-%d", phase, taskID)
+		injected[key]++
+		if attempt == 1 {
+			return fmt.Errorf("injected crash for %s", key)
+		}
+		return nil
+	}
+	res, err := e.Run(wordCountJob([]string{"a b", "b c"}, 2, 2))
+	if err != nil {
+		t.Fatalf("job did not survive single-attempt faults: %v", err)
+	}
+	got := countsFromResult(res)
+	want := map[string]int{"a": 1, "b": 2, "c": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("counts after retries = %v, want %v", got, want)
+	}
+	// Counters must reflect successful attempts only: exactly 2 map inputs.
+	if got := res.Counters.Get(mapreduce.CounterMapInputRecords); got != 2 {
+		t.Errorf("map input records after retries = %d, want 2", got)
+	}
+	if res.ClusterStats.Retries == 0 {
+		t.Error("no retries recorded")
+	}
+}
+
+func TestPermanentFaultFailsJob(t *testing.T) {
+	e := newEngine(t, 2, 1)
+	e.FaultInjector = func(phase mapreduce.Phase, taskID, attempt int) error {
+		if phase == mapreduce.PhaseReduce && taskID == 0 {
+			return errors.New("reducer 0 is cursed")
+		}
+		return nil
+	}
+	_, err := e.Run(wordCountJob([]string{"a"}, 1, 1))
+	if err == nil || !strings.Contains(err.Error(), "cursed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	e := newEngine(t, 1, 1)
+	base := wordCountJob([]string{"a"}, 1, 1)
+	for name, mutate := range map[string]func(j *mapreduce.Job){
+		"no-input":   func(j *mapreduce.Job) { j.Input = nil },
+		"no-mapper":  func(j *mapreduce.Job) { j.NewMapper = nil },
+		"no-reducer": func(j *mapreduce.Job) { j.NewReducer = nil },
+	} {
+		j := *base
+		mutate(&j)
+		if _, err := e.Run(&j); err == nil {
+			t.Errorf("%s: job accepted", name)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	e := newEngine(t, 2, 1)
+	res, err := e.Run(wordCountJob(nil, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 0 {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func TestMemoryInputSplitCounts(t *testing.T) {
+	recs := make([]mapreduce.Record, 10)
+	in := mapreduce.MemoryInput{Records: recs}
+	for _, hint := range []int{1, 3, 10, 25, 0} {
+		splits, err := in.Splits(hint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLen := hint
+		if hint > 10 || hint < 1 {
+			wantLen = 10
+		}
+		if hint == 0 {
+			wantLen = 1
+		}
+		if len(splits) != wantLen {
+			t.Errorf("hint %d: %d splits, want %d", hint, len(splits), wantLen)
+		}
+		total := 0
+		for _, s := range splits {
+			s.Each(func(mapreduce.Record) error { total++; return nil })
+		}
+		if total != 10 {
+			t.Errorf("hint %d: splits cover %d records", hint, total)
+		}
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	e := newEngine(t, 1, 1)
+	job := wordCountJob([]string{"a"}, 1, 1)
+	job.NewMapper = func() mapreduce.Mapper {
+		return mapreduce.MapperFuncs{
+			MapFn: func(ctx *mapreduce.TaskContext, rec mapreduce.Record, emit mapreduce.Emitter) error {
+				return errors.New("map exploded")
+			},
+		}
+	}
+	job.MaxAttempts = 2
+	if _, err := e.Run(job); err == nil || !strings.Contains(err.Error(), "map exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDFSLineInput(t *testing.T) {
+	// Lines crossing block boundaries must be read exactly once.
+	fsys, err := dfs.New(dfs.Config{BlockSize: 10, Replication: 2, Nodes: []string{"node0", "node1", "node2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	var content bytes.Buffer
+	for i := 0; i < 40; i++ {
+		line := fmt.Sprintf("line-%02d-%s", i, strings.Repeat("x", i%7))
+		lines = append(lines, line)
+		content.WriteString(line)
+		content.WriteByte('\n')
+	}
+	if err := fsys.WriteFile("input.txt", content.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	in := mapreduce.DFSLineInput{FS: fsys, Path: "input.txt"}
+	splits, err := in.Splits(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) < 2 {
+		t.Fatalf("expected multiple splits, got %d", len(splits))
+	}
+	var got []string
+	for _, s := range splits {
+		if len(s.Hosts()) == 0 {
+			t.Error("split has no hosts")
+		}
+		if err := s.Each(func(rec mapreduce.Record) error {
+			got = append(got, string(rec.Value))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(got, lines) {
+		t.Fatalf("split healing broken:\ngot  %d lines %v\nwant %d lines %v", len(got), got[:5], len(lines), lines[:5])
+	}
+}
+
+func TestDFSLineInputNoTrailingNewline(t *testing.T) {
+	fsys, _ := dfs.New(dfs.Config{BlockSize: 8, Replication: 1, Nodes: []string{"n0"}})
+	fsys.WriteFile("f", []byte("aaa\nbbbbbbbbbb\nccc")) // no trailing \n
+	in := mapreduce.DFSLineInput{FS: fsys, Path: "f"}
+	splits, err := in.Splits(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, s := range splits {
+		s.Each(func(rec mapreduce.Record) error {
+			got = append(got, string(rec.Value))
+			return nil
+		})
+	}
+	want := []string{"aaa", "bbbbbbbbbb", "ccc"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestDFSLineInputCRLF(t *testing.T) {
+	fsys, _ := dfs.New(dfs.Config{BlockSize: 64, Replication: 1, Nodes: []string{"n0"}})
+	fsys.WriteFile("f", []byte("a\r\nb\r\n"))
+	in := mapreduce.DFSLineInput{FS: fsys, Path: "f"}
+	splits, _ := in.Splits(0)
+	var got []string
+	for _, s := range splits {
+		s.Each(func(rec mapreduce.Record) error {
+			got = append(got, string(rec.Value))
+			return nil
+		})
+	}
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestWordCountOverDFS(t *testing.T) {
+	fsys, err := dfs.New(dfs.Config{BlockSize: 32, Replication: 2, Nodes: []string{"node0", "node1", "node2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys.WriteFile("corpus", []byte("to be or not to be\nthat is the question\nto be is to do\n"))
+	e := newEngine(t, 3, 2)
+	job := wordCountJob(nil, 1, 2)
+	job.Input = mapreduce.DFSLineInput{FS: fsys, Path: "corpus"}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := countsFromResult(res)
+	if got["to"] != 4 || got["be"] != 3 || got["question"] != 1 {
+		t.Errorf("counts = %v", got)
+	}
+	if res.ClusterStats.LocalityHits == 0 {
+		t.Error("no locality hits scheduling DFS splits")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if mapreduce.PhaseMap.String() != "map" || mapreduce.PhaseReduce.String() != "reduce" {
+		t.Error("Phase.String wrong")
+	}
+}
+
+func TestHashPartitionInRange(t *testing.T) {
+	for r := 1; r <= 7; r++ {
+		for i := 0; i < 100; i++ {
+			k := []byte(strconv.Itoa(i * 31))
+			p := mapreduce.HashPartition(k, r)
+			if p < 0 || p >= r {
+				t.Fatalf("HashPartition(%q, %d) = %d", k, r, p)
+			}
+		}
+	}
+	// Must spread across reducers reasonably.
+	hit := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		hit[mapreduce.HashPartition([]byte(strconv.Itoa(i)), 4)] = true
+	}
+	if len(hit) != 4 {
+		t.Errorf("HashPartition used only %d of 4 buckets", len(hit))
+	}
+}

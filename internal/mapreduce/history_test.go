@@ -1,0 +1,73 @@
+package mapreduce_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mrskyline/internal/mapreduce"
+)
+
+func TestHistoryRecordsAllAttempts(t *testing.T) {
+	e := newEngine(t, 3, 1)
+	e.FaultInjector = func(phase mapreduce.Phase, taskID, attempt int) error {
+		if phase == mapreduce.PhaseMap && taskID == 0 && attempt == 1 {
+			return errors.New("flaky map")
+		}
+		return nil
+	}
+	res, err := e.Run(wordCountJob([]string{"a b", "c d"}, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := res.History.Records()
+	// 2 map tasks (one retried) + 2 reduce tasks = 5 attempts.
+	if len(recs) != 5 {
+		t.Fatalf("history has %d records, want 5: %+v", len(recs), recs)
+	}
+	failed := res.History.Failed()
+	if len(failed) != 1 || failed[0].Phase != mapreduce.PhaseMap || failed[0].TaskID != 0 || failed[0].Attempt != 1 {
+		t.Fatalf("failed = %+v", failed)
+	}
+	if !strings.Contains(failed[0].Err, "flaky map") {
+		t.Errorf("failure message = %q", failed[0].Err)
+	}
+	// Records are sorted: maps before reduces, attempts ascending.
+	for i := 1; i < len(recs); i++ {
+		a, b := recs[i-1], recs[i]
+		if a.Phase > b.Phase {
+			t.Fatal("records not sorted by phase")
+		}
+		if a.Phase == b.Phase && a.TaskID == b.TaskID && a.Attempt >= b.Attempt {
+			t.Fatal("attempts not ascending")
+		}
+	}
+	// Successful records carry their node and a duration.
+	for _, r := range recs {
+		if r.Err == "" && r.Node == "" {
+			t.Errorf("successful record missing node: %+v", r)
+		}
+	}
+}
+
+func TestHistorySummary(t *testing.T) {
+	e := newEngine(t, 2, 2)
+	res, err := e.Run(wordCountJob([]string{"x y z"}, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.History.Summary()
+	if !strings.Contains(sum, "map: 1 attempts, 0 failed") {
+		t.Errorf("summary = %q", sum)
+	}
+	if !strings.Contains(sum, "reduce: 1 attempts, 0 failed") {
+		t.Errorf("summary = %q", sum)
+	}
+}
+
+func TestHistoryNilSafe(t *testing.T) {
+	var h *mapreduce.History
+	if h.Records() != nil || h.Failed() != nil {
+		t.Error("nil history not empty")
+	}
+}

@@ -1,0 +1,171 @@
+// Package mapreduce is an in-process MapReduce engine: the execution
+// substrate the paper's algorithms run on in this repository, standing in
+// for Hadoop 1.1.0 on the authors' 13-node cluster.
+//
+// The engine preserves the structural properties the paper's arguments
+// depend on:
+//
+//   - Input files are split per mapper (via internal/dfs blocks or
+//     in-memory chunking) and map tasks are scheduled with data locality on
+//     a simulated multi-node cluster (internal/cluster).
+//   - Mappers and reducers are stateless tasks communicating only through
+//     the key-value shuffle; all map output is genuinely serialized, so
+//     communication volume is measured rather than assumed.
+//   - A distributed cache ships small read-only artifacts (the global
+//     bitstring) to every task, as the paper assumes ("this paper assumes
+//     that the Distributed Cache, or something similar, is available").
+//   - Tasks that fail are retried on other nodes, mirroring Hadoop's
+//     fault tolerance; counters from failed attempts are discarded.
+//   - Jobs can be chained, later phases consuming earlier results.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Record is one key-value pair. A nil key is legal (map inputs often have
+// no meaningful key).
+type Record struct {
+	Key   []byte
+	Value []byte
+}
+
+// Emitter receives key-value pairs produced by Map and Reduce calls. The
+// byte slices are retained; callers must not reuse their backing arrays.
+type Emitter func(key, value []byte)
+
+// Cache is the distributed cache: small read-only blobs replicated to every
+// task of a job before it starts.
+type Cache map[string][]byte
+
+// Get returns the named cache entry.
+func (c Cache) Get(name string) ([]byte, bool) {
+	v, ok := c[name]
+	return v, ok
+}
+
+// MustGet returns the named cache entry or panics; tasks use it for
+// entries the job setup is contractually required to provide.
+func (c Cache) MustGet(name string) []byte {
+	v, ok := c[name]
+	if !ok {
+		panic(fmt.Sprintf("mapreduce: cache entry %q missing", name))
+	}
+	return v
+}
+
+// TaskContext carries per-task state into Map and Reduce functions.
+type TaskContext struct {
+	// Job is the job name.
+	Job string
+	// TaskID is the mapper or reducer index within its phase.
+	TaskID int
+	// Attempt is 1 for the first execution and increases on retry.
+	Attempt int
+	// NumMappers and NumReducers describe the job's task layout.
+	NumMappers  int
+	NumReducers int
+	// Node is the simulated cluster node executing the task.
+	Node string
+	// Cache is the job's distributed cache.
+	Cache Cache
+	// Counters is the task-local counter set; it is merged into the job's
+	// counters if and only if the task attempt succeeds.
+	Counters *Counters
+}
+
+// Mapper processes one input split. One Mapper instance is created per task
+// attempt, so implementations may keep per-split state in struct fields
+// without synchronization.
+type Mapper interface {
+	// Map is invoked once per input record.
+	Map(ctx *TaskContext, rec Record, emit Emitter) error
+	// Flush is invoked once after the split is exhausted. Algorithms that
+	// aggregate per split (every algorithm in this repository) emit their
+	// results here.
+	Flush(ctx *TaskContext, emit Emitter) error
+}
+
+// Reducer processes the groups assigned to one reduce task. One Reducer
+// instance is created per task attempt.
+type Reducer interface {
+	// Reduce is invoked once per distinct key, with all values for that
+	// key in deterministic order (mapper index, then emission order).
+	Reduce(ctx *TaskContext, key []byte, values [][]byte, emit Emitter) error
+	// Flush is invoked once after the last key.
+	Flush(ctx *TaskContext, emit Emitter) error
+}
+
+// MapperFuncs adapts plain functions to the Mapper interface; FlushFn may
+// be nil.
+type MapperFuncs struct {
+	MapFn   func(ctx *TaskContext, rec Record, emit Emitter) error
+	FlushFn func(ctx *TaskContext, emit Emitter) error
+}
+
+// Map implements Mapper.
+func (m MapperFuncs) Map(ctx *TaskContext, rec Record, emit Emitter) error {
+	if m.MapFn == nil {
+		return nil
+	}
+	return m.MapFn(ctx, rec, emit)
+}
+
+// Flush implements Mapper.
+func (m MapperFuncs) Flush(ctx *TaskContext, emit Emitter) error {
+	if m.FlushFn == nil {
+		return nil
+	}
+	return m.FlushFn(ctx, emit)
+}
+
+// ReducerFuncs adapts plain functions to the Reducer interface; FlushFn may
+// be nil.
+type ReducerFuncs struct {
+	ReduceFn func(ctx *TaskContext, key []byte, values [][]byte, emit Emitter) error
+	FlushFn  func(ctx *TaskContext, emit Emitter) error
+}
+
+// Reduce implements Reducer.
+func (r ReducerFuncs) Reduce(ctx *TaskContext, key []byte, values [][]byte, emit Emitter) error {
+	if r.ReduceFn == nil {
+		return nil
+	}
+	return r.ReduceFn(ctx, key, values, emit)
+}
+
+// Flush implements Reducer.
+func (r ReducerFuncs) Flush(ctx *TaskContext, emit Emitter) error {
+	if r.FlushFn == nil {
+		return nil
+	}
+	return r.FlushFn(ctx, emit)
+}
+
+// Combiner performs map-side pre-aggregation: after a map task finishes,
+// each of its per-reducer output groups is folded through Combine before
+// crossing the shuffle, cutting communication volume the way Hadoop's
+// combiners do. Combine receives all map-local values of one key and
+// returns the values that should be shipped (commonly a single one).
+type Combiner interface {
+	Combine(key []byte, values [][]byte) ([][]byte, error)
+}
+
+// CombinerFunc adapts a function to the Combiner interface.
+type CombinerFunc func(key []byte, values [][]byte) ([][]byte, error)
+
+// Combine implements Combiner.
+func (f CombinerFunc) Combine(key []byte, values [][]byte) ([][]byte, error) {
+	return f(key, values)
+}
+
+// PartitionFunc routes a map-output key to one of r reducers.
+type PartitionFunc func(key []byte, r int) int
+
+// HashPartition is the default partitioner: FNV-1a modulo reducer count.
+func HashPartition(key []byte, r int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(r))
+}

@@ -1,0 +1,241 @@
+// Package rtree provides an in-memory R-tree over multi-dimensional points,
+// bulk-loaded with the Sort-Tile-Recursive (STR) packing algorithm
+// [Leutenegger et al., ICDE 1997]. It is the index substrate for the BBS
+// skyline kernel (internal/skyline), the classic branch-and-bound skyline
+// algorithm the skyline literature measures centralized work against.
+//
+// Trees are immutable after Bulk and safe for concurrent readers.
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mrskyline/internal/tuple"
+)
+
+// DefaultFanout is the entries-per-node used when Bulk is given a
+// non-positive fanout.
+const DefaultFanout = 32
+
+// Rect is an axis-aligned minimum bounding rectangle.
+type Rect struct {
+	// Lo and Hi are the per-dimension minima and maxima (inclusive).
+	Lo, Hi tuple.Tuple
+}
+
+// Contains reports whether the point lies inside the rectangle (inclusive
+// on both sides; MBRs of points are closed boxes).
+func (r Rect) Contains(p tuple.Tuple) bool {
+	for k := range p {
+		if p[k] < r.Lo[k] || p[k] > r.Hi[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsRect reports whether other lies fully inside r.
+func (r Rect) ContainsRect(other Rect) bool {
+	for k := range r.Lo {
+		if other.Lo[k] < r.Lo[k] || other.Hi[k] > r.Hi[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the rectangles overlap.
+func (r Rect) Intersects(other Rect) bool {
+	for k := range r.Lo {
+		if other.Hi[k] < r.Lo[k] || other.Lo[k] > r.Hi[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinDistSum is the L1 "mindist" of the rectangle from the origin — the
+// sum of its lower corner, the priority BBS expands entries by.
+func (r Rect) MinDistSum() float64 {
+	return r.Lo.Sum()
+}
+
+// Node is one R-tree node. Leaf nodes carry points; internal nodes carry
+// children. Exposed so traversal-based algorithms (BBS) can walk the tree.
+type Node struct {
+	leaf     bool
+	rect     Rect
+	points   tuple.List // leaf payload
+	children []*Node    // internal payload
+}
+
+// Leaf reports whether the node is a leaf.
+func (n *Node) Leaf() bool { return n.leaf }
+
+// Rect returns the node's minimum bounding rectangle.
+func (n *Node) Rect() Rect { return n.rect }
+
+// Points returns a leaf's points (nil for internal nodes). The slice is
+// shared; callers must not modify it.
+func (n *Node) Points() tuple.List { return n.points }
+
+// Children returns an internal node's children (nil for leaves).
+func (n *Node) Children() []*Node { return n.children }
+
+// Tree is a bulk-loaded R-tree.
+type Tree struct {
+	d      int
+	fanout int
+	size   int
+	root   *Node
+}
+
+// Dim returns the indexed dimensionality.
+func (t *Tree) Dim() int { return t.d }
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.size }
+
+// Root returns the root node, or nil for an empty tree.
+func (t *Tree) Root() *Node { return t.root }
+
+// Bulk builds an R-tree over the points with STR packing. The input slice
+// is not modified. fanout ≤ 0 selects DefaultFanout.
+func Bulk(data tuple.List, fanout int) (*Tree, error) {
+	if err := data.Validate(); err != nil {
+		return nil, fmt.Errorf("rtree: %w", err)
+	}
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("rtree: fanout must be ≥ 2, got %d", fanout)
+	}
+	t := &Tree{fanout: fanout, size: len(data)}
+	if len(data) == 0 {
+		return t, nil
+	}
+	t.d = data.Dim()
+
+	pts := make(tuple.List, len(data))
+	copy(pts, data)
+	strSort(pts, 0, t.d, fanout)
+
+	// Pack leaves.
+	var level []*Node
+	for lo := 0; lo < len(pts); lo += fanout {
+		hi := lo + fanout
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		n := &Node{leaf: true, points: pts[lo:hi:hi]}
+		n.rect = boundPoints(n.points)
+		level = append(level, n)
+	}
+	// Pack upper levels until a single root remains.
+	for len(level) > 1 {
+		var next []*Node
+		for lo := 0; lo < len(level); lo += fanout {
+			hi := lo + fanout
+			if hi > len(level) {
+				hi = len(level)
+			}
+			n := &Node{children: level[lo:hi:hi]}
+			n.rect = boundNodes(n.children)
+			next = append(next, n)
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+// strSort orders points with Sort-Tile-Recursive: sort by the current
+// dimension, cut into vertical slabs sized so that each slab holds about
+// n^((d-k-1)/(d-k)) · fanout-aligned runs, and recurse on the next
+// dimension within each slab.
+func strSort(pts tuple.List, k, d, fanout int) {
+	if k >= d-1 || len(pts) <= fanout {
+		sort.SliceStable(pts, func(i, j int) bool { return pts[i][k] < pts[j][k] })
+		return
+	}
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i][k] < pts[j][k] })
+	leaves := int(math.Ceil(float64(len(pts)) / float64(fanout)))
+	slabs := int(math.Ceil(math.Pow(float64(leaves), 1/float64(d-k))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	per := int(math.Ceil(float64(len(pts)) / float64(slabs)))
+	if per < 1 {
+		per = 1
+	}
+	for lo := 0; lo < len(pts); lo += per {
+		hi := lo + per
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		strSort(pts[lo:hi], k+1, d, fanout)
+	}
+}
+
+func boundPoints(pts tuple.List) Rect {
+	lo := pts[0].Clone()
+	hi := pts[0].Clone()
+	for _, p := range pts[1:] {
+		lo.MinWith(p)
+		hi.MaxWith(p)
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+func boundNodes(ns []*Node) Rect {
+	lo := ns[0].rect.Lo.Clone()
+	hi := ns[0].rect.Hi.Clone()
+	for _, n := range ns[1:] {
+		lo.MinWith(n.rect.Lo)
+		hi.MaxWith(n.rect.Hi)
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// Search returns all points within the query rectangle.
+func (t *Tree) Search(q Rect) tuple.List {
+	var out tuple.List
+	if t.root == nil {
+		return out
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if !n.rect.Intersects(q) {
+			return
+		}
+		if n.leaf {
+			for _, p := range n.points {
+				if q.Contains(p) {
+					out = append(out, p)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Height returns the tree height (0 for empty, 1 for a single leaf).
+func (t *Tree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if n.leaf {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}

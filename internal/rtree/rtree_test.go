@@ -1,0 +1,147 @@
+package rtree_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mrskyline/internal/datagen"
+	"mrskyline/internal/rtree"
+	"mrskyline/internal/tuple"
+)
+
+func TestBulkEmptyAndValidation(t *testing.T) {
+	tr, err := rtree.Bulk(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Root() != nil || tr.Height() != 0 {
+		t.Errorf("empty tree: %+v", tr)
+	}
+	if _, err := rtree.Bulk(tuple.List{{1, 2}, {3}}, 0); err == nil {
+		t.Error("ragged data accepted")
+	}
+	if _, err := rtree.Bulk(tuple.List{{1}}, 1); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+}
+
+func TestBulkStructureInvariants(t *testing.T) {
+	for _, cfg := range []struct{ n, d, fanout int }{
+		{1, 2, 4}, {5, 2, 4}, {100, 3, 8}, {1000, 4, 16}, {333, 2, 5},
+	} {
+		data := datagen.Generate(datagen.Independent, cfg.n, cfg.d, 3)
+		tr, err := rtree.Bulk(data, cfg.fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != cfg.n {
+			t.Fatalf("Len = %d, want %d", tr.Len(), cfg.n)
+		}
+		// Walk: every node's MBR contains its payload; count points.
+		count := 0
+		var walk func(n *rtree.Node)
+		walk = func(n *rtree.Node) {
+			if n.Leaf() {
+				if len(n.Points()) == 0 || len(n.Points()) > cfg.fanout {
+					t.Fatalf("leaf size %d with fanout %d", len(n.Points()), cfg.fanout)
+				}
+				for _, p := range n.Points() {
+					count++
+					if !n.Rect().Contains(p) {
+						t.Fatalf("leaf MBR %v does not contain %v", n.Rect(), p)
+					}
+				}
+				return
+			}
+			if len(n.Children()) == 0 || len(n.Children()) > cfg.fanout {
+				t.Fatalf("node degree %d with fanout %d", len(n.Children()), cfg.fanout)
+			}
+			for _, c := range n.Children() {
+				if !n.Rect().ContainsRect(c.Rect()) {
+					t.Fatalf("parent MBR %v does not contain child %v", n.Rect(), c.Rect())
+				}
+				walk(c)
+			}
+		}
+		walk(tr.Root())
+		if count != cfg.n {
+			t.Fatalf("tree holds %d points, want %d", count, cfg.n)
+		}
+		if cfg.n > cfg.fanout && tr.Height() < 2 {
+			t.Fatalf("height %d for %d points", tr.Height(), cfg.n)
+		}
+	}
+}
+
+func TestBulkDoesNotMutateInput(t *testing.T) {
+	data := datagen.Generate(datagen.AntiCorrelated, 200, 3, 5)
+	orig := data.Clone()
+	if _, err := rtree.Bulk(data, 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !data[i].Equal(orig[i]) {
+			t.Fatal("Bulk reordered the caller's slice")
+		}
+	}
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := datagen.Generate(datagen.Independent, 500, 3, 7)
+	tr, err := rtree.Bulk(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		lo := make(tuple.Tuple, 3)
+		hi := make(tuple.Tuple, 3)
+		for k := range lo {
+			a, b := rng.Float64(), rng.Float64()
+			if a > b {
+				a, b = b, a
+			}
+			lo[k], hi[k] = a, b
+		}
+		q := rtree.Rect{Lo: lo, Hi: hi}
+		got := tr.Search(q)
+		var want tuple.List
+		for _, p := range data {
+			if q.Contains(p) {
+				want = append(want, p)
+			}
+		}
+		if len(got) != len(want) || !tuple.EqualAsSet(got, want) {
+			t.Fatalf("trial %d: search %d points, scan %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestRectHelpers(t *testing.T) {
+	r := rtree.Rect{Lo: tuple.Tuple{0, 0}, Hi: tuple.Tuple{1, 1}}
+	if !r.Contains(tuple.Tuple{1, 1}) || !r.Contains(tuple.Tuple{0, 0}) {
+		t.Error("closed-box containment broken")
+	}
+	if r.Contains(tuple.Tuple{1.01, 0.5}) {
+		t.Error("outside point contained")
+	}
+	if !r.Intersects(rtree.Rect{Lo: tuple.Tuple{1, 1}, Hi: tuple.Tuple{2, 2}}) {
+		t.Error("touching rects must intersect")
+	}
+	if r.Intersects(rtree.Rect{Lo: tuple.Tuple{2, 2}, Hi: tuple.Tuple{3, 3}}) {
+		t.Error("disjoint rects intersect")
+	}
+	if got := (rtree.Rect{Lo: tuple.Tuple{0.25, 0.5}, Hi: tuple.Tuple{1, 1}}).MinDistSum(); got != 0.75 {
+		t.Errorf("MinDistSum = %v", got)
+	}
+}
+
+func BenchmarkBulk(b *testing.B) {
+	data := datagen.Generate(datagen.Independent, 10000, 4, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtree.Bulk(data, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

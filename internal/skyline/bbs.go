@@ -1,0 +1,97 @@
+package skyline
+
+import (
+	"container/heap"
+
+	"mrskyline/internal/rtree"
+	"mrskyline/internal/tuple"
+)
+
+// BBS computes the skyline with branch-and-bound over an R-tree
+// [Papadias, Tao, Fu, Seeger: Progressive skyline computation in database
+// systems, SIGMOD 2003 / TODS 2005] — the classic I/O-optimal centralized
+// algorithm, included as the strongest single-node comparator for the
+// MapReduce kernels.
+//
+// Entries (nodes and points) are expanded in ascending order of the L1
+// mindist of their MBR. Because any dominator of a point has a strictly
+// smaller coordinate sum, every potential dominator is in the result set
+// before the point itself is popped, so a single dominance check against
+// the current result decides membership. Node entries dominated by a
+// result point are pruned without expansion — whole subtrees are skipped.
+func BBS(data tuple.List, c *Count) tuple.List {
+	tree, err := rtree.Bulk(data, 0)
+	if err != nil {
+		// The kernels share the contract that data was validated upstream;
+		// an invalid list here is a programming error.
+		panic(err)
+	}
+	return BBSOverTree(tree, c)
+}
+
+// BBSOverTree runs BBS over an already-built R-tree, allowing index reuse
+// across repeated skyline computations.
+func BBSOverTree(tree *rtree.Tree, c *Count) tuple.List {
+	if tree.Root() == nil {
+		return nil
+	}
+	var result tuple.List
+	pq := &bbsHeap{}
+	heap.Push(pq, bbsEntry{key: tree.Root().Rect().MinDistSum(), node: tree.Root()})
+
+	dominatedBy := func(lo tuple.Tuple) bool {
+		for _, s := range result {
+			c.add(1)
+			if tuple.Dominates(s, lo) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(bbsEntry)
+		if e.node != nil {
+			// A node whose lower corner is dominated cannot contain any
+			// skyline point (every point in it is dominated too).
+			if dominatedBy(e.node.Rect().Lo) {
+				continue
+			}
+			if e.node.Leaf() {
+				for _, p := range e.node.Points() {
+					heap.Push(pq, bbsEntry{key: p.Sum(), point: p})
+				}
+			} else {
+				for _, child := range e.node.Children() {
+					heap.Push(pq, bbsEntry{key: child.Rect().MinDistSum(), node: child})
+				}
+			}
+			continue
+		}
+		if !dominatedBy(e.point) {
+			result = append(result, e.point)
+		}
+	}
+	return result
+}
+
+// bbsEntry is one priority-queue element: either a tree node or a point.
+type bbsEntry struct {
+	key   float64
+	node  *rtree.Node
+	point tuple.Tuple
+}
+
+type bbsHeap []bbsEntry
+
+func (h bbsHeap) Len() int            { return len(h) }
+func (h bbsHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h bbsHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *bbsHeap) Push(x interface{}) { *h = append(*h, x.(bbsEntry)) }
+func (h *bbsHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

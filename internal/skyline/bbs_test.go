@@ -1,0 +1,106 @@
+package skyline_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mrskyline/internal/rtree"
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/tuple"
+)
+
+func TestBBSAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 60; trial++ {
+		d := 1 + rng.Intn(5)
+		n := rng.Intn(400)
+		data := randomList(rng, n, d, trial%2 == 0)
+		got := skyline.BBS(data, nil)
+		want := skyline.Naive(data)
+		if !tuple.EqualAsSet(got, want) {
+			t.Fatalf("trial %d (n=%d d=%d): BBS=%d naive=%d", trial, n, d, len(got), len(want))
+		}
+	}
+}
+
+func TestBBSDuplicates(t *testing.T) {
+	data := tuple.List{{0.1, 0.9}, {0.1, 0.9}, {0.5, 0.5}, {0.9, 0.9}}
+	got := skyline.BBS(data, nil)
+	dups := 0
+	for _, p := range got {
+		if p.Equal(tuple.Tuple{0.1, 0.9}) {
+			dups++
+		}
+	}
+	if dups != 2 {
+		t.Fatalf("BBS kept %d duplicates, want 2 (got %v)", dups, got)
+	}
+	for _, p := range got {
+		if p.Equal(tuple.Tuple{0.9, 0.9}) {
+			t.Fatal("dominated tuple in BBS result")
+		}
+	}
+}
+
+func TestBBSEmpty(t *testing.T) {
+	if got := skyline.BBS(nil, nil); len(got) != 0 {
+		t.Errorf("BBS(nil) = %v", got)
+	}
+}
+
+func TestBBSOverTreeReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	data := randomList(rng, 500, 3, false)
+	tree, err := rtree.Bulk(data, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := skyline.BBSOverTree(tree, nil)
+	b := skyline.BBSOverTree(tree, nil)
+	if !tuple.EqualAsSet(a, b) || !tuple.EqualAsSet(a, skyline.Naive(data)) {
+		t.Fatal("BBSOverTree reuse inconsistent")
+	}
+}
+
+func TestBBSPrunesSubtrees(t *testing.T) {
+	// On a correlated dataset most of the tree is dominated: BBS must do
+	// dramatically fewer dominance tests than the naive pairwise count.
+	rng := rand.New(rand.NewSource(63))
+	var data tuple.List
+	for i := 0; i < 4000; i++ {
+		v := rng.Float64()
+		data = append(data, tuple.Tuple{v + rng.Float64()*0.01, v + rng.Float64()*0.01})
+	}
+	var c skyline.Count
+	got := skyline.BBS(data, &c)
+	if !tuple.EqualAsSet(got, skyline.Naive(data)) {
+		t.Fatal("BBS wrong on correlated data")
+	}
+	var cb skyline.Count
+	skyline.BNL(data, &cb)
+	if c.DominanceTests >= cb.DominanceTests {
+		t.Errorf("BBS did %d tests, BNL %d — no pruning benefit", c.DominanceTests, cb.DominanceTests)
+	}
+}
+
+func TestKernelBBS(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	data := randomList(rng, 200, 4, false)
+	got := skyline.KernelBBS.Compute(data, nil)
+	if !tuple.EqualAsSet(got, skyline.Naive(data)) {
+		t.Fatal("KernelBBS.Compute wrong")
+	}
+	if skyline.KernelBBS.String() != "bbs" {
+		t.Errorf("KernelBBS.String = %q", skyline.KernelBBS.String())
+	}
+}
+
+func BenchmarkBBS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := randomList(rng, 5000, 4, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		skyline.BBS(data, nil)
+	}
+}

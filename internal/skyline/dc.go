@@ -1,0 +1,57 @@
+package skyline
+
+import (
+	"sort"
+
+	"mrskyline/internal/tuple"
+)
+
+// dcThreshold is the recursion cutoff below which D&C falls back to the
+// BNL window.
+const dcThreshold = 64
+
+// DC computes the skyline with the divide-and-conquer approach of
+// [Börzsönyi et al., ICDE 2001]: split the data at the median of one
+// dimension, solve both halves recursively, and merge by filtering the
+// worse half's skyline against the better half's.
+//
+// The merge is sound because a tuple whose split-dimension value is
+// strictly above the median can never dominate a tuple at or below it, so
+// cross-half domination only flows from the lower half to the upper one.
+// The split dimension rotates with recursion depth, which keeps the halves
+// balanced on anti-correlated inputs too.
+func DC(data tuple.List, c *Count) tuple.List {
+	if len(data) == 0 {
+		return nil
+	}
+	work := make(tuple.List, len(data))
+	copy(work, data)
+	return dc(work, 0, c)
+}
+
+func dc(data tuple.List, depth int, c *Count) tuple.List {
+	if len(data) <= dcThreshold {
+		return BNL(data, c)
+	}
+	d := len(data[0])
+	for try := 0; try < d; try++ {
+		k := (depth + try) % d
+		sort.SliceStable(data, func(i, j int) bool { return data[i][k] < data[j][k] })
+		mid := len(data) / 2
+		// Grow the lower half through ties so the upper half is strictly
+		// above the split value on dimension k; if everything above the
+		// median ties, this dimension cannot split — try the next one.
+		for mid < len(data) && data[mid][k] == data[mid-1][k] {
+			mid++
+		}
+		if mid == len(data) {
+			continue
+		}
+		lower := dc(data[:mid], depth+try+1, c)
+		upper := dc(data[mid:], depth+try+1, c)
+		return append(lower, Filter(upper, lower, c)...)
+	}
+	// Every dimension is constant across the (remaining) data: all tuples
+	// are identical and the window returns them unchanged.
+	return BNL(data, c)
+}

@@ -1,0 +1,102 @@
+package skyline_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/tuple"
+)
+
+func TestDCAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 60; trial++ {
+		d := 1 + rng.Intn(5)
+		n := rng.Intn(400) // crosses the recursion threshold both ways
+		data := randomList(rng, n, d, trial%2 == 0)
+		got := skyline.DC(data, nil)
+		want := skyline.Naive(data)
+		if !tuple.EqualAsSet(got, want) {
+			t.Fatalf("trial %d (n=%d d=%d): DC=%d naive=%d", trial, n, d, len(got), len(want))
+		}
+	}
+}
+
+func TestDCDoesNotMutateInputOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	data := randomList(rng, 300, 3, false)
+	orig := data.Clone()
+	skyline.DC(data, nil)
+	for i := range data {
+		if !data[i].Equal(orig[i]) {
+			t.Fatal("DC reordered the caller's slice")
+		}
+	}
+}
+
+func TestDCAllIdentical(t *testing.T) {
+	data := make(tuple.List, 500) // above the recursion threshold
+	for i := range data {
+		data[i] = tuple.Tuple{0.5, 0.5}
+	}
+	got := skyline.DC(data, nil)
+	if len(got) != 500 {
+		t.Fatalf("identical tuples: |skyline| = %d, want 500", len(got))
+	}
+}
+
+func TestDCConstantDimension(t *testing.T) {
+	// One constant dimension must not break the split rotation.
+	rng := rand.New(rand.NewSource(53))
+	data := make(tuple.List, 400)
+	for i := range data {
+		data[i] = tuple.Tuple{7, rng.Float64(), rng.Float64()}
+	}
+	got := skyline.DC(data, nil)
+	want := skyline.Naive(data)
+	if !tuple.EqualAsSet(got, want) {
+		t.Fatalf("constant-dim: DC=%d naive=%d", len(got), len(want))
+	}
+}
+
+func TestDCAntiChain(t *testing.T) {
+	var data tuple.List
+	for i := 0; i < 1000; i++ {
+		data = append(data, tuple.Tuple{float64(i), float64(999 - i)})
+	}
+	if got := skyline.DC(data, nil); len(got) != 1000 {
+		t.Fatalf("anti-chain skyline = %d, want 1000", len(got))
+	}
+}
+
+func TestDCCountsComparisons(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	data := randomList(rng, 500, 3, false)
+	var c skyline.Count
+	skyline.DC(data, &c)
+	if c.DominanceTests == 0 {
+		t.Error("DC comparisons not counted")
+	}
+}
+
+func TestKernelDC(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	data := randomList(rng, 200, 4, false)
+	got := skyline.KernelDC.Compute(data, nil)
+	if !tuple.EqualAsSet(got, skyline.Naive(data)) {
+		t.Fatal("KernelDC.Compute wrong")
+	}
+	if skyline.KernelDC.String() != "dc" {
+		t.Errorf("KernelDC.String = %q", skyline.KernelDC.String())
+	}
+}
+
+func BenchmarkDC(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := randomList(rng, 5000, 4, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		skyline.DC(data, nil)
+	}
+}

@@ -1,0 +1,189 @@
+// Package skyline implements the centralized skyline kernels the MapReduce
+// algorithms are built from: the block-nested-loop insertion of
+// Algorithm 4 (InsertTuple), the BNL skyline [Börzsönyi et al., ICDE 2001],
+// the sort-filter-skyline variant with presorting [Chomicki et al., ICDE
+// 2003], a naive O(n²) reference used by tests, and the cross-partition
+// false-positive elimination of Algorithm 5 (ComparePartitions).
+package skyline
+
+import (
+	"sort"
+
+	"mrskyline/internal/tuple"
+)
+
+// Counter tallies tuple-dominance comparisons. Implementations must be
+// safe for use from a single goroutine; tasks aggregate into shared
+// counters at the end. A nil *Count is valid and counts nothing.
+type Count struct {
+	// DominanceTests is the number of tuple-pair dominance evaluations.
+	DominanceTests int64
+}
+
+func (c *Count) add(n int64) {
+	if c != nil {
+		c.DominanceTests += n
+	}
+}
+
+// InsertTuple implements Algorithm 4: it merges tuple t into the local
+// skyline window s, dropping t if dominated and evicting any window tuples
+// t dominates. It returns the updated window. The window slice is modified
+// in place and must not be shared.
+//
+// The window must be dominance-free (no element dominating another), which
+// InsertTuple itself maintains; every window in this repository is built
+// exclusively through it. Duplicate handling follows Definition 1: equal
+// tuples do not dominate each other, so duplicates of a skyline tuple are
+// all retained.
+func InsertTuple(t tuple.Tuple, s tuple.List, c *Count) tuple.List {
+	out := s[:0]
+	for i, u := range s {
+		c.add(1)
+		switch tuple.Compare(u, t) {
+		case tuple.DomLeft:
+			// u dominates t: discard t. By transitivity and the
+			// dominance-free invariant, t cannot have evicted anything
+			// before this point, so restoring the untouched tail yields
+			// the original window.
+			out = append(out, s[i:]...)
+			return out
+		case tuple.DomRight:
+			// t dominates u: evict u.
+		default:
+			// Incomparable or equal: u stays.
+			out = append(out, u)
+		}
+	}
+	return append(out, t)
+}
+
+// BNL computes the skyline of data with the block-nested-loop algorithm,
+// assuming the window always fits in memory (it does in every mapper and
+// reducer of this repository: windows hold local skylines only).
+func BNL(data tuple.List, c *Count) tuple.List {
+	var window tuple.List
+	for _, t := range data {
+		window = InsertTuple(t, window, c)
+	}
+	return window
+}
+
+// SFS computes the skyline with the sort-filter-skyline presorting
+// technique: tuples are processed in ascending order of a monotone score
+// (the entry sum), which guarantees that no later tuple can dominate an
+// earlier one. Each incoming tuple is therefore only *checked* against the
+// window, never evicts from it, halving the comparison work on skyline-
+// heavy inputs.
+func SFS(data tuple.List, c *Count) tuple.List {
+	sorted := make(tuple.List, len(data))
+	copy(sorted, data)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Sum() < sorted[j].Sum()
+	})
+	var window tuple.List
+	for _, t := range sorted {
+		dominated := false
+		for _, u := range window {
+			c.add(1)
+			if tuple.Dominates(u, t) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			window = append(window, t)
+		}
+	}
+	return window
+}
+
+// Naive computes the skyline by comparing every pair of tuples. It is the
+// oracle used by tests and deliberately has no cleverness to inherit a bug
+// from.
+func Naive(data tuple.List) tuple.List {
+	var out tuple.List
+	for i, t := range data {
+		dominated := false
+		for j, u := range data {
+			if i == j {
+				continue
+			}
+			if tuple.Dominates(u, t) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Filter removes from s every tuple dominated by a tuple of by, returning
+// the reduced slice (s is modified in place). It is the inner operation of
+// ComparePartitions (Algorithm 5, line 3).
+func Filter(s tuple.List, by tuple.List, c *Count) tuple.List {
+	out := s[:0]
+	for _, t := range s {
+		dominated := false
+		for _, u := range by {
+			c.add(1)
+			if tuple.Dominates(u, t) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Kernel selects the local-skyline algorithm used inside mappers and
+// reducers. The paper's algorithms use BNL (Algorithm 4); SFS is the
+// future-work variant evaluated in the ablation benchmarks.
+type Kernel int
+
+const (
+	// KernelBNL is the block-nested-loop window of Algorithm 4.
+	KernelBNL Kernel = iota
+	// KernelSFS is sort-filter-skyline with presorting.
+	KernelSFS
+	// KernelDC is the divide-and-conquer algorithm of Börzsönyi et al.
+	KernelDC
+	// KernelBBS is branch-and-bound over an R-tree (Papadias et al.).
+	KernelBBS
+)
+
+// String implements fmt.Stringer for Kernel.
+func (k Kernel) String() string {
+	switch k {
+	case KernelBNL:
+		return "bnl"
+	case KernelSFS:
+		return "sfs"
+	case KernelDC:
+		return "dc"
+	case KernelBBS:
+		return "bbs"
+	default:
+		return "unknown"
+	}
+}
+
+// Compute runs the selected kernel over data.
+func (k Kernel) Compute(data tuple.List, c *Count) tuple.List {
+	switch k {
+	case KernelSFS:
+		return SFS(data, c)
+	case KernelDC:
+		return DC(data, c)
+	case KernelBBS:
+		return BBS(data, c)
+	default:
+		return BNL(data, c)
+	}
+}

@@ -1,0 +1,255 @@
+package skyline_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/tuple"
+)
+
+func randomList(rng *rand.Rand, n, d int, discrete bool) tuple.List {
+	l := make(tuple.List, n)
+	for i := range l {
+		l[i] = make(tuple.Tuple, d)
+		for k := range l[i] {
+			if discrete {
+				l[i][k] = float64(rng.Intn(4))
+			} else {
+				l[i][k] = rng.Float64()
+			}
+		}
+	}
+	return l
+}
+
+func TestInsertTuple(t *testing.T) {
+	var c skyline.Count
+	var w tuple.List
+	w = skyline.InsertTuple(tuple.Tuple{5, 5}, w, &c)
+	if len(w) != 1 {
+		t.Fatalf("window = %v", w)
+	}
+	// Dominated incoming tuple is rejected.
+	w = skyline.InsertTuple(tuple.Tuple{6, 6}, w, &c)
+	if len(w) != 1 || !w[0].Equal(tuple.Tuple{5, 5}) {
+		t.Fatalf("window after dominated insert = %v", w)
+	}
+	// Dominating incoming tuple evicts.
+	w = skyline.InsertTuple(tuple.Tuple{4, 4}, w, &c)
+	if len(w) != 1 || !w[0].Equal(tuple.Tuple{4, 4}) {
+		t.Fatalf("window after dominating insert = %v", w)
+	}
+	// Incomparable tuple coexists.
+	w = skyline.InsertTuple(tuple.Tuple{1, 9}, w, &c)
+	if len(w) != 2 {
+		t.Fatalf("window after incomparable insert = %v", w)
+	}
+	// A tuple dominating several window members evicts all of them.
+	w = skyline.InsertTuple(tuple.Tuple{1, 4}, w, &c)
+	if len(w) != 1 || !w[0].Equal(tuple.Tuple{1, 4}) {
+		t.Fatalf("window after multi-evict = %v", w)
+	}
+	if c.DominanceTests == 0 {
+		t.Error("comparisons not counted")
+	}
+}
+
+func TestInsertTupleDuplicates(t *testing.T) {
+	var w tuple.List
+	w = skyline.InsertTuple(tuple.Tuple{1, 2}, w, nil)
+	w = skyline.InsertTuple(tuple.Tuple{1, 2}, w, nil)
+	if len(w) != 2 {
+		t.Fatalf("duplicates must both be retained, window = %v", w)
+	}
+	// A dominator still evicts all duplicates.
+	w = skyline.InsertTuple(tuple.Tuple{0, 0}, w, nil)
+	if len(w) != 1 {
+		t.Fatalf("duplicates not evicted, window = %v", w)
+	}
+}
+
+func TestBNLAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		d := 1 + rng.Intn(5)
+		n := rng.Intn(120)
+		data := randomList(rng, n, d, trial%2 == 0)
+		got := skyline.BNL(data, nil)
+		want := skyline.Naive(data)
+		if !tuple.EqualAsSet(got, want) {
+			t.Fatalf("trial %d (n=%d d=%d): BNL=%v naive=%v", trial, n, d, got, want)
+		}
+	}
+}
+
+func TestSFSAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		d := 1 + rng.Intn(5)
+		n := rng.Intn(120)
+		data := randomList(rng, n, d, trial%2 == 1)
+		got := skyline.SFS(data, nil)
+		want := skyline.Naive(data)
+		if !tuple.EqualAsSet(got, want) {
+			t.Fatalf("trial %d (n=%d d=%d): SFS=%v naive=%v", trial, n, d, got, want)
+		}
+	}
+}
+
+func TestSkylineMinimalityAndCompleteness(t *testing.T) {
+	// The skyline must contain no dominated tuple (minimality) and every
+	// non-dominated tuple (completeness).
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		data := randomList(rng, 80, 3, true)
+		sky := skyline.BNL(data, nil)
+		for _, s := range sky {
+			for _, u := range data {
+				if tuple.Dominates(u, s) {
+					t.Fatalf("skyline tuple %v dominated by %v", s, u)
+				}
+			}
+		}
+		for _, u := range data {
+			dominated := false
+			for _, v := range data {
+				if tuple.Dominates(v, u) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated && !sky.Contains(u) {
+				t.Fatalf("non-dominated tuple %v missing from skyline", u)
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	for _, k := range []skyline.Kernel{skyline.KernelBNL, skyline.KernelSFS} {
+		if got := k.Compute(nil, nil); len(got) != 0 {
+			t.Errorf("%v: empty input produced %v", k, got)
+		}
+		one := tuple.List{{3, 4}}
+		if got := k.Compute(one, nil); len(got) != 1 || !got[0].Equal(one[0]) {
+			t.Errorf("%v: singleton input produced %v", k, got)
+		}
+	}
+}
+
+func TestAllDuplicates(t *testing.T) {
+	data := tuple.List{{1, 1}, {1, 1}, {1, 1}}
+	for _, k := range []skyline.Kernel{skyline.KernelBNL, skyline.KernelSFS} {
+		got := k.Compute(data, nil)
+		if len(got) == 0 || !got[0].Equal(tuple.Tuple{1, 1}) {
+			t.Errorf("%v: all-duplicates skyline = %v", k, got)
+		}
+	}
+}
+
+func TestTotalOrderChain(t *testing.T) {
+	// A fully ordered chain has a single skyline tuple.
+	var data tuple.List
+	for i := 0; i < 50; i++ {
+		data = append(data, tuple.Tuple{float64(i), float64(i)})
+	}
+	got := skyline.BNL(data, nil)
+	if len(got) != 1 || !got[0].Equal(tuple.Tuple{0, 0}) {
+		t.Errorf("chain skyline = %v", got)
+	}
+}
+
+func TestAntiChain(t *testing.T) {
+	// A pure anti-chain is its own skyline.
+	var data tuple.List
+	for i := 0; i < 50; i++ {
+		data = append(data, tuple.Tuple{float64(i), float64(49 - i)})
+	}
+	got := skyline.SFS(data, nil)
+	if len(got) != 50 {
+		t.Errorf("anti-chain skyline size = %d, want 50", len(got))
+	}
+}
+
+func TestFilter(t *testing.T) {
+	var c skyline.Count
+	s := tuple.List{{2, 2}, {0, 5}, {9, 9}}
+	by := tuple.List{{1, 1}, {8, 8}}
+	got := skyline.Filter(s, by, &c)
+	want := tuple.List{{0, 5}}
+	if !tuple.EqualAsSet(got, want) {
+		t.Errorf("Filter = %v, want %v", got, want)
+	}
+	if c.DominanceTests == 0 {
+		t.Error("Filter comparisons not counted")
+	}
+	// Filtering by nothing keeps everything.
+	if got := skyline.Filter(s.Clone(), nil, nil); len(got) != 3 {
+		t.Errorf("Filter by empty = %v", got)
+	}
+}
+
+func TestSFSDoesNotMutateInput(t *testing.T) {
+	data := tuple.List{{3, 3}, {1, 1}, {2, 2}}
+	orig := data.Clone()
+	skyline.SFS(data, nil)
+	for i := range data {
+		if !data[i].Equal(orig[i]) {
+			t.Fatal("SFS reordered the caller's slice")
+		}
+	}
+}
+
+func TestKernelString(t *testing.T) {
+	if skyline.KernelBNL.String() != "bnl" || skyline.KernelSFS.String() != "sfs" {
+		t.Error("Kernel.String wrong")
+	}
+	if skyline.Kernel(9).String() != "unknown" {
+		t.Error("unknown Kernel.String wrong")
+	}
+}
+
+func TestNilCountIsSafe(t *testing.T) {
+	data := tuple.List{{1, 2}, {2, 1}}
+	skyline.BNL(data, nil)
+	skyline.SFS(data, nil)
+	skyline.Filter(data.Clone(), data, nil)
+}
+
+func TestSFSComparesLessOnSkylineHeavyInput(t *testing.T) {
+	// The presorting advantage SFS exists for: on an anti-chain-heavy
+	// input, SFS needs no evictions and at most as many comparisons.
+	rng := rand.New(rand.NewSource(44))
+	var data tuple.List
+	for i := 0; i < 400; i++ {
+		x := rng.Float64()
+		data = append(data, tuple.Tuple{x, 1 - x})
+	}
+	var cb, cs skyline.Count
+	skyline.BNL(data, &cb)
+	skyline.SFS(data, &cs)
+	if cs.DominanceTests > cb.DominanceTests {
+		t.Errorf("SFS did %d comparisons, BNL %d", cs.DominanceTests, cb.DominanceTests)
+	}
+}
+
+func BenchmarkBNL(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := randomList(rng, 5000, 4, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		skyline.BNL(data, nil)
+	}
+}
+
+func BenchmarkSFS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := randomList(rng, 5000, 4, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		skyline.SFS(data, nil)
+	}
+}

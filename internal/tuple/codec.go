@@ -1,0 +1,88 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The binary codec is deliberately simple and allocation-conscious: tuples
+// cross the simulated MapReduce shuffle in serialized form, so the encoding
+// here is on the hot path of every experiment.
+//
+// Wire formats (little endian):
+//
+//	Tuple: uvarint dim | dim × float64 bits
+//	List:  uvarint count | count × Tuple
+
+// AppendEncode appends the wire encoding of t to dst and returns the
+// extended slice.
+func AppendEncode(dst []byte, t Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// Encode returns the wire encoding of t.
+func Encode(t Tuple) []byte {
+	return AppendEncode(make([]byte, 0, binary.MaxVarintLen64+8*len(t)), t)
+}
+
+// Decode parses one tuple from the front of b, returning the tuple and the
+// number of bytes consumed.
+func Decode(b []byte) (Tuple, int, error) {
+	dim, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("tuple: truncated dimension header")
+	}
+	if dim > uint64(len(b)-n)/8 {
+		return nil, 0, fmt.Errorf("tuple: truncated payload: dim %d with %d bytes left", dim, len(b)-n)
+	}
+	t := make(Tuple, dim)
+	off := n
+	for i := range t {
+		t[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	return t, off, nil
+}
+
+// AppendEncodeList appends the wire encoding of the list to dst.
+func AppendEncodeList(dst []byte, l List) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(l)))
+	for _, t := range l {
+		dst = AppendEncode(dst, t)
+	}
+	return dst
+}
+
+// EncodeList returns the wire encoding of the list.
+func EncodeList(l List) []byte {
+	return AppendEncodeList(make([]byte, 0, 2+len(l)*(1+8*l.Dim())), l)
+}
+
+// DecodeList parses one list from the front of b, returning the list and
+// the number of bytes consumed.
+func DecodeList(b []byte) (List, int, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("tuple: truncated list header")
+	}
+	// A tuple occupies at least 1 byte, so count cannot exceed what remains.
+	if count > uint64(len(b)-n) {
+		return nil, 0, fmt.Errorf("tuple: implausible list count %d with %d bytes left", count, len(b)-n)
+	}
+	l := make(List, 0, count)
+	off := n
+	for i := uint64(0); i < count; i++ {
+		t, m, err := Decode(b[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("tuple: list element %d: %w", i, err)
+		}
+		l = append(l, t)
+		off += m
+	}
+	return l, off, nil
+}

@@ -1,0 +1,132 @@
+package tuple
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		orig := Tuple(vals)
+		enc := Encode(orig)
+		dec, n, err := Decode(enc)
+		if err != nil || n != len(enc) {
+			return false
+		}
+		if len(dec) != len(orig) {
+			return false
+		}
+		for i := range dec {
+			// Use bit-level equality so NaN round-trips too.
+			if !bytes.Equal(Encode(Tuple{dec[i]}), Encode(Tuple{orig[i]})) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	enc := Encode(Tuple{1, 2, 3})
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := Decode(enc[:i]); err == nil {
+			t.Errorf("Decode of %d/%d bytes succeeded unexpectedly", i, len(enc))
+		}
+	}
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) succeeded")
+	}
+}
+
+func TestListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		d := 1 + rng.Intn(8)
+		n := rng.Intn(40)
+		l := make(List, n)
+		for i := range l {
+			l[i] = make(Tuple, d)
+			for k := range l[i] {
+				l[i][k] = rng.NormFloat64()
+			}
+		}
+		enc := EncodeList(l)
+		dec, consumed, err := DecodeList(enc)
+		if err != nil {
+			t.Fatalf("DecodeList: %v", err)
+		}
+		if consumed != len(enc) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(enc))
+		}
+		if len(dec) != len(l) {
+			t.Fatalf("len=%d want %d", len(dec), len(l))
+		}
+		for i := range l {
+			if !dec[i].Equal(l[i]) {
+				t.Fatalf("element %d: got %v want %v", i, dec[i], l[i])
+			}
+		}
+	}
+}
+
+func TestListDecodeTruncated(t *testing.T) {
+	enc := EncodeList(List{{1, 2}, {3, 4}})
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := DecodeList(enc[:i]); err == nil {
+			t.Errorf("DecodeList of %d/%d bytes succeeded unexpectedly", i, len(enc))
+		}
+	}
+}
+
+func TestListDecodeImplausibleCount(t *testing.T) {
+	// A header claiming 2^40 tuples in a few bytes must error, not OOM.
+	b := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}
+	if _, _, err := DecodeList(b); err == nil {
+		t.Error("implausible count accepted")
+	}
+}
+
+func TestConcatenatedDecode(t *testing.T) {
+	// Multiple tuples can be streamed back-to-back.
+	var buf []byte
+	want := List{{1}, {2, 3}, {4, 5, 6}}
+	for _, tp := range want {
+		buf = AppendEncode(buf, tp)
+	}
+	var got List
+	for len(buf) > 0 {
+		tp, n, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, tp)
+		buf = buf[n:]
+	}
+	if !EqualAsSet(got, want) || len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	t := Tuple{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	var dst []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst = AppendEncode(dst[:0], t)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	enc := Encode(Tuple{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package mrskyline
+
+import (
+	"fmt"
+	"math"
+)
+
+// Range is a closed per-dimension interval used by constrained skyline
+// queries. Use math.Inf values to leave a side open.
+type Range struct {
+	Min, Max float64
+}
+
+// Unbounded is the range imposing no constraint.
+func Unbounded() Range { return Range{Min: math.Inf(-1), Max: math.Inf(1)} }
+
+// contains reports whether v lies within the range.
+func (r Range) contains(v float64) bool { return v >= r.Min && v <= r.Max }
+
+// ComputeConstrained returns the constrained skyline: the skyline of the
+// tuples falling inside every dimension's range (the constrained skyline
+// query of [Chen, Cui, Lu, TKDE 2011], cited by the paper). constraints
+// must have one Range per dimension; tuples outside any range are excluded
+// before the skyline computation, so the result can contain tuples that a
+// filtered-out tuple would have dominated — exactly the constrained
+// skyline semantics.
+func ComputeConstrained(data [][]float64, constraints []Range, opts Options) (*Result, error) {
+	if len(data) == 0 {
+		return Compute(data, opts)
+	}
+	d := len(data[0])
+	if len(constraints) != d {
+		return nil, fmt.Errorf("mrskyline: %d constraints for %d-dimensional data", len(constraints), d)
+	}
+	filtered := make([][]float64, 0, len(data))
+	for _, row := range data {
+		if len(row) != d {
+			return nil, fmt.Errorf("mrskyline: ragged row of %d columns, want %d", len(row), d)
+		}
+		in := true
+		for k, v := range row {
+			if !constraints[k].contains(v) {
+				in = false
+				break
+			}
+		}
+		if in {
+			filtered = append(filtered, row)
+		}
+	}
+	return Compute(filtered, opts)
+}
+
+// ComputeSubspace returns the subspace skyline over the selected 0-based
+// dimensions (cf. SUBSKY [Tao, Xiao, Pei, ICDE 2006], cited by the paper):
+// the skyline of the data projected onto dims. Result rows contain only
+// the selected dimensions, in the order given. opts.Maximize, when set,
+// applies to the projected dimensions.
+func ComputeSubspace(data [][]float64, dims []int, opts Options) (*Result, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("mrskyline: no subspace dimensions selected")
+	}
+	if len(data) == 0 {
+		return Compute(nil, opts)
+	}
+	d := len(data[0])
+	seen := make(map[int]bool, len(dims))
+	for _, k := range dims {
+		if k < 0 || k >= d {
+			return nil, fmt.Errorf("mrskyline: subspace dimension %d out of range [0,%d)", k, d)
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("mrskyline: subspace dimension %d selected twice", k)
+		}
+		seen[k] = true
+	}
+	projected := make([][]float64, len(data))
+	for i, row := range data {
+		if len(row) != d {
+			return nil, fmt.Errorf("mrskyline: ragged row of %d columns, want %d", len(row), d)
+		}
+		p := make([]float64, len(dims))
+		for j, k := range dims {
+			p[j] = row[k]
+		}
+		projected[i] = p
+	}
+	return Compute(projected, opts)
+}

@@ -1,0 +1,353 @@
+// Package mrskyline computes skylines of multi-dimensional datasets on an
+// in-process MapReduce substrate, reproducing the algorithms of
+// "Efficient Skyline Computation in MapReduce" (Mullesgaard, Pedersen, Lu,
+// Zhou — EDBT 2014).
+//
+// The skyline of a dataset is the set of tuples not dominated by any other
+// tuple: a tuple dominates another when it is at least as good on every
+// dimension and strictly better on at least one. By default smaller values
+// are better; Options.Maximize flips individual dimensions.
+//
+// Two algorithms from the paper are provided — MR-GPSRS (grid partitioning,
+// single reducer) and MR-GPMRS (grid partitioning, multiple parallel
+// reducers) — together with the baselines they were evaluated against
+// (MR-BNL, MR-SFS, MR-Angle) and the paper's future-work Hybrid that picks
+// between the two automatically. All of them execute as real MapReduce
+// jobs: input splits, serialized shuffle, distributed cache, task retry,
+// scheduled over a simulated multi-node cluster.
+//
+// Quick start:
+//
+//	sky, err := mrskyline.Compute(points, mrskyline.Options{})
+//
+// See the examples/ directory for complete programs and cmd/skybench for
+// the harness regenerating every figure of the paper's evaluation.
+package mrskyline
+
+import (
+	"fmt"
+	"time"
+
+	"mrskyline/internal/baseline"
+	"mrskyline/internal/cluster"
+	"mrskyline/internal/core"
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/tuple"
+)
+
+// Algorithm selects the MapReduce skyline algorithm.
+type Algorithm string
+
+// The available algorithms.
+const (
+	// GPMRS is MR-GPMRS: grid partitioning with multiple parallel reducers
+	// (the paper's headline algorithm, best on skyline-heavy data).
+	GPMRS Algorithm = "MR-GPMRS"
+	// GPSRS is MR-GPSRS: grid partitioning with a single reducer (best
+	// when the skyline is a small fraction of the data).
+	GPSRS Algorithm = "MR-GPSRS"
+	// Hybrid picks GPSRS or GPMRS automatically from the bitstring, per
+	// the paper's future-work proposal.
+	Hybrid Algorithm = "Hybrid"
+	// MRBNL is the MR-BNL baseline [Zhang et al., DASFAA-W 2011].
+	MRBNL Algorithm = "MR-BNL"
+	// MRSFS is the MR-SFS baseline [Zhang et al., DASFAA-W 2011].
+	MRSFS Algorithm = "MR-SFS"
+	// MRAngle is the MR-Angle baseline [Chen et al., IPDPS-W 2012].
+	MRAngle Algorithm = "MR-Angle"
+	// SKYMR is the sampling/sky-quadtree algorithm SKY-MR [Park et al.,
+	// PVLDB 2013], provided as an extension baseline.
+	SKYMR Algorithm = "SKY-MR"
+	// MRBitmap is the MR-Bitmap baseline [Zhang et al., DASFAA-W 2011 /
+	// Tan et al., VLDB 2001]. It requires a bounded number of distinct
+	// values per dimension and errors otherwise — the reason the paper
+	// excludes it from its continuous-domain experiments.
+	MRBitmap Algorithm = "MR-Bitmap"
+)
+
+// Algorithms lists every supported Algorithm value.
+func Algorithms() []Algorithm {
+	return []Algorithm{GPMRS, GPSRS, Hybrid, MRBNL, MRSFS, MRAngle, SKYMR, MRBitmap}
+}
+
+// Options configures Compute. The zero value is ready to use: MR-GPMRS on
+// a simulated 8-node cluster with auto-selected grid granularity.
+type Options struct {
+	// Algorithm defaults to GPMRS.
+	Algorithm Algorithm
+	// Nodes is the simulated cluster size (default 8).
+	Nodes int
+	// SlotsPerNode is the per-node concurrent task count (default 2).
+	SlotsPerNode int
+	// Mappers is the map task count (default: all slots).
+	Mappers int
+	// Reducers is the reduce task count for GPMRS/Hybrid (default: one per
+	// node).
+	Reducers int
+	// PPD fixes the grid's partitions-per-dimension; 0 selects it with the
+	// paper's MapReduce heuristic (Section 3.3).
+	PPD int
+	// Maximize marks dimensions where larger values are better. Nil means
+	// all dimensions minimize. Length must equal the data dimensionality.
+	Maximize []bool
+	// UseSFSKernel switches the in-task local skyline kernel from BNL (the
+	// paper's) to sort-filter-skyline. Kernel, when non-empty, takes
+	// precedence.
+	UseSFSKernel bool
+	// Kernel names the in-task local skyline kernel for the grid
+	// algorithms: "bnl" (default, the paper's Algorithm 4), "sfs", "dc"
+	// (divide & conquer) or "bbs" (branch-and-bound over an R-tree).
+	Kernel string
+}
+
+// Stats describes what a Compute call did.
+type Stats struct {
+	// Algorithm is the algorithm that ran (Hybrid reports its choice as
+	// "Hybrid(MR-GPSRS)" or "Hybrid(MR-GPMRS)").
+	Algorithm string
+	// Runtime is the end-to-end wall-clock duration, including bitstring
+	// generation for the grid algorithms.
+	Runtime time.Duration
+	// SkylineSize is the number of skyline tuples.
+	SkylineSize int
+	// PPD is the grid granularity used (grid algorithms; 0 otherwise).
+	PPD int
+	// Partitions, NonEmpty and Surviving describe the grid and the
+	// bitstring pruning (grid algorithms; 0 otherwise).
+	Partitions int
+	NonEmpty   int
+	Surviving  int
+	// Groups is the independent-partition-group count (MR-GPMRS only).
+	Groups int
+	// DominanceTests counts tuple-pair comparisons across all tasks.
+	DominanceTests int64
+	// ShuffleBytes is the total volume crossing the MapReduce shuffle.
+	ShuffleBytes int64
+}
+
+// Result is a computed skyline plus its run statistics.
+type Result struct {
+	// Skyline holds the skyline tuples with their original values (and
+	// orientations, when Maximize was used). Order is deterministic but
+	// unspecified.
+	Skyline [][]float64
+	// Stats describes the run.
+	Stats Stats
+}
+
+// Compute returns the skyline of data. Every row must have the same number
+// of columns and contain only finite values. The input is not modified.
+func Compute(data [][]float64, opts Options) (*Result, error) {
+	if len(data) == 0 {
+		return &Result{Stats: Stats{Algorithm: string(algorithmOrDefault(opts.Algorithm))}}, nil
+	}
+	d := len(data[0])
+	if opts.Maximize != nil && len(opts.Maximize) != d {
+		return nil, fmt.Errorf("mrskyline: Maximize has %d entries for %d-dimensional data", len(opts.Maximize), d)
+	}
+
+	// Orient: negate maximized dimensions (exact in IEEE 754), so the rest
+	// of the pipeline is pure minimization.
+	work := make(tuple.List, len(data))
+	negate := opts.Maximize != nil
+	for i, row := range data {
+		if negate {
+			t := make(tuple.Tuple, len(row))
+			for k, v := range row {
+				if k < len(opts.Maximize) && opts.Maximize[k] {
+					t[k] = -v
+				} else {
+					t[k] = v
+				}
+			}
+			work[i] = t
+		} else {
+			work[i] = tuple.Tuple(row)
+		}
+	}
+	if err := work.Validate(); err != nil {
+		return nil, fmt.Errorf("mrskyline: %w", err)
+	}
+
+	lo, hi := domainBounds(work)
+	eng, err := newEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	algo := algorithmOrDefault(opts.Algorithm)
+	var (
+		sky tuple.List
+		st  Stats
+	)
+	switch algo {
+	case GPSRS, GPMRS, Hybrid:
+		cfg := core.Config{
+			Engine:      eng,
+			NumMappers:  opts.Mappers,
+			NumReducers: opts.Reducers,
+			PPD:         opts.PPD,
+			Lo:          lo,
+			Hi:          hi,
+		}
+		k, err := kernelFromOptions(opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Kernel = k
+		var cs *core.Stats
+		switch algo {
+		case GPSRS:
+			sky, cs, err = core.GPSRS(cfg, work)
+		case GPMRS:
+			sky, cs, err = core.GPMRS(cfg, work)
+		default:
+			sky, cs, err = core.Hybrid(cfg, work)
+		}
+		if err != nil {
+			return nil, err
+		}
+		st = Stats{
+			Algorithm:      cs.Algorithm,
+			Runtime:        cs.Total,
+			SkylineSize:    cs.SkylineSize,
+			PPD:            cs.PPD,
+			Partitions:     cs.Partitions,
+			NonEmpty:       cs.NonEmpty,
+			Surviving:      cs.Surviving,
+			Groups:         cs.Groups,
+			DominanceTests: cs.DominanceTests,
+			ShuffleBytes:   cs.ShuffleBytes,
+		}
+	case MRBNL, MRSFS, MRAngle, SKYMR, MRBitmap:
+		cfg := baseline.Config{Engine: eng, NumMappers: opts.Mappers, Lo: lo, Hi: hi}
+		var bs *baseline.Stats
+		switch algo {
+		case MRBNL:
+			sky, bs, err = baseline.MRBNL(cfg, work)
+		case MRSFS:
+			sky, bs, err = baseline.MRSFS(cfg, work)
+		case SKYMR:
+			sky, bs, err = baseline.SKYMR(cfg, work)
+		case MRBitmap:
+			sky, bs, err = baseline.MRBitmap(cfg, work)
+		default:
+			sky, bs, err = baseline.MRAngle(cfg, work)
+		}
+		if err != nil {
+			return nil, err
+		}
+		st = Stats{
+			Algorithm:      bs.Algorithm,
+			Runtime:        bs.Total,
+			SkylineSize:    bs.SkylineSize,
+			DominanceTests: bs.DominanceTests,
+			ShuffleBytes:   bs.ShuffleBytes,
+		}
+	default:
+		return nil, fmt.Errorf("mrskyline: unknown algorithm %q", opts.Algorithm)
+	}
+
+	// Orient back and hand out plain slices.
+	out := make([][]float64, len(sky))
+	for i, t := range sky {
+		row := []float64(t)
+		if negate {
+			for k := range row {
+				if opts.Maximize[k] {
+					row[k] = -row[k]
+				}
+			}
+		}
+		out[i] = row
+	}
+	return &Result{Skyline: out, Stats: st}, nil
+}
+
+// kernelFromOptions resolves the local-kernel selection.
+func kernelFromOptions(opts Options) (skyline.Kernel, error) {
+	switch opts.Kernel {
+	case "":
+		if opts.UseSFSKernel {
+			return skyline.KernelSFS, nil
+		}
+		return skyline.KernelBNL, nil
+	case "bnl":
+		return skyline.KernelBNL, nil
+	case "sfs":
+		return skyline.KernelSFS, nil
+	case "dc":
+		return skyline.KernelDC, nil
+	case "bbs":
+		return skyline.KernelBBS, nil
+	default:
+		return 0, fmt.Errorf("mrskyline: unknown kernel %q (want bnl|sfs|dc|bbs)", opts.Kernel)
+	}
+}
+
+func algorithmOrDefault(a Algorithm) Algorithm {
+	if a == "" {
+		return GPMRS
+	}
+	return a
+}
+
+func newEngine(opts Options) (*mapreduce.Engine, error) {
+	nodes := opts.Nodes
+	if nodes == 0 {
+		nodes = 8
+	}
+	slots := opts.SlotsPerNode
+	if slots == 0 {
+		slots = 2
+	}
+	c, err := cluster.Uniform(nodes, slots)
+	if err != nil {
+		return nil, fmt.Errorf("mrskyline: %w", err)
+	}
+	return mapreduce.NewEngine(c), nil
+}
+
+// domainBounds computes a half-open bounding box [lo, hi) for the grid.
+// Values equal to a dimension's maximum clamp into the top grid cell, which
+// is always safe, so hi is simply the observed maximum (widened when the
+// dimension is constant, since grids reject empty extents).
+func domainBounds(data tuple.List) (lo, hi tuple.Tuple) {
+	d := data.Dim()
+	lo = data[0].Clone()
+	hi = data[0].Clone()
+	for _, t := range data[1:] {
+		lo.MinWith(t)
+		hi.MaxWith(t)
+	}
+	for k := 0; k < d; k++ {
+		if hi[k] <= lo[k] {
+			hi[k] = lo[k] + 1
+		}
+	}
+	return lo, hi
+}
+
+// Dominates reports whether tuple a dominates tuple b under the orientation
+// given by maximize (nil = minimize everything): a is at least as good on
+// every dimension and strictly better on at least one.
+func Dominates(a, b []float64, maximize []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	better, worse := false, false
+	for k := range a {
+		av, bv := a[k], b[k]
+		if maximize != nil && k < len(maximize) && maximize[k] {
+			av, bv = -av, -bv
+		}
+		switch {
+		case av < bv:
+			better = true
+		case av > bv:
+			worse = true
+		}
+	}
+	return better && !worse
+}
