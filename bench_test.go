@@ -18,7 +18,10 @@ import (
 )
 
 // benchSetup keeps per-iteration work small while preserving every sweep
-// point of the figure being regenerated.
+// point of the figure being regenerated. MeasureParallelism is left at its
+// default (min(GOMAXPROCS, cluster slots)): simulated runtimes are a pure
+// function of measured task durations, so parallel measurement only speeds
+// the sweep; pass MeasureParallelism: 1 for publication-grade isolation.
 func benchSetup() experiments.Setup {
 	return experiments.Setup{Seed: 1, Scale: 0.001, Nodes: 13, SlotsPerNode: 2}
 }

@@ -8,15 +8,19 @@
 //	skybench -exp all                 # everything
 //	skybench -exp all -scale 1        # the paper's full cardinalities
 //	skybench -exp fig9 -csv           # machine-readable output
+//	skybench -exp all -json           # write BENCH_<figure>.json per figure
 //
 // By default cardinalities are scaled down (see -scale) so the full suite
-// completes on a laptop while preserving the figures' shapes.
+// completes on a laptop while preserving the figures' shapes, and task
+// measurement runs in parallel (see -measurepar) so a sweep uses every
+// host core.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -36,19 +40,39 @@ func main() {
 		seed    = flag.Int64("seed", 1, "data generation seed")
 		noskip  = flag.Bool("noskip", false, "run even the combinations the paper reports as DNF")
 		asCSV   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		asJSON  = flag.Bool("json", false, "also write BENCH_<figure>.json bench records for perf trajectory tracking")
+		outdir  = flag.String("outdir", ".", "directory for -json output files")
+		mpar    = flag.Int("measurepar", 0, "concurrently measured tasks (0 = min(GOMAXPROCS, slots), 1 = serial isolation)")
 	)
 	flag.Parse()
 
 	setup := experiments.Setup{
-		PaperCluster: *paper,
-		Nodes:        *nodes,
-		SlotsPerNode: *slots,
-		Mappers:      *mappers,
-		Reducers:     *reds,
-		PPD:          *ppd,
-		Seed:         *seed,
-		Scale:        *scale,
-		NoSkip:       *noskip,
+		PaperCluster:       *paper,
+		Nodes:              *nodes,
+		SlotsPerNode:       *slots,
+		Mappers:            *mappers,
+		Reducers:           *reds,
+		PPD:                *ppd,
+		Seed:               *seed,
+		Scale:              *scale,
+		NoSkip:             *noskip,
+		MeasureParallelism: *mpar,
+	}
+
+	// The per-algorithm probe workload is shared by every figure's bench
+	// record; measure it once. Check the output directory first so a typo
+	// fails before minutes of sweeping.
+	var probes []experiments.AlgoProbe
+	if *asJSON {
+		if st, err := os.Stat(*outdir); err != nil || !st.IsDir() {
+			fmt.Fprintf(os.Stderr, "skybench: -outdir %s is not a directory\n", *outdir)
+			os.Exit(1)
+		}
+		var err error
+		if probes, err = experiments.ProbeAlgorithms(setup); err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	var names []string
@@ -61,7 +85,16 @@ func main() {
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		start := time.Now()
-		res, err := experiments.RunFigure(name, setup)
+		var (
+			res *experiments.FigureResult
+			rec *experiments.BenchRecord
+			err error
+		)
+		if *asJSON {
+			rec, res, err = experiments.RunFigureBench(name, setup)
+		} else {
+			res, err = experiments.RunFigure(name, setup)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "skybench: %s: %v\n", name, err)
 			os.Exit(1)
@@ -73,6 +106,15 @@ func main() {
 			} else {
 				fmt.Println(tab.String())
 			}
+		}
+		if *asJSON {
+			rec.Probes = probes
+			path := filepath.Join(*outdir, "BENCH_"+name+".json")
+			if err := experiments.WriteBenchJSON(path, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "skybench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
 }

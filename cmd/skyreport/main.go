@@ -27,6 +27,10 @@ func main() {
 		reducers = flag.Int("reducers", 0, "MR-GPMRS reduce tasks (0 = one per node)")
 		seed     = flag.Int64("seed", 1, "data generation seed")
 		nosim    = flag.Bool("nosim", false, "report host wall-clock instead of simulated cluster time")
+		// Publication runs default to strictly serial task measurement:
+		// per-task durations must reflect each task's work alone, free of
+		// even scheduler noise from sibling tasks.
+		measurePar = flag.Int("measurepar", 1, "concurrently measured tasks (1 = serial isolation for publishable figures, 0 = min(GOMAXPROCS, slots))")
 	)
 	flag.Parse()
 
@@ -44,13 +48,14 @@ func main() {
 	}
 
 	setup := experiments.Setup{
-		PaperCluster: *paper,
-		Nodes:        *nodes,
-		SlotsPerNode: *slots,
-		Reducers:     *reducers,
-		Seed:         *seed,
-		Scale:        *scale,
-		NoSim:        *nosim,
+		PaperCluster:       *paper,
+		Nodes:              *nodes,
+		SlotsPerNode:       *slots,
+		Reducers:           *reducers,
+		Seed:               *seed,
+		Scale:              *scale,
+		NoSim:              *nosim,
+		MeasureParallelism: *measurePar,
 	}
 	if err := experiments.Report(setup, w); err != nil {
 		fmt.Fprintf(os.Stderr, "skyreport: %v\n", err)

@@ -155,8 +155,10 @@ func runSingleReducerJob(
 						windows[p] = kernel.Compute(buf, &cnt)
 					}
 					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
+					var scratch []byte
 					for _, w := range sortedWindows(windows) {
-						emit(encodeKey(w.id), tuple.EncodeList(w.list))
+						scratch = tuple.AppendEncodeList(scratch[:0], w.list)
+						emit(encodeKey(w.id), scratch)
 					}
 					return nil
 				},
@@ -187,8 +189,10 @@ func runSingleReducerJob(
 				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
 					sky := finishReduce(s, &cnt)
 					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
+					var scratch []byte
 					for _, t := range sky {
-						emit(nil, tuple.Encode(t))
+						scratch = tuple.AppendEncode(scratch[:0], t)
+						emit(nil, scratch)
 					}
 					return nil
 				},

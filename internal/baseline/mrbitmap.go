@@ -84,13 +84,15 @@ func MRBitmap(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 					return nil
 				},
 				FlushFn: func(_ *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+					var scratch []byte
 					for k := 0; k < d; k++ {
 						vals := make(tuple.Tuple, 0, len(distinct[k]))
 						for v := range distinct[k] {
 							vals = append(vals, v)
 						}
 						sort.Float64s(vals)
-						emit(encodeKey(k), tuple.Encode(vals))
+						scratch = tuple.AppendEncode(scratch[:0], vals)
+						emit(encodeKey(k), scratch)
 					}
 					return nil
 				},
@@ -188,9 +190,13 @@ func MRBitmap(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 	// ---- Job 2: parallel membership tests --------------------------------
 	reducers := cfg.Engine.Cluster().TotalSlots()
 	recs := make([]mapreduce.Record, n)
+	// Values share one backing arena (cf. mapreduce.TupleInput); keys are
+	// the 8-byte tuple ids routing round-robin across reducers.
+	valArena := make([]byte, 0, n*(1+8*d))
 	for id, t := range data {
-		// Key: tuple id (routes round-robin across reducers); value: tuple.
-		recs[id] = mapreduce.Record{Key: encodeKey(id), Value: tuple.Encode(t)}
+		start := len(valArena)
+		valArena = tuple.AppendEncode(valArena, t)
+		recs[id] = mapreduce.Record{Key: encodeKey(id), Value: valArena[start:len(valArena):len(valArena)]}
 	}
 	check := &mapreduce.Job{
 		Name:        "mr-bitmap-check",

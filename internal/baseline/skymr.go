@@ -124,8 +124,10 @@ func SKYMR(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 				},
 				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
 					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
+					var scratch []byte
 					for _, w := range sortedWindows(windows) {
-						emit(encodeKey(w.id), tuple.EncodeList(w.list))
+						scratch = tuple.AppendEncodeList(scratch[:0], w.list)
+						emit(encodeKey(w.id), scratch)
 					}
 					return nil
 				},
@@ -133,6 +135,7 @@ func SKYMR(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 		},
 		NewReducer: func() mapreduce.Reducer {
 			var cnt skyline.Count
+			var scratch []byte
 			return mapreduce.ReducerFuncs{
 				ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emitter) error {
 					var w tuple.List
@@ -145,7 +148,8 @@ func SKYMR(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 							w = skyline.InsertTuple(tp, w, &cnt)
 						}
 					}
-					emit(key, tuple.EncodeList(w))
+					scratch = tuple.AppendEncodeList(scratch[:0], w)
+					emit(key, scratch)
 					return nil
 				},
 				FlushFn: func(ctx *mapreduce.TaskContext, _ mapreduce.Emitter) error {
@@ -177,6 +181,7 @@ func SKYMR(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 		Cache:       cache,
 		NewMapper: func() mapreduce.Mapper {
 			var t *quadTree
+			var scratch []byte
 			return mapreduce.MapperFuncs{
 				MapFn: func(ctx *mapreduce.TaskContext, rec mapreduce.Record, emit mapreduce.Emitter) error {
 					if t == nil {
@@ -192,10 +197,14 @@ func SKYMR(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 					if a < 0 || a >= t.numLeaves() {
 						return fmt.Errorf("baseline: unknown leaf %d in SKY-MR job 2", a)
 					}
-					emit(rec.Key, append([]byte{tagCandidate}, rec.Value...))
+					scratch = append(scratch[:0], tagCandidate)
+					scratch = append(scratch, rec.Value...)
+					emit(rec.Key, scratch)
 					for b := 0; b < t.numLeaves(); b++ {
 						if t.mayDominate(a, b) && !t.leaves[b].pruned {
-							emit(encodeKey(b), append([]byte{tagFilter}, rec.Value...))
+							scratch = append(scratch[:0], tagFilter)
+							scratch = append(scratch, rec.Value...)
+							emit(encodeKey(b), scratch)
 						}
 					}
 					return nil
@@ -225,8 +234,10 @@ func SKYMR(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 							return fmt.Errorf("baseline: unknown SKY-MR tag %q", v[0])
 						}
 					}
+					var scratch []byte
 					for _, tp := range skyline.Filter(candidates, filters, &cnt) {
-						emit(nil, tuple.Encode(tp))
+						scratch = tuple.AppendEncode(scratch[:0], tp)
+						emit(nil, scratch)
 					}
 					return nil
 				},

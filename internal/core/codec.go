@@ -42,27 +42,32 @@ func (pm partMap) sortedPartitions() []int {
 	return out
 }
 
-// encodePartMap serializes a subset of pm (the partitions listed in parts,
-// skipping absent ones) as:
+// appendPartMap appends the serialization of a subset of pm (the partitions
+// listed in parts, skipping absent ones) to dst:
 //
 //	uvarint entryCount | entries × (uvarint partition | tuple list)
-func encodePartMap(pm partMap, parts []int) []byte {
+func appendPartMap(dst []byte, pm partMap, parts []int) []byte {
 	cnt := 0
 	for _, p := range parts {
 		if len(pm[p]) > 0 {
 			cnt++
 		}
 	}
-	buf := binary.AppendUvarint(nil, uint64(cnt))
+	dst = binary.AppendUvarint(dst, uint64(cnt))
 	for _, p := range parts {
 		l := pm[p]
 		if len(l) == 0 {
 			continue
 		}
-		buf = binary.AppendUvarint(buf, uint64(p))
-		buf = tuple.AppendEncodeList(buf, l)
+		dst = binary.AppendUvarint(dst, uint64(p))
+		dst = tuple.AppendEncodeList(dst, l)
 	}
-	return buf
+	return dst
+}
+
+// encodePartMap is appendPartMap into a fresh buffer.
+func encodePartMap(pm partMap, parts []int) []byte {
+	return appendPartMap(nil, pm, parts)
 }
 
 // decodePartMap parses one encodePartMap payload.

@@ -119,12 +119,13 @@ func newGPMRSMapper(cfg *Config, g *grid.Grid) mapreduce.Mapper {
 			// Line 11: generate groups — identically on every mapper, as a
 			// pure function of the cached bitstring and the reducer count.
 			merged := grid.MergeGroups(g.IndependentGroups(bs), ctx.NumReducers, cfg.Merge)
+			var scratch []byte
 			for _, mg := range merged {
-				payload := encodePartMap(s, mg.Partitions)
-				if len(payload) <= 1 {
+				scratch = appendPartMap(scratch[:0], s, mg.Partitions)
+				if len(scratch) <= 1 {
 					continue // this mapper holds nothing for the group
 				}
-				emit(encodeKey(mg.ID), payload)
+				emit(encodeKey(mg.ID), scratch)
 			}
 			return nil
 		},
@@ -182,12 +183,14 @@ func newGPMRSReducer(cfg *Config, g *grid.Grid) mapreduce.Reducer {
 			// Lines 9–10: eliminate false positives within the group.
 			comparePartitions(s, g, &cnt, &partCmp)
 			// Line 11 + Section 5.4.2: output only designated partitions.
+			var scratch []byte
 			for _, p := range s.sortedPartitions() {
 				if !mg.Responsible[p] {
 					continue
 				}
 				for _, t := range s[p] {
-					emit(nil, tuple.Encode(t))
+					scratch = tuple.AppendEncode(scratch[:0], t)
+					emit(nil, scratch)
 				}
 			}
 			return nil

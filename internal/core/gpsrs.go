@@ -94,9 +94,11 @@ func gpsrsRun(cfg Config, input mapreduce.Input, prep *BitstringResult, start ti
 					comparePartitions(merged, g, &cnt, &partCmp)
 					ctx.Counters.SetMax(counterPartCmpReduceMax, partCmp)
 					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
+					var scratch []byte
 					for _, p := range merged.sortedPartitions() {
 						for _, t := range merged[p] {
-							emit(nil, tuple.Encode(t))
+							scratch = tuple.AppendEncode(scratch[:0], t)
+							emit(nil, scratch)
 						}
 					}
 					return nil
@@ -144,8 +146,10 @@ func newGPMapper(cfg *Config, g *grid.Grid) mapreduce.Mapper {
 			}
 			s := state.finish()
 			state.recordCounters(ctx, mapreduce.PhaseMap)
+			var scratch []byte
 			for _, p := range s.sortedPartitions() {
-				emit(encodeKey(p), tuple.EncodeList(s[p]))
+				scratch = tuple.AppendEncodeList(scratch[:0], s[p])
+				emit(encodeKey(p), scratch)
 			}
 			return nil
 		},

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mrskyline/internal/datagen"
+)
+
+// BenchRecord is one figure regeneration measured for performance
+// trajectory tracking: cmd/skybench -json writes one BENCH_<figure>.json
+// per figure so later changes can be compared against this baseline —
+// host cost (wall nanoseconds and heap allocations for the whole figure),
+// the simulated cluster time of every sweep point (the table cells), and
+// per-algorithm probes of shuffle volume on a fixed workload.
+type BenchRecord struct {
+	// Figure is the experiment id (e.g. "fig7"); Name the display title.
+	Figure string `json:"figure"`
+	Name   string `json:"name"`
+	// Setup echo, so records are only compared like-for-like.
+	Scale              float64 `json:"scale"`
+	Nodes              int     `json:"nodes"`
+	SlotsPerNode       int     `json:"slots_per_node"`
+	Seed               int64   `json:"seed"`
+	MeasureParallelism int     `json:"measure_parallelism"`
+	// WallNs is host wall-clock for the full figure (ns/op at -benchtime=1x).
+	WallNs int64 `json:"wall_ns"`
+	// Allocs and AllocBytes are the heap mallocs and bytes the figure run
+	// performed (allocs/op at -benchtime=1x).
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// Tables are the figure's sweep points; runtime cells are simulated
+	// cluster seconds unless the setup ran with NoSim.
+	Tables []BenchTable `json:"tables"`
+	// Probes are fixed-workload per-algorithm measurements (shuffle bytes,
+	// simulated time), independent of the figure's own sweep.
+	Probes []AlgoProbe `json:"algo_probes,omitempty"`
+}
+
+// BenchTable mirrors Table in a JSON-friendly shape.
+type BenchTable struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// AlgoProbe is one algorithm measured on the fixed probe workload.
+type AlgoProbe struct {
+	Algorithm      string  `json:"algorithm"`
+	SimulatedSec   float64 `json:"simulated_seconds"`
+	WallSec        float64 `json:"wall_seconds"`
+	ShuffleBytes   int64   `json:"shuffle_bytes"`
+	DominanceTests int64   `json:"dominance_tests"`
+	SkylineSize    int     `json:"skyline_size"`
+}
+
+// RunFigureBench regenerates one figure while measuring host wall time and
+// heap allocations, returning both the bench record and the figure result
+// (for printing).
+func RunFigureBench(name string, s Setup) (*BenchRecord, *FigureResult, error) {
+	s = s.withDefaults()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := RunFigure(name, s)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := &BenchRecord{
+		Figure:             name,
+		Name:               res.Name,
+		Scale:              s.Scale,
+		Nodes:              s.Nodes,
+		SlotsPerNode:       s.SlotsPerNode,
+		Seed:               s.Seed,
+		MeasureParallelism: s.MeasureParallelism,
+		WallNs:             wall.Nanoseconds(),
+		Allocs:             after.Mallocs - before.Mallocs,
+		AllocBytes:         after.TotalAlloc - before.TotalAlloc,
+	}
+	for _, tab := range res.Tables {
+		rec.Tables = append(rec.Tables, BenchTable{Title: tab.Title, Columns: tab.Columns, Rows: tab.Rows})
+	}
+	return rec, res, nil
+}
+
+// probeCard and probeDim fix the probe workload: small enough to be noise
+// next to any figure, large enough that shuffle volumes are meaningful.
+const (
+	probeCard = 2000
+	probeDim  = 4
+)
+
+// ProbeAlgorithms measures every algorithm end-to-end on the fixed probe
+// workload (independent data, card 2000, d 4), reporting the quantities the
+// figures do not expose per cell: shuffle bytes and dominance tests.
+func ProbeAlgorithms(s Setup) ([]AlgoProbe, error) {
+	s = s.withDefaults()
+	data := datagen.Generate(datagen.Independent, probeCard, probeDim, s.Seed)
+	out := make([]AlgoProbe, 0, len(AllAlgorithms()))
+	for _, algo := range AllAlgorithms() {
+		m, err := runAlgorithm(algo, s, data, defaultMeasureOpts())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: probing %s: %w", algo, err)
+		}
+		out = append(out, AlgoProbe{
+			Algorithm:      m.Algo,
+			SimulatedSec:   m.Runtime.Seconds(),
+			WallSec:        m.WallTime.Seconds(),
+			ShuffleBytes:   m.ShuffleBytes,
+			DominanceTests: m.DominanceTests,
+			SkylineSize:    m.SkylineSize,
+		})
+	}
+	return out, nil
+}
+
+// WriteBenchJSON writes rec as indented JSON to path.
+func WriteBenchJSON(path string, rec *BenchRecord) error {
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFigureBenchAndWriteJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full figure")
+	}
+	s := Setup{Seed: 1, Scale: 0.001, Nodes: 4, SlotsPerNode: 2}
+	rec, res, err := RunFigureBench("fig7", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || len(res.Tables) == 0 {
+		t.Fatal("figure result has no tables")
+	}
+	if rec.Figure != "fig7" || rec.Name == "" {
+		t.Errorf("record identity = %q/%q", rec.Figure, rec.Name)
+	}
+	if rec.WallNs <= 0 || rec.Allocs == 0 {
+		t.Errorf("cost fields not measured: wall %d ns, %d allocs", rec.WallNs, rec.Allocs)
+	}
+	if len(rec.Tables) != len(res.Tables) {
+		t.Errorf("record has %d tables, figure %d", len(rec.Tables), len(res.Tables))
+	}
+
+	probes, err := ProbeAlgorithms(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) != len(AllAlgorithms()) {
+		t.Fatalf("%d probes for %d algorithms", len(probes), len(AllAlgorithms()))
+	}
+	for _, p := range probes {
+		if p.ShuffleBytes <= 0 {
+			t.Errorf("%s: shuffle bytes = %d", p.Algorithm, p.ShuffleBytes)
+		}
+		if p.SimulatedSec <= 0 {
+			t.Errorf("%s: simulated time = %v", p.Algorithm, p.SimulatedSec)
+		}
+		if p.SkylineSize <= 0 {
+			t.Errorf("%s: skyline size = %d", p.Algorithm, p.SkylineSize)
+		}
+	}
+	rec.Probes = probes
+
+	path := filepath.Join(t.TempDir(), "BENCH_fig7.json")
+	if err := WriteBenchJSON(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchRecord
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("written JSON does not decode: %v", err)
+	}
+	if back.Figure != rec.Figure || len(back.Tables) != len(rec.Tables) || len(back.Probes) != len(rec.Probes) {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}

@@ -55,6 +55,12 @@ type Setup struct {
 	SimTaskStartup time.Duration
 	SimJobSetup    time.Duration
 	SimBandwidth   int64
+	// MeasureParallelism bounds how many tasks the engine measures
+	// concurrently in simulated-time mode: 0 = min(GOMAXPROCS, cluster
+	// slots) — the fast default for development sweeps — and 1 = strict
+	// serial isolation, which publication runs (cmd/skyreport) use. See
+	// mapreduce.SimConfig.MeasureParallelism.
+	MeasureParallelism int
 	// PaperCluster replaces the uniform Nodes×SlotsPerNode cluster with the
 	// paper's exact heterogeneous machine mix (twelve 2.8 GHz nodes plus
 	// one 2.13 GHz node), honouring SlotsPerNode.
@@ -99,9 +105,10 @@ func (s Setup) newEngine() (*mapreduce.Engine, error) {
 	eng := mapreduce.NewEngine(c)
 	if !s.NoSim {
 		eng.Sim = &mapreduce.SimConfig{
-			TaskStartup:  s.SimTaskStartup,
-			JobSetup:     s.SimJobSetup,
-			NetBandwidth: s.SimBandwidth,
+			TaskStartup:        s.SimTaskStartup,
+			JobSetup:           s.SimJobSetup,
+			NetBandwidth:       s.SimBandwidth,
+			MeasureParallelism: s.MeasureParallelism,
 		}
 	}
 	return eng, nil

@@ -2,7 +2,6 @@ package mapreduce
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"mrskyline/internal/cluster"
@@ -88,9 +87,10 @@ type Engine struct {
 	// attempt; a non-nil return fails the attempt. Tests use it to
 	// exercise retry behaviour.
 	FaultInjector func(phase Phase, taskID, attempt int) error
-	// Sim, when non-nil, turns on simulated-time accounting: task bodies
-	// are serialized for contention-free measurement and Result gains a
-	// SimulatedTime computed from the cluster schedule. See SimConfig.
+	// Sim, when non-nil, turns on simulated-time accounting: concurrent
+	// task bodies are bounded by SimConfig.MeasureParallelism for
+	// contention-free measurement and Result gains a SimulatedTime
+	// computed from the cluster schedule. See SimConfig.
 	Sim *SimConfig
 }
 
@@ -102,41 +102,34 @@ func NewEngine(c *cluster.Cluster) *Engine {
 // Cluster returns the engine's cluster.
 func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
 
-// keyedValues groups one reducer's input: values per key plus the order
-// keys first appeared is discarded — keys are processed in byte order for
-// determinism.
-type keyedValues map[string][][]byte
-
 // combineBuckets applies a map-side combiner to every per-reducer bucket:
-// records are grouped by key (in byte order, for determinism), folded
-// through the combiner, and re-emitted.
-func combineBuckets(c Combiner, buckets [][]Record) ([][]Record, error) {
-	out := make([][]Record, len(buckets))
-	for r, bucket := range buckets {
-		if len(bucket) == 0 {
+// records are grouped by key (in byte order, for determinism, via the same
+// sort-based grouping the shuffle uses), folded through the combiner, and
+// re-emitted into fresh arenas.
+func combineBuckets(c Combiner, buckets []bucketArena) ([]bucketArena, error) {
+	out := make([]bucketArena, len(buckets))
+	for r := range buckets {
+		b := &buckets[r]
+		if b.len() == 0 {
 			continue
 		}
-		groups := make(keyedValues)
-		order := make([]string, 0, 4)
-		for _, rec := range bucket {
-			k := string(rec.Key)
-			if _, seen := groups[k]; !seen {
-				order = append(order, k)
+		idx := b.sortedIndex()
+		var dst bucketArena
+		for _, g := range b.groupRuns(idx) {
+			key := b.key(int(idx[g.lo]))
+			values := make([][]byte, 0, g.hi-g.lo)
+			for _, i := range idx[g.lo:g.hi] {
+				values = append(values, b.value(int(i)))
 			}
-			groups[k] = append(groups[k], rec.Value)
-		}
-		sort.Strings(order)
-		combined := make([]Record, 0, len(order))
-		for _, k := range order {
-			vals, err := c.Combine([]byte(k), groups[k])
+			vals, err := c.Combine(key, values)
 			if err != nil {
 				return nil, err
 			}
 			for _, v := range vals {
-				combined = append(combined, Record{Key: []byte(k), Value: v})
+				dst.add(key, v)
 			}
 		}
-		out[r] = combined
+		out[r] = dst
 	}
 	return out, nil
 }
@@ -177,15 +170,20 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	numMappers := len(splits)
 	res := &Result{Counters: NewCounters(), History: &History{}}
 
-	// Simulated-time instrumentation: a one-slot semaphore serializes task
-	// bodies so each measured duration reflects that task's work alone.
+	// Simulated-time instrumentation: a counting semaphore bounds how many
+	// task bodies run while being measured. At the default capacity
+	// (min(GOMAXPROCS, cluster slots)) every in-flight task is one
+	// CPU-bound goroutine on its own core, so per-task measurements stay
+	// contention-free in practice while the suite uses the whole host;
+	// capacity 1 restores strict serial isolation. See
+	// SimConfig.MeasureParallelism for the fidelity trade-off.
 	var (
 		simSem     chan struct{}
 		mapDurs    []time.Duration
 		reduceDurs []time.Duration
 	)
 	if e.Sim != nil {
-		simSem = make(chan struct{}, 1)
+		simSem = make(chan struct{}, e.Sim.measureSlots(e.cluster.TotalSlots()))
 		mapDurs = make([]time.Duration, numMappers)
 		reduceDurs = make([]time.Duration, numReducers)
 	}
@@ -193,7 +191,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	// ---- Map phase -------------------------------------------------------
 	mapStart := time.Now()
 	// mapOut[m][r] holds mapper m's records destined for reducer r.
-	mapOut := make([][][]Record, numMappers)
+	mapOut := make([][]bucketArena, numMappers)
 	mapTasks := make([]cluster.Task, numMappers)
 	for m := 0; m < numMappers; m++ {
 		m := m
@@ -235,14 +233,24 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 						Node: node, Duration: time.Since(taskStart), Err: msg,
 					})
 				}
-				buckets := make([][]Record, numReducers)
+				buckets := make([]bucketArena, numReducers)
 				emitted := int64(0)
+				// A partitioner that routes outside [0, numReducers) fails
+				// the task attempt — recorded here and surfaced after the
+				// mapper returns, so it flows through the cluster's retry
+				// and MaxAttempts machinery like any other task error
+				// instead of panicking past it.
+				var emitErr error
 				emit := func(key, value []byte) {
+					if emitErr != nil {
+						return
+					}
 					r := partition(key, numReducers)
 					if r < 0 || r >= numReducers {
-						panic(fmt.Sprintf("mapreduce: partitioner returned %d for %d reducers", r, numReducers))
+						emitErr = fmt.Errorf("partitioner returned %d for %d reducers (key %q)", r, numReducers, key)
+						return
 					}
-					buckets[r] = append(buckets[r], Record{Key: key, Value: value})
+					buckets[r].add(key, value)
 					emitted++
 				}
 				mapper := job.NewMapper()
@@ -253,6 +261,9 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 				})
 				if err == nil {
 					err = mapper.Flush(ctx, emit)
+				}
+				if err == nil {
+					err = emitErr
 				}
 				if err != nil {
 					err = fmt.Errorf("map task %d on %s: %w", m, node, err)
@@ -286,24 +297,31 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	res.MapTime = time.Since(mapStart)
 
 	// ---- Shuffle ---------------------------------------------------------
+	// Each reducer's arenas are concatenated (mapper order preserved) and an
+	// offset index is sorted by raw key bytes; equal keys keep arrival
+	// order, so values group per key in (mapper index, emission order) —
+	// byte-identical to the hash-of-strings grouping this replaced. The
+	// sort work happens driver-side, outside measured task bodies, exactly
+	// where the old grouping ran.
 	reduceStart := time.Now()
-	reduceIn := make([]keyedValues, numReducers)
+	reduceIn := make([]bucketArena, numReducers)
 	perReducerBytes := make([]int64, numReducers)
 	shuffleBytes := int64(0)
 	for r := 0; r < numReducers; r++ {
-		reduceIn[r] = make(keyedValues)
-	}
-	for m := 0; m < numMappers; m++ {
-		for r := 0; r < numReducers; r++ {
-			for _, rec := range mapOut[m][r] {
-				n := int64(len(rec.Key) + len(rec.Value))
-				shuffleBytes += n
-				perReducerBytes[r] += n
-				k := string(rec.Key)
-				reduceIn[r][k] = append(reduceIn[r][k], rec.Value)
-			}
+		var dataLen, recCount int
+		for m := 0; m < numMappers; m++ {
+			dataLen += len(mapOut[m][r].data)
+			recCount += len(mapOut[m][r].recs)
 		}
-		mapOut[m] = nil // release as we go
+		reduceIn[r].data = make([]byte, 0, dataLen)
+		reduceIn[r].recs = make([]arenaRec, 0, recCount)
+		for m := 0; m < numMappers; m++ {
+			reduceIn[r].absorb(&mapOut[m][r])
+			mapOut[m][r] = bucketArena{} // release as we go
+		}
+		n := reduceIn[r].payloadBytes()
+		shuffleBytes += n
+		perReducerBytes[r] += n
 	}
 	res.Counters.Add(CounterShuffleBytes, shuffleBytes)
 
@@ -312,12 +330,9 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	reduceTasks := make([]cluster.Task, numReducers)
 	for r := 0; r < numReducers; r++ {
 		r := r
-		groups := reduceIn[r]
-		keys := make([]string, 0, len(groups))
-		for k := range groups {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
+		in := &reduceIn[r]
+		idx := in.sortedIndex()
+		groups := in.groupRuns(idx)
 		attempts := 0
 		reduceTasks[r] = cluster.Task{
 			Name: fmt.Sprintf("%s-reduce-%d", job.Name, r),
@@ -354,18 +369,22 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 						Node: node, Duration: time.Since(taskStart), Err: msg,
 					})
 				}
-				var out []Record
+				var out bucketArena
 				emitted := int64(0)
 				emit := func(key, value []byte) {
-					out = append(out, Record{Key: key, Value: value})
+					out.add(key, value)
 					emitted++
 				}
 				reducer := job.NewReducer()
 				inRecords := int64(0)
-				for _, k := range keys {
-					vals := groups[k]
+				for _, g := range groups {
+					key := in.key(int(idx[g.lo]))
+					vals := make([][]byte, 0, g.hi-g.lo)
+					for _, i := range idx[g.lo:g.hi] {
+						vals = append(vals, in.value(int(i)))
+					}
 					inRecords += int64(len(vals))
-					if err := reducer.Reduce(ctx, []byte(k), vals, emit); err != nil {
+					if err := reducer.Reduce(ctx, key, vals, emit); err != nil {
 						err = fmt.Errorf("reduce task %d on %s: %w", r, node, err)
 						record(err)
 						return err
@@ -376,14 +395,14 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 					record(err)
 					return err
 				}
-				ctx.Counters.Add(CounterReduceInputKeys, int64(len(keys)))
+				ctx.Counters.Add(CounterReduceInputKeys, int64(len(groups)))
 				ctx.Counters.Add(CounterReduceInputRecords, inRecords)
 				ctx.Counters.Add(CounterReduceOutputRecords, emitted)
 				if reduceDurs != nil {
 					reduceDurs[r] = time.Since(taskStart)
 				}
 				record(nil)
-				reduceOut[r] = out
+				reduceOut[r] = out.records()
 				res.Counters.Merge(ctx.Counters)
 				return nil
 			},

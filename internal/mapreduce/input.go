@@ -71,13 +71,32 @@ func (s memorySplit) Each(fn func(Record) error) error {
 }
 
 // TupleInput adapts a tuple list into an input: each record's value is the
-// binary encoding of one tuple (key nil).
+// binary encoding of one tuple (key nil). All encodings share one exactly
+// sized backing arena, so building the input costs two allocations instead
+// of one per tuple.
 func TupleInput(data tuple.List) MemoryInput {
+	size := 0
+	for _, t := range data {
+		size += uvarintLen(uint64(len(t))) + 8*len(t)
+	}
+	buf := make([]byte, 0, size)
 	recs := make([]Record, len(data))
 	for i, t := range data {
-		recs[i] = Record{Value: tuple.Encode(t)}
+		start := len(buf)
+		buf = tuple.AppendEncode(buf, t)
+		recs[i] = Record{Value: buf[start:len(buf):len(buf)]}
 	}
 	return MemoryInput{Records: recs}
+}
+
+// uvarintLen returns the encoded size of v, mirroring binary.AppendUvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // DecodeTupleRecord recovers a tuple from a TupleInput record.

@@ -32,7 +32,10 @@ type Record struct {
 }
 
 // Emitter receives key-value pairs produced by Map and Reduce calls. The
-// byte slices are retained; callers must not reuse their backing arrays.
+// key and value bytes are copied into the engine's shuffle arenas before
+// Emitter returns, so callers may reuse their backing arrays — emit sites
+// on hot paths encode into a per-task scratch buffer via
+// tuple.AppendEncode and hand the same buffer to every emit.
 type Emitter func(key, value []byte)
 
 // Cache is the distributed cache: small read-only blobs replicated to every

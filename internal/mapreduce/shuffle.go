@@ -1,0 +1,170 @@
+package mapreduce
+
+import (
+	"bytes"
+	"cmp"
+	"encoding/binary"
+	"slices"
+)
+
+// The shuffle stores map output in per-reducer arenas instead of one
+// []Record per bucket: emitted key and value bytes are appended to a single
+// flat byte slice and each record is described by a fixed-size offset
+// triple. Grouping for the reduce phase is sort-based — an index over the
+// records is ordered by raw key bytes, exactly as Hadoop's sort-merge
+// shuffle orders its spills — which removes the per-record string
+// conversion, the map[string][][]byte, and the sort.Strings pass of the
+// hash-based grouping this replaced. Reduce-key order (lexicographic byte
+// order) and per-key value order (mapper index, then emission order) are
+// unchanged.
+
+// arenaRec locates one record inside a bucketArena: the key starts at off,
+// the value immediately follows it.
+type arenaRec struct {
+	off  int
+	klen int32
+	vlen int32
+}
+
+// bucketArena accumulates the records of one shuffle bucket. The zero value
+// is an empty, ready-to-use arena.
+type bucketArena struct {
+	data []byte
+	recs []arenaRec
+}
+
+// add copies one key/value pair into the arena. Because the bytes are
+// copied here, emitters are free to reuse their scratch buffers — the basis
+// of the Emitter contract.
+func (a *bucketArena) add(key, value []byte) {
+	off := len(a.data)
+	a.data = append(a.data, key...)
+	a.data = append(a.data, value...)
+	a.recs = append(a.recs, arenaRec{off: off, klen: int32(len(key)), vlen: int32(len(value))})
+}
+
+// len returns the record count.
+func (a *bucketArena) len() int { return len(a.recs) }
+
+// payloadBytes returns the total key+value volume, the quantity
+// CounterShuffleBytes measures.
+func (a *bucketArena) payloadBytes() int64 { return int64(len(a.data)) }
+
+// key returns record i's key. Zero-length keys come back nil, matching the
+// nil-key records many mappers emit. The capacity is clamped so appending
+// to the view cannot clobber the neighbouring record.
+func (a *bucketArena) key(i int) []byte {
+	r := a.recs[i]
+	if r.klen == 0 {
+		return nil
+	}
+	end := r.off + int(r.klen)
+	return a.data[r.off:end:end]
+}
+
+// value returns record i's value (nil when empty), capacity-clamped like
+// key.
+func (a *bucketArena) value(i int) []byte {
+	r := a.recs[i]
+	if r.vlen == 0 {
+		return nil
+	}
+	lo := r.off + int(r.klen)
+	end := lo + int(r.vlen)
+	return a.data[lo:end:end]
+}
+
+// absorb appends every record of src to a, preserving order.
+func (a *bucketArena) absorb(src *bucketArena) {
+	base := len(a.data)
+	a.data = append(a.data, src.data...)
+	for _, r := range src.recs {
+		r.off += base
+		a.recs = append(a.recs, r)
+	}
+}
+
+// sortKey pairs a record index with the big-endian packing of its key's
+// first eight bytes plus the key length. Prefix order agrees with
+// lexicographic byte order whenever the prefixes differ (shorter keys
+// zero-pad, and a zero pad byte only collides with a real 0x00 key byte — a
+// prefix tie). On a prefix tie, keys of at most eight bytes order by length
+// alone: equal prefixes mean the shorter key is the longer one's prefix. So
+// the arena is only touched when two keys longer than eight bytes collide
+// on their prefix — every other comparison is integer arithmetic on the
+// 16-byte sortKey itself.
+type sortKey struct {
+	prefix uint64
+	klen   int32
+	idx    int32
+}
+
+func keyPrefix(k []byte) uint64 {
+	if len(k) >= 8 {
+		return binary.BigEndian.Uint64(k)
+	}
+	var p uint64
+	for i, b := range k {
+		p |= uint64(b) << (56 - 8*i)
+	}
+	return p
+}
+
+// sortedIndex returns the arena's record indices ordered by key bytes,
+// ties broken by arrival order. Records absorbed mapper-by-mapper therefore
+// group per key in (mapper index, emission order) — the engine's documented
+// value order.
+func (a *bucketArena) sortedIndex() []int32 {
+	sk := make([]sortKey, len(a.recs))
+	for i := range sk {
+		sk[i] = sortKey{prefix: keyPrefix(a.key(i)), klen: a.recs[i].klen, idx: int32(i)}
+	}
+	slices.SortFunc(sk, func(x, y sortKey) int {
+		if x.prefix != y.prefix {
+			return cmp.Compare(x.prefix, y.prefix)
+		}
+		if x.klen > 8 && y.klen > 8 {
+			if c := bytes.Compare(a.key(int(x.idx))[8:], a.key(int(y.idx))[8:]); c != 0 {
+				return c
+			}
+		} else if x.klen != y.klen {
+			return cmp.Compare(x.klen, y.klen)
+		}
+		return cmp.Compare(x.idx, y.idx)
+	})
+	idx := make([]int32, len(sk))
+	for i, k := range sk {
+		idx[i] = k.idx
+	}
+	return idx
+}
+
+// span is one key's run inside a sorted index.
+type span struct{ lo, hi int32 }
+
+// groupRuns slices a sorted index into per-key runs.
+func (a *bucketArena) groupRuns(idx []int32) []span {
+	var groups []span
+	for i := 0; i < len(idx); {
+		key := a.key(int(idx[i]))
+		j := i + 1
+		for j < len(idx) && bytes.Equal(a.key(int(idx[j])), key) {
+			j++
+		}
+		groups = append(groups, span{lo: int32(i), hi: int32(j)})
+		i = j
+	}
+	return groups
+}
+
+// records materializes the arena as []Record views for Result.Output.
+func (a *bucketArena) records() []Record {
+	if a.len() == 0 {
+		return nil
+	}
+	out := make([]Record, a.len())
+	for i := range out {
+		out[i] = Record{Key: a.key(i), Value: a.value(i)}
+	}
+	return out
+}

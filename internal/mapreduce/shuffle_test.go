@@ -1,0 +1,235 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// referenceGrouping reimplements the grouping the arena shuffle replaced —
+// a map[string][][]byte per reducer plus a sort.Strings pass — as the
+// oracle the sort-based path is checked against.
+func referenceGrouping(recs []Record) (keys []string, groups map[string][][]byte) {
+	groups = make(map[string][][]byte)
+	for _, r := range recs {
+		groups[string(r.Key)] = append(groups[string(r.Key)], r.Value)
+	}
+	keys = make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, groups
+}
+
+// randomRecords generates a record set exercising the shuffle's edge cases:
+// duplicate keys, empty values, and nil keys.
+func randomRecords(rng *rand.Rand, n, keyCard int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		var key []byte
+		if rng.Intn(10) != 0 { // 1 in 10 records keeps a nil key
+			key = []byte(fmt.Sprintf("key-%03d", rng.Intn(keyCard)))
+		}
+		var val []byte
+		if vlen := rng.Intn(24); vlen > 0 { // zero-length values stay nil
+			val = make([]byte, vlen)
+			rng.Read(val)
+		}
+		recs[i] = Record{Key: key, Value: val}
+	}
+	return recs
+}
+
+// TestArenaGroupingMatchesReference is the shuffle property test: records
+// absorbed mapper-by-mapper into one arena, then sort-grouped, must produce
+// exactly the reference grouping's key order, per-key value order, and
+// payload byte count.
+func TestArenaGroupingMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		// Several source arenas stand in for per-mapper buckets.
+		numSources := 1 + rng.Intn(4)
+		var all []Record
+		var merged bucketArena
+		var wantBytes int64
+		for s := 0; s < numSources; s++ {
+			var src bucketArena
+			for _, r := range randomRecords(rng, rng.Intn(40), 1+rng.Intn(8)) {
+				src.add(r.Key, r.Value)
+				all = append(all, r)
+				wantBytes += int64(len(r.Key) + len(r.Value))
+			}
+			merged.absorb(&src)
+		}
+		if got := merged.payloadBytes(); got != wantBytes {
+			t.Fatalf("trial %d: payloadBytes = %d, want %d", trial, got, wantBytes)
+		}
+		if merged.len() != len(all) {
+			t.Fatalf("trial %d: len = %d, want %d", trial, merged.len(), len(all))
+		}
+
+		wantKeys, wantGroups := referenceGrouping(all)
+		idx := merged.sortedIndex()
+		runs := merged.groupRuns(idx)
+		if len(runs) != len(wantKeys) {
+			t.Fatalf("trial %d: %d key runs, want %d", trial, len(runs), len(wantKeys))
+		}
+		for g, run := range runs {
+			key := merged.key(int(idx[run.lo]))
+			if string(key) != wantKeys[g] {
+				t.Fatalf("trial %d: run %d key = %q, want %q", trial, g, key, wantKeys[g])
+			}
+			wantVals := wantGroups[wantKeys[g]]
+			if int(run.hi-run.lo) != len(wantVals) {
+				t.Fatalf("trial %d: key %q has %d values, want %d", trial, key, run.hi-run.lo, len(wantVals))
+			}
+			for i := run.lo; i < run.hi; i++ {
+				r := int(idx[i])
+				if !bytes.Equal(merged.key(r), key) {
+					t.Fatalf("trial %d: run %d holds key %q, want %q", trial, g, merged.key(r), key)
+				}
+				if !bytes.Equal(merged.value(r), wantVals[i-run.lo]) {
+					t.Fatalf("trial %d: key %q value %d = %q, want %q", trial, key, i-run.lo, merged.value(r), wantVals[i-run.lo])
+				}
+			}
+		}
+	}
+}
+
+// TestArenaNilSemantics pins the nil/empty contract: zero-length keys and
+// values come back nil, exactly as the []Record shuffle stored them.
+func TestArenaNilSemantics(t *testing.T) {
+	var a bucketArena
+	a.add(nil, []byte("v"))
+	a.add([]byte{}, nil)
+	a.add([]byte("k"), []byte{})
+	if a.key(0) != nil || a.key(1) != nil {
+		t.Errorf("empty keys = %v, %v, want nil", a.key(0), a.key(1))
+	}
+	if a.value(1) != nil || a.value(2) != nil {
+		t.Errorf("empty values = %v, %v, want nil", a.value(1), a.value(2))
+	}
+	if string(a.value(0)) != "v" || string(a.key(2)) != "k" {
+		t.Errorf("non-empty views corrupted: %q, %q", a.value(0), a.key(2))
+	}
+}
+
+// TestArenaViewsCapacityClamped guards the aliasing hazard: appending to a
+// returned view must reallocate, never clobber the neighbouring record.
+func TestArenaViewsCapacityClamped(t *testing.T) {
+	var a bucketArena
+	a.add([]byte("aa"), []byte("11"))
+	a.add([]byte("bb"), []byte("22"))
+	v := a.value(0)
+	_ = append(v, []byte("XXXX")...)
+	k := a.key(0)
+	_ = append(k, 'Y')
+	if string(a.key(1)) != "bb" || string(a.value(1)) != "22" {
+		t.Fatalf("append through a view corrupted record 1: key %q value %q", a.key(1), a.value(1))
+	}
+}
+
+// TestArenaStability checks the tie-break: equal keys keep arrival order,
+// which is what gives reducers the (mapper index, emission order) value
+// sequence.
+func TestArenaStability(t *testing.T) {
+	var a bucketArena
+	for i := 0; i < 20; i++ {
+		a.add([]byte("k"), []byte{byte(i)})
+	}
+	idx := a.sortedIndex()
+	for i, r := range idx {
+		if int(r) != i {
+			t.Fatalf("sortedIndex()[%d] = %d, want %d", i, r, i)
+		}
+	}
+}
+
+func TestMeasureSlots(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	cases := []struct {
+		par, clusterSlots, want int
+	}{
+		{0, 1024, min(procs, 1024)}, // default: min(GOMAXPROCS, slots)
+		{0, 1, 1},                   // tiny cluster bounds the default
+		{1, 1024, 1},                // serial isolation mode
+		{4, 2, 4},                   // explicit values pass through unclamped
+		{-3, 1024, min(procs, 1024)},
+	}
+	for _, c := range cases {
+		cfg := &SimConfig{MeasureParallelism: c.par}
+		if got := cfg.measureSlots(c.clusterSlots); got != c.want {
+			t.Errorf("measureSlots(par=%d, slots=%d) = %d, want %d", c.par, c.clusterSlots, got, c.want)
+		}
+	}
+}
+
+// benchRecords builds a deterministic workload for the grouping benchmarks.
+func benchRecords(n, keyCard int) []Record {
+	rng := rand.New(rand.NewSource(1))
+	recs := make([]Record, n)
+	for i := range recs {
+		val := make([]byte, 16+rng.Intn(16))
+		rng.Read(val)
+		recs[i] = Record{
+			Key:   []byte(fmt.Sprintf("key-%06d", rng.Intn(keyCard))),
+			Value: val,
+		}
+	}
+	return recs
+}
+
+// BenchmarkGrouping compares the sort-based arena grouping against the
+// map[string][][]byte + sort.Strings grouping it replaced, on identical
+// workloads. The arena path is the allocation-reduction claim of the shuffle
+// rewrite; keep both sides so regressions show up as a ratio, not a guess.
+func BenchmarkGrouping(b *testing.B) {
+	for _, keyCard := range []int{16, 1024} {
+		for _, n := range []int{1_000, 50_000} {
+			recs := benchRecords(n, keyCard)
+			b.Run(fmt.Sprintf("arena/keys=%d/recs=%d", keyCard, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					var a bucketArena
+					for _, r := range recs {
+						a.add(r.Key, r.Value)
+					}
+					idx := a.sortedIndex()
+					runs := a.groupRuns(idx)
+					for _, run := range runs {
+						vals := make([][]byte, 0, run.hi-run.lo)
+						for j := run.lo; j < run.hi; j++ {
+							vals = append(vals, a.value(int(idx[j])))
+						}
+						_ = vals
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("reference/keys=%d/recs=%d", keyCard, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					var bucket []Record
+					for _, r := range recs {
+						key := append([]byte(nil), r.Key...)
+						val := append([]byte(nil), r.Value...)
+						bucket = append(bucket, Record{Key: key, Value: val})
+					}
+					keys, groups := referenceGrouping(bucket)
+					for _, k := range keys {
+						_ = groups[k]
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,17 +1,18 @@
 package mapreduce
 
 import (
+	"runtime"
 	"time"
 )
 
 // SimConfig enables simulated-time accounting. When an Engine carries a
-// SimConfig, every task's execution is measured in isolation (tasks are
-// serialized onto the host CPU so measurements are contention-free) and the
-// job's Result gains a SimulatedTime: the wall-clock the job would have
-// taken on the simulated cluster — list-scheduling makespan of the map
-// tasks over the cluster's slots, a per-reducer shuffle transfer at the
-// configured bandwidth, the reduce makespan, and fixed per-job and
-// per-task overheads.
+// SimConfig, every task's execution is measured while the number of
+// concurrently running task bodies is bounded by MeasureParallelism (so
+// measurements stay contention-free), and the job's Result gains a
+// SimulatedTime: the wall-clock the job would have taken on the simulated
+// cluster — list-scheduling makespan of the map tasks over the cluster's
+// slots, a per-reducer shuffle transfer at the configured bandwidth, the
+// reduce makespan, and fixed per-job and per-task overheads.
 //
 // This is how the repository reproduces the paper's cluster results on a
 // laptop: the paper's headline effect — the single reducer of
@@ -30,6 +31,37 @@ type SimConfig struct {
 	// shuffle transfer; each reducer pulls its input over one such link.
 	// Default 12.5 MB/s — the 100 Mbit/s LAN of the paper's cluster.
 	NetBandwidth int64
+	// MeasureParallelism bounds how many task bodies execute concurrently
+	// while their durations are measured. 0 (the default) resolves to
+	// min(GOMAXPROCS, cluster slots): each in-flight task is a single
+	// CPU-bound goroutine on its own core, so individual measurements stay
+	// contention-free in practice and a sweep finishes in roughly 1/P of
+	// the serial wall clock. 1 serializes task bodies — the strict
+	// isolation mode this repository's publication runs (cmd/skyreport)
+	// use, where per-task durations must not carry even scheduler noise
+	// from sibling tasks. Values above GOMAXPROCS trade measurement
+	// fidelity for throughput and are not recommended.
+	//
+	// The makespan computation is a pure function of the measured
+	// durations, so any two runs that observe the same durations produce
+	// the same SimulatedTime regardless of this setting.
+	MeasureParallelism int
+}
+
+// measureSlots resolves the measurement-semaphore capacity against the
+// cluster's slot count.
+func (c *SimConfig) measureSlots(clusterSlots int) int {
+	p := c.MeasureParallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+		if clusterSlots < p {
+			p = clusterSlots
+		}
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // withDefaults fills zero fields.

@@ -1,0 +1,33 @@
+package skyline
+
+import (
+	"fmt"
+	"testing"
+
+	"mrskyline/internal/datagen"
+)
+
+// BenchmarkInsertTuple measures the Algorithm 4 window insertion every
+// mapper and reducer runs per tuple, across the distributions' extremes:
+// correlated data keeps windows tiny, anti-correlated data keeps nearly
+// everything in the window.
+func BenchmarkInsertTuple(b *testing.B) {
+	for _, dist := range []datagen.Distribution{datagen.Correlated, datagen.Independent, datagen.AntiCorrelated} {
+		for _, d := range []int{2, 6} {
+			data := datagen.Generate(dist, 2000, d, 1)
+			b.Run(fmt.Sprintf("%v/d=%d", dist, d), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					var c Count
+					window := data[:0:0]
+					for _, t := range data {
+						window = InsertTuple(t, window, &c)
+					}
+					if len(window) == 0 {
+						b.Fatal("empty skyline")
+					}
+				}
+			})
+		}
+	}
+}
