@@ -42,7 +42,9 @@ func main() {
 		asCSV   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		asJSON  = flag.Bool("json", false, "also write BENCH_<figure>.json bench records for perf trajectory tracking")
 		outdir  = flag.String("outdir", ".", "directory for -json output files")
-		mpar    = flag.Int("measurepar", 0, "concurrently measured tasks (0 = min(GOMAXPROCS, slots), 1 = serial isolation)")
+		mpar      = flag.Int("measurepar", 0, "concurrently measured tasks (0 = min(GOMAXPROCS, slots), 1 = serial isolation)")
+		faultrate = flag.Float64("faultrate", 0, "deterministic fault-injection rate for crashes/stragglers/corruption (0 = fault-free)")
+		faultseed = flag.Int64("faultseed", 0, "fault plan seed (0 = data seed; only with -faultrate > 0)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,8 @@ func main() {
 		Scale:              *scale,
 		NoSkip:             *noskip,
 		MeasureParallelism: *mpar,
+		FaultRate:          *faultrate,
+		FaultSeed:          *faultseed,
 	}
 
 	// The per-algorithm probe workload is shared by every figure's bench

@@ -31,6 +31,8 @@ func main() {
 		// per-task durations must reflect each task's work alone, free of
 		// even scheduler noise from sibling tasks.
 		measurePar = flag.Int("measurepar", 1, "concurrently measured tasks (1 = serial isolation for publishable figures, 0 = min(GOMAXPROCS, slots))")
+		faultrate  = flag.Float64("faultrate", 0, "deterministic fault-injection rate for crashes/stragglers/corruption (0 = fault-free)")
+		faultseed  = flag.Int64("faultseed", 0, "fault plan seed (0 = data seed; only with -faultrate > 0)")
 	)
 	flag.Parse()
 
@@ -56,6 +58,8 @@ func main() {
 		Scale:              *scale,
 		NoSim:              *nosim,
 		MeasureParallelism: *measurePar,
+		FaultRate:          *faultrate,
+		FaultSeed:          *faultseed,
 	}
 	if err := experiments.Report(setup, w); err != nil {
 		fmt.Fprintf(os.Stderr, "skyreport: %v\n", err)

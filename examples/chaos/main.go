@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"mrskyline/internal/cluster"
 	"mrskyline/internal/core"
@@ -81,4 +82,34 @@ func main() {
 	fmt.Printf("skyline: %d of %d tuples, verified against the sequential oracle\n", len(sky), card)
 	fmt.Printf("grid: PPD %d, %d non-empty partitions, %d after pruning, %d groups\n",
 		stats.PPD, stats.NonEmpty, stats.Surviving, stats.Groups)
+
+	// Act two: the same computation under a seeded FaultPlan — random
+	// crashes (errors and panics), straggler nodes masked by speculative
+	// execution, corrupted shuffle fetches caught by checksums, and a whole
+	// node dying mid-map-phase. The plan is fully deterministic: rerun with
+	// the same seed and the schedule replays bit-for-bit.
+	clus2, err := cluster.Uniform(5, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng2 := mapreduce.NewEngine(clus2)
+	eng2.Faults = &mapreduce.FaultPlan{
+		Seed:          42,
+		CrashRate:     0.1,
+		StragglerRate: 0.2,
+		CorruptRate:   0.2,
+		NodeFailure:   &mapreduce.NodeFailure{Node: "node3", At: 150 * time.Millisecond},
+		Speculative:   &mapreduce.SpeculativeConfig{},
+	}
+	sky2, stats2, err := core.GPMRS(core.Config{Engine: eng2, NumReducers: 4}, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !tuple.EqualAsSet(sky2, want) {
+		log.Fatalf("skyline wrong under fault plan: %d vs %d tuples", len(sky2), len(want))
+	}
+	fmt.Printf("\nfault plan seed 42: skyline identical under %d task failures, "+
+		"%d node failure(s), %d corrupted fetches, %d speculative launches (%d won)\n",
+		stats2.TaskFailures, stats2.NodeFailures, stats2.ShuffleCorruptions,
+		stats2.SpeculativeLaunched, stats2.SpeculativeWon)
 }

@@ -110,6 +110,34 @@ type Stats struct {
 	// SimulatedTotal is the simulated cluster time of the job; zero unless
 	// the engine carries a mapreduce.SimConfig.
 	SimulatedTotal time.Duration
+	// ReduceOutputRecords is the final job's reduce output record count,
+	// used by the chaos harness to check recovery did not duplicate or drop
+	// output.
+	ReduceOutputRecords int64
+	// TaskFailures, SpeculativeLaunched, SpeculativeWon, NodeFailures and
+	// ShuffleCorruptions sum the engine's fault-injection counters across
+	// the baseline's jobs; all zero without a mapreduce.FaultPlan.
+	TaskFailures        int64
+	SpeculativeLaunched int64
+	SpeculativeWon      int64
+	NodeFailures        int64
+	ShuffleCorruptions  int64
+}
+
+// addFaultCounters folds the fault-injection counters of the run's jobs
+// into the stats; the last result's reduce output count is recorded (it is
+// the job that emits the skyline).
+func (s *Stats) addFaultCounters(results ...*mapreduce.Result) {
+	for _, res := range results {
+		s.TaskFailures += res.Counters.Get(mapreduce.CounterTaskFailures)
+		s.SpeculativeLaunched += res.Counters.Get(mapreduce.CounterSpeculativeLaunched)
+		s.SpeculativeWon += res.Counters.Get(mapreduce.CounterSpeculativeWon)
+		s.NodeFailures += res.Counters.Get(mapreduce.CounterNodeFailures)
+		s.ShuffleCorruptions += res.Counters.Get(mapreduce.CounterShuffleCorruptions)
+	}
+	if len(results) > 0 {
+		s.ReduceOutputRecords = results[len(results)-1].Counters.Get(mapreduce.CounterReduceOutputRecords)
+	}
 }
 
 const counterDominanceTests = "baseline.dominance.tests"
@@ -238,7 +266,7 @@ func sortedWindows(m map[int]tuple.List) []idWindow {
 }
 
 func buildStats(name string, partitions int, sky tuple.List, res *mapreduce.Result, start time.Time) *Stats {
-	return &Stats{
+	st := &Stats{
 		Algorithm:      name,
 		Partitions:     partitions,
 		SkylineSize:    len(sky),
@@ -247,4 +275,6 @@ func buildStats(name string, partitions int, sky tuple.List, res *mapreduce.Resu
 		Total:          time.Since(start),
 		SimulatedTotal: res.SimulatedTime,
 	}
+	st.addFaultCounters(res)
+	return st
 }

@@ -247,6 +247,7 @@ func MRBitmap(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 		Total:          time.Since(start),
 		SimulatedTotal: res1.SimulatedTime + res2.SimulatedTime,
 	}
+	st.addFaultCounters(res1, res2)
 	return sky, st, nil
 }
 

@@ -276,6 +276,7 @@ func SKYMR(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 		Total:          time.Since(start),
 		SimulatedTotal: res1.SimulatedTime + res2.SimulatedTime,
 	}
+	st.addFaultCounters(res1, res2)
 	return sky, st, nil
 }
 

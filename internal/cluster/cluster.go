@@ -60,6 +60,7 @@ type Cluster struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	free map[string]int
+	down map[string]bool
 }
 
 // New creates a cluster. Every node needs a unique name and at least one
@@ -84,7 +85,7 @@ func New(nodes []Node) (*Cluster, error) {
 		}
 		free[n.Name] = n.Slots
 	}
-	c := &Cluster{nodes: append([]Node(nil), nodes...), free: free}
+	c := &Cluster{nodes: append([]Node(nil), nodes...), free: free, down: make(map[string]bool)}
 	c.cond = sync.NewCond(&c.mu)
 	return c, nil
 }
@@ -106,6 +107,44 @@ func (c *Cluster) Nodes() []string {
 		out[i] = n.Name
 	}
 	return out
+}
+
+// NodeInfo returns a copy of the node configuration (names, slots, speeds)
+// in configuration order. The virtual fault scheduler builds its slot
+// topology from this.
+func (c *Cluster) NodeInfo() []Node {
+	return append([]Node(nil), c.nodes...)
+}
+
+// SetDown marks a node dead (down = true) or repaired (down = false). Dead
+// nodes receive no new task placements; attempts already running on them
+// finish normally — the caller decides whether their results count, the way
+// a JobTracker ignores a lost tracker's output. Returns an error for
+// unknown nodes.
+func (c *Cluster) SetDown(name string, down bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.nodes {
+		if n.Name == name {
+			if down {
+				c.down[name] = true
+			} else {
+				delete(c.down, name)
+			}
+			// Placement choices may have changed; wake waiting acquires so
+			// they re-evaluate (a repair can unblock a starved job).
+			c.cond.Broadcast()
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: unknown node %q", name)
+}
+
+// IsDown reports whether the node is currently marked dead.
+func (c *Cluster) IsDown(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[name]
 }
 
 // TotalSlots returns the cluster-wide slot count.
@@ -135,8 +174,9 @@ func (c *Cluster) SlotSpeeds() []float64 {
 }
 
 // acquire blocks until a slot is free, preferring the preferred nodes and
-// avoiding the nodes in avoid (unless only avoided nodes exist). It returns
-// the chosen node name and whether the placement was local.
+// avoiding the nodes in avoid (unless only avoided nodes exist). Dead nodes
+// are never chosen. It returns the chosen node name and whether the
+// placement was local.
 func (c *Cluster) acquire(preferred []string, avoid map[string]bool, aborted *bool) (string, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -146,7 +186,7 @@ func (c *Cluster) acquire(preferred []string, avoid map[string]bool, aborted *bo
 		}
 		// Preferred node with a free slot?
 		for _, p := range preferred {
-			if avoid[p] {
+			if avoid[p] || c.down[p] {
 				continue
 			}
 			if c.free[p] > 0 {
@@ -156,7 +196,12 @@ func (c *Cluster) acquire(preferred []string, avoid map[string]bool, aborted *bo
 		}
 		// Any non-avoided node with a free slot (configuration order for
 		// determinism of the choice set, not of timing).
+		alive := 0
 		for _, n := range c.nodes {
+			if c.down[n.Name] {
+				continue
+			}
+			alive++
 			if avoid[n.Name] {
 				continue
 			}
@@ -165,9 +210,12 @@ func (c *Cluster) acquire(preferred []string, avoid map[string]bool, aborted *bo
 				return n.Name, false, nil
 			}
 		}
-		// Everything usable is busy — or everything is avoided; in the
+		if alive == 0 {
+			return "", false, errNoAliveNodes
+		}
+		// Everything usable is busy — or every alive node is avoided; in the
 		// latter case relax the avoid set rather than deadlock.
-		if len(avoid) >= len(c.nodes) {
+		if len(avoid) >= alive {
 			for n := range avoid {
 				delete(avoid, n)
 			}
@@ -184,7 +232,24 @@ func (c *Cluster) release(node string) {
 	c.mu.Unlock()
 }
 
-var errAborted = errors.New("cluster: job aborted after failure")
+var (
+	errAborted      = errors.New("cluster: job aborted after failure")
+	errNoAliveNodes = errors.New("cluster: no alive nodes")
+)
+
+// runAttempt executes one task attempt with the slot released on every exit
+// path and panics converted to errors, so a panicking mapper or reducer
+// flows through the same retry machinery as a returned error instead of
+// leaking the slot and killing the process.
+func runAttempt(task *Task, node string, release func(string)) (err error) {
+	defer release(node)
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("task %q panicked on %s: %v", task.Name, node, p)
+		}
+	}()
+	return task.Run(node)
+}
 
 // Run executes all tasks, each allowed maxAttempts attempts (min 1). It
 // returns the first task error once every started task has finished, or
@@ -237,12 +302,18 @@ func (c *Cluster) Run(tasks []Task, maxAttempts int, stats *Stats) error {
 			var lastErr error
 			for attempt := 1; attempt <= maxAttempts; attempt++ {
 				node, local, err := c.acquire(task.Preferred, avoid, &aborted)
-				if err != nil {
+				if err == errAborted {
 					return // job already failed elsewhere
 				}
+				if err != nil {
+					fail(fmt.Errorf("cluster: task %q: %w", task.Name, err))
+					return
+				}
+				// Exactly one Stats record per started attempt; runAttempt
+				// releases the slot on every exit path (including panics), so
+				// PerNode counts stay in lockstep with TasksRun.
 				record(node, local, attempt > 1)
-				lastErr = task.Run(node)
-				c.release(node)
+				lastErr = runAttempt(&task, node, c.release)
 				if lastErr == nil {
 					return
 				}

@@ -3,6 +3,7 @@ package cluster_test
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -298,5 +299,165 @@ func TestSlotSpeedsDefault(t *testing.T) {
 		if s != 1 {
 			t.Fatalf("default speed = %v", s)
 		}
+	}
+}
+
+// TestPerNodeAttemptAccounting pins the attempt-accounting invariant: the
+// PerNode counts must sum exactly to TasksRun, with every started attempt —
+// first tries, error retries and panic retries alike — counted exactly once
+// on the node that ran it.
+func TestPerNodeAttemptAccounting(t *testing.T) {
+	c, err := cluster.New([]cluster.Node{
+		{Name: "n0", Slots: 1},
+		{Name: "n1", Slots: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	tasks := []cluster.Task{
+		{Name: "clean", Run: func(string) error { calls.Add(1); return nil }},
+		{Name: "error-retry", Run: func() func(string) error {
+			var n atomic.Int64
+			return func(string) error {
+				calls.Add(1)
+				if n.Add(1) == 1 {
+					return errors.New("first attempt fails")
+				}
+				return nil
+			}
+		}()},
+		{Name: "panic-retry", Run: func() func(string) error {
+			var n atomic.Int64
+			return func(string) error {
+				calls.Add(1)
+				if n.Add(1) == 1 {
+					panic("first attempt panics")
+				}
+				return nil
+			}
+		}()},
+	}
+	var stats cluster.Stats
+	if err := c.Run(tasks, 3, &stats); err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	// 3 tasks + 2 retries = 5 started attempts.
+	if stats.TasksRun != 5 {
+		t.Errorf("TasksRun = %d, want 5", stats.TasksRun)
+	}
+	if got := calls.Load(); got != 5 {
+		t.Errorf("Run invocations = %d, want 5", got)
+	}
+	var perNodeSum int64
+	for _, n := range stats.PerNode {
+		perNodeSum += n
+	}
+	if perNodeSum != stats.TasksRun {
+		t.Errorf("PerNode sums to %d but TasksRun = %d; attempts double- or under-counted", perNodeSum, stats.TasksRun)
+	}
+	if stats.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", stats.Retries)
+	}
+}
+
+// TestTaskPanicRetries: a panicking Task.Run must release its slot and
+// count as a failed attempt (this used to crash the whole process and leak
+// the slot), so the task retries elsewhere and the job completes.
+func TestTaskPanicRetries(t *testing.T) {
+	c, err := cluster.Uniform(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attempts atomic.Int64
+	tasks := []cluster.Task{{
+		Name: "panicky",
+		Run: func(node string) error {
+			if attempts.Add(1) == 1 {
+				panic("boom")
+			}
+			return nil
+		},
+	}}
+	if err := c.Run(tasks, 2, nil); err != nil {
+		t.Fatalf("panicking first attempt was not retried: %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+	// The slot leaked if a follow-up job cannot run on the same cluster.
+	if err := c.Run([]cluster.Task{
+		{Name: "a", Run: func(string) error { return nil }},
+		{Name: "b", Run: func(string) error { return nil }},
+	}, 1, nil); err != nil {
+		t.Fatalf("cluster unusable after panic recovery: %v", err)
+	}
+
+	// A panic on every attempt must exhaust the budget with a clean error.
+	always := []cluster.Task{{
+		Name: "cursed",
+		Run:  func(string) error { panic("always") },
+	}}
+	err = c.Run(always, 2, nil)
+	if err == nil {
+		t.Fatal("always-panicking task reported success")
+	}
+	if !strings.Contains(err.Error(), "failed after 2 attempts") {
+		t.Errorf("error %q does not report the attempt budget", err)
+	}
+}
+
+// TestSetDown: dead nodes receive no placements; repairs restore them;
+// unknown names error.
+func TestSetDown(t *testing.T) {
+	c, err := cluster.Uniform(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDown("nope", true); err == nil {
+		t.Error("SetDown accepted an unknown node")
+	}
+	if err := c.SetDown("node1", true); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsDown("node1") {
+		t.Error("node1 not reported down")
+	}
+	var mu sync.Mutex
+	placed := map[string]int{}
+	tasks := make([]cluster.Task, 6)
+	for i := range tasks {
+		tasks[i] = cluster.Task{Name: fmt.Sprintf("t%d", i), Run: func(node string) error {
+			mu.Lock()
+			placed[node]++
+			mu.Unlock()
+			return nil
+		}}
+	}
+	if err := c.Run(tasks, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if placed["node1"] != 0 {
+		t.Errorf("dead node1 received %d placements", placed["node1"])
+	}
+	if err := c.SetDown("node1", false); err != nil {
+		t.Fatal(err)
+	}
+	if c.IsDown("node1") {
+		t.Error("node1 still down after repair")
+	}
+
+	// With every node down, a job must fail fast instead of deadlocking.
+	for _, n := range c.Nodes() {
+		if err := c.SetDown(n, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = c.Run([]cluster.Task{{Name: "stuck", Run: func(string) error { return nil }}}, 1, nil)
+	if err == nil {
+		t.Fatal("job on an all-dead cluster reported success")
+	}
+	if !strings.Contains(err.Error(), "no alive nodes") {
+		t.Errorf("error %q does not report dead cluster", err)
 	}
 }

@@ -177,6 +177,27 @@ type Stats struct {
 	DominanceTests int64
 	// ShuffleBytes is the total key+value volume shuffled by all jobs.
 	ShuffleBytes int64
+	// ReduceOutputRecords is the skyline job's reduce output record count
+	// (mapreduce.CounterReduceOutputRecords). The chaos harness compares it
+	// between faulty and fault-free runs: recovery must not duplicate or
+	// drop output.
+	ReduceOutputRecords int64
+
+	// Fault-injection telemetry, summed over both jobs; all zero unless the
+	// engine carries a mapreduce.FaultPlan.
+
+	// TaskFailures counts failed task attempts (injected crashes and task
+	// errors).
+	TaskFailures int64
+	// SpeculativeLaunched / SpeculativeWon count speculative duplicate
+	// attempts launched and races the duplicate won.
+	SpeculativeLaunched int64
+	SpeculativeWon      int64
+	// NodeFailures counts whole-node deaths during the run.
+	NodeFailures int64
+	// ShuffleCorruptions counts shuffle segments refetched after checksum
+	// mismatch.
+	ShuffleCorruptions int64
 
 	// BitstringTime covers PPD selection and/or bitstring generation;
 	// SkylineTime covers the skyline job; Total is their sum. All three

@@ -172,15 +172,20 @@ func decodeTupleOutput(recs []mapreduce.Record) (tuple.List, error) {
 // statsFromPrep seeds a Stats from the bitstring phase.
 func statsFromPrep(algo string, prep *BitstringResult) *Stats {
 	return &Stats{
-		Algorithm:      algo,
-		PPD:            prep.PPD,
-		AutoPPD:        prep.AutoPPD,
-		Partitions:     prep.Grid.NumPartitions(),
-		NonEmpty:       prep.NonEmpty,
-		Surviving:      prep.Bitstring.Count(),
-		ShuffleBytes:   prep.Job.Counters.Get(mapreduce.CounterShuffleBytes),
-		BitstringTime:  prep.Job.MapTime + prep.Job.ReduceTime,
-		SimulatedTotal: prep.Job.SimulatedTime,
+		Algorithm:           algo,
+		PPD:                 prep.PPD,
+		AutoPPD:             prep.AutoPPD,
+		Partitions:          prep.Grid.NumPartitions(),
+		NonEmpty:            prep.NonEmpty,
+		Surviving:           prep.Bitstring.Count(),
+		ShuffleBytes:        prep.Job.Counters.Get(mapreduce.CounterShuffleBytes),
+		BitstringTime:       prep.Job.MapTime + prep.Job.ReduceTime,
+		SimulatedTotal:      prep.Job.SimulatedTime,
+		TaskFailures:        prep.Job.Counters.Get(mapreduce.CounterTaskFailures),
+		SpeculativeLaunched: prep.Job.Counters.Get(mapreduce.CounterSpeculativeLaunched),
+		SpeculativeWon:      prep.Job.Counters.Get(mapreduce.CounterSpeculativeWon),
+		NodeFailures:        prep.Job.Counters.Get(mapreduce.CounterNodeFailures),
+		ShuffleCorruptions:  prep.Job.Counters.Get(mapreduce.CounterShuffleCorruptions),
 	}
 }
 
@@ -191,6 +196,12 @@ func finishStats(st *Stats, prep *BitstringResult, res *mapreduce.Result, sky tu
 	st.ReducerPartCmpMax = res.Counters.GetMax(counterPartCmpReduceMax)
 	st.DominanceTests = res.Counters.Get(counterDominanceTests)
 	st.ShuffleBytes += res.Counters.Get(mapreduce.CounterShuffleBytes)
+	st.ReduceOutputRecords = res.Counters.Get(mapreduce.CounterReduceOutputRecords)
+	st.TaskFailures += res.Counters.Get(mapreduce.CounterTaskFailures)
+	st.SpeculativeLaunched += res.Counters.Get(mapreduce.CounterSpeculativeLaunched)
+	st.SpeculativeWon += res.Counters.Get(mapreduce.CounterSpeculativeWon)
+	st.NodeFailures += res.Counters.Get(mapreduce.CounterNodeFailures)
+	st.ShuffleCorruptions += res.Counters.Get(mapreduce.CounterShuffleCorruptions)
 	st.SkylineTime = time.Since(skyStart)
 	st.Total = time.Since(start)
 	st.SimulatedTotal += res.SimulatedTime

@@ -53,6 +53,13 @@ type Measurement struct {
 	ReducerPartCmp int64
 	DominanceTests int64
 	ShuffleBytes   int64
+	// Fault-injection telemetry; all zero unless the setup ran with a
+	// FaultRate.
+	TaskFailures        int64
+	SpeculativeLaunched int64
+	SpeculativeWon      int64
+	NodeFailures        int64
+	ShuffleCorruptions  int64
 }
 
 // measureOpts tweaks a single run beyond the Setup defaults.
@@ -113,15 +120,20 @@ func runAlgorithm(name string, s Setup, data tupleList, opts measureOpts) (Measu
 			runtime = st.SimulatedTotal
 		}
 		return Measurement{
-			Algo:           st.Algorithm,
-			Runtime:        runtime,
-			WallTime:       st.Total,
-			SkylineSize:    st.SkylineSize,
-			PPD:            st.PPD,
-			MapperPartCmp:  st.MapperPartCmpMax,
-			ReducerPartCmp: st.ReducerPartCmpMax,
-			DominanceTests: st.DominanceTests,
-			ShuffleBytes:   st.ShuffleBytes,
+			Algo:                st.Algorithm,
+			Runtime:             runtime,
+			WallTime:            st.Total,
+			SkylineSize:         st.SkylineSize,
+			PPD:                 st.PPD,
+			MapperPartCmp:       st.MapperPartCmpMax,
+			ReducerPartCmp:      st.ReducerPartCmpMax,
+			DominanceTests:      st.DominanceTests,
+			ShuffleBytes:        st.ShuffleBytes,
+			TaskFailures:        st.TaskFailures,
+			SpeculativeLaunched: st.SpeculativeLaunched,
+			SpeculativeWon:      st.SpeculativeWon,
+			NodeFailures:        st.NodeFailures,
+			ShuffleCorruptions:  st.ShuffleCorruptions,
 		}, nil
 
 	case AlgoBNL, AlgoSFS, AlgoAngle, AlgoSKYMR:
@@ -148,12 +160,17 @@ func runAlgorithm(name string, s Setup, data tupleList, opts measureOpts) (Measu
 			runtime = st.SimulatedTotal
 		}
 		return Measurement{
-			Algo:           st.Algorithm,
-			Runtime:        runtime,
-			WallTime:       st.Total,
-			SkylineSize:    st.SkylineSize,
-			DominanceTests: st.DominanceTests,
-			ShuffleBytes:   st.ShuffleBytes,
+			Algo:                st.Algorithm,
+			Runtime:             runtime,
+			WallTime:            st.Total,
+			SkylineSize:         st.SkylineSize,
+			DominanceTests:      st.DominanceTests,
+			ShuffleBytes:        st.ShuffleBytes,
+			TaskFailures:        st.TaskFailures,
+			SpeculativeLaunched: st.SpeculativeLaunched,
+			SpeculativeWon:      st.SpeculativeWon,
+			NodeFailures:        st.NodeFailures,
+			ShuffleCorruptions:  st.ShuffleCorruptions,
 		}, nil
 
 	default:

@@ -26,6 +26,10 @@ type BenchRecord struct {
 	SlotsPerNode       int     `json:"slots_per_node"`
 	Seed               int64   `json:"seed"`
 	MeasureParallelism int     `json:"measure_parallelism"`
+	// FaultSeed/FaultRate echo the fault-injection knobs (0 = fault-free
+	// run), so chaos benches never get compared against clean baselines.
+	FaultSeed int64   `json:"fault_seed,omitempty"`
+	FaultRate float64 `json:"fault_rate,omitempty"`
 	// WallNs is host wall-clock for the full figure (ns/op at -benchtime=1x).
 	WallNs int64 `json:"wall_ns"`
 	// Allocs and AllocBytes are the heap mallocs and bytes the figure run
@@ -55,6 +59,12 @@ type AlgoProbe struct {
 	ShuffleBytes   int64   `json:"shuffle_bytes"`
 	DominanceTests int64   `json:"dominance_tests"`
 	SkylineSize    int     `json:"skyline_size"`
+	// Fault-injection telemetry (omitted on fault-free runs).
+	TaskFailures        int64 `json:"task_failures,omitempty"`
+	SpeculativeLaunched int64 `json:"speculative_launched,omitempty"`
+	SpeculativeWon      int64 `json:"speculative_won,omitempty"`
+	NodeFailures        int64 `json:"node_failures,omitempty"`
+	ShuffleCorruptions  int64 `json:"shuffle_corruptions,omitempty"`
 }
 
 // RunFigureBench regenerates one figure while measuring host wall time and
@@ -79,6 +89,8 @@ func RunFigureBench(name string, s Setup) (*BenchRecord, *FigureResult, error) {
 		SlotsPerNode:       s.SlotsPerNode,
 		Seed:               s.Seed,
 		MeasureParallelism: s.MeasureParallelism,
+		FaultSeed:          s.FaultSeed,
+		FaultRate:          s.FaultRate,
 		WallNs:             wall.Nanoseconds(),
 		Allocs:             after.Mallocs - before.Mallocs,
 		AllocBytes:         after.TotalAlloc - before.TotalAlloc,
@@ -109,12 +121,17 @@ func ProbeAlgorithms(s Setup) ([]AlgoProbe, error) {
 			return nil, fmt.Errorf("experiments: probing %s: %w", algo, err)
 		}
 		out = append(out, AlgoProbe{
-			Algorithm:      m.Algo,
-			SimulatedSec:   m.Runtime.Seconds(),
-			WallSec:        m.WallTime.Seconds(),
-			ShuffleBytes:   m.ShuffleBytes,
-			DominanceTests: m.DominanceTests,
-			SkylineSize:    m.SkylineSize,
+			Algorithm:           m.Algo,
+			SimulatedSec:        m.Runtime.Seconds(),
+			WallSec:             m.WallTime.Seconds(),
+			ShuffleBytes:        m.ShuffleBytes,
+			DominanceTests:      m.DominanceTests,
+			SkylineSize:         m.SkylineSize,
+			TaskFailures:        m.TaskFailures,
+			SpeculativeLaunched: m.SpeculativeLaunched,
+			SpeculativeWon:      m.SpeculativeWon,
+			NodeFailures:        m.NodeFailures,
+			ShuffleCorruptions:  m.ShuffleCorruptions,
 		})
 	}
 	return out, nil

@@ -65,6 +65,15 @@ type Setup struct {
 	// paper's exact heterogeneous machine mix (twelve 2.8 GHz nodes plus
 	// one 2.13 GHz node), honouring SlotsPerNode.
 	PaperCluster bool
+	// FaultRate, when positive, runs every job under a deterministic
+	// mapreduce.FaultPlan: the rate is used for per-attempt crashes,
+	// per-node stragglers and shuffle-segment corruption, with speculative
+	// execution enabled. Jobs then execute on the engine's virtual fault
+	// clock, so results are reproducible bit-for-bit from FaultSeed.
+	FaultRate float64
+	// FaultSeed seeds the fault plan (only meaningful with FaultRate > 0);
+	// 0 uses the data seed.
+	FaultSeed int64
 }
 
 // DefaultScale is the default cardinality scale factor: 2×10⁶ becomes
@@ -109,6 +118,19 @@ func (s Setup) newEngine() (*mapreduce.Engine, error) {
 			JobSetup:           s.SimJobSetup,
 			NetBandwidth:       s.SimBandwidth,
 			MeasureParallelism: s.MeasureParallelism,
+		}
+	}
+	if s.FaultRate > 0 {
+		seed := s.FaultSeed
+		if seed == 0 {
+			seed = s.Seed
+		}
+		eng.Faults = &mapreduce.FaultPlan{
+			Seed:          seed,
+			CrashRate:     s.FaultRate,
+			StragglerRate: s.FaultRate,
+			CorruptRate:   s.FaultRate,
+			Speculative:   &mapreduce.SpeculativeConfig{},
 		}
 	}
 	return eng, nil

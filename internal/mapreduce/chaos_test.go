@@ -1,0 +1,450 @@
+package mapreduce_test
+
+// Chaos harness for the deterministic fault-injection subsystem. The core
+// contract under test: for every seeded FaultPlan, a job either fails
+// cleanly (every attempt on record, MaxAttempts respected) or produces
+// output and counters byte-identical to the fault-free run — recovery never
+// duplicates, drops or reorders work. And the same seed reproduces the same
+// execution bit-for-bit: History, counters, per-node placements.
+//
+// The CHAOS_SEED environment variable (CI runs a small matrix of values)
+// offsets every seed in the sweep so different CI legs explore different
+// fault schedules without any test code changes.
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mrskyline/internal/cluster"
+	"mrskyline/internal/core"
+	"mrskyline/internal/datagen"
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/tuple"
+)
+
+// chaosSeedOffset shifts every plan seed in the sweep tests; CI sets
+// CHAOS_SEED per matrix leg.
+func chaosSeedOffset() int64 {
+	v := os.Getenv("CHAOS_SEED")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n * 1_000_003
+}
+
+// chaosPlan builds the sweep's fault mix for one seed: crashes (both
+// flavors), stragglers, shuffle corruption, speculation, and — every fifth
+// seed — a whole-node death mid-map-phase.
+func chaosPlan(seed int64) *mapreduce.FaultPlan {
+	plan := &mapreduce.FaultPlan{
+		Seed:          seed,
+		CrashRate:     0.15,
+		StragglerRate: 0.2,
+		CorruptRate:   0.1,
+		Speculative:   &mapreduce.SpeculativeConfig{},
+	}
+	if seed%5 == 0 {
+		plan.NodeFailure = &mapreduce.NodeFailure{Node: "node1", At: 150 * time.Millisecond}
+	}
+	return plan
+}
+
+func newFaultyCoreConfig(t *testing.T, plan *mapreduce.FaultPlan) core.Config {
+	t.Helper()
+	c, err := cluster.Uniform(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := mapreduce.NewEngine(c)
+	eng.Faults = plan
+	return core.Config{Engine: eng, PPD: 4}
+}
+
+func sameSkyline(a, b tuple.List) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChaosSkylineAlgorithms is the property sweep: MR-GPSRS and MR-GPMRS
+// end-to-end under 50 seeded fault plans each. Every run must either fail
+// cleanly after exhausting MaxAttempts or produce a skyline and reduce
+// output count identical to the fault-free run.
+func TestChaosSkylineAlgorithms(t *testing.T) {
+	data := datagen.Generate(datagen.Independent, 400, 3, 42)
+
+	type algo struct {
+		name string
+		run  func(cfg core.Config) (tuple.List, *core.Stats, error)
+	}
+	algos := []algo{
+		{"MR-GPSRS", func(cfg core.Config) (tuple.List, *core.Stats, error) { return core.GPSRS(cfg, data) }},
+		{"MR-GPMRS", func(cfg core.Config) (tuple.List, *core.Stats, error) { return core.GPMRS(cfg, data) }},
+	}
+	offset := chaosSeedOffset()
+
+	for _, a := range algos {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			wantSky, wantStats, err := a.run(newFaultyCoreConfig(t, nil))
+			if err != nil {
+				t.Fatalf("fault-free run: %v", err)
+			}
+			failed, succeeded := 0, 0
+			for seed := int64(1); seed <= 50; seed++ {
+				sky, stats, err := a.run(newFaultyCoreConfig(t, chaosPlan(offset+seed)))
+				if err != nil {
+					// A clean failure must come from MaxAttempts exhaustion.
+					if !strings.Contains(err.Error(), "failed after") {
+						t.Fatalf("seed %d: unexpected error shape: %v", seed, err)
+					}
+					failed++
+					continue
+				}
+				succeeded++
+				if !sameSkyline(sky, wantSky) {
+					t.Errorf("seed %d: skyline differs from fault-free run (%d vs %d tuples)", seed, len(sky), len(wantSky))
+				}
+				if stats.ReduceOutputRecords != wantStats.ReduceOutputRecords {
+					t.Errorf("seed %d: reduce output records = %d, want %d",
+						seed, stats.ReduceOutputRecords, wantStats.ReduceOutputRecords)
+				}
+			}
+			t.Logf("%s: %d succeeded, %d failed cleanly", a.name, succeeded, failed)
+			if succeeded == 0 {
+				t.Error("every seed failed; sweep exercised nothing")
+			}
+		})
+	}
+}
+
+// chaosWordCount runs the word-count job under the given plan with
+// simulated time on a heterogeneous cluster, returning the full result.
+func chaosWordCount(t *testing.T, plan *mapreduce.FaultPlan) (*mapreduce.Result, error) {
+	t.Helper()
+	c, err := cluster.New([]cluster.Node{
+		{Name: "alpha", Slots: 2, Speed: 1},
+		{Name: "beta", Slots: 2, Speed: 1},
+		{Name: "gamma", Slots: 2, Speed: 0.76},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := mapreduce.NewEngine(c)
+	eng.Faults = plan
+	eng.Sim = &mapreduce.SimConfig{}
+	input := []string{
+		"the quick brown fox jumps over the lazy dog",
+		"pack my box with five dozen liquor jugs",
+		"how vexingly quick daft zebras jump",
+		"sphinx of black quartz judge my vow",
+		"the five boxing wizards jump quickly",
+		"jackdaws love my big sphinx of quartz",
+	}
+	return eng.Run(wordCountJob(input, 8, 3))
+}
+
+// TestChaosDeterminism: identical seeds reproduce the execution
+// bit-for-bit — History, counter snapshot, per-node placements, simulated
+// time — while different seeds produce different schedules.
+func TestChaosDeterminism(t *testing.T) {
+	plan := func(seed int64) *mapreduce.FaultPlan {
+		return &mapreduce.FaultPlan{
+			Seed:          seed,
+			CrashRate:     0.25,
+			StragglerRate: 0.3,
+			CorruptRate:   0.2,
+			Speculative:   &mapreduce.SpeculativeConfig{},
+			NodeFailure:   &mapreduce.NodeFailure{Node: "beta", At: 1800 * time.Millisecond},
+		}
+	}
+
+	// Find a seed whose run survives the aggressive fault mix (a clean
+	// failure is valid chaos behaviour but useless here), then demand
+	// bit-identical replays of it.
+	var (
+		seed  int64
+		first *mapreduce.Result
+	)
+	for offset := int64(0); offset < 20; offset++ {
+		s := chaosSeedOffset() + 7 + offset
+		res, err := chaosWordCount(t, plan(s))
+		if err == nil {
+			seed, first = s, res
+			break
+		}
+	}
+	if first == nil {
+		t.Fatal("no seed in the probe window survives the fault mix")
+	}
+	second, err := chaosWordCount(t, plan(seed))
+	if err != nil {
+		t.Fatalf("seed %d survived once and failed on replay: %v", seed, err)
+	}
+
+	if !reflect.DeepEqual(first.History.Records(), second.History.Records()) {
+		t.Errorf("History differs between identical-seed runs:\nrun1: %+v\nrun2: %+v",
+			first.History.Records(), second.History.Records())
+	}
+	if !reflect.DeepEqual(first.Counters.Snapshot(), second.Counters.Snapshot()) {
+		t.Errorf("counters differ between identical-seed runs:\nrun1: %+v\nrun2: %+v",
+			first.Counters.Snapshot(), second.Counters.Snapshot())
+	}
+	if !reflect.DeepEqual(first.ClusterStats.PerNode, second.ClusterStats.PerNode) {
+		t.Errorf("per-node placements differ: %v vs %v",
+			first.ClusterStats.PerNode, second.ClusterStats.PerNode)
+	}
+	if first.SimulatedTime != second.SimulatedTime {
+		t.Errorf("simulated time differs: %v vs %v", first.SimulatedTime, second.SimulatedTime)
+	}
+	if !reflect.DeepEqual(countsFromResult(first), countsFromResult(second)) {
+		t.Error("output differs between identical-seed runs")
+	}
+
+	// A different seed must produce a different schedule (the fault mix is
+	// aggressive enough that identical histories would mean the seed is
+	// being ignored).
+	other, err := chaosWordCount(t, plan(seed+1))
+	if err == nil && reflect.DeepEqual(first.History.Records(), other.History.Records()) {
+		t.Error("different seeds produced identical histories; plan seed appears unused")
+	}
+}
+
+// TestChaosMaxAttemptsExhaustion: with CrashRate 1 every attempt crashes;
+// the job must fail cleanly with the attempt budget in the message and a
+// History carrying every attempt of the exhausted task.
+func TestChaosMaxAttemptsExhaustion(t *testing.T) {
+	e := newEngine(t, 3, 2)
+	e.Faults = &mapreduce.FaultPlan{Seed: 1, CrashRate: 1}
+	job := wordCountJob([]string{"a b c", "d e f"}, 2, 1)
+	job.MaxAttempts = 3
+
+	res, err := e.Run(job)
+	if err == nil {
+		t.Fatal("expected the job to fail with every attempt crashing")
+	}
+	if !strings.Contains(err.Error(), "failed after 3 attempts") {
+		t.Fatalf("error %q does not report the attempt budget", err)
+	}
+	if res == nil {
+		t.Fatal("failing run returned no partial result")
+	}
+	// The exhausted task must have all three attempts on record, each with
+	// an error and increasing attempt numbers.
+	byTask := map[int][]mapreduce.TaskRecord{}
+	for _, r := range res.History.Records() {
+		if r.Phase == mapreduce.PhaseMap {
+			byTask[r.TaskID] = append(byTask[r.TaskID], r)
+		}
+	}
+	exhausted := false
+	for id, recs := range byTask {
+		if len(recs) != 3 {
+			continue
+		}
+		exhausted = true
+		for i, r := range recs {
+			if r.Attempt != i+1 {
+				t.Errorf("task %d record %d: attempt = %d, want %d", id, i, r.Attempt, i+1)
+			}
+			if r.Err == "" {
+				t.Errorf("task %d attempt %d: crashed attempt has no Err", id, r.Attempt)
+			}
+		}
+	}
+	if !exhausted {
+		t.Errorf("no map task shows 3 recorded attempts; history: %+v", res.History.Records())
+	}
+}
+
+// TestChaosSpeculativeExecution: a slow node stragglers its tasks; the
+// scheduler must launch duplicates, the duplicate must win at least once,
+// and output must be unaffected.
+func TestChaosSpeculativeExecution(t *testing.T) {
+	c, err := cluster.New([]cluster.Node{
+		{Name: "fast0", Slots: 2, Speed: 1},
+		{Name: "fast1", Slots: 2, Speed: 1},
+		{Name: "slow", Slots: 2, Speed: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := mapreduce.NewEngine(c)
+	eng.Faults = &mapreduce.FaultPlan{
+		Seed:        3,
+		Speculative: &mapreduce.SpeculativeConfig{},
+	}
+	input := []string{"a b", "c d", "e f", "g h", "i j", "k l", "m n", "o p", "q r", "s t"}
+	res, err := eng.Run(wordCountJob(input, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	launched := res.Counters.Get(mapreduce.CounterSpeculativeLaunched)
+	won := res.Counters.Get(mapreduce.CounterSpeculativeWon)
+	if launched == 0 {
+		t.Fatalf("no speculative attempts launched; history: %+v", res.History.Records())
+	}
+	if won == 0 {
+		t.Errorf("speculative duplicates never won (launched %d); a 5x-slow node should lose the race", launched)
+	}
+	specRecords, killedRecords := 0, 0
+	for _, r := range res.History.Records() {
+		if r.Speculative {
+			specRecords++
+		}
+		if r.Killed {
+			killedRecords++
+		}
+	}
+	if int64(specRecords) < launched {
+		t.Errorf("history shows %d speculative records for %d launches", specRecords, launched)
+	}
+	if killedRecords == 0 {
+		t.Error("no killed attempts recorded; every speculative race must kill its loser")
+	}
+
+	want := map[string]int{}
+	for _, line := range input {
+		for _, w := range strings.Fields(line) {
+			want[w]++
+		}
+	}
+	if got := countsFromResult(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("output under speculation = %v, want %v", got, want)
+	}
+}
+
+// TestChaosNodeDeath: a node dies mid-map-phase. Its running attempts are
+// killed, its completed map tasks re-execute elsewhere (map output dies
+// with the node, Hadoop semantics), and the job's output is identical to
+// the fault-free run.
+func TestChaosNodeDeath(t *testing.T) {
+	input := make([]string, 12)
+	for i := range input {
+		input[i] = fmt.Sprintf("w%d w%d common", i, (i+1)%12)
+	}
+	run := func(plan *mapreduce.FaultPlan) *mapreduce.Result {
+		t.Helper()
+		e := newEngine(t, 3, 2)
+		e.Faults = plan
+		res, err := e.Run(wordCountJob(input, 12, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	clean := run(&mapreduce.FaultPlan{Seed: 9})
+	res := run(&mapreduce.FaultPlan{
+		Seed:        9,
+		NodeFailure: &mapreduce.NodeFailure{Node: "node0", At: 150 * time.Millisecond},
+	})
+
+	if got := res.Counters.Get(mapreduce.CounterNodeFailures); got != 1 {
+		t.Errorf("node failures = %d, want 1", got)
+	}
+	// 12 tasks on 6 slots run in two waves of ~100ms each: at 150ms node0
+	// has committed wave-1 maps (re-executed after death) and is running
+	// wave-2 attempts (killed).
+	reExecuted, killed := 0, 0
+	success := map[int]int{}
+	for _, r := range res.History.Records() {
+		if r.Phase != mapreduce.PhaseMap {
+			continue
+		}
+		if r.Killed {
+			killed++
+			if r.Node != "node0" {
+				t.Errorf("attempt killed on %s; only node0 died", r.Node)
+			}
+			continue
+		}
+		if r.Err == "" {
+			success[r.TaskID]++
+		}
+	}
+	for _, n := range success {
+		if n > 1 {
+			reExecuted++
+		}
+	}
+	if reExecuted == 0 {
+		t.Errorf("no map task was re-executed after node death; history: %+v", res.History.Records())
+	}
+	if killed == 0 {
+		t.Errorf("no attempt was killed by the node death; history: %+v", res.History.Records())
+	}
+	// No attempt may start on the dead node after its death.
+	if !reflect.DeepEqual(countsFromResult(res), countsFromResult(clean)) {
+		t.Error("output after node death differs from fault-free run")
+	}
+}
+
+// TestChaosShuffleCorruption: with CorruptRate 1 every non-empty segment's
+// first fetch is corrupted; the checksum must catch each one, the refetch
+// must recover, and the output must be identical to the fault-free run.
+func TestChaosShuffleCorruption(t *testing.T) {
+	input := []string{"a b c d", "b c d e", "c d e f"}
+	run := func(plan *mapreduce.FaultPlan) *mapreduce.Result {
+		t.Helper()
+		e := newEngine(t, 3, 2)
+		e.Faults = plan
+		res, err := e.Run(wordCountJob(input, 3, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	clean := run(&mapreduce.FaultPlan{Seed: 5})
+	res := run(&mapreduce.FaultPlan{Seed: 5, CorruptRate: 1})
+
+	if got := res.Counters.Get(mapreduce.CounterShuffleCorruptions); got == 0 {
+		t.Fatal("no shuffle corruptions detected at CorruptRate 1")
+	}
+	if !reflect.DeepEqual(countsFromResult(res), countsFromResult(clean)) {
+		t.Error("output after corruption recovery differs from clean run")
+	}
+	if clean.Counters.Get(mapreduce.CounterShuffleCorruptions) != 0 {
+		t.Error("corruption-free plan recorded corruptions")
+	}
+}
+
+// TestChaosFaultFreePlanIsNoop: a nil FaultPlan must leave the concurrent
+// engine path untouched — counters carry no fault counter names at all.
+func TestChaosFaultFreePlanIsNoop(t *testing.T) {
+	e := newEngine(t, 3, 2)
+	res, err := e.Run(wordCountJob([]string{"x y", "y z"}, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cv := range res.Counters.Snapshot() {
+		switch cv.Name {
+		case mapreduce.CounterTaskFailures, mapreduce.CounterSpeculativeLaunched,
+			mapreduce.CounterSpeculativeWon, mapreduce.CounterNodeFailures,
+			mapreduce.CounterShuffleCorruptions:
+			t.Errorf("fault-free run created fault counter %q", cv.Name)
+		}
+	}
+	for _, r := range res.History.Records() {
+		if r.Speculative || r.Killed {
+			t.Errorf("fault-free run produced speculative/killed record: %+v", r)
+		}
+	}
+}

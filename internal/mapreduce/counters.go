@@ -20,6 +20,25 @@ const (
 	CounterReduceInputRecords = "reduce.input.records"
 	// CounterReduceOutputRecords counts key-value pairs emitted by reducers.
 	CounterReduceOutputRecords = "reduce.output.records"
+
+	// Fault-injection and recovery counters, maintained only when the
+	// engine carries a FaultPlan (fault-free runs never create them, so
+	// their counter snapshots are unchanged).
+
+	// CounterTaskFailures counts failed task attempts (crashes and genuine
+	// task errors; killed attempts are excluded).
+	CounterTaskFailures = "task.failures"
+	// CounterSpeculativeLaunched counts speculative duplicate attempts
+	// launched.
+	CounterSpeculativeLaunched = "task.speculative.launched"
+	// CounterSpeculativeWon counts tasks where the speculative duplicate
+	// finished before the original.
+	CounterSpeculativeWon = "task.speculative.won"
+	// CounterNodeFailures counts whole-node failures during the job.
+	CounterNodeFailures = "node.failures"
+	// CounterShuffleCorruptions counts shuffle segments whose first fetch
+	// failed checksum verification and were refetched.
+	CounterShuffleCorruptions = "shuffle.corruptions"
 )
 
 // Counters is a set of named int64 counters with two aggregation modes:

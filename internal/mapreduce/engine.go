@@ -84,13 +84,23 @@ type Result struct {
 type Engine struct {
 	cluster *cluster.Cluster
 	// FaultInjector, when non-nil, is invoked at the start of every task
-	// attempt; a non-nil return fails the attempt. Tests use it to
-	// exercise retry behaviour.
+	// attempt; a non-nil return fails the attempt, and a panic inside it is
+	// recovered into a failed attempt. Tests use it to exercise retry
+	// behaviour.
 	FaultInjector func(phase Phase, taskID, attempt int) error
+	// Faults, when non-nil, switches the engine into deterministic
+	// fault-schedule execution: the job runs on a virtual clock driven by
+	// the plan's seed, with injected crashes, stragglers, shuffle
+	// corruption, node death and (optionally) speculative execution. Task
+	// placement, History and counters then reproduce exactly for a given
+	// seed. See FaultPlan.
+	Faults *FaultPlan
 	// Sim, when non-nil, turns on simulated-time accounting: concurrent
 	// task bodies are bounded by SimConfig.MeasureParallelism for
 	// contention-free measurement and Result gains a SimulatedTime
-	// computed from the cluster schedule. See SimConfig.
+	// computed from the cluster schedule. See SimConfig. Under a FaultPlan
+	// the SimulatedTime comes from the virtual fault schedule instead,
+	// which also charges wasted (crashed, killed, duplicate) work.
 	Sim *SimConfig
 }
 
@@ -134,9 +144,18 @@ func combineBuckets(c Combiner, buckets []bucketArena) ([]bucketArena, error) {
 	return out, nil
 }
 
-// Run executes the job and returns its result. The first task failure
-// (after retries) aborts the job.
-func (e *Engine) Run(job *Job) (*Result, error) {
+// resolvedJob holds a job's validated and defaulted execution parameters,
+// shared by the concurrent and fault-schedule execution paths.
+type resolvedJob struct {
+	numMappers  int
+	numReducers int
+	maxAttempts int
+	partition   PartitionFunc
+	splits      []Split
+}
+
+// resolve validates the job and computes its task layout.
+func (e *Engine) resolve(job *Job) (*resolvedJob, error) {
 	if job.Input == nil {
 		return nil, fmt.Errorf("mapreduce: job %q has no input", job.Name)
 	}
@@ -146,28 +165,195 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	if job.NewReducer == nil {
 		return nil, fmt.Errorf("mapreduce: job %q has no reducer", job.Name)
 	}
-	numReducers := job.NumReducers
-	if numReducers < 1 {
-		numReducers = 1
+	rj := &resolvedJob{
+		numReducers: job.NumReducers,
+		maxAttempts: job.MaxAttempts,
+		partition:   job.Partition,
 	}
-	partition := job.Partition
-	if partition == nil {
-		partition = HashPartition
+	if rj.numReducers < 1 {
+		rj.numReducers = 1
 	}
-	maxAttempts := job.MaxAttempts
-	if maxAttempts < 1 {
-		maxAttempts = 3
+	if rj.partition == nil {
+		rj.partition = HashPartition
+	}
+	if rj.maxAttempts < 1 {
+		rj.maxAttempts = 3
 	}
 	mapperHint := job.NumMappers
 	if mapperHint < 1 {
 		mapperHint = e.cluster.TotalSlots()
 	}
-
 	splits, err := job.Input.Splits(mapperHint)
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: job %q: splitting input: %w", job.Name, err)
 	}
-	numMappers := len(splits)
+	rj.splits = splits
+	rj.numMappers = len(splits)
+	return rj, nil
+}
+
+// attemptMap executes the user half of one map-task attempt: feed the split
+// through a fresh Mapper, partition its output into per-reducer buckets,
+// apply the combiner, and record the attempt's I/O counters in
+// ctx.Counters. It has no side effects outside ctx and its return value, so
+// either execution path can retry or discard an attempt freely.
+func attemptMap(job *Job, rj *resolvedJob, split Split, ctx *TaskContext) ([]bucketArena, error) {
+	buckets := make([]bucketArena, rj.numReducers)
+	emitted := int64(0)
+	// A partitioner that routes outside [0, numReducers) fails the task
+	// attempt — recorded here and surfaced after the mapper returns, so it
+	// flows through the retry and MaxAttempts machinery like any other task
+	// error instead of panicking past it.
+	var emitErr error
+	emit := func(key, value []byte) {
+		if emitErr != nil {
+			return
+		}
+		r := rj.partition(key, rj.numReducers)
+		if r < 0 || r >= rj.numReducers {
+			emitErr = fmt.Errorf("partitioner returned %d for %d reducers (key %q)", r, rj.numReducers, key)
+			return
+		}
+		buckets[r].add(key, value)
+		emitted++
+	}
+	mapper := job.NewMapper()
+	inRecords := int64(0)
+	err := split.Each(func(rec Record) error {
+		inRecords++
+		return mapper.Map(ctx, rec, emit)
+	})
+	if err == nil {
+		err = mapper.Flush(ctx, emit)
+	}
+	if err == nil {
+		err = emitErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if job.NewCombiner != nil {
+		if buckets, err = combineBuckets(job.NewCombiner(), buckets); err != nil {
+			return nil, fmt.Errorf("combiner: %w", err)
+		}
+	}
+	ctx.Counters.Add(CounterMapInputRecords, inRecords)
+	ctx.Counters.Add(CounterMapOutputRecords, emitted)
+	return buckets, nil
+}
+
+// attemptReduce executes the user half of one reduce-task attempt over the
+// pre-grouped shuffle input. Like attemptMap it is free of external side
+// effects.
+func attemptReduce(job *Job, in *bucketArena, idx []int32, groups []span, ctx *TaskContext) (bucketArena, error) {
+	var out bucketArena
+	emitted := int64(0)
+	emit := func(key, value []byte) {
+		out.add(key, value)
+		emitted++
+	}
+	reducer := job.NewReducer()
+	inRecords := int64(0)
+	for _, g := range groups {
+		key := in.key(int(idx[g.lo]))
+		vals := make([][]byte, 0, g.hi-g.lo)
+		for _, i := range idx[g.lo:g.hi] {
+			vals = append(vals, in.value(int(i)))
+		}
+		inRecords += int64(len(vals))
+		if err := reducer.Reduce(ctx, key, vals, emit); err != nil {
+			return bucketArena{}, err
+		}
+	}
+	if err := reducer.Flush(ctx, emit); err != nil {
+		return bucketArena{}, err
+	}
+	ctx.Counters.Add(CounterReduceInputKeys, int64(len(groups)))
+	ctx.Counters.Add(CounterReduceInputRecords, inRecords)
+	ctx.Counters.Add(CounterReduceOutputRecords, emitted)
+	return out, nil
+}
+
+// shuffleMapOutput concatenates each reducer's map-output segments (mapper
+// order preserved, so values group per key in (mapper index, emission
+// order)) and reports per-reducer and total shuffle volumes.
+//
+// When the engine carries a FaultPlan, every non-empty segment is
+// checksummed before being fetched and the fetched bytes are verified
+// against that checksum; the plan may corrupt a segment's first fetch, in
+// which case the mismatch is detected, counted in
+// CounterShuffleCorruptions, and the segment refetched — Hadoop reducers
+// re-pull a map output whose IFile checksum fails the same way. Without a
+// plan the function is byte-for-byte the pre-fault shuffle.
+func (e *Engine) shuffleMapOutput(mapOut [][]bucketArena, rj *resolvedJob, res *Result) ([]bucketArena, []int64, error) {
+	reduceIn := make([]bucketArena, rj.numReducers)
+	perReducerBytes := make([]int64, rj.numReducers)
+	shuffleBytes := int64(0)
+	for r := 0; r < rj.numReducers; r++ {
+		var dataLen, recCount int
+		for m := 0; m < rj.numMappers; m++ {
+			dataLen += len(mapOut[m][r].data)
+			recCount += len(mapOut[m][r].recs)
+		}
+		reduceIn[r].data = make([]byte, 0, dataLen)
+		reduceIn[r].recs = make([]arenaRec, 0, recCount)
+		for m := 0; m < rj.numMappers; m++ {
+			seg := &mapOut[m][r]
+			if e.Faults != nil && seg.len() > 0 {
+				want := seg.checksum()
+				fetched := e.fetchSegment(seg, m, r)
+				if fetched.checksum() != want {
+					res.Counters.Add(CounterShuffleCorruptions, 1)
+					fetched = seg // refetch the pristine segment
+					if fetched.checksum() != want {
+						return nil, nil, fmt.Errorf("shuffle: segment map %d → reduce %d corrupt after refetch", m, r)
+					}
+				}
+				reduceIn[r].absorb(fetched)
+			} else {
+				reduceIn[r].absorb(seg)
+			}
+			mapOut[m][r] = bucketArena{} // release as we go
+		}
+		n := reduceIn[r].payloadBytes()
+		shuffleBytes += n
+		perReducerBytes[r] += n
+	}
+	res.Counters.Add(CounterShuffleBytes, shuffleBytes)
+	return reduceIn, perReducerBytes, nil
+}
+
+// fetchSegment models one reducer pulling one mapper's output segment:
+// under the plan's corruption schedule the first fetch returns a copy with
+// one deterministically chosen byte flipped; otherwise the pristine segment
+// is returned directly (no copy).
+func (e *Engine) fetchSegment(seg *bucketArena, m, r int) *bucketArena {
+	if !e.Faults.corruptSegment(m, r) {
+		return seg
+	}
+	bad := seg.clone()
+	i := int(e.Faults.roll("corrupt-byte", int64(m), int64(r)) * float64(len(bad.data)))
+	if i >= len(bad.data) {
+		i = len(bad.data) - 1
+	}
+	bad.data[i] ^= 0xFF
+	return &bad
+}
+
+// Run executes the job and returns its result. The first task failure
+// (after retries) aborts the job; on error the returned Result, when
+// non-nil, carries the partial History and counters accumulated so far —
+// chaos tests inspect it to verify that every attempt was recorded.
+func (e *Engine) Run(job *Job) (*Result, error) {
+	rj, err := e.resolve(job)
+	if err != nil {
+		return nil, err
+	}
+	if e.Faults != nil {
+		return e.runFaulty(job, rj)
+	}
+
+	numMappers, numReducers := rj.numMappers, rj.numReducers
 	res := &Result{Counters: NewCounters(), History: &History{}}
 
 	// Simulated-time instrumentation: a counting semaphore bounds how many
@@ -195,17 +381,27 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	mapTasks := make([]cluster.Task, numMappers)
 	for m := 0; m < numMappers; m++ {
 		m := m
-		split := splits[m]
+		split := rj.splits[m]
 		attempts := 0
 		mapTasks[m] = cluster.Task{
 			Name:      fmt.Sprintf("%s-map-%d", job.Name, m),
 			Preferred: split.Hosts(),
-			Run: func(node string) error {
+			Run: func(node string) (err error) {
 				attempts++
+				attempt := attempts
+				// A panicking mapper (user code or fault injector) becomes a
+				// failed attempt with an Err-bearing History record, flowing
+				// through the same retry budget as a returned error.
+				defer func() {
+					if p := recover(); p != nil {
+						err = fmt.Errorf("map task %d on %s: panic: %v", m, node, p)
+						res.History.add(TaskRecord{Phase: PhaseMap, TaskID: m, Attempt: attempt, Node: node, Err: err.Error()})
+					}
+				}()
 				ctx := &TaskContext{
 					Job:         job.Name,
 					TaskID:      m,
-					Attempt:     attempts,
+					Attempt:     attempt,
 					NumMappers:  numMappers,
 					NumReducers: numReducers,
 					Node:        node,
@@ -213,8 +409,8 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 					Counters:    NewCounters(),
 				}
 				if e.FaultInjector != nil {
-					if err := e.FaultInjector(PhaseMap, m, attempts); err != nil {
-						res.History.add(TaskRecord{Phase: PhaseMap, TaskID: m, Attempt: attempts, Node: node, Err: err.Error()})
+					if err := e.FaultInjector(PhaseMap, m, attempt); err != nil {
+						res.History.add(TaskRecord{Phase: PhaseMap, TaskID: m, Attempt: attempt, Node: node, Err: err.Error()})
 						return err
 					}
 				}
@@ -223,76 +419,31 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 					defer func() { <-simSem }()
 				}
 				taskStart := time.Now()
-				record := func(err error) {
-					msg := ""
-					if err != nil {
-						msg = err.Error()
-					}
-					res.History.add(TaskRecord{
-						Phase: PhaseMap, TaskID: m, Attempt: attempts,
-						Node: node, Duration: time.Since(taskStart), Err: msg,
-					})
-				}
-				buckets := make([]bucketArena, numReducers)
-				emitted := int64(0)
-				// A partitioner that routes outside [0, numReducers) fails
-				// the task attempt — recorded here and surfaced after the
-				// mapper returns, so it flows through the cluster's retry
-				// and MaxAttempts machinery like any other task error
-				// instead of panicking past it.
-				var emitErr error
-				emit := func(key, value []byte) {
-					if emitErr != nil {
-						return
-					}
-					r := partition(key, numReducers)
-					if r < 0 || r >= numReducers {
-						emitErr = fmt.Errorf("partitioner returned %d for %d reducers (key %q)", r, numReducers, key)
-						return
-					}
-					buckets[r].add(key, value)
-					emitted++
-				}
-				mapper := job.NewMapper()
-				inRecords := int64(0)
-				err := split.Each(func(rec Record) error {
-					inRecords++
-					return mapper.Map(ctx, rec, emit)
-				})
-				if err == nil {
-					err = mapper.Flush(ctx, emit)
-				}
-				if err == nil {
-					err = emitErr
-				}
+				buckets, err := attemptMap(job, rj, split, ctx)
 				if err != nil {
 					err = fmt.Errorf("map task %d on %s: %w", m, node, err)
-					record(err)
+					res.History.add(TaskRecord{
+						Phase: PhaseMap, TaskID: m, Attempt: attempt,
+						Node: node, Duration: time.Since(taskStart), Err: err.Error(),
+					})
 					return err
 				}
-				if job.NewCombiner != nil {
-					buckets, err = combineBuckets(job.NewCombiner(), buckets)
-					if err != nil {
-						err = fmt.Errorf("map task %d on %s: combiner: %w", m, node, err)
-						record(err)
-						return err
-					}
-				}
-				ctx.Counters.Add(CounterMapInputRecords, inRecords)
-				ctx.Counters.Add(CounterMapOutputRecords, emitted)
 				// Install output and counters only on success.
 				if mapDurs != nil {
 					mapDurs[m] = time.Since(taskStart)
 				}
-				record(nil)
+				res.History.add(TaskRecord{
+					Phase: PhaseMap, TaskID: m, Attempt: attempt,
+					Node: node, Duration: time.Since(taskStart),
+				})
 				mapOut[m] = buckets
 				res.Counters.Merge(ctx.Counters)
 				return nil
 			},
 		}
 	}
-	if err := e.cluster.Run(mapTasks, maxAttempts, &res.ClusterStats); err != nil {
-		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	if err := e.cluster.Run(mapTasks, rj.maxAttempts, &res.ClusterStats); err != nil {
+		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 	}
 	res.MapTime = time.Since(mapStart)
 
@@ -304,26 +455,10 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	// sort work happens driver-side, outside measured task bodies, exactly
 	// where the old grouping ran.
 	reduceStart := time.Now()
-	reduceIn := make([]bucketArena, numReducers)
-	perReducerBytes := make([]int64, numReducers)
-	shuffleBytes := int64(0)
-	for r := 0; r < numReducers; r++ {
-		var dataLen, recCount int
-		for m := 0; m < numMappers; m++ {
-			dataLen += len(mapOut[m][r].data)
-			recCount += len(mapOut[m][r].recs)
-		}
-		reduceIn[r].data = make([]byte, 0, dataLen)
-		reduceIn[r].recs = make([]arenaRec, 0, recCount)
-		for m := 0; m < numMappers; m++ {
-			reduceIn[r].absorb(&mapOut[m][r])
-			mapOut[m][r] = bucketArena{} // release as we go
-		}
-		n := reduceIn[r].payloadBytes()
-		shuffleBytes += n
-		perReducerBytes[r] += n
+	reduceIn, perReducerBytes, err := e.shuffleMapOutput(mapOut, rj, res)
+	if err != nil {
+		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 	}
-	res.Counters.Add(CounterShuffleBytes, shuffleBytes)
 
 	// ---- Reduce phase ----------------------------------------------------
 	reduceOut := make([][]Record, numReducers)
@@ -336,12 +471,19 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		attempts := 0
 		reduceTasks[r] = cluster.Task{
 			Name: fmt.Sprintf("%s-reduce-%d", job.Name, r),
-			Run: func(node string) error {
+			Run: func(node string) (err error) {
 				attempts++
+				attempt := attempts
+				defer func() {
+					if p := recover(); p != nil {
+						err = fmt.Errorf("reduce task %d on %s: panic: %v", r, node, p)
+						res.History.add(TaskRecord{Phase: PhaseReduce, TaskID: r, Attempt: attempt, Node: node, Err: err.Error()})
+					}
+				}()
 				ctx := &TaskContext{
 					Job:         job.Name,
 					TaskID:      r,
-					Attempt:     attempts,
+					Attempt:     attempt,
 					NumMappers:  numMappers,
 					NumReducers: numReducers,
 					Node:        node,
@@ -349,8 +491,8 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 					Counters:    NewCounters(),
 				}
 				if e.FaultInjector != nil {
-					if err := e.FaultInjector(PhaseReduce, r, attempts); err != nil {
-						res.History.add(TaskRecord{Phase: PhaseReduce, TaskID: r, Attempt: attempts, Node: node, Err: err.Error()})
+					if err := e.FaultInjector(PhaseReduce, r, attempt); err != nil {
+						res.History.add(TaskRecord{Phase: PhaseReduce, TaskID: r, Attempt: attempt, Node: node, Err: err.Error()})
 						return err
 					}
 				}
@@ -359,57 +501,30 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 					defer func() { <-simSem }()
 				}
 				taskStart := time.Now()
-				record := func(err error) {
-					msg := ""
-					if err != nil {
-						msg = err.Error()
-					}
-					res.History.add(TaskRecord{
-						Phase: PhaseReduce, TaskID: r, Attempt: attempts,
-						Node: node, Duration: time.Since(taskStart), Err: msg,
-					})
-				}
-				var out bucketArena
-				emitted := int64(0)
-				emit := func(key, value []byte) {
-					out.add(key, value)
-					emitted++
-				}
-				reducer := job.NewReducer()
-				inRecords := int64(0)
-				for _, g := range groups {
-					key := in.key(int(idx[g.lo]))
-					vals := make([][]byte, 0, g.hi-g.lo)
-					for _, i := range idx[g.lo:g.hi] {
-						vals = append(vals, in.value(int(i)))
-					}
-					inRecords += int64(len(vals))
-					if err := reducer.Reduce(ctx, key, vals, emit); err != nil {
-						err = fmt.Errorf("reduce task %d on %s: %w", r, node, err)
-						record(err)
-						return err
-					}
-				}
-				if err := reducer.Flush(ctx, emit); err != nil {
+				out, err := attemptReduce(job, in, idx, groups, ctx)
+				if err != nil {
 					err = fmt.Errorf("reduce task %d on %s: %w", r, node, err)
-					record(err)
+					res.History.add(TaskRecord{
+						Phase: PhaseReduce, TaskID: r, Attempt: attempt,
+						Node: node, Duration: time.Since(taskStart), Err: err.Error(),
+					})
 					return err
 				}
-				ctx.Counters.Add(CounterReduceInputKeys, int64(len(groups)))
-				ctx.Counters.Add(CounterReduceInputRecords, inRecords)
-				ctx.Counters.Add(CounterReduceOutputRecords, emitted)
 				if reduceDurs != nil {
 					reduceDurs[r] = time.Since(taskStart)
 				}
-				record(nil)
+				res.History.add(TaskRecord{
+					Phase: PhaseReduce, TaskID: r, Attempt: attempt,
+					Node: node, Duration: time.Since(taskStart),
+				})
 				reduceOut[r] = out.records()
 				res.Counters.Merge(ctx.Counters)
 				return nil
 			},
 		}
 	}
-	if err := e.cluster.Run(reduceTasks, maxAttempts, &res.ClusterStats); err != nil {
-		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	if err := e.cluster.Run(reduceTasks, rj.maxAttempts, &res.ClusterStats); err != nil {
+		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 	}
 	res.ReduceTime = time.Since(reduceStart)
 

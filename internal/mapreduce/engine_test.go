@@ -508,3 +508,84 @@ func TestHashPartitionInRange(t *testing.T) {
 		t.Errorf("HashPartition used only %d of 4 buckets", len(hit))
 	}
 }
+
+// TestMapPanicRecovery: a panicking map attempt (here: a panicking fault
+// injector, standing in for panicking user code) must become a failed,
+// Err-bearing History record and be retried like a returned error, on the
+// concurrent scheduler path.
+func TestMapPanicRecovery(t *testing.T) {
+	e := newEngine(t, 3, 1)
+	e.FaultInjector = func(phase mapreduce.Phase, taskID, attempt int) error {
+		if phase == mapreduce.PhaseMap && taskID == 0 && attempt == 1 {
+			panic("mapper 0 exploded")
+		}
+		return nil
+	}
+	res, err := e.Run(wordCountJob([]string{"a b", "b c"}, 2, 1))
+	if err != nil {
+		t.Fatalf("job did not survive a single map panic: %v", err)
+	}
+	want := map[string]int{"a": 1, "b": 2, "c": 1}
+	if got := countsFromResult(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("counts after panic retry = %v, want %v", got, want)
+	}
+	var panicked *mapreduce.TaskRecord
+	for _, r := range res.History.Records() {
+		if r.Phase == mapreduce.PhaseMap && r.TaskID == 0 && r.Attempt == 1 {
+			r := r
+			panicked = &r
+		}
+	}
+	if panicked == nil {
+		t.Fatalf("no History record for the panicking attempt; history: %+v", res.History.Records())
+	}
+	if !strings.Contains(panicked.Err, "panic") {
+		t.Errorf("panicking attempt's Err = %q, want a panic message", panicked.Err)
+	}
+	// Counters reflect the successful attempt only.
+	if got := res.Counters.Get(mapreduce.CounterMapInputRecords); got != 2 {
+		t.Errorf("map input records after panic retry = %d, want 2", got)
+	}
+}
+
+// TestReducePanicRecovery: same contract for the reduce phase — the
+// reducer panics on attempt 1, succeeds on attempt 2, and the job delivers
+// exactly one Err-bearing record plus the correct result.
+func TestReducePanicRecovery(t *testing.T) {
+	e := newEngine(t, 3, 1)
+	e.FaultInjector = func(phase mapreduce.Phase, taskID, attempt int) error {
+		if phase == mapreduce.PhaseReduce && attempt == 1 {
+			panic(fmt.Sprintf("reducer %d exploded", taskID))
+		}
+		return nil
+	}
+	res, err := e.Run(wordCountJob([]string{"a b", "b c"}, 2, 1))
+	if err != nil {
+		t.Fatalf("job did not survive a single reduce panic: %v", err)
+	}
+	want := map[string]int{"a": 1, "b": 2, "c": 1}
+	if got := countsFromResult(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("counts after reduce panic retry = %v, want %v", got, want)
+	}
+	failed, succeeded := 0, 0
+	for _, r := range res.History.Records() {
+		if r.Phase != mapreduce.PhaseReduce {
+			continue
+		}
+		if r.Err != "" {
+			failed++
+			if !strings.Contains(r.Err, "panic") {
+				t.Errorf("failed reduce attempt Err = %q, want a panic message", r.Err)
+			}
+		} else {
+			succeeded++
+		}
+	}
+	if failed != 1 || succeeded != 1 {
+		t.Errorf("reduce history has %d failed / %d successful attempts, want 1/1; history: %+v",
+			failed, succeeded, res.History.Records())
+	}
+	if got := res.Counters.Get(mapreduce.CounterReduceOutputRecords); got != 3 {
+		t.Errorf("reduce output records = %d, want 3 (no double-count from the panicked attempt)", got)
+	}
+}

@@ -1,0 +1,596 @@
+package mapreduce
+
+// Fault-schedule execution: when an Engine carries a FaultPlan, jobs run on
+// a deterministic virtual clock instead of the concurrent cluster
+// scheduler. Each phase is a discrete-event simulation over the cluster's
+// slot topology — attempts occupy slots for a virtual duration derived from
+// the plan (base cost × per-task jitter ÷ node speed × straggler factor),
+// and the event loop advances from completion to completion, processing
+// injected crashes, speculative launches and whole-node death strictly in
+// virtual-time order with deterministic tie-breaking (slot index, then
+// queue FIFO). Because no decision depends on wall-clock time or goroutine
+// interleaving, two runs of the same job under the same plan produce
+// bit-identical Histories, counters and per-node placement stats — the
+// property the chaos test harness is built on.
+//
+// Task bodies (the actual mapper/reducer work) still execute for real, but
+// sequentially, at the moment their attempt's completion event fires; an
+// attempt's output and counters are committed only when it wins — crashed
+// attempts, speculative losers and attempts on dead nodes never contribute,
+// so fault-free and faulty runs of a deterministic job emit identical
+// output and identical job counters.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mrskyline/internal/cluster"
+)
+
+var errNoAliveVNodes = errors.New("no alive nodes")
+
+// vslot is one schedulable slot of the virtual topology.
+type vslot struct {
+	node  string
+	speed float64
+	dead  bool
+}
+
+// vcluster is the virtual scheduler's view of the cluster: a flat slot list
+// in configuration order plus node liveness, shared across the job's phases
+// so a node death in the map phase stays dead for the reduce phase.
+type vcluster struct {
+	slots []vslot
+	nodes []string // node names, configuration order
+	dead  map[string]bool
+	death *NodeFailure // pending death event; nil once fired or absent
+}
+
+func newVCluster(c *cluster.Cluster, plan *FaultPlan) *vcluster {
+	vc := &vcluster{dead: make(map[string]bool)}
+	for _, n := range c.NodeInfo() {
+		down := c.IsDown(n.Name)
+		if down {
+			vc.dead[n.Name] = true
+		}
+		vc.nodes = append(vc.nodes, n.Name)
+		sp := n.Speed
+		if sp <= 0 {
+			sp = 1
+		}
+		for s := 0; s < n.Slots; s++ {
+			vc.slots = append(vc.slots, vslot{node: n.Name, speed: sp, dead: down})
+		}
+	}
+	if plan.NodeFailure != nil {
+		nf := *plan.NodeFailure
+		vc.death = &nf
+	}
+	return vc
+}
+
+// kill marks a node dead; it reports false for unknown or already-dead
+// nodes (the death event is then a no-op).
+func (vc *vcluster) kill(node string) bool {
+	if vc.dead[node] {
+		return false
+	}
+	known := false
+	for s := range vc.slots {
+		if vc.slots[s].node == node {
+			vc.slots[s].dead = true
+			known = true
+		}
+	}
+	if known {
+		vc.dead[node] = true
+	}
+	return known
+}
+
+// vattempt is one attempt occupying a slot on the virtual clock.
+type vattempt struct {
+	task    int
+	attempt int
+	slot    int
+	start   time.Duration
+	finish  time.Duration
+	crash   crashKind // decided at launch from the plan
+	spec    bool
+}
+
+// vtask is the scheduler's per-task state.
+type vtask struct {
+	issued    int // attempt numbers issued so far
+	failures  int // failed attempts, counted against MaxAttempts
+	running   int // attempts currently on slots (0..2)
+	avoid     map[string]bool
+	specTried bool
+	done      bool
+	node      string // node the winning attempt committed on
+}
+
+// vrequest is one queued execution request (FIFO).
+type vrequest struct {
+	task  int
+	retry bool // re-execution after a failure, kill or lost output
+}
+
+// vphaseConfig describes one phase to the virtual scheduler.
+type vphaseConfig struct {
+	phase       Phase
+	numTasks    int
+	startAt     time.Duration // virtual clock at phase start
+	maxAttempts int
+	preferred   func(task int) []string
+	taskName    func(task int) string
+	// body runs the task's real work and commits its output; called only at
+	// the completion event of an attempt that is about to win.
+	body func(task, attempt int, node string) error
+	// uncommit discards a committed task's output after its node died; set
+	// only for the map phase (reduce output survives node death, as HDFS
+	// output does in Hadoop).
+	uncommit func(task int)
+}
+
+// runVAttempt executes the injected-fault and user halves of one attempt,
+// with panics (injected or from user code) recovered into errors exactly as
+// the concurrent path does.
+func (e *Engine) runVAttempt(cfg *vphaseConfig, a *vattempt, node string) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%s task %d on %s: panic: %v", cfg.phase, a.task, node, p)
+		}
+	}()
+	if e.FaultInjector != nil {
+		if err := e.FaultInjector(cfg.phase, a.task, a.attempt); err != nil {
+			return err
+		}
+	}
+	switch a.crash {
+	case crashError:
+		return fmt.Errorf("fault: injected crash (%s task %d attempt %d on %s)", cfg.phase, a.task, a.attempt, node)
+	case crashPanic:
+		panic(fmt.Sprintf("fault: injected panic (%s task %d attempt %d on %s)", cfg.phase, a.task, a.attempt, node))
+	}
+	return cfg.body(a.task, a.attempt, node)
+}
+
+// runVirtualPhase executes one phase as a discrete-event simulation and
+// returns the virtual clock value when its last task committed.
+func (e *Engine) runVirtualPhase(vc *vcluster, cfg *vphaseConfig, res *Result) (time.Duration, error) {
+	plan := e.Faults
+	now := cfg.startAt
+	const never = time.Duration(math.MaxInt64)
+
+	tasks := make([]vtask, cfg.numTasks)
+	remaining := cfg.numTasks
+	queue := make([]vrequest, 0, cfg.numTasks)
+	for t := range tasks {
+		tasks[t].avoid = make(map[string]bool)
+		queue = append(queue, vrequest{task: t})
+	}
+	busy := make([]*vattempt, len(vc.slots))
+	var completedDurs []time.Duration
+
+	recordStats := func(node string, local, retry bool) {
+		st := &res.ClusterStats
+		st.TasksRun++
+		if local {
+			st.LocalityHits++
+		}
+		if retry {
+			st.Retries++
+		}
+		if st.PerNode == nil {
+			st.PerNode = make(map[string]int64)
+		}
+		st.PerNode[node]++
+	}
+
+	attemptCost := func(task, slot int) time.Duration {
+		s := vc.slots[slot]
+		d := float64(plan.taskBaseCost()) * plan.costJitter(cfg.phase, task)
+		if e.Sim != nil {
+			d += float64(e.Sim.withDefaults().TaskStartup)
+		}
+		return time.Duration(d / s.speed * plan.stragglerMult(s.node))
+	}
+
+	launch := func(task, slot int, local, retry, spec bool) {
+		st := &tasks[task]
+		st.issued++
+		crash := plan.crash(cfg.phase, task, st.issued)
+		cost := attemptCost(task, slot)
+		if crash != crashNone {
+			cost /= 2 // crashed attempts die mid-run
+		}
+		busy[slot] = &vattempt{
+			task: task, attempt: st.issued, slot: slot,
+			start: now, finish: now + cost, crash: crash, spec: spec,
+		}
+		st.running++
+		recordStats(vc.slots[slot].node, local, retry)
+	}
+
+	// place finds a slot for a queued task: preferred nodes first, then any
+	// free slot in configuration order, with the task's avoid set relaxed
+	// when it covers every alive node — mirroring cluster.acquire.
+	place := func(task int) (slot int, local, ok bool) {
+		st := &tasks[task]
+		for _, p := range cfg.preferred(task) {
+			if vc.dead[p] || st.avoid[p] {
+				continue
+			}
+			for s := range vc.slots {
+				if vc.slots[s].node == p && !vc.slots[s].dead && busy[s] == nil {
+					return s, true, true
+				}
+			}
+		}
+		usable := 0
+		for _, name := range vc.nodes {
+			if !vc.dead[name] && !st.avoid[name] {
+				usable++
+			}
+		}
+		if usable == 0 {
+			for n := range st.avoid {
+				delete(st.avoid, n)
+			}
+		}
+		for s := range vc.slots {
+			if vc.slots[s].dead || busy[s] != nil || st.avoid[vc.slots[s].node] {
+				continue
+			}
+			return s, false, true
+		}
+		return -1, false, false
+	}
+
+	schedule := func() {
+		var kept []vrequest
+		for _, req := range queue {
+			if tasks[req.task].done {
+				continue
+			}
+			slot, local, ok := place(req.task)
+			if !ok {
+				kept = append(kept, req)
+				continue
+			}
+			launch(req.task, slot, local, req.retry, false)
+		}
+		queue = kept
+	}
+
+	median := func(ds []time.Duration) time.Duration {
+		s := append([]time.Duration(nil), ds...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		n := len(s)
+		return (s[(n-1)/2] + s[n/2]) / 2
+	}
+	specThreshold := func() (time.Duration, bool) {
+		sc := plan.Speculative
+		if sc == nil || len(completedDurs) < sc.minCompleted() {
+			return 0, false
+		}
+		return time.Duration(sc.slowdownThreshold() * float64(median(completedDurs))), true
+	}
+	// specSlotFor returns a free slot on a different alive node than the
+	// running attempt's, or -1 (Hadoop never speculates on the same node).
+	specSlotFor := func(a *vattempt) int {
+		node := vc.slots[a.slot].node
+		for s := range vc.slots {
+			if vc.slots[s].dead || busy[s] != nil || vc.slots[s].node == node {
+				continue
+			}
+			if tasks[a.task].avoid[vc.slots[s].node] {
+				continue
+			}
+			return s
+		}
+		return -1
+	}
+	speculate := func() {
+		if len(queue) > 0 { // pending originals outrank duplicates
+			return
+		}
+		threshold, ok := specThreshold()
+		if !ok {
+			return
+		}
+		for s := range busy {
+			a := busy[s]
+			if a == nil || a.spec {
+				continue
+			}
+			st := &tasks[a.task]
+			if st.specTried || st.running != 1 || now-a.start < threshold {
+				continue
+			}
+			dup := specSlotFor(a)
+			if dup < 0 {
+				continue
+			}
+			st.specTried = true
+			launch(a.task, dup, false, false, true)
+			res.Counters.Add(CounterSpeculativeLaunched, 1)
+		}
+	}
+
+	kill := func(slot int, reason string) {
+		a := busy[slot]
+		res.History.add(TaskRecord{
+			Phase: cfg.phase, TaskID: a.task, Attempt: a.attempt,
+			Node: vc.slots[slot].node, Duration: now - a.start,
+			Err: reason, Speculative: a.spec, Killed: true,
+		})
+		busy[slot] = nil
+		tasks[a.task].running--
+	}
+
+	complete := func(slot int) error {
+		a := busy[slot]
+		node := vc.slots[slot].node
+		busy[slot] = nil
+		st := &tasks[a.task]
+		st.running--
+		err := e.runVAttempt(cfg, a, node)
+		rec := TaskRecord{
+			Phase: cfg.phase, TaskID: a.task, Attempt: a.attempt,
+			Node: node, Duration: a.finish - a.start, Speculative: a.spec,
+		}
+		if err != nil {
+			rec.Err = err.Error()
+			res.History.add(rec)
+			res.Counters.Add(CounterTaskFailures, 1)
+			st.failures++
+			st.avoid[node] = true
+			if st.running > 0 {
+				return nil // the task's other copy may still win
+			}
+			if st.failures >= cfg.maxAttempts {
+				return fmt.Errorf("task %q failed after %d attempts: %w", cfg.taskName(a.task), st.failures, err)
+			}
+			queue = append(queue, vrequest{task: a.task, retry: true})
+			return nil
+		}
+		res.History.add(rec)
+		st.done = true
+		st.node = node
+		remaining--
+		completedDurs = append(completedDurs, a.finish-a.start)
+		if a.spec {
+			res.Counters.Add(CounterSpeculativeWon, 1)
+		}
+		if st.running > 0 {
+			// The losing copy of the speculative race is killed the moment
+			// the winner commits; its output is never observed.
+			reason := "killed: original attempt finished first"
+			if a.spec {
+				reason = "killed: speculative duplicate finished first"
+			}
+			for s := range busy {
+				if b := busy[s]; b != nil && b.task == a.task {
+					kill(s, reason)
+				}
+			}
+		}
+		return nil
+	}
+
+	processDeath := func() {
+		nf := vc.death
+		vc.death = nil
+		if !vc.kill(nf.Node) {
+			return
+		}
+		res.Counters.Add(CounterNodeFailures, 1)
+		for s := range busy {
+			if busy[s] == nil || vc.slots[s].node != nf.Node {
+				continue
+			}
+			a := busy[s]
+			kill(s, fmt.Sprintf("killed: node %s failed", nf.Node))
+			// Killed is not failed: the retry consumes no MaxAttempts budget.
+			if st := &tasks[a.task]; !st.done && st.running == 0 {
+				queue = append(queue, vrequest{task: a.task, retry: true})
+			}
+		}
+		// Map output lives on the mapper's local disk in Hadoop, so committed
+		// map tasks whose output sat on the dead node re-execute elsewhere.
+		if cfg.uncommit != nil {
+			for t := range tasks {
+				st := &tasks[t]
+				if st.done && st.node == nf.Node {
+					cfg.uncommit(t)
+					st.done = false
+					st.node = ""
+					remaining++
+					queue = append(queue, vrequest{task: t, retry: true})
+				}
+			}
+		}
+	}
+
+	for {
+		schedule()
+		speculate()
+		if remaining == 0 {
+			return now, nil
+		}
+
+		// Next completion event (earliest finish; ties break on slot index
+		// because the scan takes the first strictly-smaller finish).
+		nextFinish, nextSlot := never, -1
+		for s := range busy {
+			if busy[s] != nil && busy[s].finish < nextFinish {
+				nextFinish, nextSlot = busy[s].finish, s
+			}
+		}
+
+		// Pending node death, clamped forward to the current clock.
+		tDeath := never
+		if vc.death != nil {
+			tDeath = vc.death.At
+			if tDeath < now {
+				tDeath = now
+			}
+		}
+
+		// Earliest instant a running attempt becomes speculatable (median
+		// known, duplicate slot available): a synthetic event, because the
+		// straggler's own completion may be far beyond every other finish and
+		// the speculator must fire between events, not just at them.
+		tSpec := never
+		if threshold, ok := specThreshold(); ok && len(queue) == 0 {
+			for s := range busy {
+				a := busy[s]
+				if a == nil || a.spec || tasks[a.task].specTried || tasks[a.task].running != 1 {
+					continue
+				}
+				if specSlotFor(a) < 0 {
+					continue
+				}
+				if due := a.start + threshold; due > now && due < tSpec {
+					tSpec = due
+				}
+			}
+		}
+
+		switch {
+		case tDeath <= nextFinish && tDeath <= tSpec && tDeath < never:
+			now = tDeath
+			processDeath()
+		case tSpec < nextFinish:
+			now = tSpec // speculate() fires at the top of the loop
+		case nextSlot < 0:
+			// Tasks remain but nothing runs and nothing can be placed.
+			return now, errNoAliveVNodes
+		default:
+			now = nextFinish
+			if err := complete(nextSlot); err != nil {
+				return now, err
+			}
+		}
+	}
+}
+
+// runFaulty executes a job under the engine's FaultPlan: both phases on the
+// shared virtual clock, the checksummed shuffle in between, and — when the
+// engine also carries a SimConfig — a SimulatedTime taken from the virtual
+// schedule itself, so crashed, killed and duplicate attempts all cost
+// makespan exactly as wasted slot-time does on a real cluster.
+func (e *Engine) runFaulty(job *Job, rj *resolvedJob) (*Result, error) {
+	res := &Result{Counters: NewCounters(), History: &History{}}
+	vc := newVCluster(e.cluster, e.Faults)
+	numMappers, numReducers := rj.numMappers, rj.numReducers
+
+	newCtx := func(id, attempt int, node string) *TaskContext {
+		return &TaskContext{
+			Job: job.Name, TaskID: id, Attempt: attempt,
+			NumMappers: numMappers, NumReducers: numReducers,
+			Node: node, Cache: job.Cache, Counters: NewCounters(),
+		}
+	}
+
+	// ---- Map phase -------------------------------------------------------
+	// Outputs and counters are staged per task and merged only after the
+	// phase succeeds: a task re-executed after node death, or raced by a
+	// speculative duplicate, contributes exactly once.
+	mapStart := time.Now()
+	mapOut := make([][]bucketArena, numMappers)
+	mapCtrs := make([]*Counters, numMappers)
+	mapEnd, err := e.runVirtualPhase(vc, &vphaseConfig{
+		phase:       PhaseMap,
+		numTasks:    numMappers,
+		startAt:     0,
+		maxAttempts: rj.maxAttempts,
+		preferred:   func(m int) []string { return rj.splits[m].Hosts() },
+		taskName:    func(m int) string { return fmt.Sprintf("%s-map-%d", job.Name, m) },
+		body: func(m, attempt int, node string) error {
+			ctx := newCtx(m, attempt, node)
+			buckets, err := attemptMap(job, rj, rj.splits[m], ctx)
+			if err != nil {
+				return fmt.Errorf("map task %d on %s: %w", m, node, err)
+			}
+			mapOut[m] = buckets
+			mapCtrs[m] = ctx.Counters
+			return nil
+		},
+		uncommit: func(m int) { mapOut[m], mapCtrs[m] = nil, nil },
+	}, res)
+	if err != nil {
+		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	}
+	for _, c := range mapCtrs {
+		if c != nil {
+			res.Counters.Merge(c)
+		}
+	}
+	res.MapTime = time.Since(mapStart)
+
+	// ---- Shuffle ---------------------------------------------------------
+	reduceStart := time.Now()
+	reduceIn, perReducerBytes, err := e.shuffleMapOutput(mapOut, rj, res)
+	if err != nil {
+		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	}
+	var shuffleDur time.Duration
+	if e.Sim != nil {
+		shuffleDur = e.Sim.withDefaults().shuffleTime(perReducerBytes)
+	}
+
+	// ---- Reduce phase ----------------------------------------------------
+	// A node death timed after the map phase ends is applied at reduce
+	// start: the shuffle has already fetched every segment by then, so only
+	// the node's slots are lost — no map re-execution, matching a tracker
+	// lost after its outputs were pulled.
+	idxs := make([][]int32, numReducers)
+	groups := make([][]span, numReducers)
+	for r := range reduceIn {
+		idxs[r] = reduceIn[r].sortedIndex()
+		groups[r] = reduceIn[r].groupRuns(idxs[r])
+	}
+	reduceOut := make([][]Record, numReducers)
+	reduceCtrs := make([]*Counters, numReducers)
+	reduceEnd, err := e.runVirtualPhase(vc, &vphaseConfig{
+		phase:       PhaseReduce,
+		numTasks:    numReducers,
+		startAt:     mapEnd + shuffleDur,
+		maxAttempts: rj.maxAttempts,
+		preferred:   func(int) []string { return nil },
+		taskName:    func(r int) string { return fmt.Sprintf("%s-reduce-%d", job.Name, r) },
+		body: func(r, attempt int, node string) error {
+			ctx := newCtx(r, attempt, node)
+			out, err := attemptReduce(job, &reduceIn[r], idxs[r], groups[r], ctx)
+			if err != nil {
+				return fmt.Errorf("reduce task %d on %s: %w", r, node, err)
+			}
+			reduceOut[r] = out.records()
+			reduceCtrs[r] = ctx.Counters
+			return nil
+		},
+	}, res)
+	if err != nil {
+		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	}
+	for _, c := range reduceCtrs {
+		if c != nil {
+			res.Counters.Merge(c)
+		}
+	}
+	res.ReduceTime = time.Since(reduceStart)
+
+	if e.Sim != nil {
+		res.SimulatedTime = e.Sim.simulateVirtual(reduceEnd)
+	}
+	for r := 0; r < numReducers; r++ {
+		res.Output = append(res.Output, reduceOut[r]...)
+	}
+	return res, nil
+}

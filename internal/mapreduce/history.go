@@ -19,10 +19,20 @@ type TaskRecord struct {
 	Attempt int
 	// Node is the simulated node the attempt ran on.
 	Node string
-	// Duration is the attempt's execution time (excluding queueing).
+	// Duration is the attempt's execution time (excluding queueing). Under
+	// a FaultPlan this is the attempt's virtual duration on the simulated
+	// clock, so it reproduces exactly across runs.
 	Duration time.Duration
 	// Err holds the failure message for failed attempts, "" on success.
 	Err string
+	// Speculative marks duplicate attempts launched by speculative
+	// execution (the backup copy, not the original).
+	Speculative bool
+	// Killed marks attempts terminated by the scheduler rather than failed:
+	// the losing copy of a speculative race, or an attempt running on a
+	// node when it died. Killed attempts carry an Err describing the kill
+	// but do not count as task failures.
+	Killed bool
 }
 
 // History collects the task attempts of one job. It is safe for
@@ -62,11 +72,12 @@ func (h *History) Records() []TaskRecord {
 	return out
 }
 
-// Failed returns the attempts that ended in an error.
+// Failed returns the attempts that ended in an error (killed attempts are
+// not failures).
 func (h *History) Failed() []TaskRecord {
 	var out []TaskRecord
 	for _, r := range h.Records() {
-		if r.Err != "" {
+		if r.Err != "" && !r.Killed {
 			out = append(out, r)
 		}
 	}
@@ -85,6 +96,9 @@ func (h *History) Summary() string {
 				continue
 			}
 			attempts++
+			if r.Killed {
+				continue
+			}
 			if r.Err != "" {
 				failures++
 				continue

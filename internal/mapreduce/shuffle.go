@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"cmp"
 	"encoding/binary"
+	"hash/fnv"
 	"slices"
 )
 
@@ -72,6 +73,32 @@ func (a *bucketArena) value(i int) []byte {
 	lo := r.off + int(r.klen)
 	end := lo + int(r.vlen)
 	return a.data[lo:end:end]
+}
+
+// checksum hashes the segment's payload and record framing (FNV-1a). The
+// engine records one checksum per (mapper, reducer) segment when a
+// FaultPlan is active and verifies each fetch against it, the role
+// Hadoop's IFile checksums play for map-output transfers: a corrupted
+// fetch is detected and re-pulled instead of silently grouped.
+func (a *bucketArena) checksum() uint64 {
+	h := fnv.New64a()
+	h.Write(a.data)
+	var buf [8]byte
+	for _, r := range a.recs {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(r.klen))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(r.vlen))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// clone deep-copies the arena; the corrupted first fetch of a segment
+// mutates a clone so the pristine original survives for the refetch.
+func (a *bucketArena) clone() bucketArena {
+	return bucketArena{
+		data: append([]byte(nil), a.data...),
+		recs: append([]arenaRec(nil), a.recs...),
+	}
 }
 
 // absorb appends every record of src to a, preserving order.

@@ -132,6 +132,15 @@ func (c SimConfig) simulate(mapDurs, reduceDurs []time.Duration, perReducerBytes
 	}
 	total := c.JobSetup
 	total += makespan(withStartup(mapDurs), speeds)
+	total += c.shuffleTime(perReducerBytes)
+	total += makespan(withStartup(reduceDurs), speeds)
+	return total
+}
+
+// shuffleTime is the simulated shuffle-transfer duration: each reducer
+// pulls its input over one NetBandwidth link; the slowest pull gates the
+// reduce phase. Callers pass a defaulted config.
+func (c SimConfig) shuffleTime(perReducerBytes []int64) time.Duration {
 	var shuffle time.Duration
 	for _, b := range perReducerBytes {
 		t := time.Duration(float64(b) / float64(c.NetBandwidth) * float64(time.Second))
@@ -139,7 +148,16 @@ func (c SimConfig) simulate(mapDurs, reduceDurs []time.Duration, perReducerBytes
 			shuffle = t
 		}
 	}
-	total += shuffle
-	total += makespan(withStartup(reduceDurs), speeds)
-	return total
+	return shuffle
+}
+
+// simulateVirtual converts a fault-schedule finish time into the job's
+// SimulatedTime. Under a FaultPlan the virtual scheduler already charges
+// every attempt — including crashed, killed and duplicate speculative ones
+// — to slot time on its event clock, so the makespan accounts for wasted
+// and duplicate work; reduceEnd is the clock value when the last reduce
+// task committed (map makespan and shuffle transfer included), and only the
+// per-job setup overhead remains to be added.
+func (c SimConfig) simulateVirtual(reduceEnd time.Duration) time.Duration {
+	return c.withDefaults().JobSetup + reduceEnd
 }
