@@ -21,10 +21,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"mrskyline/internal/experiments"
+	"mrskyline/internal/obs"
 )
 
 func main() {
@@ -45,8 +48,60 @@ func main() {
 		mpar      = flag.Int("measurepar", 0, "concurrently measured tasks (0 = min(GOMAXPROCS, slots), 1 = serial isolation)")
 		faultrate = flag.Float64("faultrate", 0, "deterministic fault-injection rate for crashes/stragglers/corruption (0 = fault-free)")
 		faultseed = flag.Int64("faultseed", 0, "fault plan seed (0 = data seed; only with -faultrate > 0)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto / chrome://tracing)")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if err := experiments.ValidateFaultConfig(*faultrate, flagSet("faultseed")); err != nil {
+		fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skybench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "skybench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.New()
+		defer func() {
+			if err := writeTrace(*traceOut, tracer); err != nil {
+				fmt.Fprintf(os.Stderr, "skybench: -trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote trace %s (%d spans)\n", *traceOut, len(tracer.Spans()))
+			if flame := obs.FlameSummary(tracer); flame != "" {
+				fmt.Println(flame)
+			}
+		}()
+	}
 
 	setup := experiments.Setup{
 		PaperCluster:       *paper,
@@ -61,6 +116,7 @@ func main() {
 		MeasureParallelism: *mpar,
 		FaultRate:          *faultrate,
 		FaultSeed:          *faultseed,
+		Trace:              tracer,
 	}
 
 	// The per-algorithm probe workload is shared by every figure's bench
@@ -121,4 +177,29 @@ func main() {
 			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
+}
+
+// flagSet reports whether the named flag was passed explicitly on the
+// command line (as opposed to holding its default).
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// writeTrace exports the tracer as Chrome trace-event JSON.
+func writeTrace(path string, t *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

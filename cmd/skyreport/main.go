@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"mrskyline/internal/experiments"
+	"mrskyline/internal/obs"
 )
 
 func main() {
@@ -33,8 +34,39 @@ func main() {
 		measurePar = flag.Int("measurepar", 1, "concurrently measured tasks (1 = serial isolation for publishable figures, 0 = min(GOMAXPROCS, slots))")
 		faultrate  = flag.Float64("faultrate", 0, "deterministic fault-injection rate for crashes/stragglers/corruption (0 = fault-free)")
 		faultseed  = flag.Int64("faultseed", 0, "fault plan seed (0 = data seed; only with -faultrate > 0)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto / chrome://tracing)")
 	)
 	flag.Parse()
+
+	faultseedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "faultseed" {
+			faultseedSet = true
+		}
+	})
+	if err := experiments.ValidateFaultConfig(*faultrate, faultseedSet); err != nil {
+		fmt.Fprintf(os.Stderr, "skyreport: %v\n", err)
+		os.Exit(1)
+	}
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.New()
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = obs.WriteChromeTrace(f, tracer)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skyreport: -trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "skyreport: wrote trace %s (%d spans)\n", *traceOut, len(tracer.Spans()))
+		}()
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -60,6 +92,7 @@ func main() {
 		MeasureParallelism: *measurePar,
 		FaultRate:          *faultrate,
 		FaultSeed:          *faultseed,
+		Trace:              tracer,
 	}
 	if err := experiments.Report(setup, w); err != nil {
 		fmt.Fprintf(os.Stderr, "skyreport: %v\n", err)

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/obs"
 	"mrskyline/internal/skyline"
 	"mrskyline/internal/tuple"
 )
@@ -179,9 +180,11 @@ func runSingleReducerJob(
 					return nil
 				},
 				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+					doneLocal := ctx.Trace.Timed(ctx.Track, "local-skyline", obs.CatAlgo, "algo.local_skyline.ns")
 					for p, buf := range pending {
 						windows[p] = kernel.Compute(buf, &cnt)
 					}
+					doneLocal()
 					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
 					var scratch []byte
 					for _, w := range sortedWindows(windows) {
@@ -215,7 +218,9 @@ func runSingleReducerJob(
 					return nil
 				},
 				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+					doneMerge := ctx.Trace.Timed(ctx.Track, "merge", obs.CatAlgo, "algo.merge.ns")
 					sky := finishReduce(s, &cnt)
+					doneMerge()
 					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
 					var scratch []byte
 					for _, t := range sky {

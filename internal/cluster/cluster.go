@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"mrskyline/internal/obs"
 )
 
 // Node describes one simulated machine.
@@ -35,9 +37,11 @@ type Task struct {
 	// Preferred lists nodes that hold the task's input locally; the
 	// scheduler places the task there when a slot is free.
 	Preferred []string
-	// Run executes the task on the given node. A non-nil error triggers a
-	// retry on a different node (when possible) up to the attempt budget.
-	Run func(node string) error
+	// Run executes the task on the given node and slot (0-based within the
+	// node; SlotTrack(node, slot) names its trace track). A non-nil error
+	// triggers a retry on a different node (when possible) up to the
+	// attempt budget.
+	Run func(node string, slot int) error
 }
 
 // Stats aggregates scheduling telemetry across a Run call.
@@ -60,7 +64,10 @@ type Cluster struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	free map[string]int
+	busy map[string][]bool
 	down map[string]bool
+
+	trace *obs.Tracer
 }
 
 // New creates a cluster. Every node needs a unique name and at least one
@@ -85,7 +92,11 @@ func New(nodes []Node) (*Cluster, error) {
 		}
 		free[n.Name] = n.Slots
 	}
-	c := &Cluster{nodes: append([]Node(nil), nodes...), free: free, down: make(map[string]bool)}
+	busy := make(map[string][]bool, len(nodes))
+	for _, n := range nodes {
+		busy[n.Name] = make([]bool, n.Slots)
+	}
+	c := &Cluster{nodes: append([]Node(nil), nodes...), free: free, busy: busy, down: make(map[string]bool)}
 	c.cond = sync.NewCond(&c.mu)
 	return c, nil
 }
@@ -98,6 +109,20 @@ func Uniform(n, slots int) (*Cluster, error) {
 		nodes[i] = Node{Name: fmt.Sprintf("node%d", i), Slots: slots}
 	}
 	return New(nodes)
+}
+
+// SetTrace attaches a tracer; every subsequent task attempt records a
+// slot-occupancy span on its SlotTrack. A nil tracer (the default)
+// disables recording. Call before Run; not synchronized with running
+// jobs.
+func (c *Cluster) SetTrace(tr *obs.Tracer) { c.trace = tr }
+
+// Trace returns the tracer attached with SetTrace (nil when disabled).
+func (c *Cluster) Trace() *obs.Tracer { return c.trace }
+
+// SlotTrack names the trace track of one task slot, e.g. "node3/s1".
+func SlotTrack(node string, slot int) string {
+	return fmt.Sprintf("%s/s%d", node, slot)
 }
 
 // Nodes returns the node names in configuration order.
@@ -173,16 +198,29 @@ func (c *Cluster) SlotSpeeds() []float64 {
 	return out
 }
 
+// takeSlot claims the lowest free slot index on node. Caller holds c.mu
+// and has checked c.free[node] > 0.
+func (c *Cluster) takeSlot(node string) int {
+	for i, b := range c.busy[node] {
+		if !b {
+			c.busy[node][i] = true
+			c.free[node]--
+			return i
+		}
+	}
+	panic("cluster: free count and busy slots out of sync")
+}
+
 // acquire blocks until a slot is free, preferring the preferred nodes and
 // avoiding the nodes in avoid (unless only avoided nodes exist). Dead nodes
-// are never chosen. It returns the chosen node name and whether the
-// placement was local.
-func (c *Cluster) acquire(preferred []string, avoid map[string]bool, aborted *bool) (string, bool, error) {
+// are never chosen. It returns the chosen node name, the claimed slot
+// index on it, and whether the placement was local.
+func (c *Cluster) acquire(preferred []string, avoid map[string]bool, aborted *bool) (string, int, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
 		if *aborted {
-			return "", false, errAborted
+			return "", 0, false, errAborted
 		}
 		// Preferred node with a free slot?
 		for _, p := range preferred {
@@ -190,8 +228,7 @@ func (c *Cluster) acquire(preferred []string, avoid map[string]bool, aborted *bo
 				continue
 			}
 			if c.free[p] > 0 {
-				c.free[p]--
-				return p, true, nil
+				return p, c.takeSlot(p), true, nil
 			}
 		}
 		// Any non-avoided node with a free slot (configuration order for
@@ -206,12 +243,11 @@ func (c *Cluster) acquire(preferred []string, avoid map[string]bool, aborted *bo
 				continue
 			}
 			if c.free[n.Name] > 0 {
-				c.free[n.Name]--
-				return n.Name, false, nil
+				return n.Name, c.takeSlot(n.Name), false, nil
 			}
 		}
 		if alive == 0 {
-			return "", false, errNoAliveNodes
+			return "", 0, false, errNoAliveNodes
 		}
 		// Everything usable is busy — or every alive node is avoided; in the
 		// latter case relax the avoid set rather than deadlock.
@@ -225,8 +261,9 @@ func (c *Cluster) acquire(preferred []string, avoid map[string]bool, aborted *bo
 	}
 }
 
-func (c *Cluster) release(node string) {
+func (c *Cluster) release(node string, slot int) {
 	c.mu.Lock()
+	c.busy[node][slot] = false
 	c.free[node]++
 	c.cond.Broadcast()
 	c.mu.Unlock()
@@ -240,15 +277,26 @@ var (
 // runAttempt executes one task attempt with the slot released on every exit
 // path and panics converted to errors, so a panicking mapper or reducer
 // flows through the same retry machinery as a returned error instead of
-// leaking the slot and killing the process.
-func runAttempt(task *Task, node string, release func(string)) (err error) {
-	defer release(node)
+// leaking the slot and killing the process. With a tracer attached, the
+// attempt is bracketed by a slot-occupancy span — ended (LIFO defers:
+// recover, span, release) after panic recovery and before the slot frees,
+// so spans on one slot track never overlap.
+func (c *Cluster) runAttempt(task *Task, node string, slot int) (err error) {
+	defer c.release(node, slot)
+	sp := c.trace.Start(SlotTrack(node, slot), task.Name, obs.CatSlot)
+	defer func() {
+		state := "ok"
+		if err != nil {
+			state = "error"
+		}
+		sp.EndWith(obs.Arg{Key: "state", Value: state})
+	}()
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("task %q panicked on %s: %v", task.Name, node, p)
 		}
 	}()
-	return task.Run(node)
+	return task.Run(node, slot)
 }
 
 // Run executes all tasks, each allowed maxAttempts attempts (min 1). It
@@ -301,7 +349,7 @@ func (c *Cluster) Run(tasks []Task, maxAttempts int, stats *Stats) error {
 			avoid := make(map[string]bool)
 			var lastErr error
 			for attempt := 1; attempt <= maxAttempts; attempt++ {
-				node, local, err := c.acquire(task.Preferred, avoid, &aborted)
+				node, slot, local, err := c.acquire(task.Preferred, avoid, &aborted)
 				if err == errAborted {
 					return // job already failed elsewhere
 				}
@@ -313,7 +361,7 @@ func (c *Cluster) Run(tasks []Task, maxAttempts int, stats *Stats) error {
 				// releases the slot on every exit path (including panics), so
 				// PerNode counts stay in lockstep with TasksRun.
 				record(node, local, attempt > 1)
-				lastErr = runAttempt(&task, node, c.release)
+				lastErr = c.runAttempt(&task, node, slot)
 				if lastErr == nil {
 					return
 				}

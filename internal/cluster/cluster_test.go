@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mrskyline/internal/cluster"
+	"mrskyline/internal/obs"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -47,7 +48,7 @@ func TestRunAllTasks(t *testing.T) {
 	for i := range tasks {
 		tasks[i] = cluster.Task{
 			Name: fmt.Sprintf("t%d", i),
-			Run: func(node string) error {
+			Run: func(node string, _ int) error {
 				atomic.AddInt64(&ran, 1)
 				return nil
 			},
@@ -80,7 +81,7 @@ func TestSlotLimitRespected(t *testing.T) {
 	for i := range tasks {
 		tasks[i] = cluster.Task{
 			Name: fmt.Sprintf("t%d", i),
-			Run: func(node string) error {
+			Run: func(node string, _ int) error {
 				mu.Lock()
 				cur++
 				if cur > peak {
@@ -117,7 +118,7 @@ func TestLocalityPreference(t *testing.T) {
 		tasks[i] = cluster.Task{
 			Name:      name,
 			Preferred: []string{pref},
-			Run: func(node string) error {
+			Run: func(node string, _ int) error {
 				mu.Lock()
 				placed[name] = node
 				mu.Unlock()
@@ -142,7 +143,7 @@ func TestRetryOnDifferentNode(t *testing.T) {
 	var nodesTried []string
 	task := cluster.Task{
 		Name: "flaky",
-		Run: func(node string) error {
+		Run: func(node string, _ int) error {
 			mu.Lock()
 			nodesTried = append(nodesTried, node)
 			n := len(nodesTried)
@@ -171,7 +172,7 @@ func TestRetryOnDifferentNode(t *testing.T) {
 func TestRetryExhaustionFailsJob(t *testing.T) {
 	c, _ := cluster.Uniform(2, 1)
 	boom := errors.New("boom")
-	task := cluster.Task{Name: "doomed", Run: func(string) error { return boom }}
+	task := cluster.Task{Name: "doomed", Run: func(string, int) error { return boom }}
 	err := c.Run([]cluster.Task{task}, 3, nil)
 	if err == nil || !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want wrapped boom", err)
@@ -185,7 +186,7 @@ func TestAvoidSetRelaxesOnSingleNode(t *testing.T) {
 	attempts := 0
 	task := cluster.Task{
 		Name: "stubborn",
-		Run: func(node string) error {
+		Run: func(node string, _ int) error {
 			attempts++
 			if attempts < 3 {
 				return errors.New("again")
@@ -212,10 +213,10 @@ func TestFailureAbortsQueuedTasks(t *testing.T) {
 	block := make(chan struct{})
 	var started int64
 	tasks := []cluster.Task{
-		{Name: "fail", Run: func(string) error { return errors.New("dead") }},
+		{Name: "fail", Run: func(string, int) error { return errors.New("dead") }},
 	}
 	for i := 0; i < 20; i++ {
-		tasks = append(tasks, cluster.Task{Name: fmt.Sprintf("later%d", i), Run: func(string) error {
+		tasks = append(tasks, cluster.Task{Name: fmt.Sprintf("later%d", i), Run: func(string, int) error {
 			atomic.AddInt64(&started, 1)
 			<-block
 			return nil
@@ -244,7 +245,7 @@ func TestConcurrentJobsShareCluster(t *testing.T) {
 			defer wg.Done()
 			tasks := make([]cluster.Task, 10)
 			for i := range tasks {
-				tasks[i] = cluster.Task{Name: "t", Run: func(string) error {
+				tasks[i] = cluster.Task{Name: "t", Run: func(string, int) error {
 					time.Sleep(100 * time.Microsecond)
 					return nil
 				}}
@@ -316,10 +317,10 @@ func TestPerNodeAttemptAccounting(t *testing.T) {
 	}
 	var calls atomic.Int64
 	tasks := []cluster.Task{
-		{Name: "clean", Run: func(string) error { calls.Add(1); return nil }},
-		{Name: "error-retry", Run: func() func(string) error {
+		{Name: "clean", Run: func(string, int) error { calls.Add(1); return nil }},
+		{Name: "error-retry", Run: func() func(string, int) error {
 			var n atomic.Int64
-			return func(string) error {
+			return func(string, int) error {
 				calls.Add(1)
 				if n.Add(1) == 1 {
 					return errors.New("first attempt fails")
@@ -327,9 +328,9 @@ func TestPerNodeAttemptAccounting(t *testing.T) {
 				return nil
 			}
 		}()},
-		{Name: "panic-retry", Run: func() func(string) error {
+		{Name: "panic-retry", Run: func() func(string, int) error {
 			var n atomic.Int64
-			return func(string) error {
+			return func(string, int) error {
 				calls.Add(1)
 				if n.Add(1) == 1 {
 					panic("first attempt panics")
@@ -372,7 +373,7 @@ func TestTaskPanicRetries(t *testing.T) {
 	var attempts atomic.Int64
 	tasks := []cluster.Task{{
 		Name: "panicky",
-		Run: func(node string) error {
+		Run: func(node string, _ int) error {
 			if attempts.Add(1) == 1 {
 				panic("boom")
 			}
@@ -387,8 +388,8 @@ func TestTaskPanicRetries(t *testing.T) {
 	}
 	// The slot leaked if a follow-up job cannot run on the same cluster.
 	if err := c.Run([]cluster.Task{
-		{Name: "a", Run: func(string) error { return nil }},
-		{Name: "b", Run: func(string) error { return nil }},
+		{Name: "a", Run: func(string, int) error { return nil }},
+		{Name: "b", Run: func(string, int) error { return nil }},
 	}, 1, nil); err != nil {
 		t.Fatalf("cluster unusable after panic recovery: %v", err)
 	}
@@ -396,7 +397,7 @@ func TestTaskPanicRetries(t *testing.T) {
 	// A panic on every attempt must exhaust the budget with a clean error.
 	always := []cluster.Task{{
 		Name: "cursed",
-		Run:  func(string) error { panic("always") },
+		Run:  func(string, int) error { panic("always") },
 	}}
 	err = c.Run(always, 2, nil)
 	if err == nil {
@@ -427,7 +428,7 @@ func TestSetDown(t *testing.T) {
 	placed := map[string]int{}
 	tasks := make([]cluster.Task, 6)
 	for i := range tasks {
-		tasks[i] = cluster.Task{Name: fmt.Sprintf("t%d", i), Run: func(node string) error {
+		tasks[i] = cluster.Task{Name: fmt.Sprintf("t%d", i), Run: func(node string, _ int) error {
 			mu.Lock()
 			placed[node]++
 			mu.Unlock()
@@ -453,11 +454,65 @@ func TestSetDown(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	err = c.Run([]cluster.Task{{Name: "stuck", Run: func(string) error { return nil }}}, 1, nil)
+	err = c.Run([]cluster.Task{{Name: "stuck", Run: func(string, int) error { return nil }}}, 1, nil)
 	if err == nil {
 		t.Fatal("job on an all-dead cluster reported success")
 	}
 	if !strings.Contains(err.Error(), "no alive nodes") {
 		t.Errorf("error %q does not report dead cluster", err)
+	}
+}
+
+// TestSlotOccupancySpans: with a tracer attached, every attempt records a
+// span on its slot's track, spans on one track never overlap, and failed
+// attempts carry an error state arg.
+func TestSlotOccupancySpans(t *testing.T) {
+	c, _ := cluster.Uniform(2, 2)
+	tr := obs.New()
+	c.SetTrace(tr)
+	var failedOnce atomic.Bool
+	tasks := make([]cluster.Task, 9)
+	for i := range tasks {
+		tasks[i] = cluster.Task{Name: fmt.Sprintf("t%d", i), Run: func(string, int) error {
+			time.Sleep(200 * time.Microsecond)
+			return nil
+		}}
+	}
+	tasks[8].Run = func(string, int) error {
+		if failedOnce.CompareAndSwap(false, true) {
+			return errors.New("first attempt fails")
+		}
+		return nil
+	}
+	if err := c.Run(tasks, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	if len(spans) != 10 { // 9 tasks + 1 retry
+		t.Fatalf("got %d spans, want 10", len(spans))
+	}
+	states := map[string]int{}
+	lastEnd := map[string]time.Duration{}
+	for _, s := range spans {
+		if s.Cat != obs.CatSlot {
+			t.Fatalf("span cat = %q", s.Cat)
+		}
+		var nodeIdx, slot int
+		if n, _ := fmt.Sscanf(s.Track, "node%d/s%d", &nodeIdx, &slot); n != 2 {
+			t.Fatalf("track %q is not a slot track", s.Track)
+		}
+		if s.Start < lastEnd[s.Track] {
+			t.Fatalf("span %q on %s starts at %v before previous span ended at %v",
+				s.Name, s.Track, s.Start, lastEnd[s.Track])
+		}
+		lastEnd[s.Track] = s.End
+		for _, a := range s.Args {
+			if a.Key == "state" {
+				states[a.Value]++
+			}
+		}
+	}
+	if states["error"] != 1 || states["ok"] != 9 {
+		t.Fatalf("state args = %v, want 1 error + 9 ok", states)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"mrskyline/internal/bitstring"
 	"mrskyline/internal/grid"
 	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/obs"
 	"mrskyline/internal/tuple"
 )
 
@@ -91,7 +92,9 @@ func BuildBitstring(cfg *Config, g *grid.Grid, input mapreduce.Input, disablePru
 			}
 		},
 	}
+	doneExch := cfg.Engine.WallTracer().Timed(obs.DriverTrack, "bitstring-exchange", obs.CatAlgo, "algo.bitstring_exchange.ns")
 	res, err := cfg.Engine.Run(job)
+	doneExch()
 	if err != nil {
 		return nil, err
 	}
@@ -152,14 +155,17 @@ func ChoosePPDAndBitstring(cfg *Config, d, card int, input mapreduce.Input, disa
 	if len(candidates) == 0 {
 		candidates = []int{2}
 	}
+	doneGrids := cfg.Engine.WallTracer().Timed(obs.DriverTrack, "grid-build", obs.CatAlgo, "algo.grid_build.ns")
 	grids := make(map[int]*grid.Grid, len(candidates))
 	for _, j := range candidates {
 		g, err := cfg.newGrid(d, j)
 		if err != nil {
+			doneGrids()
 			return nil, fmt.Errorf("core: candidate PPD %d: %w", j, err)
 		}
 		grids[j] = g
 	}
+	doneGrids()
 
 	job := &mapreduce.Job{
 		Name:        "ppd-select",
@@ -245,7 +251,9 @@ func ChoosePPDAndBitstring(cfg *Config, d, card int, input mapreduce.Input, disa
 			}
 		},
 	}
+	doneExch := cfg.Engine.WallTracer().Timed(obs.DriverTrack, "bitstring-exchange", obs.CatAlgo, "algo.bitstring_exchange.ns")
 	res, err := cfg.Engine.Run(job)
+	doneExch()
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +303,9 @@ func prepareInput(cfg *Config, input mapreduce.Input, d, card int) (*BitstringRe
 		ppd = grid.PPDForTPP(card, d, cfg.TPP, grid.MaxPartitions)
 	}
 	if ppd != 0 {
+		doneGrid := cfg.Engine.WallTracer().Timed(obs.DriverTrack, "grid-build", obs.CatAlgo, "algo.grid_build.ns")
 		g, err := cfg.newGrid(d, ppd)
+		doneGrid()
 		if err != nil {
 			return nil, err
 		}

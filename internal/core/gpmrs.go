@@ -7,6 +7,7 @@ import (
 	"mrskyline/internal/bitstring"
 	"mrskyline/internal/grid"
 	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/obs"
 	"mrskyline/internal/skyline"
 	"mrskyline/internal/tuple"
 )
@@ -114,7 +115,9 @@ func newGPMRSMapper(cfg *Config, g *grid.Grid) mapreduce.Mapper {
 			if state == nil {
 				return nil // empty split contributes nothing
 			}
+			doneLocal := ctx.Trace.Timed(ctx.Track, "local-skyline", obs.CatAlgo, "algo.local_skyline.ns")
 			s := state.finish()
+			doneLocal()
 			state.recordCounters(ctx, mapreduce.PhaseMap)
 			// Line 11: generate groups — identically on every mapper, as a
 			// pure function of the cached bitstring and the reducer count.
@@ -143,6 +146,7 @@ func newGPMRSReducer(cfg *Config, g *grid.Grid) mapreduce.Reducer {
 	)
 	return mapreduce.ReducerFuncs{
 		ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emitter) error {
+			defer ctx.Trace.Timed(ctx.Track, "merge", obs.CatAlgo, "algo.merge.ns")()
 			b, err := decodeKey(key)
 			if err != nil {
 				return err

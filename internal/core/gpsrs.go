@@ -7,6 +7,7 @@ import (
 	"mrskyline/internal/bitstring"
 	"mrskyline/internal/grid"
 	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/obs"
 	"mrskyline/internal/skyline"
 	"mrskyline/internal/tuple"
 )
@@ -90,8 +91,10 @@ func gpsrsRun(cfg Config, input mapreduce.Input, prep *BitstringResult, start ti
 				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
 					// Lines 7–8: eliminate cross-partition false positives,
 					// then output the union (line 9).
+					doneMerge := ctx.Trace.Timed(ctx.Track, "merge", obs.CatAlgo, "algo.merge.ns")
 					var partCmp int64
 					comparePartitions(merged, g, &cnt, &partCmp)
+					doneMerge()
 					ctx.Counters.SetMax(counterPartCmpReduceMax, partCmp)
 					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
 					var scratch []byte
@@ -144,7 +147,9 @@ func newGPMapper(cfg *Config, g *grid.Grid) mapreduce.Mapper {
 			if state == nil {
 				return nil // empty split
 			}
+			doneLocal := ctx.Trace.Timed(ctx.Track, "local-skyline", obs.CatAlgo, "algo.local_skyline.ns")
 			s := state.finish()
+			doneLocal()
 			state.recordCounters(ctx, mapreduce.PhaseMap)
 			var scratch []byte
 			for _, p := range s.sortedPartitions() {

@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"mrskyline/internal/cluster"
+	"mrskyline/internal/core"
+	"mrskyline/internal/datagen"
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/obs"
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/tuple"
+)
+
+// tracedConfig builds a config with a fresh tracer attached; plan may be
+// nil for a wall-clock run.
+func tracedConfig(t *testing.T, plan *mapreduce.FaultPlan) (core.Config, *obs.Tracer) {
+	t.Helper()
+	c, err := cluster.Uniform(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := mapreduce.NewEngine(c)
+	eng.Faults = plan
+	tr := obs.New()
+	eng.SetTrace(tr)
+	return core.Config{Engine: eng, PPD: 4}, tr
+}
+
+// exportTrace renders the tracer as Chrome trace JSON and validates it
+// against the schema: only M/X events, named tids, non-negative and
+// monotonic timestamps per track, spans nested or disjoint.
+func exportTrace(t *testing.T, tr *obs.Tracer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace fails schema validation: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGPMRSWallTraceValidates runs MR-GPMRS end-to-end on the wall clock
+// with tracing on: the exported Chrome trace must validate against the
+// schema and contain every span category the instrumentation emits, and
+// the metrics registry must hold the per-phase histograms.
+func TestGPMRSWallTraceValidates(t *testing.T) {
+	cfg, tr := tracedConfig(t, nil)
+	data := datagen.Generate(datagen.Independent, 400, 3, 7)
+	sky, _, err := core.GPMRS(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tuple.EqualAsSet(sky, skyline.Naive(data)) {
+		t.Fatal("tracing changed the skyline")
+	}
+	exportTrace(t, tr)
+
+	cats := map[string]int{}
+	names := map[string]int{}
+	for _, s := range tr.Spans() {
+		cats[s.Cat]++
+		names[s.Name]++
+	}
+	for _, cat := range []string{obs.CatJob, obs.CatPhase, obs.CatSlot, obs.CatShuffle, obs.CatAlgo} {
+		if cats[cat] == 0 {
+			t.Errorf("no %s spans recorded; cats = %v", cat, cats)
+		}
+	}
+	for _, name := range []string{"local-skyline", "merge", "bitstring-exchange", "grid-build"} {
+		if names[name] == 0 {
+			t.Errorf("no %q algo spans recorded", name)
+		}
+	}
+
+	snap := tr.Metrics().Snapshot()
+	hists := map[string]bool{}
+	for _, h := range snap.Histograms {
+		if h.Count <= 0 {
+			t.Errorf("histogram %s has count %d", h.Name, h.Count)
+		}
+		hists[h.Name] = true
+	}
+	for _, want := range []string{
+		"mr.task.map.ns", "mr.task.reduce.ns", "mr.shuffle.reducer.bytes",
+		"mr.spill.map.bytes", "algo.local_skyline.ns", "algo.merge.ns",
+		"algo.grid_build.ns", "algo.bitstring_exchange.ns",
+	} {
+		if !hists[want] {
+			t.Errorf("histogram %s missing from snapshot", want)
+		}
+	}
+}
+
+// TestGPMRSVirtualTraceDeterministic runs MR-GPMRS under a FaultPlan —
+// the virtual-clock path — twice with identical setups: both exported
+// traces must validate and be byte-identical, and must contain only
+// virtual spans (no wall-clock slot spans).
+func TestGPMRSVirtualTraceDeterministic(t *testing.T) {
+	data := datagen.Generate(datagen.Independent, 400, 3, 7)
+	run := func() []byte {
+		cfg, tr := tracedConfig(t, &mapreduce.FaultPlan{
+			Seed:          11,
+			CrashRate:     0.15,
+			StragglerRate: 0.3,
+			CorruptRate:   0.1,
+			Speculative:   &mapreduce.SpeculativeConfig{},
+		})
+		if _, _, err := core.GPMRS(cfg, data); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range tr.Spans() {
+			if s.Cat == obs.CatSlot {
+				t.Fatalf("wall-clock slot span %q leaked into a virtual trace", s.Name)
+			}
+		}
+		return exportTrace(t, tr)
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical virtual-clock runs exported different traces")
+	}
+}

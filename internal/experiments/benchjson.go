@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mrskyline/internal/datagen"
+	"mrskyline/internal/obs"
 )
 
 // BenchRecord is one figure regeneration measured for performance
@@ -42,6 +43,11 @@ type BenchRecord struct {
 	// Probes are fixed-workload per-algorithm measurements (shuffle bytes,
 	// simulated time), independent of the figure's own sweep.
 	Probes []AlgoProbe `json:"algo_probes,omitempty"`
+	// Metrics is the obs registry snapshot for this figure's run — per-phase
+	// task/shuffle histograms and algorithm-phase timings — present only
+	// when the setup carries a tracer. Sections are sorted by name, so two
+	// identical deterministic runs serialize byte-identically.
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // BenchTable mirrors Table in a JSON-friendly shape.
@@ -72,6 +78,10 @@ type AlgoProbe struct {
 // (for printing).
 func RunFigureBench(name string, s Setup) (*BenchRecord, *FigureResult, error) {
 	s = s.withDefaults()
+	// Per-figure metrics: clear the shared registry so this record's
+	// snapshot covers exactly this figure's jobs (spans keep accumulating
+	// on the tracer's timeline).
+	s.Trace.ResetMetrics()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
@@ -97,6 +107,10 @@ func RunFigureBench(name string, s Setup) (*BenchRecord, *FigureResult, error) {
 	}
 	for _, tab := range res.Tables {
 		rec.Tables = append(rec.Tables, BenchTable{Title: tab.Title, Columns: tab.Columns, Rows: tab.Rows})
+	}
+	if s.Trace.Enabled() {
+		snap := s.Trace.Metrics().Snapshot()
+		rec.Metrics = &snap
 	}
 	return rec, res, nil
 }

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"mrskyline/internal/obs"
 )
 
 func TestRunFigureBenchAndWriteJSON(t *testing.T) {
@@ -63,5 +66,35 @@ func TestRunFigureBenchAndWriteJSON(t *testing.T) {
 	}
 	if back.Figure != rec.Figure || len(back.Tables) != len(rec.Tables) || len(back.Probes) != len(rec.Probes) {
 		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}
+
+// TestBenchJSONDeterministic is the regression gate for bench-record
+// determinism: two identical fault-injected runs — same seeds, fresh
+// tracer each — must serialize byte-identically once the host-dependent
+// cost fields (wall time, allocations) are zeroed. Everything else in the
+// record — tables and the metrics section included — is computed on the
+// virtual clock and must not drift.
+func TestBenchJSONDeterministic(t *testing.T) {
+	run := func() []byte {
+		t.Helper()
+		s := Setup{Seed: 1, Scale: 0.0001, Nodes: 4, SlotsPerNode: 2,
+			FaultRate: 0.1, FaultSeed: 5, Trace: obs.New()}
+		rec, _, err := RunFigureBench("fig10", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.WallNs = 0
+		rec.Allocs = 0
+		rec.AllocBytes = 0
+		b, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two identical runs produced different bench JSON:\n--- run 1\n%s\n--- run 2\n%s", a, b)
 	}
 }

@@ -16,7 +16,23 @@ import (
 	"mrskyline/internal/cluster"
 	"mrskyline/internal/datagen"
 	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/obs"
 )
+
+// ValidateFaultConfig checks the fault-injection knobs as front ends
+// (skybench, skyreport) receive them: rate must lie in [0, 1], and a seed
+// is only meaningful when a rate enables the fault plan. seedSet reports
+// whether the user set the seed explicitly (a zero seed means "use the
+// data seed", so presence cannot be inferred from the value).
+func ValidateFaultConfig(rate float64, seedSet bool) error {
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("experiments: fault rate %v outside [0, 1]", rate)
+	}
+	if seedSet && rate == 0 {
+		return fmt.Errorf("experiments: fault seed set but fault rate is 0 (set a rate in (0, 1] to enable fault injection)")
+	}
+	return nil
+}
 
 // Setup fixes the simulated cluster and sweep-independent parameters of an
 // experiment run.
@@ -74,6 +90,11 @@ type Setup struct {
 	// FaultSeed seeds the fault plan (only meaningful with FaultRate > 0);
 	// 0 uses the data seed.
 	FaultSeed int64
+	// Trace, when non-nil, is attached to every engine the run builds:
+	// spans from all jobs accumulate on its shared timeline (virtual-clock
+	// jobs are serialized onto it via the tracer's virtual base), and
+	// metrics land in its registry. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // DefaultScale is the default cardinality scale factor: 2×10⁶ becomes
@@ -133,6 +154,7 @@ func (s Setup) newEngine() (*mapreduce.Engine, error) {
 			Speculative:   &mapreduce.SpeculativeConfig{},
 		}
 	}
+	eng.SetTrace(s.Trace)
 	return eng, nil
 }
 

@@ -2,9 +2,11 @@ package mapreduce
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"mrskyline/internal/cluster"
+	"mrskyline/internal/obs"
 )
 
 // Phase identifies the half of a job a task belongs to; the fault injector
@@ -95,6 +97,10 @@ type Engine struct {
 	// placement, History and counters then reproduce exactly for a given
 	// seed. See FaultPlan.
 	Faults *FaultPlan
+	// trace, when non-nil, records the job timeline: job/phase/shuffle
+	// spans on the driver track, task-attempt spans on per-slot tracks,
+	// and duration/byte histograms. Set with SetTrace.
+	trace *obs.Tracer
 	// Sim, when non-nil, turns on simulated-time accounting: concurrent
 	// task bodies are bounded by SimConfig.MeasureParallelism for
 	// contention-free measurement and Result gains a SimulatedTime
@@ -111,6 +117,36 @@ func NewEngine(c *cluster.Cluster) *Engine {
 
 // Cluster returns the engine's cluster.
 func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
+
+// SetTrace attaches a tracer to the engine (and its cluster, which emits
+// slot-occupancy spans on the wall-clock path). nil disables tracing.
+// Call before Run.
+func (e *Engine) SetTrace(tr *obs.Tracer) {
+	e.trace = tr
+	e.cluster.SetTrace(tr)
+}
+
+// Trace returns the engine's tracer (nil when tracing is off).
+func (e *Engine) Trace() *obs.Tracer { return e.trace }
+
+// WallTracer returns the tracer for wall-clock instrumentation: the
+// engine's tracer on the concurrent path, nil under a FaultPlan — a
+// virtual-clock run's trace must contain only deterministic virtual
+// spans, never host timings.
+func (e *Engine) WallTracer() *obs.Tracer {
+	if e.Faults != nil {
+		return nil
+	}
+	return e.trace
+}
+
+// stateArg renders an error as a span state annotation.
+func stateArg(err error) obs.Arg {
+	if err != nil {
+		return obs.Arg{Key: "state", Value: "error"}
+	}
+	return obs.Arg{Key: "state", Value: "ok"}
+}
 
 // combineBuckets applies a map-side combiner to every per-reducer bucket:
 // records are grouped by key (in byte order, for determinism, via the same
@@ -285,11 +321,18 @@ func attemptReduce(job *Job, in *bucketArena, idx []int32, groups []span, ctx *T
 // CounterShuffleCorruptions, and the segment refetched — Hadoop reducers
 // re-pull a map output whose IFile checksum fails the same way. Without a
 // plan the function is byte-for-byte the pre-fault shuffle.
-func (e *Engine) shuffleMapOutput(mapOut [][]bucketArena, rj *resolvedJob, res *Result) ([]bucketArena, []int64, error) {
+// tr, when non-nil, brackets each reducer's fetch in a wall-clock span and
+// feeds the shuffle-volume histogram; the virtual path passes nil and
+// records its own deterministic spans.
+func (e *Engine) shuffleMapOutput(mapOut [][]bucketArena, rj *resolvedJob, res *Result, tr *obs.Tracer) ([]bucketArena, []int64, error) {
 	reduceIn := make([]bucketArena, rj.numReducers)
 	perReducerBytes := make([]int64, rj.numReducers)
 	shuffleBytes := int64(0)
 	for r := 0; r < rj.numReducers; r++ {
+		var fetchSp obs.SpanRef
+		if tr != nil {
+			fetchSp = tr.Start(obs.DriverTrack, "fetch:r"+strconv.Itoa(r), obs.CatShuffle)
+		}
 		var dataLen, recCount int
 		for m := 0; m < rj.numMappers; m++ {
 			dataLen += len(mapOut[m][r].data)
@@ -318,6 +361,8 @@ func (e *Engine) shuffleMapOutput(mapOut [][]bucketArena, rj *resolvedJob, res *
 		n := reduceIn[r].payloadBytes()
 		shuffleBytes += n
 		perReducerBytes[r] += n
+		tr.Metrics().Observe("mr.shuffle.reducer.bytes", n)
+		fetchSp.EndWith(obs.Arg{Key: "bytes", Value: strconv.FormatInt(n, 10)})
 	}
 	res.Counters.Add(CounterShuffleBytes, shuffleBytes)
 	return reduceIn, perReducerBytes, nil
@@ -344,7 +389,7 @@ func (e *Engine) fetchSegment(seg *bucketArena, m, r int) *bucketArena {
 // (after retries) aborts the job; on error the returned Result, when
 // non-nil, carries the partial History and counters accumulated so far —
 // chaos tests inspect it to verify that every attempt was recorded.
-func (e *Engine) Run(job *Job) (*Result, error) {
+func (e *Engine) Run(job *Job) (_ *Result, retErr error) {
 	rj, err := e.resolve(job)
 	if err != nil {
 		return nil, err
@@ -355,6 +400,12 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 
 	numMappers, numReducers := rj.numMappers, rj.numReducers
 	res := &Result{Counters: NewCounters(), History: &History{}}
+
+	tr := e.trace // wall-clock path: the engine tracer is the wall tracer
+	jobSpan := tr.Start(obs.DriverTrack, "job:"+job.Name, obs.CatJob,
+		obs.Arg{Key: "mappers", Value: strconv.Itoa(numMappers)},
+		obs.Arg{Key: "reducers", Value: strconv.Itoa(numReducers)})
+	defer func() { jobSpan.EndWith(stateArg(retErr)) }()
 
 	// Simulated-time instrumentation: a counting semaphore bounds how many
 	// task bodies run while being measured. At the default capacity
@@ -376,6 +427,8 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 
 	// ---- Map phase -------------------------------------------------------
 	mapStart := time.Now()
+	jobStart := mapStart // TaskRecord.Start offsets are from job start
+	mapSpan := tr.Start(obs.DriverTrack, "map", obs.CatPhase)
 	// mapOut[m][r] holds mapper m's records destined for reducer r.
 	mapOut := make([][]bucketArena, numMappers)
 	mapTasks := make([]cluster.Task, numMappers)
@@ -386,7 +439,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		mapTasks[m] = cluster.Task{
 			Name:      fmt.Sprintf("%s-map-%d", job.Name, m),
 			Preferred: split.Hosts(),
-			Run: func(node string) (err error) {
+			Run: func(node string, slot int) (err error) {
 				attempts++
 				attempt := attempts
 				// A panicking mapper (user code or fault injector) becomes a
@@ -395,7 +448,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 				defer func() {
 					if p := recover(); p != nil {
 						err = fmt.Errorf("map task %d on %s: panic: %v", m, node, p)
-						res.History.add(TaskRecord{Phase: PhaseMap, TaskID: m, Attempt: attempt, Node: node, Err: err.Error()})
+						res.History.add(TaskRecord{Phase: PhaseMap, TaskID: m, Attempt: attempt, Node: node, Slot: slot, Err: err.Error()})
 					}
 				}()
 				ctx := &TaskContext{
@@ -408,9 +461,12 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 					Cache:       job.Cache,
 					Counters:    NewCounters(),
 				}
+				if tr != nil {
+					ctx.Trace, ctx.Track = tr, cluster.SlotTrack(node, slot)
+				}
 				if e.FaultInjector != nil {
 					if err := e.FaultInjector(PhaseMap, m, attempt); err != nil {
-						res.History.add(TaskRecord{Phase: PhaseMap, TaskID: m, Attempt: attempt, Node: node, Err: err.Error()})
+						res.History.add(TaskRecord{Phase: PhaseMap, TaskID: m, Attempt: attempt, Node: node, Slot: slot, Err: err.Error()})
 						return err
 					}
 				}
@@ -419,22 +475,32 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 					defer func() { <-simSem }()
 				}
 				taskStart := time.Now()
+				startOff := taskStart.Sub(jobStart)
 				buckets, err := attemptMap(job, rj, split, ctx)
 				if err != nil {
 					err = fmt.Errorf("map task %d on %s: %w", m, node, err)
 					res.History.add(TaskRecord{
 						Phase: PhaseMap, TaskID: m, Attempt: attempt,
-						Node: node, Duration: time.Since(taskStart), Err: err.Error(),
+						Node: node, Slot: slot, Start: startOff, Duration: time.Since(taskStart), Err: err.Error(),
 					})
 					return err
 				}
 				// Install output and counters only on success.
+				dur := time.Since(taskStart)
 				if mapDurs != nil {
-					mapDurs[m] = time.Since(taskStart)
+					mapDurs[m] = dur
+				}
+				if tr != nil {
+					tr.Metrics().Observe("mr.task.map.ns", int64(dur))
+					var spill int64
+					for i := range buckets {
+						spill += buckets[i].payloadBytes()
+					}
+					tr.Metrics().Observe("mr.spill.map.bytes", spill)
 				}
 				res.History.add(TaskRecord{
 					Phase: PhaseMap, TaskID: m, Attempt: attempt,
-					Node: node, Duration: time.Since(taskStart),
+					Node: node, Slot: slot, Start: startOff, Duration: dur,
 				})
 				mapOut[m] = buckets
 				res.Counters.Merge(ctx.Counters)
@@ -442,8 +508,10 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 			},
 		}
 	}
-	if err := e.cluster.Run(mapTasks, rj.maxAttempts, &res.ClusterStats); err != nil {
-		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	mapErr := e.cluster.Run(mapTasks, rj.maxAttempts, &res.ClusterStats)
+	mapSpan.EndWith(stateArg(mapErr))
+	if mapErr != nil {
+		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, mapErr)
 	}
 	res.MapTime = time.Since(mapStart)
 
@@ -455,12 +523,15 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	// sort work happens driver-side, outside measured task bodies, exactly
 	// where the old grouping ran.
 	reduceStart := time.Now()
-	reduceIn, perReducerBytes, err := e.shuffleMapOutput(mapOut, rj, res)
+	shuffleSpan := tr.Start(obs.DriverTrack, "shuffle", obs.CatPhase)
+	reduceIn, perReducerBytes, err := e.shuffleMapOutput(mapOut, rj, res, tr)
+	shuffleSpan.EndWith(stateArg(err))
 	if err != nil {
 		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 	}
 
 	// ---- Reduce phase ----------------------------------------------------
+	reduceSpan := tr.Start(obs.DriverTrack, "reduce", obs.CatPhase)
 	reduceOut := make([][]Record, numReducers)
 	reduceTasks := make([]cluster.Task, numReducers)
 	for r := 0; r < numReducers; r++ {
@@ -471,13 +542,13 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		attempts := 0
 		reduceTasks[r] = cluster.Task{
 			Name: fmt.Sprintf("%s-reduce-%d", job.Name, r),
-			Run: func(node string) (err error) {
+			Run: func(node string, slot int) (err error) {
 				attempts++
 				attempt := attempts
 				defer func() {
 					if p := recover(); p != nil {
 						err = fmt.Errorf("reduce task %d on %s: panic: %v", r, node, p)
-						res.History.add(TaskRecord{Phase: PhaseReduce, TaskID: r, Attempt: attempt, Node: node, Err: err.Error()})
+						res.History.add(TaskRecord{Phase: PhaseReduce, TaskID: r, Attempt: attempt, Node: node, Slot: slot, Err: err.Error()})
 					}
 				}()
 				ctx := &TaskContext{
@@ -490,9 +561,12 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 					Cache:       job.Cache,
 					Counters:    NewCounters(),
 				}
+				if tr != nil {
+					ctx.Trace, ctx.Track = tr, cluster.SlotTrack(node, slot)
+				}
 				if e.FaultInjector != nil {
 					if err := e.FaultInjector(PhaseReduce, r, attempt); err != nil {
-						res.History.add(TaskRecord{Phase: PhaseReduce, TaskID: r, Attempt: attempt, Node: node, Err: err.Error()})
+						res.History.add(TaskRecord{Phase: PhaseReduce, TaskID: r, Attempt: attempt, Node: node, Slot: slot, Err: err.Error()})
 						return err
 					}
 				}
@@ -501,21 +575,24 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 					defer func() { <-simSem }()
 				}
 				taskStart := time.Now()
+				startOff := taskStart.Sub(jobStart)
 				out, err := attemptReduce(job, in, idx, groups, ctx)
 				if err != nil {
 					err = fmt.Errorf("reduce task %d on %s: %w", r, node, err)
 					res.History.add(TaskRecord{
 						Phase: PhaseReduce, TaskID: r, Attempt: attempt,
-						Node: node, Duration: time.Since(taskStart), Err: err.Error(),
+						Node: node, Slot: slot, Start: startOff, Duration: time.Since(taskStart), Err: err.Error(),
 					})
 					return err
 				}
+				dur := time.Since(taskStart)
 				if reduceDurs != nil {
-					reduceDurs[r] = time.Since(taskStart)
+					reduceDurs[r] = dur
 				}
+				tr.Metrics().Observe("mr.task.reduce.ns", int64(dur))
 				res.History.add(TaskRecord{
 					Phase: PhaseReduce, TaskID: r, Attempt: attempt,
-					Node: node, Duration: time.Since(taskStart),
+					Node: node, Slot: slot, Start: startOff, Duration: dur,
 				})
 				reduceOut[r] = out.records()
 				res.Counters.Merge(ctx.Counters)
@@ -523,8 +600,10 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 			},
 		}
 	}
-	if err := e.cluster.Run(reduceTasks, rj.maxAttempts, &res.ClusterStats); err != nil {
-		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	reduceErr := e.cluster.Run(reduceTasks, rj.maxAttempts, &res.ClusterStats)
+	reduceSpan.EndWith(stateArg(reduceErr))
+	if reduceErr != nil {
+		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, reduceErr)
 	}
 	res.ReduceTime = time.Since(reduceStart)
 

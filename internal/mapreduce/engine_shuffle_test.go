@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/obs"
 )
 
 // TestPartitionOutOfRangeFailsJob pins the bugfix: a partitioner routing
@@ -172,43 +173,53 @@ func TestMeasureParallelismOutputParity(t *testing.T) {
 	}
 }
 
+// benchShuffleJob builds the shuffle-dominated benchmark job: n records
+// hashed over keyCard keys, 8 mappers, 4 reducers.
+func benchShuffleJob(keyCard, n int) *mapreduce.Job {
+	recs := make([]mapreduce.Record, n)
+	for i := range recs {
+		recs[i] = mapreduce.Record{Value: []byte(fmt.Sprintf("%d %d", i%keyCard, i))}
+	}
+	return &mapreduce.Job{
+		Name:        "bench-shuffle",
+		Input:       mapreduce.MemoryInput{Records: recs},
+		NumMappers:  8,
+		NumReducers: 4,
+		NewMapper: func() mapreduce.Mapper {
+			var scratch []byte
+			return mapreduce.MapperFuncs{
+				MapFn: func(ctx *mapreduce.TaskContext, rec mapreduce.Record, emit mapreduce.Emitter) error {
+					f := bytes.Fields(rec.Value)
+					scratch = append(scratch[:0], 'k')
+					scratch = append(scratch, f[0]...)
+					emit(scratch, f[1])
+					return nil
+				},
+			}
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return mapreduce.ReducerFuncs{
+				ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emitter) error {
+					emit(key, []byte{byte(len(values))})
+					return nil
+				},
+			}
+		},
+	}
+}
+
 // BenchmarkShuffle drives a full map-shuffle-reduce job whose cost is
 // dominated by the shuffle, across key cardinalities and record counts.
+// It runs with the default nil tracer, so comparing its ns/op against the
+// pre-instrumentation baseline measures the disabled tracer's overhead
+// (the acceptance bar is < 5%); BenchmarkShuffleTraced measures the
+// enabled tracer on the same job.
 func BenchmarkShuffle(b *testing.B) {
 	for _, keyCard := range []int{16, 4096} {
 		for _, n := range []int{10_000, 100_000} {
 			b.Run(fmt.Sprintf("keys=%d/recs=%d", keyCard, n), func(b *testing.B) {
 				c := newEngine(b, 4, 2)
-				recs := make([]mapreduce.Record, n)
-				for i := range recs {
-					recs[i] = mapreduce.Record{Value: []byte(fmt.Sprintf("%d %d", i%keyCard, i))}
-				}
-				job := &mapreduce.Job{
-					Name:        "bench-shuffle",
-					Input:       mapreduce.MemoryInput{Records: recs},
-					NumMappers:  8,
-					NumReducers: 4,
-					NewMapper: func() mapreduce.Mapper {
-						var scratch []byte
-						return mapreduce.MapperFuncs{
-							MapFn: func(ctx *mapreduce.TaskContext, rec mapreduce.Record, emit mapreduce.Emitter) error {
-								f := bytes.Fields(rec.Value)
-								scratch = append(scratch[:0], 'k')
-								scratch = append(scratch, f[0]...)
-								emit(scratch, f[1])
-								return nil
-							},
-						}
-					},
-					NewReducer: func() mapreduce.Reducer {
-						return mapreduce.ReducerFuncs{
-							ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emitter) error {
-								emit(key, []byte{byte(len(values))})
-								return nil
-							},
-						}
-					},
-				}
+				job := benchShuffleJob(keyCard, n)
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -217,6 +228,22 @@ func BenchmarkShuffle(b *testing.B) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkShuffleTraced is BenchmarkShuffle's mid-size shape with an
+// enabled tracer attached, quantifying the full cost of span and metric
+// recording relative to BenchmarkShuffle's nil-tracer runs.
+func BenchmarkShuffleTraced(b *testing.B) {
+	c := newEngine(b, 4, 2)
+	c.SetTrace(obs.New())
+	job := benchShuffleJob(16, 10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(job); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

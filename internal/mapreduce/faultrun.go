@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mrskyline/internal/cluster"
+	"mrskyline/internal/obs"
 )
 
 var errNoAliveVNodes = errors.New("no alive nodes")
@@ -35,6 +36,7 @@ var errNoAliveVNodes = errors.New("no alive nodes")
 // vslot is one schedulable slot of the virtual topology.
 type vslot struct {
 	node  string
+	idx   int // slot index within the node (names the trace track)
 	speed float64
 	dead  bool
 }
@@ -62,7 +64,7 @@ func newVCluster(c *cluster.Cluster, plan *FaultPlan) *vcluster {
 			sp = 1
 		}
 		for s := 0; s < n.Slots; s++ {
-			vc.slots = append(vc.slots, vslot{node: n.Name, speed: sp, dead: down})
+			vc.slots = append(vc.slots, vslot{node: n.Name, idx: s, speed: sp, dead: down})
 		}
 	}
 	if plan.NodeFailure != nil {
@@ -134,6 +136,9 @@ type vphaseConfig struct {
 	// only for the map phase (reduce output survives node death, as HDFS
 	// output does in Hadoop).
 	uncommit func(task int)
+	// vbase shifts this job's virtual span timestamps so consecutive jobs
+	// on one tracer occupy disjoint windows (obs.Tracer.VirtualBase).
+	vbase time.Duration
 }
 
 // runVAttempt executes the injected-fault and user halves of one attempt,
@@ -322,13 +327,29 @@ func (e *Engine) runVirtualPhase(vc *vcluster, cfg *vphaseConfig, res *Result) (
 		}
 	}
 
+	// attemptSpan records one finished (committed, failed or killed)
+	// attempt on its slot track, on the virtual clock.
+	attemptSpan := func(a *vattempt, end time.Duration, state string) {
+		e.trace.Record(obs.Span{
+			Track: cluster.SlotTrack(vc.slots[a.slot].node, vc.slots[a.slot].idx),
+			Name:  cfg.taskName(a.task), Cat: obs.CatTask,
+			Start: cfg.vbase + a.start, End: cfg.vbase + end,
+			Args: []obs.Arg{
+				{Key: "attempt", Value: fmt.Sprint(a.attempt)},
+				{Key: "state", Value: state},
+			},
+		})
+	}
+
 	kill := func(slot int, reason string) {
 		a := busy[slot]
 		res.History.add(TaskRecord{
 			Phase: cfg.phase, TaskID: a.task, Attempt: a.attempt,
-			Node: vc.slots[slot].node, Duration: now - a.start,
+			Node: vc.slots[slot].node, Slot: vc.slots[slot].idx,
+			Start: a.start, Duration: now - a.start,
 			Err: reason, Speculative: a.spec, Killed: true,
 		})
+		attemptSpan(a, now, "killed")
 		busy[slot] = nil
 		tasks[a.task].running--
 	}
@@ -342,11 +363,13 @@ func (e *Engine) runVirtualPhase(vc *vcluster, cfg *vphaseConfig, res *Result) (
 		err := e.runVAttempt(cfg, a, node)
 		rec := TaskRecord{
 			Phase: cfg.phase, TaskID: a.task, Attempt: a.attempt,
-			Node: node, Duration: a.finish - a.start, Speculative: a.spec,
+			Node: node, Slot: vc.slots[a.slot].idx,
+			Start: a.start, Duration: a.finish - a.start, Speculative: a.spec,
 		}
 		if err != nil {
 			rec.Err = err.Error()
 			res.History.add(rec)
+			attemptSpan(a, a.finish, "error")
 			res.Counters.Add(CounterTaskFailures, 1)
 			st.failures++
 			st.avoid[node] = true
@@ -360,6 +383,8 @@ func (e *Engine) runVirtualPhase(vc *vcluster, cfg *vphaseConfig, res *Result) (
 			return nil
 		}
 		res.History.add(rec)
+		attemptSpan(a, a.finish, "ok")
+		e.trace.Metrics().Observe("mr.task."+cfg.phase.String()+".ns", int64(a.finish-a.start))
 		st.done = true
 		st.node = node
 		remaining--
@@ -490,6 +515,19 @@ func (e *Engine) runFaulty(job *Job, rj *resolvedJob) (*Result, error) {
 	vc := newVCluster(e.cluster, e.Faults)
 	numMappers, numReducers := rj.numMappers, rj.numReducers
 
+	// Virtual-clock tracing: every span in this function carries explicit
+	// offsets from the job's deterministic event clock, shifted by vbase so
+	// consecutive jobs share one timeline. No wall-clock span is ever
+	// recorded on this path (see Engine.WallTracer).
+	tr := e.trace
+	vbase := tr.VirtualBase()
+	vspan := func(name, cat string, start, end time.Duration, args ...obs.Arg) {
+		tr.Record(obs.Span{
+			Track: obs.DriverTrack, Name: name, Cat: cat,
+			Start: vbase + start, End: vbase + end, Args: args,
+		})
+	}
+
 	newCtx := func(id, attempt int, node string) *TaskContext {
 		return &TaskContext{
 			Job: job.Name, TaskID: id, Attempt: attempt,
@@ -509,6 +547,7 @@ func (e *Engine) runFaulty(job *Job, rj *resolvedJob) (*Result, error) {
 		phase:       PhaseMap,
 		numTasks:    numMappers,
 		startAt:     0,
+		vbase:       vbase,
 		maxAttempts: rj.maxAttempts,
 		preferred:   func(m int) []string { return rj.splits[m].Hosts() },
 		taskName:    func(m int) string { return fmt.Sprintf("%s-map-%d", job.Name, m) },
@@ -520,6 +559,11 @@ func (e *Engine) runFaulty(job *Job, rj *resolvedJob) (*Result, error) {
 			}
 			mapOut[m] = buckets
 			mapCtrs[m] = ctx.Counters
+			var spill int64
+			for i := range buckets {
+				spill += buckets[i].payloadBytes()
+			}
+			tr.Metrics().Observe("mr.spill.map.bytes", spill)
 			return nil
 		},
 		uncommit: func(m int) { mapOut[m], mapCtrs[m] = nil, nil },
@@ -533,16 +577,36 @@ func (e *Engine) runFaulty(job *Job, rj *resolvedJob) (*Result, error) {
 		}
 	}
 	res.MapTime = time.Since(mapStart)
+	vspan("map", obs.CatPhase, 0, mapEnd)
 
 	// ---- Shuffle ---------------------------------------------------------
 	reduceStart := time.Now()
-	reduceIn, perReducerBytes, err := e.shuffleMapOutput(mapOut, rj, res)
+	reduceIn, perReducerBytes, err := e.shuffleMapOutput(mapOut, rj, res, nil)
 	if err != nil {
 		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 	}
 	var shuffleDur time.Duration
 	if e.Sim != nil {
 		shuffleDur = e.Sim.withDefaults().shuffleTime(perReducerBytes)
+	}
+	vspan("shuffle", obs.CatPhase, mapEnd, mapEnd+shuffleDur)
+	if tr != nil {
+		// Per-reducer fetches start when the map phase ends and each lasts
+		// its own transfer time, so every fetch nests inside the shuffle
+		// span (shuffleTime is the slowest fetch).
+		sim := SimConfig{}.withDefaults()
+		if e.Sim != nil {
+			sim = e.Sim.withDefaults()
+		}
+		for r, b := range perReducerBytes {
+			fetchDur := time.Duration(0)
+			if e.Sim != nil {
+				fetchDur = sim.shuffleTime(perReducerBytes[r : r+1])
+			}
+			vspan("fetch:r"+fmt.Sprint(r), obs.CatShuffle, mapEnd, mapEnd+fetchDur,
+				obs.Arg{Key: "bytes", Value: fmt.Sprint(b)})
+			tr.Metrics().Observe("mr.shuffle.reducer.bytes", b)
+		}
 	}
 
 	// ---- Reduce phase ----------------------------------------------------
@@ -562,6 +626,7 @@ func (e *Engine) runFaulty(job *Job, rj *resolvedJob) (*Result, error) {
 		phase:       PhaseReduce,
 		numTasks:    numReducers,
 		startAt:     mapEnd + shuffleDur,
+		vbase:       vbase,
 		maxAttempts: rj.maxAttempts,
 		preferred:   func(int) []string { return nil },
 		taskName:    func(r int) string { return fmt.Sprintf("%s-reduce-%d", job.Name, r) },
@@ -585,6 +650,11 @@ func (e *Engine) runFaulty(job *Job, rj *resolvedJob) (*Result, error) {
 		}
 	}
 	res.ReduceTime = time.Since(reduceStart)
+	vspan("reduce", obs.CatPhase, mapEnd+shuffleDur, reduceEnd)
+	vspan("job:"+job.Name, obs.CatJob, 0, reduceEnd,
+		obs.Arg{Key: "mappers", Value: fmt.Sprint(numMappers)},
+		obs.Arg{Key: "reducers", Value: fmt.Sprint(numReducers)})
+	tr.AdvanceVirtualBase(vbase + reduceEnd)
 
 	if e.Sim != nil {
 		res.SimulatedTime = e.Sim.simulateVirtual(reduceEnd)

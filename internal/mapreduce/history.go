@@ -19,6 +19,12 @@ type TaskRecord struct {
 	Attempt int
 	// Node is the simulated node the attempt ran on.
 	Node string
+	// Slot is the 0-based slot index on Node the attempt occupied.
+	Slot int
+	// Start is the attempt's start offset — from job start on the
+	// wall-clock path, or on the virtual clock under a FaultPlan. Together
+	// with Duration it places the attempt on the job timeline.
+	Start time.Duration
 	// Duration is the attempt's execution time (excluding queueing). Under
 	// a FaultPlan this is the attempt's virtual duration on the simulated
 	// clock, so it reproduces exactly across runs.

@@ -22,6 +22,8 @@ package mapreduce
 import (
 	"fmt"
 	"hash/fnv"
+
+	"mrskyline/internal/obs"
 )
 
 // Record is one key-value pair. A nil key is legal (map inputs often have
@@ -76,6 +78,14 @@ type TaskContext struct {
 	// Counters is the task-local counter set; it is merged into the job's
 	// counters if and only if the task attempt succeeds.
 	Counters *Counters
+	// Trace is the engine's tracer and Track the slot track this attempt
+	// occupies (cluster.SlotTrack). Task code records algorithm-phase
+	// spans with ctx.Trace.Start(ctx.Track, ...). Both are zero on the
+	// virtual-clock (FaultPlan) path — wall-clock spans from task bodies
+	// would pollute a virtual trace — and Trace is nil whenever tracing is
+	// off, which every obs method tolerates.
+	Trace *obs.Tracer
+	Track string
 }
 
 // Mapper processes one input split. One Mapper instance is created per task

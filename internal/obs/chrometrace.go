@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace-event. The exporter emits only
+// complete ("X") duration events and thread-name ("M") metadata events;
+// ts and dur are microseconds, as the format requires.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+func usec(d int64) float64 { return float64(d) / 1e3 }
+
+// WriteChromeTrace exports the tracer's spans as Chrome trace-event JSON
+// loadable in chrome://tracing or ui.perfetto.dev. Tracks become
+// threads of one process: a thread_name metadata event per track, then
+// complete X events sorted by track and start time. Output is
+// deterministic for a deterministic span set. A nil tracer writes an
+// empty trace.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	spans := t.Spans()
+	tracks := make([]string, 0, 8)
+	seen := make(map[string]bool)
+	for _, s := range spans {
+		if !seen[s.Track] {
+			seen[s.Track] = true
+			tracks = append(tracks, s.Track)
+		}
+	}
+	sort.Strings(tracks)
+	tid := make(map[string]int, len(tracks))
+	events := make([]chromeEvent, 0, len(tracks)+len(spans))
+	for i, track := range tracks {
+		tid[track] = i + 1
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i + 1,
+			Args: map[string]string{"name": track},
+		})
+	}
+	for _, s := range spans {
+		dur := usec(int64(s.End - s.Start))
+		ev := chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			Ts: usec(int64(s.Start)), Dur: &dur,
+			Pid: 1, Tid: tid[s.Track],
+		}
+		if len(s.Args) > 0 {
+			ev.Args = make(map[string]string, len(s.Args))
+			for _, a := range s.Args {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	// Spans() is sorted by track name; tids were assigned in sorted track
+	// order, so X events are already grouped by tid ascending and sorted
+	// by ts within each tid.
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: events})
+}
+
+// ValidateChromeTraceJSON checks that data is a trace this package could
+// have produced and that it is well-formed for a timeline viewer:
+//
+//   - top level is {"traceEvents": [...]} holding only complete "X"
+//     events and "M" metadata events;
+//   - every X event has a name, non-negative ts and dur, and a tid that
+//     carries a thread_name metadata event;
+//   - per tid, X events appear in non-decreasing ts order (monotonic
+//     timestamps per track);
+//   - per tid, events nest or are disjoint — no partial overlap.
+//
+// Nesting is checked with a half-nanosecond tolerance: span ends are
+// reconstructed as ts + dur in float microseconds, so two spans ending
+// at the same nanosecond can differ by an ulp after the µs conversion,
+// while a genuine overlap is at least a full nanosecond (0.001 µs).
+//
+// It returns nil for a valid trace and a descriptive error otherwise.
+func ValidateChromeTraceJSON(data []byte) error {
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("not valid trace JSON: %w", err)
+	}
+	named := make(map[int]bool)
+	for i, ev := range tr.TraceEvents {
+		if ev.Ph == "M" {
+			if ev.Name != "thread_name" {
+				return fmt.Errorf("event %d: unexpected metadata event %q", i, ev.Name)
+			}
+			if ev.Args["name"] == "" {
+				return fmt.Errorf("event %d: thread_name metadata without a name arg", i)
+			}
+			named[ev.Tid] = true
+		}
+	}
+	type open struct{ end float64 }
+	stacks := make(map[int][]open)
+	lastTs := make(map[int]float64)
+	sawX := make(map[int]bool)
+	for i, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			return fmt.Errorf("event %d (%q): phase %q; want complete X or metadata M", i, ev.Name, ev.Ph)
+		}
+		if ev.Name == "" {
+			return fmt.Errorf("event %d: X event without a name", i)
+		}
+		if ev.Dur == nil {
+			return fmt.Errorf("event %d (%q): X event without dur", i, ev.Name)
+		}
+		if ev.Ts < 0 || *ev.Dur < 0 {
+			return fmt.Errorf("event %d (%q): negative ts or dur", i, ev.Name)
+		}
+		if !named[ev.Tid] {
+			return fmt.Errorf("event %d (%q): tid %d has no thread_name metadata", i, ev.Name, ev.Tid)
+		}
+		if sawX[ev.Tid] && ev.Ts < lastTs[ev.Tid] {
+			return fmt.Errorf("event %d (%q): ts %v on tid %d goes backwards (previous %v)", i, ev.Name, ev.Ts, ev.Tid, lastTs[ev.Tid])
+		}
+		sawX[ev.Tid] = true
+		lastTs[ev.Tid] = ev.Ts
+		const halfNs = 0.0005 // µs; absorbs float rounding, below real overlap
+		end := ev.Ts + *ev.Dur
+		stack := stacks[ev.Tid]
+		for len(stack) > 0 && stack[len(stack)-1].end <= ev.Ts+halfNs {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 && end > stack[len(stack)-1].end+halfNs {
+			return fmt.Errorf("event %d (%q): [%v,%v) on tid %d partially overlaps an enclosing span ending at %v",
+				i, ev.Name, ev.Ts, end, ev.Tid, stack[len(stack)-1].end)
+		}
+		stacks[ev.Tid] = append(stack, open{end: end})
+	}
+	return nil
+}

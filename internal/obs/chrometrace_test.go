@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTracer() *Tracer {
+	tr := New()
+	tr.Record(Span{Track: "driver", Name: "job:wc", Cat: CatJob, Start: 0, End: 100 * time.Millisecond,
+		Args: []Arg{{Key: "mappers", Value: "4"}}})
+	tr.Record(Span{Track: "driver", Name: "map", Cat: CatPhase, Start: 0, End: 60 * time.Millisecond})
+	tr.Record(Span{Track: "driver", Name: "reduce", Cat: CatPhase, Start: 70 * time.Millisecond, End: 100 * time.Millisecond})
+	tr.Record(Span{Track: "node0/s0", Name: "map[0]#0", Cat: CatTask, Start: 5 * time.Millisecond, End: 30 * time.Millisecond})
+	tr.Record(Span{Track: "node0/s0", Name: "map[1]#0", Cat: CatTask, Start: 31 * time.Millisecond, End: 55 * time.Millisecond})
+	return tr
+}
+
+func TestWriteChromeTraceValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleTracer()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace failed validation: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{`"thread_name"`, `"node0/s0"`, `"driver"`, `"ph": "X"`, `"mappers": "4"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, sampleTracer()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, sampleTracer()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical span sets exported different bytes")
+	}
+}
+
+func TestWriteChromeTraceNilTracer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"not json", `nope`, "not valid trace JSON"},
+		{"bad phase", `{"traceEvents":[{"name":"x","ph":"B","ts":0,"pid":1,"tid":1}]}`, "phase"},
+		{"missing dur", `{"traceEvents":[
+			{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"t"}},
+			{"name":"x","ph":"X","ts":0,"pid":1,"tid":1}]}`, "without dur"},
+		{"unnamed tid", `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":1,"pid":1,"tid":9}]}`, "no thread_name"},
+		{"backwards ts", `{"traceEvents":[
+			{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"t"}},
+			{"name":"a","ph":"X","ts":10,"dur":1,"pid":1,"tid":1},
+			{"name":"b","ph":"X","ts":5,"dur":1,"pid":1,"tid":1}]}`, "backwards"},
+		{"partial overlap", `{"traceEvents":[
+			{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"t"}},
+			{"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1},
+			{"name":"b","ph":"X","ts":5,"dur":10,"pid":1,"tid":1}]}`, "overlaps"},
+		{"negative dur", `{"traceEvents":[
+			{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"t"}},
+			{"name":"a","ph":"X","ts":0,"dur":-1,"pid":1,"tid":1}]}`, "negative"},
+	}
+	for _, tc := range cases {
+		err := ValidateChromeTraceJSON([]byte(tc.data))
+		if err == nil {
+			t.Fatalf("%s: validated", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateAcceptsNestingAndAdjacency(t *testing.T) {
+	data := `{"traceEvents":[
+		{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"t"}},
+		{"name":"outer","ph":"X","ts":0,"dur":100,"pid":1,"tid":1},
+		{"name":"in1","ph":"X","ts":0,"dur":40,"pid":1,"tid":1},
+		{"name":"in2","ph":"X","ts":40,"dur":60,"pid":1,"tid":1},
+		{"name":"leaf","ph":"X","ts":50,"dur":10,"pid":1,"tid":1},
+		{"name":"after","ph":"X","ts":100,"dur":5,"pid":1,"tid":1}]}`
+	if err := ValidateChromeTraceJSON([]byte(data)); err != nil {
+		t.Fatalf("valid nesting rejected: %v", err)
+	}
+}
+
+func TestFlameSummary(t *testing.T) {
+	out := FlameSummary(sampleTracer())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // 5 spans with distinct (cat, name) pairs
+		t.Fatalf("got %d rows:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "job:wc") || !strings.Contains(out, "#") {
+		t.Fatalf("flame summary content:\n%s", out)
+	}
+	// Busiest row carries the full-width bar and 100%.
+	if !strings.Contains(lines[0], "100.0%") {
+		t.Fatalf("first row not the busiest:\n%s", out)
+	}
+}

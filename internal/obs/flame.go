@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// flameRow aggregates all spans sharing a category and name.
+type flameRow struct {
+	cat   string
+	name  string
+	count int
+	total time.Duration
+}
+
+// maxFlameRowsPerCat bounds each category's rows in FlameSummary; a run
+// with per-task span names would otherwise print one near-zero row per
+// task. Suppressed rows are summarized in a single "(n more)" line.
+const maxFlameRowsPerCat = 12
+
+// FlameSummary renders the tracer's spans as a compact text flamegraph:
+// one row per (category, name) pair with invocation count, summed
+// duration, share of the busiest row, and a proportional bar. Rows sort
+// by category, then summed duration descending; each category shows at
+// most its top maxFlameRowsPerCat rows, with the tail folded into one
+// "(n more)" line. Aggregation across tracks keeps the summary readable
+// at any cluster size; open the Chrome trace for the per-slot timeline.
+// A nil tracer yields an empty string.
+func FlameSummary(t *Tracer) string {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return ""
+	}
+	idx := make(map[[2]string]int)
+	rows := make([]flameRow, 0, 16)
+	for _, s := range spans {
+		key := [2]string{s.Cat, s.Name}
+		i, ok := idx[key]
+		if !ok {
+			i = len(rows)
+			idx[key] = i
+			rows = append(rows, flameRow{cat: s.Cat, name: s.Name})
+		}
+		rows[i].count++
+		rows[i].total += s.End - s.Start
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].cat != rows[j].cat {
+			return rows[i].cat < rows[j].cat
+		}
+		if rows[i].total != rows[j].total {
+			return rows[i].total > rows[j].total
+		}
+		return rows[i].name < rows[j].name
+	})
+	var widest time.Duration
+	for _, r := range rows {
+		if r.total > widest {
+			widest = r.total
+		}
+	}
+	const barW = 40
+	var b strings.Builder
+	for i := 0; i < len(rows); {
+		j := i
+		for j < len(rows) && rows[j].cat == rows[i].cat {
+			j++
+		}
+		shown := j
+		if j-i > maxFlameRowsPerCat {
+			shown = i + maxFlameRowsPerCat
+		}
+		for _, r := range rows[i:shown] {
+			frac := float64(r.total) / float64(widest)
+			bar := strings.Repeat("#", int(frac*barW+0.5))
+			fmt.Fprintf(&b, "%-8s %-28s %6dx %14v %5.1f%% %s\n",
+				r.cat, r.name, r.count, r.total.Round(time.Microsecond), frac*100, bar)
+		}
+		if shown < j {
+			rest := flameRow{}
+			for _, r := range rows[shown:j] {
+				rest.count += r.count
+				rest.total += r.total
+			}
+			fmt.Fprintf(&b, "%-8s %-28s %6dx %14v\n",
+				rows[i].cat, fmt.Sprintf("(%d more)", j-shown), rest.count,
+				rest.total.Round(time.Microsecond))
+		}
+		i = j
+	}
+	return b.String()
+}

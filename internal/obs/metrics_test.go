@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistrySnapshotSortedAndExact(t *testing.T) {
+	r := NewRegistry()
+	r.Count("z.last", 2)
+	r.Count("a.first", 1)
+	r.Count("a.first", 4)
+	r.Gauge("g.x", 9)
+	r.Gauge("g.x", 3) // latest wins
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a.first" || s.Counters[0].Value != 5 {
+		t.Fatalf("counters: %+v", s.Counters)
+	}
+	if s.Counters[1].Name != "z.last" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != 3 {
+		t.Fatalf("gauges: %+v", s.Gauges)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	r := NewRegistry()
+	for _, v := range []int64{1, 2, 3, 4, 100, -5} {
+		r.Observe("h", v)
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms: %+v", s.Histograms)
+	}
+	h := s.Histograms[0]
+	if h.Count != 6 || h.Sum != 110 || h.Min != 0 || h.Max != 100 {
+		t.Fatalf("summary: %+v", h)
+	}
+	if h.Mean != 110/6 {
+		t.Fatalf("mean = %d", h.Mean)
+	}
+	// p50 is a bucket upper bound: the true median is 2–3, so the bound
+	// must sit in [2, 4) scaled by the 2x bucket width — i.e. ≤ 7 and ≥ 2.
+	if h.P50 < 2 || h.P50 > 7 {
+		t.Fatalf("p50 = %d out of log-bucket range", h.P50)
+	}
+	// p95 lands in the top sample's bucket, clamped to max.
+	if h.P95 != 100 {
+		t.Fatalf("p95 = %d, want clamped max 100", h.P95)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("h", 42)
+	h := r.Snapshot().Histograms[0]
+	if h.Min != 42 || h.Max != 42 || h.P50 != 42 || h.P95 != 42 || h.Mean != 42 {
+		t.Fatalf("single-sample summary: %+v", h)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() []byte {
+		r := NewRegistry()
+		// Insertion order differs between the two builds; output must not.
+		r.Count("b", 1)
+		r.Count("a", 2)
+		r.Observe("lat", 10)
+		r.Observe("lat", 20)
+		r.Gauge("g", 5)
+		b, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	build2 := func() []byte {
+		r := NewRegistry()
+		r.Gauge("g", 5)
+		r.Observe("lat", 10)
+		r.Count("a", 2)
+		r.Count("b", 1)
+		r.Observe("lat", 20)
+		b, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := build(), build2(); string(a) != string(b) {
+		t.Fatalf("snapshot JSON depends on insertion order:\n%s\n%s", a, b)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := NewRegistry()
+	r.Count("c", 1)
+	r.Gauge("g", 2)
+	r.Observe("h", 3)
+	out := r.Snapshot().String()
+	for _, want := range []string{"counter", "gauge", "hist", "n=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("snapshot string missing %q:\n%s", want, out)
+		}
+	}
+}
