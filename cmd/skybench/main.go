@@ -26,37 +26,62 @@ import (
 	"strings"
 	"time"
 
+	mrskyline "mrskyline"
 	"mrskyline/internal/experiments"
 	"mrskyline/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiments to run: comma-separated ids or 'all' (ids: "+strings.Join(experiments.FigureNames(), ", ")+")")
-		scale   = flag.Float64("scale", experiments.DefaultScale, "cardinality scale factor relative to the paper (1 = full size)")
-		nodes   = flag.Int("nodes", 13, "simulated cluster nodes (paper: 13)")
-		paper   = flag.Bool("paper", false, "use the paper's exact heterogeneous 13-machine cluster")
-		slots   = flag.Int("slots", 2, "task slots per node")
-		mappers = flag.Int("mappers", 0, "map tasks (0 = all slots)")
-		reds    = flag.Int("reducers", 0, "reduce tasks for MR-GPMRS (0 = one per node)")
-		ppd     = flag.Int("ppd", 0, "fixed partitions-per-dimension (0 = Section 3.3 heuristic)")
-		seed    = flag.Int64("seed", 1, "data generation seed")
-		noskip  = flag.Bool("noskip", false, "run even the combinations the paper reports as DNF")
-		asCSV   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		asJSON  = flag.Bool("json", false, "also write BENCH_<figure>.json bench records for perf trajectory tracking")
-		outdir  = flag.String("outdir", ".", "directory for -json output files")
-		mpar      = flag.Int("measurepar", 0, "concurrently measured tasks (0 = min(GOMAXPROCS, slots), 1 = serial isolation)")
-		faultrate = flag.Float64("faultrate", 0, "deterministic fault-injection rate for crashes/stragglers/corruption (0 = fault-free)")
-		faultseed = flag.Int64("faultseed", 0, "fault plan seed (0 = data seed; only with -faultrate > 0)")
-		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto / chrome://tracing)")
-		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memprof   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		exp          = flag.String("exp", "all", "experiments to run: comma-separated ids or 'all' (ids: "+strings.Join(experiments.FigureNames(), ", ")+")")
+		scale        = flag.Float64("scale", experiments.DefaultScale, "cardinality scale factor relative to the paper (1 = full size)")
+		nodes        = flag.Int("nodes", 13, "simulated cluster nodes (paper: 13)")
+		paper        = flag.Bool("paper", false, "use the paper's exact heterogeneous 13-machine cluster")
+		slots        = flag.Int("slots", 2, "task slots per node")
+		mappers      = flag.Int("mappers", 0, "map tasks (0 = all slots)")
+		reds         = flag.Int("reducers", 0, "reduce tasks for MR-GPMRS (0 = one per node)")
+		ppd          = flag.Int("ppd", 0, "fixed partitions-per-dimension (0 = Section 3.3 heuristic)")
+		seed         = flag.Int64("seed", 1, "data generation seed")
+		noskip       = flag.Bool("noskip", false, "run even the combinations the paper reports as DNF")
+		asCSV        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		asJSON       = flag.Bool("json", false, "also write BENCH_<figure>.json bench records for perf trajectory tracking")
+		outdir       = flag.String("outdir", ".", "directory for -json output files")
+		mpar         = flag.Int("measurepar", 0, "concurrently measured tasks (0 = min(GOMAXPROCS, slots), 1 = serial isolation)")
+		faultrate    = flag.Float64("faultrate", 0, "deterministic fault-injection rate for crashes/stragglers/corruption (0 = fault-free)")
+		faultseed    = flag.Int64("faultseed", 0, "fault plan seed (0 = data seed; only with -faultrate > 0)")
+		serveload    = flag.Bool("serveload", false, "run the concurrent serving-load harness instead of figures; writes BENCH_serve.json to -outdir")
+		servequeries = flag.Int("servequeries", 64, "total queries for -serveload")
+		serveworkers = flag.Int("serveworkers", 8, "concurrent clients for -serveload")
+		traceOut     = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto / chrome://tracing)")
+		cpuprof      = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprof      = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
 	if err := experiments.ValidateFaultConfig(*faultrate, flagSet("faultseed")); err != nil {
 		fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *serveload {
+		res, err := experiments.ServeLoad(experiments.ServeLoadConfig{
+			Queries: *servequeries,
+			Workers: *serveworkers,
+			Seed:    *seed,
+			Service: mrskyline.ServiceConfig{Nodes: *nodes, SlotsPerNode: *slots},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: -serveload: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outdir, "BENCH_serve.json")
+		if err := experiments.WriteServeBenchJSON(path, res); err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: -serveload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serveload: %d queries, %d workers: %.1f q/s, p50 %.1f ms, p99 %.1f ms, %d errors\nwrote %s\n",
+			res.Queries, res.Workers, res.ThroughputQPS, res.LatencyP50Ms, res.LatencyP99Ms, res.Errors, path)
+		return
 	}
 
 	if *cpuprof != "" {

@@ -1,0 +1,332 @@
+// Command skylined serves skyline queries over HTTP. One mrskyline.Service
+// — a single long-lived simulated cluster behind a FIFO admission
+// controller — executes every query, so concurrent requests share the
+// cluster's task slots the way concurrent jobs share a real cluster.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/skyline      {"data": [[..]], "algorithm": "MR-GPMRS", ...}
+//	POST /v1/constrained  {..., "constraints": [{"min":0.2,"max":1}, {}]}
+//	POST /v1/subspace     {..., "dims": [0, 2]}
+//	POST /v1/datasets     {"name":"hotels", "data":[[..]]} or
+//	                      {"name":"anti", "generate":{"distribution":"anticorrelated","card":1000,"dim":4,"seed":7}}
+//	GET  /v1/datasets     list cached datasets
+//	GET  /v1/stats        service load + metrics registry
+//	GET  /healthz         liveness
+//
+// Query requests name a cached dataset ("dataset":"hotels") or carry rows
+// inline ("data"). Overload surfaces as 429, a deadline as 504, invalid
+// arguments as 400.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	mrskyline "mrskyline"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	nodes := flag.Int("nodes", 8, "simulated cluster nodes")
+	slots := flag.Int("slots", 2, "task slots per node")
+	maxInFlight := flag.Int("maxinflight", 4, "concurrently executing queries")
+	maxQueue := flag.Int("maxqueue", 64, "queued queries beyond maxinflight (negative: reject when busy)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-query deadline (0: none)")
+	flag.Parse()
+
+	svc, err := mrskyline.NewService(mrskyline.ServiceConfig{
+		Nodes:        *nodes,
+		SlotsPerNode: *slots,
+		MaxInFlight:  *maxInFlight,
+		MaxQueue:     *maxQueue,
+		QueryTimeout: *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("skylined: listening on %s (%d nodes × %d slots, %d in flight)", *addr, *nodes, *slots, *maxInFlight)
+	log.Fatal(http.ListenAndServe(*addr, newServer(svc).handler()))
+}
+
+// server is the HTTP front-end: one Service plus a named-dataset cache so
+// repeated queries against the same data do not re-ship rows in every
+// request body.
+type server struct {
+	svc *mrskyline.Service
+
+	mu       sync.RWMutex
+	datasets map[string][][]float64
+}
+
+func newServer(svc *mrskyline.Service) *server {
+	return &server{svc: svc, datasets: make(map[string][][]float64)}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/skyline", s.postOnly(s.handleSkyline))
+	mux.HandleFunc("/v1/constrained", s.postOnly(s.handleConstrained))
+	mux.HandleFunc("/v1/subspace", s.postOnly(s.handleSubspace))
+	mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// queryRequest is the shared body of the three query endpoints.
+type queryRequest struct {
+	// Dataset names a cached dataset; Data carries rows inline. Exactly
+	// one must be set (empty data is expressed as "data": []).
+	Dataset string      `json:"dataset,omitempty"`
+	Data    [][]float64 `json:"data,omitempty"`
+
+	Algorithm string `json:"algorithm,omitempty"`
+	Kernel    string `json:"kernel,omitempty"`
+	Maximize  []bool `json:"maximize,omitempty"`
+	PPD       int    `json:"ppd,omitempty"`
+	Mappers   int    `json:"mappers,omitempty"`
+	Reducers  int    `json:"reducers,omitempty"`
+
+	// Constraints applies to /v1/constrained: one range per dimension; a
+	// missing side is unbounded.
+	Constraints []rangeJSON `json:"constraints,omitempty"`
+	// Dims applies to /v1/subspace.
+	Dims []int `json:"dims,omitempty"`
+}
+
+type rangeJSON struct {
+	Min *float64 `json:"min"`
+	Max *float64 `json:"max"`
+}
+
+func (r rangeJSON) toRange() mrskyline.Range {
+	out := mrskyline.Unbounded()
+	if r.Min != nil {
+		out.Min = *r.Min
+	}
+	if r.Max != nil {
+		out.Max = *r.Max
+	}
+	return out
+}
+
+func (q *queryRequest) options() mrskyline.Options {
+	return mrskyline.Options{
+		Algorithm: mrskyline.Algorithm(q.Algorithm),
+		Kernel:    q.Kernel,
+		Maximize:  q.Maximize,
+		PPD:       q.PPD,
+		Mappers:   q.Mappers,
+		Reducers:  q.Reducers,
+	}
+}
+
+type queryResponse struct {
+	Skyline [][]float64     `json:"skyline"`
+	Stats   mrskyline.Stats `json:"stats"`
+}
+
+// httpError pairs a message with its status code.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errCode(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.code
+	case errors.Is(err, mrskyline.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(errCode(err))
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) postOnly(h func(w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// decodeQuery parses the body and resolves the dataset reference.
+func (s *server) decodeQuery(r *http.Request) (*queryRequest, [][]float64, error) {
+	var q queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+		return nil, nil, &httpError{http.StatusBadRequest, "bad request body: " + err.Error()}
+	}
+	if q.Dataset == "" {
+		return &q, q.Data, nil
+	}
+	if q.Data != nil {
+		return nil, nil, &httpError{http.StatusBadRequest, `"dataset" and "data" are mutually exclusive`}
+	}
+	s.mu.RLock()
+	data, ok := s.datasets[q.Dataset]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, nil, &httpError{http.StatusNotFound, fmt.Sprintf("unknown dataset %q", q.Dataset)}
+	}
+	return &q, data, nil
+}
+
+func (s *server) handleSkyline(w http.ResponseWriter, r *http.Request) {
+	q, data, err := s.decodeQuery(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.svc.Compute(r.Context(), data, q.options())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, queryResponse{Skyline: res.Skyline, Stats: res.Stats})
+}
+
+func (s *server) handleConstrained(w http.ResponseWriter, r *http.Request) {
+	q, data, err := s.decodeQuery(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	constraints := make([]mrskyline.Range, len(q.Constraints))
+	for i, rng := range q.Constraints {
+		constraints[i] = rng.toRange()
+	}
+	res, err := s.svc.ComputeConstrained(r.Context(), data, constraints, q.options())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, queryResponse{Skyline: res.Skyline, Stats: res.Stats})
+}
+
+func (s *server) handleSubspace(w http.ResponseWriter, r *http.Request) {
+	q, data, err := s.decodeQuery(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.svc.ComputeSubspace(r.Context(), data, q.Dims, q.options())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, queryResponse{Skyline: res.Skyline, Stats: res.Stats})
+}
+
+// datasetRequest registers a named dataset: inline rows or a synthetic
+// generator spec (the distributions of the paper's evaluation).
+type datasetRequest struct {
+	Name     string      `json:"name"`
+	Data     [][]float64 `json:"data,omitempty"`
+	Generate *struct {
+		Distribution string `json:"distribution"`
+		Card         int    `json:"card"`
+		Dim          int    `json:"dim"`
+		Seed         int64  `json:"seed"`
+	} `json:"generate,omitempty"`
+}
+
+func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.RLock()
+		type entry struct {
+			Name string `json:"name"`
+			Rows int    `json:"rows"`
+		}
+		list := make([]entry, 0, len(s.datasets))
+		for name, data := range s.datasets {
+			list = append(list, entry{name, len(data)})
+		}
+		s.mu.RUnlock()
+		sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+		writeJSON(w, map[string]any{"datasets": list})
+	case http.MethodPost:
+		var req datasetRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, &httpError{http.StatusBadRequest, "bad request body: " + err.Error()})
+			return
+		}
+		if req.Name == "" {
+			writeError(w, &httpError{http.StatusBadRequest, `"name" is required`})
+			return
+		}
+		data := req.Data
+		if req.Generate != nil {
+			if data != nil {
+				writeError(w, &httpError{http.StatusBadRequest, `"data" and "generate" are mutually exclusive`})
+				return
+			}
+			g := req.Generate
+			var err error
+			data, err = mrskyline.Generate(g.Distribution, g.Card, g.Dim, g.Seed)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+		}
+		if data == nil {
+			writeError(w, &httpError{http.StatusBadRequest, `either "data" or "generate" is required`})
+			return
+		}
+		s.mu.Lock()
+		s.datasets[req.Name] = data
+		s.mu.Unlock()
+		writeJSON(w, map[string]any{"name": req.Name, "rows": len(data)})
+	default:
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET or POST required"})
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET required"})
+		return
+	}
+	metrics, err := s.svc.MetricsJSON()
+	if err != nil {
+		writeError(w, &httpError{http.StatusInternalServerError, err.Error()})
+		return
+	}
+	writeJSON(w, map[string]any{
+		"service": s.svc.Stats(),
+		"metrics": json.RawMessage(metrics),
+	})
+}

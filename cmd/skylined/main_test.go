@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	mrskyline "mrskyline"
+)
+
+func newTestServer(t *testing.T, cfg mrskyline.ServiceConfig) *httptest.Server {
+	t.Helper()
+	svc, err := mrskyline.NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(svc).handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func decodeQueryResponse(t *testing.T, raw []byte) queryResponse {
+	t.Helper()
+	var qr queryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatalf("bad query response %s: %v", raw, err)
+	}
+	return qr
+}
+
+func TestSkylineEndpoint(t *testing.T) {
+	ts := newTestServer(t, mrskyline.ServiceConfig{Nodes: 2})
+	code, raw := postJSON(t, ts.URL+"/v1/skyline", map[string]any{
+		"data":      [][]float64{{1, 2}, {2, 1}, {2, 2}},
+		"algorithm": "MR-GPSRS",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	qr := decodeQueryResponse(t, raw)
+	if len(qr.Skyline) != 2 {
+		t.Errorf("skyline = %v, want 2 tuples", qr.Skyline)
+	}
+	if qr.Stats.Algorithm != "MR-GPSRS" {
+		t.Errorf("algorithm = %q", qr.Stats.Algorithm)
+	}
+}
+
+func TestConstrainedEndpoint(t *testing.T) {
+	ts := newTestServer(t, mrskyline.ServiceConfig{Nodes: 2})
+	low := 0.3
+	code, raw := postJSON(t, ts.URL+"/v1/constrained", map[string]any{
+		"data":        [][]float64{{0.1, 0.9}, {0.4, 0.5}, {0.5, 0.4}},
+		"constraints": []map[string]any{{"min": low}, {}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	qr := decodeQueryResponse(t, raw)
+	if len(qr.Skyline) != 2 {
+		t.Errorf("constrained skyline = %v, want the two in-range tuples", qr.Skyline)
+	}
+}
+
+func TestSubspaceEndpoint(t *testing.T) {
+	ts := newTestServer(t, mrskyline.ServiceConfig{Nodes: 2})
+	code, raw := postJSON(t, ts.URL+"/v1/subspace", map[string]any{
+		"data": [][]float64{{0.2, 0.3, 0.9}, {0.9, 0.1, 0.1}, {0.3, 0.4, 0.05}},
+		"dims": []int{0, 1},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	qr := decodeQueryResponse(t, raw)
+	if len(qr.Skyline) != 2 {
+		t.Errorf("subspace skyline = %v, want 2 tuples", qr.Skyline)
+	}
+	for _, row := range qr.Skyline {
+		if len(row) != 2 {
+			t.Errorf("projected row %v has %d columns, want 2", row, len(row))
+		}
+	}
+}
+
+func TestDatasetCacheRoundTrip(t *testing.T) {
+	ts := newTestServer(t, mrskyline.ServiceConfig{Nodes: 2})
+	code, raw := postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name":     "anti",
+		"generate": map[string]any{"distribution": "anticorrelated", "card": 200, "dim": 3, "seed": 7},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("dataset registration: status %d: %s", code, raw)
+	}
+
+	code, raw = postJSON(t, ts.URL+"/v1/skyline", map[string]any{"dataset": "anti"})
+	if code != http.StatusOK {
+		t.Fatalf("query by dataset name: status %d: %s", code, raw)
+	}
+	if qr := decodeQueryResponse(t, raw); len(qr.Skyline) == 0 {
+		t.Error("empty skyline from cached dataset")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Datasets []struct {
+			Name string `json:"name"`
+			Rows int    `json:"rows"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Datasets) != 1 || list.Datasets[0].Name != "anti" || list.Datasets[0].Rows != 200 {
+		t.Errorf("dataset listing = %+v", list)
+	}
+
+	code, raw = postJSON(t, ts.URL+"/v1/skyline", map[string]any{"dataset": "missing"})
+	if code != http.StatusNotFound {
+		t.Errorf("unknown dataset: status %d: %s", code, raw)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	ts := newTestServer(t, mrskyline.ServiceConfig{Nodes: 2})
+	cases := []struct {
+		name string
+		path string
+		body map[string]any
+		want int
+	}{
+		{"unknown algorithm", "/v1/skyline", map[string]any{"data": [][]float64{}, "algorithm": "nope"}, http.StatusBadRequest},
+		{"unknown kernel on empty data", "/v1/skyline", map[string]any{"kernel": "quantum"}, http.StatusBadRequest},
+		{"missing constraints", "/v1/constrained", map[string]any{"data": [][]float64{{1, 2}}}, http.StatusBadRequest},
+		{"duplicate dims", "/v1/subspace", map[string]any{"data": [][]float64{{1, 2}}, "dims": []int{0, 0}}, http.StatusBadRequest},
+		// NaN is not expressible in JSON, so exercise the pre-filter row
+		// validation with its other trigger: a ragged row.
+		{"invalid row", "/v1/constrained", map[string]any{"dataset": "badrows", "constraints": []map[string]any{{}, {}}}, http.StatusBadRequest},
+	}
+	code, raw := postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name": "badrows",
+		"data": [][]float64{{1, 2}, {3}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("dataset registration: status %d: %s", code, raw)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, raw := postJSON(t, ts.URL+tc.path, tc.body)
+			if code != tc.want {
+				t.Errorf("status = %d, want %d (%s)", code, tc.want, raw)
+			}
+		})
+	}
+	if resp, err := http.Get(ts.URL + "/v1/skyline"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET on query endpoint: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestConcurrentHTTPQueries is the serving acceptance check: 32
+// concurrent HTTP queries against one server, zero errors.
+func TestConcurrentHTTPQueries(t *testing.T) {
+	ts := newTestServer(t, mrskyline.ServiceConfig{Nodes: 2, MaxInFlight: 4, MaxQueue: 64})
+	code, raw := postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name":     "load",
+		"generate": map[string]any{"distribution": "independent", "card": 300, "dim": 3, "seed": 42},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("dataset registration: status %d: %s", code, raw)
+	}
+
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var (
+				path string
+				body map[string]any
+			)
+			switch i % 3 {
+			case 0:
+				path, body = "/v1/skyline", map[string]any{"dataset": "load"}
+			case 1:
+				path, body = "/v1/constrained", map[string]any{
+					"dataset":     "load",
+					"constraints": []map[string]any{{"min": 0.1}, {}, {}},
+				}
+			default:
+				path, body = "/v1/subspace", map[string]any{"dataset": "load", "dims": []int{0, 2}}
+			}
+			rawBody, _ := json.Marshal(body)
+			resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(rawBody))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			out, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("query %d: status %d: %s", i, resp.StatusCode, out)
+				return
+			}
+			var qr queryResponse
+			if err := json.Unmarshal(out, &qr); err != nil {
+				errs <- fmt.Errorf("query %d: bad body: %v", i, err)
+				return
+			}
+			if len(qr.Skyline) == 0 {
+				errs <- fmt.Errorf("query %d: empty skyline", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// /v1/stats reflects the served load.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Service struct {
+			Admitted int64 `json:"admitted"`
+			InFlight int   `json:"in_flight"`
+		} `json:"service"`
+		Metrics json.RawMessage `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Service.Admitted < n {
+		t.Errorf("admitted = %d, want ≥ %d", stats.Service.Admitted, n)
+	}
+	if len(stats.Metrics) == 0 {
+		t.Error("stats response lacks metrics registry")
+	}
+}

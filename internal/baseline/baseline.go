@@ -23,6 +23,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,6 +37,10 @@ import (
 type Config struct {
 	// Engine executes the MapReduce job; required.
 	Engine *mapreduce.Engine
+	// Ctx, when non-nil, bounds every job of the run (deadline or
+	// cancellation; flows into mapreduce.Engine.RunContext). Nil means
+	// context.Background().
+	Ctx context.Context
 	// NumMappers is the map task count; defaults to the cluster's total
 	// slots.
 	NumMappers int
@@ -62,6 +67,14 @@ func (c *Config) validate(d int) error {
 		return fmt.Errorf("baseline: bounds dimensionality %d/%d does not match data d=%d", len(c.Lo), len(c.Hi), d)
 	}
 	return nil
+}
+
+// ctx resolves the run context.
+func (c *Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // mid returns the per-dimension domain midpoints for d dimensions.
@@ -232,7 +245,7 @@ func runSingleReducerJob(
 			}
 		},
 	}
-	res, err := cfg.Engine.Run(job)
+	res, err := cfg.Engine.RunContext(cfg.ctx(), job)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -127,7 +127,7 @@ func MRBitmap(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 			}
 		},
 	}
-	res1, err := cfg.Engine.Run(collect)
+	res1, err := cfg.Engine.RunContext(cfg.ctx(), collect)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -222,7 +222,7 @@ func MRBitmap(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 		},
 		NewReducer: func() mapreduce.Reducer { return newBitmapReducer(d, n) },
 	}
-	res2, err := cfg.Engine.Run(check)
+	res2, err := cfg.Engine.RunContext(cfg.ctx(), check)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -159,7 +159,7 @@ func SKYMR(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 			}
 		},
 	}
-	res1, err := cfg.Engine.Run(local)
+	res1, err := cfg.Engine.RunContext(cfg.ctx(), local)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -248,7 +248,7 @@ func SKYMR(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 			}
 		},
 	}
-	res2, err := cfg.Engine.Run(global)
+	res2, err := cfg.Engine.RunContext(cfg.ctx(), global)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -11,6 +11,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -181,6 +182,19 @@ func (c *Cluster) TotalSlots() int {
 	return total
 }
 
+// BusySlots returns the number of slots currently occupied by running task
+// attempts, across all jobs sharing the cluster. Serving front-ends expose
+// it as a utilization gauge.
+func (c *Cluster) BusySlots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	busy := 0
+	for _, n := range c.nodes {
+		busy += n.Slots - c.free[n.Name]
+	}
+	return busy
+}
+
 // SlotSpeeds returns one relative speed per slot (a node contributes its
 // speed once per slot), for simulated-time scheduling. Unset speeds read
 // as 1.0.
@@ -303,6 +317,15 @@ func (c *Cluster) runAttempt(task *Task, node string, slot int) (err error) {
 // returns the first task error once every started task has finished, or
 // nil. Stats, when non-nil, receives scheduling telemetry.
 func (c *Cluster) Run(tasks []Task, maxAttempts int, stats *Stats) error {
+	return c.RunContext(context.Background(), tasks, maxAttempts, stats)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled (or its
+// deadline passes) the scheduler stops placing new attempts and returns
+// ctx's error once every already-running attempt has finished. Running
+// task bodies are never preempted — exactly how a JobTracker kills a job:
+// pending tasks are dropped, in-flight attempts drain.
+func (c *Cluster) RunContext(ctx context.Context, tasks []Task, maxAttempts int, stats *Stats) error {
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
@@ -321,6 +344,19 @@ func (c *Cluster) Run(tasks []Task, maxAttempts int, stats *Stats) error {
 			c.cond.Broadcast()
 			c.mu.Unlock()
 		})
+	}
+	if ctx.Done() != nil {
+		// A watcher turns ctx cancellation into a job abort: waiting
+		// acquires observe the aborted flag on the broadcast and unwind.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				fail(ctx.Err())
+			case <-stop:
+			}
+		}()
 	}
 	record := func(node string, local, retry bool) {
 		if stats == nil {

@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -514,5 +515,66 @@ func TestSlotOccupancySpans(t *testing.T) {
 	}
 	if states["error"] != 1 || states["ok"] != 9 {
 		t.Fatalf("state args = %v, want 1 error + 9 ok", states)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	c, _ := cluster.Uniform(1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started int64
+	tasks := make([]cluster.Task, 8)
+	for i := range tasks {
+		tasks[i] = cluster.Task{
+			Name: fmt.Sprintf("t%d", i),
+			Run: func(string, int) error {
+				if atomic.AddInt64(&started, 1) == 1 {
+					close(release)
+					<-ctx.Done() // hold the only slot until cancelled
+				}
+				return nil
+			},
+		}
+	}
+	go func() {
+		<-release
+		cancel()
+	}()
+	err := c.RunContext(ctx, tasks, 1, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	// Cancellation aborts placement: with a single slot held until the
+	// cancel, most tasks must never have started.
+	if n := atomic.LoadInt64(&started); n == 8 {
+		t.Errorf("all %d tasks started despite cancellation", n)
+	}
+}
+
+func TestBusySlots(t *testing.T) {
+	c, _ := cluster.Uniform(2, 2)
+	if got := c.BusySlots(); got != 0 {
+		t.Fatalf("idle BusySlots = %d", got)
+	}
+	inTask := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Run([]cluster.Task{{Name: "hold", Run: func(string, int) error {
+			close(inTask)
+			<-release
+			return nil
+		}}}, 1, nil)
+	}()
+	<-inTask
+	if got := c.BusySlots(); got != 1 {
+		t.Errorf("BusySlots during task = %d, want 1", got)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BusySlots(); got != 0 {
+		t.Errorf("BusySlots after run = %d, want 0", got)
 	}
 }

@@ -93,7 +93,7 @@ func BuildBitstring(cfg *Config, g *grid.Grid, input mapreduce.Input, disablePru
 		},
 	}
 	doneExch := cfg.Engine.WallTracer().Timed(obs.DriverTrack, "bitstring-exchange", obs.CatAlgo, "algo.bitstring_exchange.ns")
-	res, err := cfg.Engine.Run(job)
+	res, err := cfg.Engine.RunContext(cfg.ctx(), job)
 	doneExch()
 	if err != nil {
 		return nil, err
@@ -252,7 +252,7 @@ func ChoosePPDAndBitstring(cfg *Config, d, card int, input mapreduce.Input, disa
 		},
 	}
 	doneExch := cfg.Engine.WallTracer().Timed(obs.DriverTrack, "bitstring-exchange", obs.CatAlgo, "algo.bitstring_exchange.ns")
-	res, err := cfg.Engine.Run(job)
+	res, err := cfg.Engine.RunContext(cfg.ctx(), job)
 	doneExch()
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,6 +17,11 @@ import (
 type Config struct {
 	// Engine executes the MapReduce jobs; required.
 	Engine *mapreduce.Engine
+	// Ctx, when non-nil, bounds every job of the run: it flows into
+	// mapreduce.Engine.RunContext, so a deadline or cancellation aborts
+	// queued admission waits and stops task placement. Nil means
+	// context.Background().
+	Ctx context.Context
 
 	// NumMappers is the map task count (the m of the paper). Defaults to
 	// the cluster's total slot count.
@@ -66,6 +72,14 @@ type Config struct {
 	// DFS-resident datasets use. A (nil, nil) return skips the record
 	// (blank lines, comments).
 	DecodeRecord func(rec mapreduce.Record) (tuple.Tuple, error)
+}
+
+// ctx resolves the run context.
+func (c *Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // decode parses a record with the configured decoder.

@@ -75,7 +75,7 @@ func gpmrsRun(cfg Config, input mapreduce.Input, prep *BitstringResult, start ti
 		NewMapper:  func() mapreduce.Mapper { return newGPMRSMapper(&cfg, g) },
 		NewReducer: func() mapreduce.Reducer { return newGPMRSReducer(&cfg, g) },
 	}
-	res, err := cfg.Engine.Run(job)
+	res, err := cfg.Engine.RunContext(cfg.ctx(), job)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -109,7 +109,7 @@ func gpsrsRun(cfg Config, input mapreduce.Input, prep *BitstringResult, start ti
 			}
 		},
 	}
-	res, err := cfg.Engine.Run(job)
+	res, err := cfg.Engine.RunContext(cfg.ctx(), job)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -153,7 +153,12 @@ func ProbeAlgorithms(s Setup) ([]AlgoProbe, error) {
 
 // WriteBenchJSON writes rec as indented JSON to path.
 func WriteBenchJSON(path string, rec *BenchRecord) error {
-	b, err := json.MarshalIndent(rec, "", "  ")
+	return writeJSONFile(path, rec)
+}
+
+// writeJSONFile writes v as indented JSON to path.
+func writeJSONFile(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	mrskyline "mrskyline"
+)
+
+// ServeLoadConfig shapes a serving-load measurement: a fixed synthetic
+// dataset queried by a pool of concurrent clients against one
+// mrskyline.Service. The zero value is a small smoke-sized run.
+type ServeLoadConfig struct {
+	// Queries is the total query count (default 64).
+	Queries int
+	// Workers is the number of concurrent clients (default 8).
+	Workers int
+	// Distribution, Card, Dim and Seed shape the dataset (defaults:
+	// independent, 1000 × 4d, seed 1).
+	Distribution string
+	Card         int
+	Dim          int
+	Seed         int64
+	// Service configures the serving layer under test.
+	Service mrskyline.ServiceConfig
+}
+
+func (c ServeLoadConfig) withDefaults() ServeLoadConfig {
+	if c.Queries == 0 {
+		c.Queries = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.Distribution == "" {
+		c.Distribution = "independent"
+	}
+	if c.Card == 0 {
+		c.Card = 1000
+	}
+	if c.Dim == 0 {
+		c.Dim = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ServeLoadResult is one serving-load run, serialized into
+// BENCH_serve.json for performance trajectory tracking. Latencies are
+// host wall-clock per query (queue wait included), percentiles computed
+// by exact sort over all successful queries.
+type ServeLoadResult struct {
+	Queries int `json:"queries"`
+	Workers int `json:"workers"`
+
+	Distribution string `json:"distribution"`
+	Card         int    `json:"card"`
+	Dim          int    `json:"dim"`
+	Seed         int64  `json:"seed"`
+
+	MaxInFlight int `json:"max_in_flight"`
+	Nodes       int `json:"nodes"`
+
+	Errors        int     `json:"errors"`
+	WallSec       float64 `json:"wall_seconds"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP90Ms  float64 `json:"latency_p90_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+
+	// Admission outcomes after the run (the mr.queue.* counters).
+	// Admitted counts MapReduce jobs, not queries: one grid-algorithm
+	// query runs a bitstring job plus a skyline job. MaxInFlight and
+	// Nodes echo the configuration (0 = the service default).
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	Canceled int64 `json:"canceled"`
+}
+
+// ServeLoad fires cfg.Queries mixed queries (plain, constrained and
+// subspace skylines round-robin) from cfg.Workers concurrent clients at
+// one Service and reports throughput and latency percentiles. A query
+// failing for any reason counts in Errors; with a default config every
+// query must succeed.
+func ServeLoad(cfg ServeLoadConfig) (*ServeLoadResult, error) {
+	cfg = cfg.withDefaults()
+	data, err := mrskyline.Generate(cfg.Distribution, cfg.Card, cfg.Dim, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := mrskyline.NewService(cfg.Service)
+	if err != nil {
+		return nil, err
+	}
+
+	constraints := make([]mrskyline.Range, cfg.Dim)
+	for k := range constraints {
+		constraints[k] = mrskyline.Unbounded()
+	}
+	constraints[0] = mrskyline.Range{Min: 0.1, Max: 1}
+	dims := []int{0, cfg.Dim - 1}
+
+	type outcome struct {
+		latency time.Duration
+		err     error
+	}
+	outcomes := make([]outcome, cfg.Queries)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := range jobs {
+				qStart := time.Now()
+				var err error
+				switch i % 3 {
+				case 0:
+					_, err = svc.Compute(ctx, data, mrskyline.Options{})
+				case 1:
+					_, err = svc.ComputeConstrained(ctx, data, constraints, mrskyline.Options{})
+				default:
+					_, err = svc.ComputeSubspace(ctx, data, dims, mrskyline.Options{})
+				}
+				outcomes[i] = outcome{time.Since(qStart), err}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Queries; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	var latencies []time.Duration
+	var firstErr error
+	errors := 0
+	for _, o := range outcomes {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			errors++
+			continue
+		}
+		latencies = append(latencies, o.latency)
+	}
+	if len(latencies) == 0 {
+		return nil, fmt.Errorf("experiments: all %d queries failed, first error: %v", cfg.Queries, firstErr)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p int) float64 {
+		idx := (len(latencies) - 1) * p / 100
+		return float64(latencies[idx]) / float64(time.Millisecond)
+	}
+
+	st := svc.Stats()
+	res := &ServeLoadResult{
+		Queries:      cfg.Queries,
+		Workers:      cfg.Workers,
+		Distribution: cfg.Distribution,
+		Card:         cfg.Card,
+		Dim:          cfg.Dim,
+		Seed:         cfg.Seed,
+		MaxInFlight:  cfg.Service.MaxInFlight,
+		Nodes:        cfg.Service.Nodes,
+
+		Errors:        errors,
+		WallSec:       wall.Seconds(),
+		ThroughputQPS: float64(len(latencies)) / wall.Seconds(),
+		LatencyP50Ms:  pct(50),
+		LatencyP90Ms:  pct(90),
+		LatencyP99Ms:  pct(99),
+
+		Admitted: st.Admitted,
+		Rejected: st.Rejected,
+		Canceled: st.Canceled,
+	}
+	return res, nil
+}
+
+// WriteServeBenchJSON serializes one serving-load run to path
+// (conventionally BENCH_serve.json).
+func WriteServeBenchJSON(path string, res *ServeLoadResult) error {
+	return writeJSONFile(path, res)
+}

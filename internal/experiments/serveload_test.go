@@ -1,0 +1,50 @@
+package experiments_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mrskyline/internal/experiments"
+)
+
+func TestServeLoad(t *testing.T) {
+	res, err := experiments.ServeLoad(experiments.ServeLoadConfig{
+		Queries: 24,
+		Workers: 6,
+		Card:    200,
+		Dim:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0", res.Errors)
+	}
+	if res.ThroughputQPS <= 0 {
+		t.Errorf("throughput = %v, want > 0", res.ThroughputQPS)
+	}
+	if res.LatencyP50Ms <= 0 || res.LatencyP99Ms < res.LatencyP50Ms {
+		t.Errorf("latency percentiles inconsistent: p50=%v p99=%v", res.LatencyP50Ms, res.LatencyP99Ms)
+	}
+	if res.Admitted < int64(res.Queries) {
+		t.Errorf("admitted = %d, want ≥ %d", res.Admitted, res.Queries)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := experiments.WriteServeBenchJSON(path, res); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back experiments.ServeLoadResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("BENCH_serve.json does not round-trip: %v", err)
+	}
+	if back.Queries != res.Queries || back.ThroughputQPS != res.ThroughputQPS {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, res)
+	}
+}

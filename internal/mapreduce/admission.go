@@ -1,0 +1,149 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mrskyline/internal/obs"
+)
+
+// ErrQueueFull is returned by RunContext when the admission queue is at
+// capacity; callers (e.g. an HTTP front-end) should surface it as
+// backpressure rather than retry immediately.
+var ErrQueueFull = errors.New("mapreduce: admission queue full")
+
+// admission is the engine's job admission controller: at most maxInFlight
+// jobs execute at once, and up to maxQueued further submissions wait in
+// FIFO order. A waiter whose context is cancelled leaves the queue; a slot
+// freed by a finishing job is handed to the oldest waiter.
+type admission struct {
+	mu          sync.Mutex
+	maxInFlight int
+	maxQueued   int // < 0 means unlimited
+	inFlight    int
+	queue       []chan struct{}
+}
+
+// SetAdmission installs an admission controller on the engine: at most
+// maxInFlight concurrent RunContext calls execute (values < 1 clamp to 1),
+// and at most maxQueued further calls wait FIFO for a slot — beyond that,
+// submissions fail fast with ErrQueueFull. A negative maxQueued leaves the
+// queue unbounded; maxQueued 0 rejects whenever all in-flight slots are
+// busy. Call before submitting jobs; not synchronized with running ones.
+//
+// Admission decisions are recorded on the engine tracer: one CatQueue span
+// per submission on the driver track, mr.queue.wait.ns wait-time samples,
+// mr.queue.{depth,inflight} gauges and mr.queue.{admitted,rejected,
+// canceled} counters.
+func (e *Engine) SetAdmission(maxInFlight, maxQueued int) {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	e.admission = &admission{maxInFlight: maxInFlight, maxQueued: maxQueued}
+}
+
+// AdmissionStats reports the controller's instantaneous state: jobs
+// currently executing and jobs waiting in the queue. Both are 0 when no
+// controller is installed.
+func (e *Engine) AdmissionStats() (inFlight, queued int) {
+	a := e.admission
+	if a == nil {
+		return 0, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inFlight, len(a.queue)
+}
+
+// admit blocks until the job may execute, recording the wait as a span and
+// metrics on the engine tracer (the queue is engine-level state, so its
+// telemetry stays on the engine tracer even for jobs carrying their own).
+func (e *Engine) admit(ctx context.Context, jobName string) error {
+	a, tr := e.admission, e.trace
+	sp := tr.Start(obs.DriverTrack, "queue:"+jobName, obs.CatQueue)
+	start := time.Now()
+	err := a.acquire(ctx, tr.Metrics())
+	tr.Metrics().Observe("mr.queue.wait.ns", int64(time.Since(start)))
+	state := "admitted"
+	switch {
+	case err == nil:
+		tr.Metrics().Count("mr.queue.admitted", 1)
+	case errors.Is(err, ErrQueueFull):
+		state = "rejected"
+		tr.Metrics().Count("mr.queue.rejected", 1)
+	default:
+		state = "canceled"
+		tr.Metrics().Count("mr.queue.canceled", 1)
+	}
+	sp.EndWith(obs.Arg{Key: "state", Value: state})
+	if err != nil {
+		return fmt.Errorf("mapreduce: job %q: %w", jobName, err)
+	}
+	return nil
+}
+
+// gauges publishes the controller's state; callers hold a.mu.
+func (a *admission) gauges(reg *obs.Registry) {
+	reg.Gauge("mr.queue.depth", int64(len(a.queue)))
+	reg.Gauge("mr.queue.inflight", int64(a.inFlight))
+}
+
+// acquire claims an execution slot, waiting FIFO behind earlier
+// submissions. It returns ErrQueueFull when the queue is at capacity and
+// ctx.Err() when the caller's context ends first.
+func (a *admission) acquire(ctx context.Context, reg *obs.Registry) error {
+	a.mu.Lock()
+	if a.inFlight < a.maxInFlight && len(a.queue) == 0 {
+		a.inFlight++
+		a.gauges(reg)
+		a.mu.Unlock()
+		return nil
+	}
+	if a.maxQueued >= 0 && len(a.queue) >= a.maxQueued {
+		a.mu.Unlock()
+		return ErrQueueFull
+	}
+	grant := make(chan struct{})
+	a.queue = append(a.queue, grant)
+	a.gauges(reg)
+	a.mu.Unlock()
+
+	select {
+	case <-grant:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, g := range a.queue {
+			if g == grant {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				a.gauges(reg)
+				a.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		a.mu.Unlock()
+		// The grant raced the cancellation and won: the slot is ours, so
+		// hand it back before reporting the cancellation.
+		a.release(reg)
+		return ctx.Err()
+	}
+}
+
+// release returns an execution slot: the oldest waiter inherits it
+// directly (inFlight stays constant), otherwise the in-flight count drops.
+func (a *admission) release(reg *obs.Registry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.queue) > 0 {
+		grant := a.queue[0]
+		a.queue = a.queue[1:]
+		a.gauges(reg)
+		close(grant)
+		return
+	}
+	a.inFlight--
+	a.gauges(reg)
+}

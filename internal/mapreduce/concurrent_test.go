@@ -1,0 +1,351 @@
+package mapreduce_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/obs"
+)
+
+// TestConcurrentJobsMatchSerial runs more jobs concurrently than the
+// shared cluster has slot tracks and checks that (a) every job's output
+// matches its serial run on a private engine, and (b) the slot-occupancy
+// trace shows jobs interleaving on the shared slots — by pigeonhole, with
+// 6 jobs on 4 slot tracks some track must host tasks of at least two
+// jobs, so an engine that secretly serialized per-slot would still pass;
+// the real assertion is that the concurrent outputs stay correct while
+// that sharing happens.
+func TestConcurrentJobsMatchSerial(t *testing.T) {
+	const jobs = 6
+	shared := newEngine(t, 2, 2) // 4 slot tracks
+	tr := obs.New()
+	shared.SetTrace(tr)
+
+	inputs := make([][]string, jobs)
+	want := make([]map[string]int, jobs)
+	for j := range inputs {
+		inputs[j] = []string{
+			fmt.Sprintf("alpha beta j%d", j),
+			fmt.Sprintf("beta gamma j%d j%d", j, j),
+			"alpha alpha delta",
+		}
+		ref, err := newEngine(t, 2, 2).Run(namedWordCount(fmt.Sprintf("serial%d", j), inputs[j]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[j] = countsFromResult(ref)
+	}
+
+	var wg sync.WaitGroup
+	got := make([]map[string]int, jobs)
+	errs := make([]error, jobs)
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			res, err := shared.Run(namedWordCount(fmt.Sprintf("conc%d", j), inputs[j]))
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			got[j] = countsFromResult(res)
+			if len(res.History.Records()) == 0 {
+				errs[j] = errors.New("empty per-job history")
+			}
+		}(j)
+	}
+	wg.Wait()
+
+	for j := 0; j < jobs; j++ {
+		if errs[j] != nil {
+			t.Fatalf("job %d: %v", j, errs[j])
+		}
+		if !reflect.DeepEqual(got[j], want[j]) {
+			t.Errorf("job %d: concurrent counts = %v, want %v", j, got[j], want[j])
+		}
+	}
+
+	// Interleaving: some slot track hosted tasks of ≥ 2 distinct jobs.
+	jobsPerTrack := make(map[string]map[string]bool)
+	for _, sp := range tr.Spans() {
+		if sp.Cat != obs.CatSlot {
+			continue
+		}
+		name, _, ok := strings.Cut(sp.Name, "-map-")
+		if !ok {
+			name, _, ok = strings.Cut(sp.Name, "-reduce-")
+		}
+		if !ok || !strings.HasPrefix(name, "conc") {
+			continue
+		}
+		if jobsPerTrack[sp.Track] == nil {
+			jobsPerTrack[sp.Track] = make(map[string]bool)
+		}
+		jobsPerTrack[sp.Track][name] = true
+	}
+	maxSharing := 0
+	for _, names := range jobsPerTrack {
+		if len(names) > maxSharing {
+			maxSharing = len(names)
+		}
+	}
+	if maxSharing < 2 {
+		t.Errorf("no slot track hosted more than one job (tracks: %v) — jobs did not share the cluster", jobsPerTrack)
+	}
+}
+
+// namedWordCount clones the canonical word-count job under a unique name
+// so trace spans and errors are attributable to one submission.
+func namedWordCount(name string, input []string) *mapreduce.Job {
+	job := wordCountJob(input, 4, 2)
+	job.Name = name
+	return job
+}
+
+// blockingJob returns a single-task job whose map phase blocks until
+// release is closed, pinning the job in the in-flight state.
+func blockingJob(name string, release <-chan struct{}) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:        name,
+		Input:       mapreduce.MemoryInput{Records: []mapreduce.Record{{Value: []byte("x")}}},
+		NumMappers:  1,
+		NumReducers: 1,
+		NewMapper: func() mapreduce.Mapper {
+			return mapreduce.MapperFuncs{
+				MapFn: func(_ *mapreduce.TaskContext, rec mapreduce.Record, emit mapreduce.Emitter) error {
+					<-release
+					emit(rec.Value, rec.Value)
+					return nil
+				},
+			}
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return mapreduce.ReducerFuncs{
+				ReduceFn: func(_ *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emitter) error {
+					emit(key, values[0])
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// waitFor polls the admission stats until cond holds or the deadline
+// passes.
+func waitFor(t *testing.T, e *mapreduce.Engine, cond func(inFlight, queued int) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond(e.AdmissionStats()) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	inFlight, queued := e.AdmissionStats()
+	t.Fatalf("admission state never reached: inFlight=%d queued=%d", inFlight, queued)
+}
+
+// TestAdmissionFIFO holds one job in flight with maxInFlight 1, queues
+// two more, and checks they execute in submission order.
+func TestAdmissionFIFO(t *testing.T) {
+	e := newEngine(t, 1, 1)
+	tr := obs.New()
+	e.SetTrace(tr)
+	e.SetAdmission(1, 8)
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := e.Run(blockingJob("first", release)); err != nil {
+			t.Errorf("first: %v", err)
+		}
+	}()
+	waitFor(t, e, func(inFlight, queued int) bool { return inFlight == 1 })
+
+	var mu sync.Mutex
+	var order []string
+	runOrdered := func(name string) {
+		defer wg.Done()
+		job := blockingJob(name, closedChan())
+		job.NewMapper = func() mapreduce.Mapper {
+			return mapreduce.MapperFuncs{
+				MapFn: func(_ *mapreduce.TaskContext, rec mapreduce.Record, emit mapreduce.Emitter) error {
+					mu.Lock()
+					order = append(order, name)
+					mu.Unlock()
+					emit(rec.Value, rec.Value)
+					return nil
+				},
+			}
+		}
+		if _, err := e.Run(job); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	wg.Add(1)
+	go runOrdered("second")
+	waitFor(t, e, func(inFlight, queued int) bool { return queued == 1 })
+	wg.Add(1)
+	go runOrdered("third")
+	waitFor(t, e, func(inFlight, queued int) bool { return queued == 2 })
+
+	close(release)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if !reflect.DeepEqual(order, []string{"second", "third"}) {
+		t.Errorf("execution order = %v, want FIFO [second third]", order)
+	}
+	if got := counterValue(tr, "mr.queue.admitted"); got != 3 {
+		t.Errorf("mr.queue.admitted = %d, want 3", got)
+	}
+}
+
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// counterValue reads one counter out of the tracer's metrics snapshot.
+func counterValue(tr *obs.Tracer, name string) int64 {
+	for _, c := range tr.Metrics().Snapshot().Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// TestAdmissionQueueFull checks that with a zero-length queue a second
+// submission is rejected with ErrQueueFull while the first is in flight.
+func TestAdmissionQueueFull(t *testing.T) {
+	e := newEngine(t, 1, 1)
+	tr := obs.New()
+	e.SetTrace(tr)
+	e.SetAdmission(1, 0)
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := e.Run(blockingJob("holder", release)); err != nil {
+			t.Errorf("holder: %v", err)
+		}
+	}()
+	waitFor(t, e, func(inFlight, queued int) bool { return inFlight == 1 })
+
+	_, err := e.Run(blockingJob("overflow", closedChan()))
+	if !errors.Is(err, mapreduce.ErrQueueFull) {
+		t.Errorf("overflow error = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := counterValue(tr, "mr.queue.rejected"); got != 1 {
+		t.Errorf("mr.queue.rejected = %d, want 1", got)
+	}
+}
+
+// TestAdmissionDeadlineWhileQueued checks that a queued job whose context
+// deadline expires leaves the queue with context.DeadlineExceeded and is
+// counted as canceled, and that the queue then drains normally.
+func TestAdmissionDeadlineWhileQueued(t *testing.T) {
+	e := newEngine(t, 1, 1)
+	tr := obs.New()
+	e.SetTrace(tr)
+	e.SetAdmission(1, 8)
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := e.Run(blockingJob("holder", release)); err != nil {
+			t.Errorf("holder: %v", err)
+		}
+	}()
+	waitFor(t, e, func(inFlight, queued int) bool { return inFlight == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := e.RunContext(ctx, blockingJob("expired", closedChan()))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired error = %v, want DeadlineExceeded", err)
+	}
+	inFlight, queued := e.AdmissionStats()
+	if inFlight != 1 || queued != 0 {
+		t.Errorf("after expiry: inFlight=%d queued=%d, want 1/0", inFlight, queued)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := counterValue(tr, "mr.queue.canceled"); got != 1 {
+		t.Errorf("mr.queue.canceled = %d, want 1", got)
+	}
+	// The controller still admits after the cancellation.
+	if _, err := e.Run(blockingJob("after", closedChan())); err != nil {
+		t.Errorf("post-cancel job: %v", err)
+	}
+}
+
+// TestPerJobTracer checks that a job carrying its own tracer keeps its
+// driver spans off the engine tracer (and vice versa), so concurrent
+// submissions can collect isolated traces.
+func TestPerJobTracer(t *testing.T) {
+	e := newEngine(t, 2, 2)
+	engineTr := obs.New()
+	e.SetTrace(engineTr)
+
+	jobTr := obs.New()
+	job := namedWordCount("traced", []string{"a b", "b c"})
+	job.Trace = jobTr
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	plain := namedWordCount("plain", []string{"x y"})
+	if _, err := e.Run(plain); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := spanCount(jobTr, "job:traced"); n != 1 {
+		t.Errorf("job tracer has %d 'job:traced' spans, want 1", n)
+	}
+	if n := spanCount(engineTr, "job:traced"); n != 0 {
+		t.Errorf("engine tracer has %d 'job:traced' spans, want 0", n)
+	}
+	if n := spanCount(engineTr, "job:plain"); n != 1 {
+		t.Errorf("engine tracer has %d 'job:plain' spans, want 1", n)
+	}
+	// Slot occupancy stays with the cluster's (engine) tracer either way.
+	slotSpans := 0
+	for _, sp := range engineTr.Spans() {
+		if sp.Cat == obs.CatSlot && strings.HasPrefix(sp.Name, "traced-") {
+			slotSpans++
+		}
+	}
+	if slotSpans == 0 {
+		t.Error("engine tracer lost the traced job's slot spans")
+	}
+}
+
+func spanCount(tr *obs.Tracer, name string) int {
+	n := 0
+	for _, sp := range tr.Spans() {
+		if sp.Name == name {
+			n++
+		}
+	}
+	return n
+}

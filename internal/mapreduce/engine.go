@@ -1,8 +1,10 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"mrskyline/internal/cluster"
@@ -58,6 +60,13 @@ type Job struct {
 	// MaxAttempts bounds per-task attempts (default 3, mirroring Hadoop's
 	// mapred.map.max.attempts spirit).
 	MaxAttempts int
+	// Trace, when non-nil, overrides the engine's tracer for this job's
+	// spans and metrics (job/phase/task/shuffle instrumentation), so
+	// concurrent jobs can record isolated timelines. Slot-occupancy spans
+	// are emitted by the cluster and stay on the cluster's tracer; queue
+	// spans and mr.queue.* metrics describe engine-level state and stay on
+	// the engine tracer.
+	Trace *obs.Tracer
 }
 
 // Result is a finished job's output.
@@ -83,6 +92,15 @@ type Result struct {
 }
 
 // Engine executes jobs on a simulated cluster.
+//
+// Run and RunContext are safe for concurrent use: jobs submitted from
+// multiple goroutines share the cluster's slots through its scheduler, so
+// concurrent jobs genuinely contend for capacity, while trace, history and
+// counter state stay per job. The exceptions are configuration (SetTrace,
+// SetAdmission, and the exported fields), which must be set before jobs
+// are submitted, and fault-schedule execution: jobs on an engine carrying
+// a FaultPlan serialize on an internal mutex, because the deterministic
+// virtual clock admits no concurrent interleaving.
 type Engine struct {
 	cluster *cluster.Cluster
 	// FaultInjector, when non-nil, is invoked at the start of every task
@@ -108,6 +126,12 @@ type Engine struct {
 	// the SimulatedTime comes from the virtual fault schedule instead,
 	// which also charges wasted (crashed, killed, duplicate) work.
 	Sim *SimConfig
+	// admission, when non-nil, bounds concurrent job execution; see
+	// SetAdmission.
+	admission *admission
+	// faultMu serializes fault-schedule jobs: the virtual clock and the
+	// tracer's virtual base are job-at-a-time resources.
+	faultMu sync.Mutex
 }
 
 // NewEngine creates an engine on the given cluster.
@@ -128,6 +152,15 @@ func (e *Engine) SetTrace(tr *obs.Tracer) {
 
 // Trace returns the engine's tracer (nil when tracing is off).
 func (e *Engine) Trace() *obs.Tracer { return e.trace }
+
+// jobTracer resolves the tracer for one job: its own override, or the
+// engine's.
+func (e *Engine) jobTracer(job *Job) *obs.Tracer {
+	if job.Trace != nil {
+		return job.Trace
+	}
+	return e.trace
+}
 
 // WallTracer returns the tracer for wall-clock instrumentation: the
 // engine's tracer on the concurrent path, nil under a FaultPlan — a
@@ -389,19 +422,47 @@ func (e *Engine) fetchSegment(seg *bucketArena, m, r int) *bucketArena {
 // (after retries) aborts the job; on error the returned Result, when
 // non-nil, carries the partial History and counters accumulated so far —
 // chaos tests inspect it to verify that every attempt was recorded.
-func (e *Engine) Run(job *Job) (_ *Result, retErr error) {
+func (e *Engine) Run(job *Job) (*Result, error) {
+	return e.RunContext(context.Background(), job)
+}
+
+// RunContext is Run with admission control and cancellation. When the
+// engine carries an admission controller (SetAdmission) the job first
+// waits FIFO for an execution slot — failing fast with ErrQueueFull at
+// queue capacity, or with ctx's error if the context ends while queued.
+// Once running, cancelling ctx (e.g. a per-job deadline) stops the
+// scheduler from placing further task attempts and fails the job with
+// ctx's error after in-flight attempts drain.
+func (e *Engine) RunContext(ctx context.Context, job *Job) (*Result, error) {
 	rj, err := e.resolve(job)
 	if err != nil {
 		return nil, err
 	}
+	if e.admission != nil {
+		if err := e.admit(ctx, job.Name); err != nil {
+			return nil, err
+		}
+		defer e.admission.release(e.trace.Metrics())
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	}
 	if e.Faults != nil {
+		// Virtual-clock jobs serialize: the deterministic event clock and
+		// the tracer's virtual base are job-at-a-time resources.
+		e.faultMu.Lock()
+		defer e.faultMu.Unlock()
 		return e.runFaulty(job, rj)
 	}
+	return e.runConcurrent(ctx, job, rj)
+}
 
+// runConcurrent executes the job on the concurrent wall-clock path.
+func (e *Engine) runConcurrent(ctx context.Context, job *Job, rj *resolvedJob) (_ *Result, retErr error) {
 	numMappers, numReducers := rj.numMappers, rj.numReducers
 	res := &Result{Counters: NewCounters(), History: &History{}}
 
-	tr := e.trace // wall-clock path: the engine tracer is the wall tracer
+	tr := e.jobTracer(job) // wall-clock path: the job tracer is the wall tracer
 	jobSpan := tr.Start(obs.DriverTrack, "job:"+job.Name, obs.CatJob,
 		obs.Arg{Key: "mappers", Value: strconv.Itoa(numMappers)},
 		obs.Arg{Key: "reducers", Value: strconv.Itoa(numReducers)})
@@ -508,12 +569,15 @@ func (e *Engine) Run(job *Job) (_ *Result, retErr error) {
 			},
 		}
 	}
-	mapErr := e.cluster.Run(mapTasks, rj.maxAttempts, &res.ClusterStats)
+	mapErr := e.cluster.RunContext(ctx, mapTasks, rj.maxAttempts, &res.ClusterStats)
 	mapSpan.EndWith(stateArg(mapErr))
 	if mapErr != nil {
 		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, mapErr)
 	}
 	res.MapTime = time.Since(mapStart)
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	}
 
 	// ---- Shuffle ---------------------------------------------------------
 	// Each reducer's arenas are concatenated (mapper order preserved) and an
@@ -600,7 +664,7 @@ func (e *Engine) Run(job *Job) (_ *Result, retErr error) {
 			},
 		}
 	}
-	reduceErr := e.cluster.Run(reduceTasks, rj.maxAttempts, &res.ClusterStats)
+	reduceErr := e.cluster.RunContext(ctx, reduceTasks, rj.maxAttempts, &res.ClusterStats)
 	reduceSpan.EndWith(stateArg(reduceErr))
 	if reduceErr != nil {
 		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, reduceErr)

@@ -139,6 +139,8 @@ type vphaseConfig struct {
 	// vbase shifts this job's virtual span timestamps so consecutive jobs
 	// on one tracer occupy disjoint windows (obs.Tracer.VirtualBase).
 	vbase time.Duration
+	// tr is the job's tracer (the engine's unless the job overrides it).
+	tr *obs.Tracer
 }
 
 // runVAttempt executes the injected-fault and user halves of one attempt,
@@ -330,7 +332,7 @@ func (e *Engine) runVirtualPhase(vc *vcluster, cfg *vphaseConfig, res *Result) (
 	// attemptSpan records one finished (committed, failed or killed)
 	// attempt on its slot track, on the virtual clock.
 	attemptSpan := func(a *vattempt, end time.Duration, state string) {
-		e.trace.Record(obs.Span{
+		cfg.tr.Record(obs.Span{
 			Track: cluster.SlotTrack(vc.slots[a.slot].node, vc.slots[a.slot].idx),
 			Name:  cfg.taskName(a.task), Cat: obs.CatTask,
 			Start: cfg.vbase + a.start, End: cfg.vbase + end,
@@ -384,7 +386,7 @@ func (e *Engine) runVirtualPhase(vc *vcluster, cfg *vphaseConfig, res *Result) (
 		}
 		res.History.add(rec)
 		attemptSpan(a, a.finish, "ok")
-		e.trace.Metrics().Observe("mr.task."+cfg.phase.String()+".ns", int64(a.finish-a.start))
+		cfg.tr.Metrics().Observe("mr.task."+cfg.phase.String()+".ns", int64(a.finish-a.start))
 		st.done = true
 		st.node = node
 		remaining--
@@ -519,7 +521,7 @@ func (e *Engine) runFaulty(job *Job, rj *resolvedJob) (*Result, error) {
 	// offsets from the job's deterministic event clock, shifted by vbase so
 	// consecutive jobs share one timeline. No wall-clock span is ever
 	// recorded on this path (see Engine.WallTracer).
-	tr := e.trace
+	tr := e.jobTracer(job)
 	vbase := tr.VirtualBase()
 	vspan := func(name, cat string, start, end time.Duration, args ...obs.Arg) {
 		tr.Record(obs.Span{
@@ -548,6 +550,7 @@ func (e *Engine) runFaulty(job *Job, rj *resolvedJob) (*Result, error) {
 		numTasks:    numMappers,
 		startAt:     0,
 		vbase:       vbase,
+		tr:          tr,
 		maxAttempts: rj.maxAttempts,
 		preferred:   func(m int) []string { return rj.splits[m].Hosts() },
 		taskName:    func(m int) string { return fmt.Sprintf("%s-map-%d", job.Name, m) },
@@ -627,6 +630,7 @@ func (e *Engine) runFaulty(job *Job, rj *resolvedJob) (*Result, error) {
 		numTasks:    numReducers,
 		startAt:     mapEnd + shuffleDur,
 		vbase:       vbase,
+		tr:          tr,
 		maxAttempts: rj.maxAttempts,
 		preferred:   func(int) []string { return nil },
 		taskName:    func(r int) string { return fmt.Sprintf("%s-reduce-%d", job.Name, r) },

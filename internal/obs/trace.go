@@ -19,6 +19,7 @@ const (
 	CatTask    = "task"    // one task attempt's body
 	CatShuffle = "shuffle" // one reducer's shuffle fetch
 	CatAlgo    = "algo"    // algorithm phase (grid build, local skyline, merge)
+	CatQueue   = "queue"   // admission-controller wait: submit → admitted/rejected
 )
 
 // Arg is one key-value annotation on a span. Values are strings so span

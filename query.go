@@ -1,12 +1,16 @@
 package mrskyline
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"mrskyline/internal/tuple"
 )
 
 // Range is a closed per-dimension interval used by constrained skyline
-// queries. Use math.Inf values to leave a side open.
+// queries. Use math.Inf values to leave a side open; NaN bounds are
+// rejected.
 type Range struct {
 	Min, Max float64
 }
@@ -24,19 +28,73 @@ func (r Range) contains(v float64) bool { return v >= r.Min && v <= r.Max }
 // before the skyline computation, so the result can contain tuples that a
 // filtered-out tuple would have dominated — exactly the constrained
 // skyline semantics.
+//
+// Arguments are validated before the empty-data fast path, and rows are
+// validated before range filtering: a row with a NaN value is an error,
+// not a silently filtered-out tuple (NaN lies outside every Range).
 func ComputeConstrained(data [][]float64, constraints []Range, opts Options) (*Result, error) {
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	if err := validateConstraints(constraints, opts); err != nil {
+		return nil, err
+	}
+	filtered, err := filterConstrained(data, constraints)
+	if err != nil {
+		return nil, err
+	}
+	if len(filtered) == 0 {
+		return emptyResult(opts), nil
+	}
+	eng, err := newEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	return computeOn(context.Background(), eng, filtered, opts)
+}
+
+// validateConstraints checks the data-independent constraint invariants:
+// at least one range, no NaN bounds, no inverted range, and agreement
+// with opts.Maximize when both are given.
+func validateConstraints(constraints []Range, opts Options) error {
+	if len(constraints) == 0 {
+		return fmt.Errorf("mrskyline: constrained query needs one Range per dimension, got none")
+	}
+	for k, r := range constraints {
+		if math.IsNaN(r.Min) || math.IsNaN(r.Max) {
+			return fmt.Errorf("mrskyline: constraint %d has a NaN bound", k)
+		}
+		if r.Min > r.Max {
+			return fmt.Errorf("mrskyline: constraint %d is inverted: Min %v > Max %v", k, r.Min, r.Max)
+		}
+	}
+	if opts.Maximize != nil && len(opts.Maximize) != len(constraints) {
+		return fmt.Errorf("mrskyline: %d constraints but Maximize has %d entries", len(constraints), len(opts.Maximize))
+	}
+	return nil
+}
+
+// filterConstrained validates the rows and keeps those inside every
+// range. Row validation happens before filtering so that a dataset
+// Compute rejects (ragged rows, NaN/Inf values) fails here too instead of
+// being filtered into acceptance.
+func filterConstrained(data [][]float64, constraints []Range) ([][]float64, error) {
 	if len(data) == 0 {
-		return Compute(data, opts)
+		return nil, nil
 	}
 	d := len(data[0])
 	if len(constraints) != d {
 		return nil, fmt.Errorf("mrskyline: %d constraints for %d-dimensional data", len(constraints), d)
 	}
+	work := make(tuple.List, len(data))
+	for i, row := range data {
+		work[i] = tuple.Tuple(row)
+	}
+	if err := work.Validate(); err != nil {
+		return nil, fmt.Errorf("mrskyline: %w", err)
+	}
 	filtered := make([][]float64, 0, len(data))
 	for _, row := range data {
-		if len(row) != d {
-			return nil, fmt.Errorf("mrskyline: ragged row of %d columns, want %d", len(row), d)
-		}
 		in := true
 		for k, v := range row {
 			if !constraints[k].contains(v) {
@@ -48,7 +106,7 @@ func ComputeConstrained(data [][]float64, constraints []Range, opts Options) (*R
 			filtered = append(filtered, row)
 		}
 	}
-	return Compute(filtered, opts)
+	return filtered, nil
 }
 
 // ComputeSubspace returns the subspace skyline over the selected 0-based
@@ -56,23 +114,66 @@ func ComputeConstrained(data [][]float64, constraints []Range, opts Options) (*R
 // the skyline of the data projected onto dims. Result rows contain only
 // the selected dimensions, in the order given. opts.Maximize, when set,
 // applies to the projected dimensions.
+//
+// Arguments are validated before the empty-data fast path: an empty,
+// duplicate or negative dims selection, or a Maximize length disagreeing
+// with dims, is an error regardless of data.
 func ComputeSubspace(data [][]float64, dims []int, opts Options) (*Result, error) {
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	if err := validateDims(dims, opts); err != nil {
+		return nil, err
+	}
+	projected, err := projectSubspace(data, dims)
+	if err != nil {
+		return nil, err
+	}
+	if len(projected) == 0 {
+		return emptyResult(opts), nil
+	}
+	eng, err := newEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	return computeOn(context.Background(), eng, projected, opts)
+}
+
+// validateDims checks the data-independent subspace invariants: a
+// non-empty selection of distinct non-negative dimensions, agreeing with
+// opts.Maximize when both are given. Upper bounds need the data's
+// dimensionality and are checked in projectSubspace.
+func validateDims(dims []int, opts Options) error {
 	if len(dims) == 0 {
-		return nil, fmt.Errorf("mrskyline: no subspace dimensions selected")
+		return fmt.Errorf("mrskyline: no subspace dimensions selected")
 	}
-	if len(data) == 0 {
-		return Compute(nil, opts)
-	}
-	d := len(data[0])
 	seen := make(map[int]bool, len(dims))
 	for _, k := range dims {
-		if k < 0 || k >= d {
-			return nil, fmt.Errorf("mrskyline: subspace dimension %d out of range [0,%d)", k, d)
+		if k < 0 {
+			return fmt.Errorf("mrskyline: negative subspace dimension %d", k)
 		}
 		if seen[k] {
-			return nil, fmt.Errorf("mrskyline: subspace dimension %d selected twice", k)
+			return fmt.Errorf("mrskyline: subspace dimension %d selected twice", k)
 		}
 		seen[k] = true
+	}
+	if opts.Maximize != nil && len(opts.Maximize) != len(dims) {
+		return fmt.Errorf("mrskyline: %d subspace dimensions but Maximize has %d entries", len(dims), len(opts.Maximize))
+	}
+	return nil
+}
+
+// projectSubspace checks dims against the data's dimensionality and
+// returns the projected rows.
+func projectSubspace(data [][]float64, dims []int) ([][]float64, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	d := len(data[0])
+	for _, k := range dims {
+		if k >= d {
+			return nil, fmt.Errorf("mrskyline: subspace dimension %d out of range [0,%d)", k, d)
+		}
 	}
 	projected := make([][]float64, len(data))
 	for i, row := range data {
@@ -85,5 +186,5 @@ func ComputeSubspace(data [][]float64, dims []int, opts Options) (*Result, error
 		}
 		projected[i] = p
 	}
-	return Compute(projected, opts)
+	return projected, nil
 }

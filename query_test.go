@@ -54,8 +54,13 @@ func TestComputeConstrainedValidation(t *testing.T) {
 	if _, err := mrskyline.ComputeConstrained([][]float64{{1, 2}, {3}}, []mrskyline.Range{mrskyline.Unbounded(), mrskyline.Unbounded()}, mrskyline.Options{}); err == nil {
 		t.Error("ragged data accepted")
 	}
-	// Empty data passes through.
-	res, err := mrskyline.ComputeConstrained(nil, nil, mrskyline.Options{})
+	// Missing constraints are an error even on empty data (the empty
+	// fast path no longer skips validation).
+	if _, err := mrskyline.ComputeConstrained(nil, nil, mrskyline.Options{}); err == nil {
+		t.Error("nil constraints accepted on empty data")
+	}
+	// Empty data with well-formed constraints passes through.
+	res, err := mrskyline.ComputeConstrained(nil, []mrskyline.Range{mrskyline.Unbounded()}, mrskyline.Options{})
 	if err != nil || len(res.Skyline) != 0 {
 		t.Errorf("empty constrained = %v, %v", res, err)
 	}

@@ -1,0 +1,206 @@
+package mrskyline
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"mrskyline/internal/cluster"
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/obs"
+)
+
+// ErrOverloaded is returned by Service queries rejected because the
+// admission queue is full. Test with errors.Is.
+var ErrOverloaded = mapreduce.ErrQueueFull
+
+// ServiceConfig shapes a Service. The zero value is ready to use.
+type ServiceConfig struct {
+	// Nodes is the simulated cluster size (default 8).
+	Nodes int
+	// SlotsPerNode is the per-node concurrent task count (default 2).
+	SlotsPerNode int
+	// MaxInFlight is the number of MapReduce jobs admitted concurrently
+	// (default 4). Queries beyond it queue FIFO.
+	MaxInFlight int
+	// MaxQueue bounds the admission queue (default 64). Negative means
+	// reject immediately whenever all in-flight slots are busy.
+	MaxQueue int
+	// QueryTimeout is the per-query deadline (default none). It covers
+	// queue wait and execution; an expired query returns the context
+	// error.
+	QueryTimeout time.Duration
+}
+
+// Service executes skyline queries on one long-lived simulated cluster —
+// the serving-layer counterpart of the one-shot Compute functions, which
+// build a fresh cluster per call. Concurrent queries share the cluster's
+// task slots and pass through a FIFO admission controller; admission
+// decisions and queue waits are recorded in the service's metrics
+// registry (the mr.queue.* series).
+//
+// Service methods validate arguments exactly like their package-level
+// counterparts. Options.Nodes and Options.SlotsPerNode are ignored: the
+// cluster shape is fixed at NewService time.
+//
+// All methods are safe for concurrent use.
+type Service struct {
+	eng     *mapreduce.Engine
+	trace   *obs.Tracer
+	timeout time.Duration
+}
+
+// NewService builds a Service on a fresh simulated cluster.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	nodes := cfg.Nodes
+	if nodes == 0 {
+		nodes = 8
+	}
+	slots := cfg.SlotsPerNode
+	if slots == 0 {
+		slots = 2
+	}
+	if nodes < 0 || slots < 0 {
+		return nil, fmt.Errorf("mrskyline: negative cluster shape %d nodes × %d slots", cfg.Nodes, cfg.SlotsPerNode)
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = 4
+	}
+	if maxInFlight < 0 {
+		return nil, fmt.Errorf("mrskyline: MaxInFlight must be ≥ 0, got %d", cfg.MaxInFlight)
+	}
+	maxQueue := cfg.MaxQueue
+	switch {
+	case maxQueue == 0:
+		maxQueue = 64
+	case maxQueue < 0:
+		maxQueue = 0
+	}
+	if cfg.QueryTimeout < 0 {
+		return nil, fmt.Errorf("mrskyline: QueryTimeout must be ≥ 0, got %v", cfg.QueryTimeout)
+	}
+	c, err := cluster.Uniform(nodes, slots)
+	if err != nil {
+		return nil, fmt.Errorf("mrskyline: %w", err)
+	}
+	eng := mapreduce.NewEngine(c)
+	tr := obs.New()
+	eng.SetTrace(tr)
+	eng.SetAdmission(maxInFlight, maxQueue)
+	return &Service{eng: eng, trace: tr, timeout: cfg.QueryTimeout}, nil
+}
+
+// queryCtx applies the service deadline.
+func (s *Service) queryCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.timeout > 0 {
+		return context.WithTimeout(ctx, s.timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// Compute is the Service counterpart of the package-level Compute,
+// running the job on the shared cluster under ctx and the service
+// deadline.
+func (s *Service) Compute(ctx context.Context, data [][]float64, opts Options) (*Result, error) {
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return emptyResult(opts), nil
+	}
+	ctx, cancel := s.queryCtx(ctx)
+	defer cancel()
+	return computeOn(ctx, s.eng, data, opts)
+}
+
+// ComputeConstrained is the Service counterpart of the package-level
+// ComputeConstrained.
+func (s *Service) ComputeConstrained(ctx context.Context, data [][]float64, constraints []Range, opts Options) (*Result, error) {
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	if err := validateConstraints(constraints, opts); err != nil {
+		return nil, err
+	}
+	filtered, err := filterConstrained(data, constraints)
+	if err != nil {
+		return nil, err
+	}
+	if len(filtered) == 0 {
+		return emptyResult(opts), nil
+	}
+	ctx, cancel := s.queryCtx(ctx)
+	defer cancel()
+	return computeOn(ctx, s.eng, filtered, opts)
+}
+
+// ComputeSubspace is the Service counterpart of the package-level
+// ComputeSubspace.
+func (s *Service) ComputeSubspace(ctx context.Context, data [][]float64, dims []int, opts Options) (*Result, error) {
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	if err := validateDims(dims, opts); err != nil {
+		return nil, err
+	}
+	projected, err := projectSubspace(data, dims)
+	if err != nil {
+		return nil, err
+	}
+	if len(projected) == 0 {
+		return emptyResult(opts), nil
+	}
+	ctx, cancel := s.queryCtx(ctx)
+	defer cancel()
+	return computeOn(ctx, s.eng, projected, opts)
+}
+
+// ServiceStats is a point-in-time view of the service's load.
+type ServiceStats struct {
+	// InFlight and Queued report the admission controller: jobs currently
+	// admitted and jobs waiting in the FIFO queue.
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+	// BusySlots and TotalSlots report the simulated cluster's task slots.
+	BusySlots  int `json:"busy_slots"`
+	TotalSlots int `json:"total_slots"`
+	// Admitted, Rejected and Canceled are cumulative admission outcomes
+	// (the mr.queue.admitted / .rejected / .canceled counters).
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	Canceled int64 `json:"canceled"`
+}
+
+// Stats returns the service's current load.
+func (s *Service) Stats() ServiceStats {
+	inFlight, queued := s.eng.AdmissionStats()
+	st := ServiceStats{
+		InFlight:   inFlight,
+		Queued:     queued,
+		BusySlots:  s.eng.Cluster().BusySlots(),
+		TotalSlots: s.eng.Cluster().TotalSlots(),
+	}
+	for _, c := range s.trace.Metrics().Snapshot().Counters {
+		switch c.Name {
+		case "mr.queue.admitted":
+			st.Admitted = c.Value
+		case "mr.queue.rejected":
+			st.Rejected = c.Value
+		case "mr.queue.canceled":
+			st.Canceled = c.Value
+		}
+	}
+	return st
+}
+
+// MetricsJSON returns the full metrics registry — counters, gauges and
+// histogram summaries across every query served so far — marshaled as
+// JSON. cmd/skylined serves it at /v1/stats.
+func (s *Service) MetricsJSON() ([]byte, error) {
+	return json.Marshal(s.trace.Metrics().Snapshot())
+}

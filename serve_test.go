@@ -1,0 +1,218 @@
+package mrskyline_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	mrskyline "mrskyline"
+)
+
+func newTestService(t *testing.T, cfg mrskyline.ServiceConfig) *mrskyline.Service {
+	t.Helper()
+	svc, err := mrskyline.NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestServiceMatchesPackageLevel(t *testing.T) {
+	svc := newTestService(t, mrskyline.ServiceConfig{Nodes: 2})
+	data, err := mrskyline.Generate("independent", 400, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := mrskyline.Options{Algorithm: mrskyline.GPSRS}
+
+	want, err := mrskyline.Compute(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.Compute(context.Background(), data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSet(got.Skyline, want.Skyline) {
+		t.Errorf("service skyline disagrees with package-level Compute")
+	}
+
+	cons := []mrskyline.Range{{Min: 0.2, Max: 1}, mrskyline.Unbounded(), mrskyline.Unbounded()}
+	wantC, err := mrskyline.ComputeConstrained(data, cons, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotC, err := svc.ComputeConstrained(context.Background(), data, cons, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSet(gotC.Skyline, wantC.Skyline) {
+		t.Errorf("service constrained skyline disagrees with package level")
+	}
+
+	dims := []int{0, 2}
+	wantS, err := mrskyline.ComputeSubspace(data, dims, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotS, err := svc.ComputeSubspace(context.Background(), data, dims, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSet(gotS.Skyline, wantS.Skyline) {
+		t.Errorf("service subspace skyline disagrees with package level")
+	}
+}
+
+// TestServiceConcurrentQueries fires 32 concurrent mixed queries at one
+// service and requires all of them to succeed with correct results.
+func TestServiceConcurrentQueries(t *testing.T) {
+	svc := newTestService(t, mrskyline.ServiceConfig{Nodes: 2, MaxInFlight: 4, MaxQueue: 64})
+	data, err := mrskyline.Generate("correlated", 300, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mrskyline.Compute(data, mrskyline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				res, err := svc.Compute(context.Background(), data, mrskyline.Options{})
+				if err == nil && !sameSet(res.Skyline, want.Skyline) {
+					err = errors.New("wrong skyline under concurrency")
+				}
+				errs[i] = err
+			case 1:
+				unb := []mrskyline.Range{mrskyline.Unbounded(), mrskyline.Unbounded(), mrskyline.Unbounded()}
+				res, err := svc.ComputeConstrained(context.Background(), data, unb, mrskyline.Options{})
+				if err == nil && !sameSet(res.Skyline, want.Skyline) {
+					err = errors.New("wrong constrained skyline under concurrency")
+				}
+				errs[i] = err
+			default:
+				_, errs[i] = svc.ComputeSubspace(context.Background(), data, []int{0, 1}, mrskyline.Options{})
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("query %d: %v", i, err)
+		}
+	}
+
+	st := svc.Stats()
+	if st.Admitted < n {
+		t.Errorf("admitted = %d, want ≥ %d", st.Admitted, n)
+	}
+	if st.InFlight != 0 || st.Queued != 0 || st.BusySlots != 0 {
+		t.Errorf("service not idle after queries: %+v", st)
+	}
+}
+
+func TestServiceTimeout(t *testing.T) {
+	svc := newTestService(t, mrskyline.ServiceConfig{Nodes: 2, QueryTimeout: time.Nanosecond})
+	data, err := mrskyline.Generate("independent", 500, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Compute(context.Background(), data, mrskyline.Options{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("timed-out query error = %v, want DeadlineExceeded", err)
+	}
+	if got := svc.Stats(); got.InFlight != 0 || got.Queued != 0 {
+		t.Errorf("service not idle after timeout: %+v", got)
+	}
+}
+
+func TestServiceOverload(t *testing.T) {
+	// MaxQueue < 0 rejects whenever the single in-flight slot is busy.
+	svc := newTestService(t, mrskyline.ServiceConfig{Nodes: 2, MaxInFlight: 1, MaxQueue: -1})
+	data, err := mrskyline.Generate("anticorrelated", 8000, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Compute(context.Background(), data, mrskyline.Options{})
+		done <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := svc.Stats(); st.InFlight == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first query never reached in-flight")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	_, err = svc.Compute(context.Background(), [][]float64{{1, 2}}, mrskyline.Options{})
+	if !errors.Is(err, mrskyline.ErrOverloaded) {
+		t.Errorf("second query error = %v, want ErrOverloaded", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	if st := svc.Stats(); st.Rejected < 1 {
+		t.Errorf("rejected = %d, want ≥ 1", st.Rejected)
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	svc := newTestService(t, mrskyline.ServiceConfig{Nodes: 2})
+	// Same contract as the package level: invalid arguments fail on empty
+	// data too.
+	if _, err := svc.Compute(context.Background(), nil, mrskyline.Options{Algorithm: "MR-Nope"}); err == nil {
+		t.Error("unknown algorithm accepted on empty data")
+	}
+	if _, err := svc.ComputeConstrained(context.Background(), nil, nil, mrskyline.Options{}); err == nil {
+		t.Error("nil constraints accepted on empty data")
+	}
+	if _, err := svc.ComputeSubspace(context.Background(), nil, []int{0, 0}, mrskyline.Options{}); err == nil {
+		t.Error("duplicate dims accepted on empty data")
+	}
+	if _, err := mrskyline.NewService(mrskyline.ServiceConfig{Nodes: -3}); err == nil {
+		t.Error("negative cluster shape accepted")
+	}
+}
+
+func TestServiceMetricsJSON(t *testing.T) {
+	svc := newTestService(t, mrskyline.ServiceConfig{Nodes: 2})
+	if _, err := svc.Compute(context.Background(), [][]float64{{1, 2}, {2, 1}}, mrskyline.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := svc.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "mr.queue.admitted" && c.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mr.queue.admitted missing from metrics JSON: %s", raw)
+	}
+}

@@ -20,11 +20,30 @@
 //
 //	sky, err := mrskyline.Compute(points, mrskyline.Options{})
 //
+// For serving many queries, NewService runs them on one long-lived
+// simulated cluster with admission control; cmd/skylined wraps a Service
+// in an HTTP API.
+//
+// # Validation contract
+//
+// Every entry point — Compute, ComputeConstrained, ComputeSubspace, and
+// the Service equivalents — validates its arguments identically whether
+// the input data is empty or not: an unknown Options.Algorithm or
+// Options.Kernel, a negative cluster shape, a constraint or subspace
+// selection inconsistent with Options.Maximize, NaN constraint bounds, an
+// inverted Range, and duplicate or negative subspace dimensions all fail
+// regardless of data. Checks that need the data's dimensionality
+// (Maximize/constraints/dims length versus d, ragged rows, non-finite
+// values) apply whenever data is present; rows are validated before any
+// filtering, so a dataset that Compute rejects is never silently filtered
+// into acceptance by a constrained query.
+//
 // See the examples/ directory for complete programs and cmd/skybench for
 // the harness regenerating every figure of the paper's evaluation.
 package mrskyline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -138,9 +157,63 @@ type Result struct {
 
 // Compute returns the skyline of data. Every row must have the same number
 // of columns and contain only finite values. The input is not modified.
+// Options are validated before the empty-input fast path, so an unknown
+// algorithm or kernel fails on empty data too (see the package-level
+// validation contract).
 func Compute(data [][]float64, opts Options) (*Result, error) {
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
 	if len(data) == 0 {
-		return &Result{Stats: Stats{Algorithm: string(algorithmOrDefault(opts.Algorithm))}}, nil
+		return emptyResult(opts), nil
+	}
+	eng, err := newEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	return computeOn(context.Background(), eng, data, opts)
+}
+
+// emptyResult is the successful outcome of any query over empty data.
+func emptyResult(opts Options) *Result {
+	return &Result{Stats: Stats{Algorithm: string(algorithmOrDefault(opts.Algorithm))}}
+}
+
+// validateOptions checks the data-independent parts of opts — the
+// algorithm and kernel names and the simulated cluster shape — so invalid
+// options fail identically on empty and non-empty data.
+func validateOptions(opts Options) error {
+	switch algorithmOrDefault(opts.Algorithm) {
+	case GPMRS, GPSRS, Hybrid, MRBNL, MRSFS, MRAngle, SKYMR, MRBitmap:
+	default:
+		return fmt.Errorf("mrskyline: unknown algorithm %q", opts.Algorithm)
+	}
+	if _, err := kernelFromOptions(opts); err != nil {
+		return err
+	}
+	if opts.Nodes < 0 {
+		return fmt.Errorf("mrskyline: Nodes must be ≥ 0, got %d", opts.Nodes)
+	}
+	if opts.SlotsPerNode < 0 {
+		return fmt.Errorf("mrskyline: SlotsPerNode must be ≥ 0, got %d", opts.SlotsPerNode)
+	}
+	if opts.Mappers < 0 {
+		return fmt.Errorf("mrskyline: Mappers must be ≥ 0, got %d", opts.Mappers)
+	}
+	if opts.Reducers < 0 {
+		return fmt.Errorf("mrskyline: Reducers must be ≥ 0, got %d", opts.Reducers)
+	}
+	return nil
+}
+
+// computeOn runs the pipeline — orientation, row validation, algorithm
+// dispatch — on an existing engine, which may be shared across concurrent
+// callers (Service runs all its queries through one engine). opts must
+// already have passed validateOptions; ctx bounds every MapReduce job of
+// the run.
+func computeOn(ctx context.Context, eng *mapreduce.Engine, data [][]float64, opts Options) (*Result, error) {
+	if len(data) == 0 {
+		return emptyResult(opts), nil
 	}
 	d := len(data[0])
 	if opts.Maximize != nil && len(opts.Maximize) != d {
@@ -171,20 +244,18 @@ func Compute(data [][]float64, opts Options) (*Result, error) {
 	}
 
 	lo, hi := domainBounds(work)
-	eng, err := newEngine(opts)
-	if err != nil {
-		return nil, err
-	}
 
 	algo := algorithmOrDefault(opts.Algorithm)
 	var (
 		sky tuple.List
 		st  Stats
+		err error
 	)
 	switch algo {
 	case GPSRS, GPMRS, Hybrid:
 		cfg := core.Config{
 			Engine:      eng,
+			Ctx:         ctx,
 			NumMappers:  opts.Mappers,
 			NumReducers: opts.Reducers,
 			PPD:         opts.PPD,
@@ -221,7 +292,7 @@ func Compute(data [][]float64, opts Options) (*Result, error) {
 			ShuffleBytes:   cs.ShuffleBytes,
 		}
 	case MRBNL, MRSFS, MRAngle, SKYMR, MRBitmap:
-		cfg := baseline.Config{Engine: eng, NumMappers: opts.Mappers, Lo: lo, Hi: hi}
+		cfg := baseline.Config{Engine: eng, Ctx: ctx, NumMappers: opts.Mappers, Lo: lo, Hi: hi}
 		var bs *baseline.Stats
 		switch algo {
 		case MRBNL:
