@@ -50,6 +50,7 @@ func main() {
 		faultrate    = flag.Float64("faultrate", 0, "deterministic fault-injection rate for crashes/stragglers/corruption (0 = fault-free)")
 		faultseed    = flag.Int64("faultseed", 0, "fault plan seed (0 = data seed; only with -faultrate > 0)")
 		serveload    = flag.Bool("serveload", false, "run the concurrent serving-load harness instead of figures; writes BENCH_serve.json to -outdir")
+		kernelbench  = flag.Bool("kernel", false, "run the dominance-kernel micro-benchmark (scalar vs columnar) instead of figures; writes BENCH_kernel.json to -outdir")
 		servequeries = flag.Int("servequeries", 64, "total queries for -serveload")
 		serveworkers = flag.Int("serveworkers", 8, "concurrent clients for -serveload")
 		traceOut     = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto / chrome://tracing)")
@@ -81,6 +82,18 @@ func main() {
 		}
 		fmt.Printf("serveload: %d queries, %d workers: %.1f q/s, p50 %.1f ms, p99 %.1f ms, %d errors\nwrote %s\n",
 			res.Queries, res.Workers, res.ThroughputQPS, res.LatencyP50Ms, res.LatencyP99Ms, res.Errors, path)
+		return
+	}
+
+	if *kernelbench {
+		rec := experiments.RunKernelBench(*seed)
+		path := filepath.Join(*outdir, "BENCH_kernel.json")
+		if err := experiments.WriteKernelBenchJSON(path, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: -kernel: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("kernel: block size %d, %d cells; min insert speedup at window ≥ 256, d ≤ 6: %.2fx\nwrote %s\n",
+			rec.BlockSize, len(rec.Points), rec.GateMinInsertSpeedup, path)
 		return
 	}
 

@@ -30,6 +30,7 @@ import (
 	"mrskyline/internal/mapreduce"
 	"mrskyline/internal/obs"
 	"mrskyline/internal/skyline"
+	"mrskyline/internal/skyline/window"
 	"mrskyline/internal/tuple"
 )
 
@@ -156,9 +157,21 @@ func (s *Stats) addFaultCounters(results ...*mapreduce.Result) {
 
 const counterDominanceTests = "baseline.dominance.tests"
 
+// getWindow returns the partition's columnar window from m, creating and
+// instrumenting an empty one on first use.
+func getWindow(m map[int]*window.Window, p, dim int, reg *obs.Registry) *window.Window {
+	w := m[p]
+	if w == nil {
+		w = window.New(dim)
+		w.Instrument(reg)
+		m[p] = w
+	}
+	return w
+}
+
 // runSingleReducerJob executes the shared shape of all three baselines:
-// mappers maintain one local-skyline window per partition id and emit
-// (partition, window); a single reducer merges and finishes. The
+// mappers maintain one columnar local-skyline window per partition id and
+// emit (partition, window); a single reducer merges and finishes. The
 // finishReduce callback implements the algorithm-specific global merge.
 func runSingleReducerJob(
 	cfg *Config,
@@ -166,8 +179,9 @@ func runSingleReducerJob(
 	data tuple.List,
 	locate func(t tuple.Tuple) int,
 	kernel skyline.Kernel,
-	finishReduce func(s map[int]tuple.List, cnt *skyline.Count) tuple.List,
+	finishReduce func(s map[int]*window.Window, cnt *skyline.Count) tuple.List,
 ) (tuple.List, *mapreduce.Result, error) {
+	dim := data.Dim()
 	job := &mapreduce.Job{
 		Name:        name,
 		Input:       mapreduce.TupleInput(data),
@@ -175,11 +189,11 @@ func runSingleReducerJob(
 		NumReducers: 1,
 		MaxAttempts: cfg.MaxAttempts,
 		NewMapper: func() mapreduce.Mapper {
-			windows := make(map[int]tuple.List)
+			windows := make(map[int]*window.Window)
 			pending := make(map[int]tuple.List) // batch-kernel buffers
 			var cnt skyline.Count
 			return mapreduce.MapperFuncs{
-				MapFn: func(_ *mapreduce.TaskContext, rec mapreduce.Record, _ mapreduce.Emitter) error {
+				MapFn: func(ctx *mapreduce.TaskContext, rec mapreduce.Record, _ mapreduce.Emitter) error {
 					t, err := mapreduce.DecodeTupleRecord(rec)
 					if err != nil {
 						return err
@@ -189,19 +203,19 @@ func runSingleReducerJob(
 						pending[p] = append(pending[p], t)
 						return nil
 					}
-					windows[p] = skyline.InsertTuple(t, windows[p], &cnt)
+					getWindow(windows, p, dim, ctx.Trace.Metrics()).Insert(t, &cnt)
 					return nil
 				},
 				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
 					doneLocal := ctx.Trace.Timed(ctx.Track, "local-skyline", obs.CatAlgo, "algo.local_skyline.ns")
 					for p, buf := range pending {
-						windows[p] = kernel.Compute(buf, &cnt)
+						windows[p] = window.FromList(dim, kernel.Compute(buf, &cnt))
 					}
 					doneLocal()
 					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
 					var scratch []byte
 					for _, w := range sortedWindows(windows) {
-						scratch = tuple.AppendEncodeList(scratch[:0], w.list)
+						scratch = tuple.AppendEncodeList(scratch[:0], w.win.Rows())
 						emit(encodeKey(w.id), scratch)
 					}
 					return nil
@@ -209,25 +223,24 @@ func runSingleReducerJob(
 			}
 		},
 		NewReducer: func() mapreduce.Reducer {
-			s := make(map[int]tuple.List)
+			s := make(map[int]*window.Window)
 			var cnt skyline.Count
 			return mapreduce.ReducerFuncs{
-				ReduceFn: func(_ *mapreduce.TaskContext, key []byte, values [][]byte, _ mapreduce.Emitter) error {
+				ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, _ mapreduce.Emitter) error {
 					p, err := decodeKey(key)
 					if err != nil {
 						return err
 					}
-					w := s[p]
+					w := getWindow(s, p, dim, ctx.Trace.Metrics())
 					for _, v := range values {
 						l, _, err := tuple.DecodeList(v)
 						if err != nil {
 							return err
 						}
 						for _, t := range l {
-							w = skyline.InsertTuple(t, w, &cnt)
+							w.Insert(t, &cnt)
 						}
 					}
-					s[p] = w
 					return nil
 				},
 				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
@@ -261,19 +274,19 @@ func runSingleReducerJob(
 }
 
 type idWindow struct {
-	id   int
-	list tuple.List
+	id  int
+	win *window.Window
 }
 
 // sortedWindows returns windows ordered by partition id for deterministic
 // emission.
-func sortedWindows(m map[int]tuple.List) []idWindow {
+func sortedWindows(m map[int]*window.Window) []idWindow {
 	out := make([]idWindow, 0, len(m))
-	for id, l := range m {
-		if len(l) == 0 {
+	for id, w := range m {
+		if w.Len() == 0 {
 			continue
 		}
-		out = append(out, idWindow{id, l})
+		out = append(out, idWindow{id, w})
 	}
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j].id < out[j-1].id; j-- {

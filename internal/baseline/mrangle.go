@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mrskyline/internal/skyline"
+	"mrskyline/internal/skyline/window"
 	"mrskyline/internal/tuple"
 )
 
@@ -113,19 +114,19 @@ func MRAngle(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 	ap := newAnglePartitioner(d, target, cfg.origin(d))
 
 	sky, res, err := runSingleReducerJob(&cfg, "mr-angle", data, ap.locate, skyline.KernelBNL,
-		func(s map[int]tuple.List, cnt *skyline.Count) tuple.List {
+		func(s map[int]*window.Window, cnt *skyline.Count) tuple.List {
 			ids := make([]int, 0, len(s))
 			for id := range s {
 				ids = append(ids, id)
 			}
 			sort.Ints(ids)
-			var window tuple.List
+			merge := window.New(d)
 			for _, id := range ids {
-				for _, t := range s[id] {
-					window = skyline.InsertTuple(t, window, cnt)
+				for _, t := range s[id].Rows() {
+					merge.Insert(t, cnt)
 				}
 			}
-			return window
+			return merge.Rows()
 		})
 	if err != nil {
 		return nil, nil, err

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mrskyline/internal/skyline"
+	"mrskyline/internal/skyline/window"
 	"mrskyline/internal/tuple"
 )
 
@@ -68,9 +69,11 @@ func mrHalfspace(cfg Config, name string, data tuple.List, kernel skyline.Kernel
 	mid := cfg.mid(d)
 	sky, res, err := runSingleReducerJob(&cfg, name, data,
 		func(t tuple.Tuple) int { return subspaceOf(t, mid) }, kernel,
-		func(s map[int]tuple.List, cnt *skyline.Count) tuple.List {
+		func(s map[int]*window.Window, cnt *skyline.Count) tuple.List {
 			// Cross-subspace elimination: filter each subspace skyline by
 			// every subspace that may dominate it, then output the union.
+			// Windows stay columnar throughout, so every pass runs on the
+			// block kernel.
 			codes := make([]int, 0, len(s))
 			for c := range s {
 				codes = append(codes, c)
@@ -79,19 +82,18 @@ func mrHalfspace(cfg Config, name string, data tuple.List, kernel skyline.Kernel
 			for _, b := range codes {
 				w := s[b]
 				for _, a := range codes {
-					if len(s[a]) == 0 || !subspaceMayDominate(a, b) {
+					if s[a].Len() == 0 || !subspaceMayDominate(a, b) {
 						continue
 					}
-					w = skyline.Filter(w, s[a], cnt)
-					if len(w) == 0 {
+					w.FilterBy(s[a], cnt)
+					if w.Len() == 0 {
 						break
 					}
 				}
-				s[b] = w
 			}
 			var out tuple.List
 			for _, c := range codes {
-				out = append(out, s[c]...)
+				out = append(out, s[c].Rows()...)
 			}
 			return out
 		})

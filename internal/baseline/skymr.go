@@ -6,6 +6,7 @@ import (
 
 	"mrskyline/internal/mapreduce"
 	"mrskyline/internal/skyline"
+	"mrskyline/internal/skyline/window"
 	"mrskyline/internal/tuple"
 )
 
@@ -99,7 +100,7 @@ func SKYMR(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 		NewMapper: func() mapreduce.Mapper {
 			var (
 				t       *quadTree
-				windows map[int]tuple.List
+				windows map[int]*window.Window
 				cnt     skyline.Count
 			)
 			return mapreduce.MapperFuncs{
@@ -109,7 +110,7 @@ func SKYMR(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 						if t, err = rebuild(ctx); err != nil {
 							return err
 						}
-						windows = make(map[int]tuple.List)
+						windows = make(map[int]*window.Window)
 					}
 					tp, err := mapreduce.DecodeTupleRecord(rec)
 					if err != nil {
@@ -119,14 +120,14 @@ func SKYMR(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 					if leaf.pruned {
 						return nil
 					}
-					windows[leaf.id] = skyline.InsertTuple(tp, windows[leaf.id], &cnt)
+					getWindow(windows, leaf.id, d, ctx.Trace.Metrics()).Insert(tp, &cnt)
 					return nil
 				},
 				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
 					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
 					var scratch []byte
 					for _, w := range sortedWindows(windows) {
-						scratch = tuple.AppendEncodeList(scratch[:0], w.list)
+						scratch = tuple.AppendEncodeList(scratch[:0], w.win.Rows())
 						emit(encodeKey(w.id), scratch)
 					}
 					return nil
@@ -138,17 +139,18 @@ func SKYMR(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 			var scratch []byte
 			return mapreduce.ReducerFuncs{
 				ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emitter) error {
-					var w tuple.List
+					w := window.New(d)
+					w.Instrument(ctx.Trace.Metrics())
 					for _, v := range values {
 						l, _, err := tuple.DecodeList(v)
 						if err != nil {
 							return err
 						}
 						for _, tp := range l {
-							w = skyline.InsertTuple(tp, w, &cnt)
+							w.Insert(tp, &cnt)
 						}
 					}
-					scratch = tuple.AppendEncodeList(scratch[:0], w)
+					scratch = tuple.AppendEncodeList(scratch[:0], w.Rows())
 					emit(key, scratch)
 					return nil
 				},

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 
+	"mrskyline/internal/obs"
+	"mrskyline/internal/skyline/window"
 	"mrskyline/internal/tuple"
 )
 
@@ -26,48 +28,65 @@ func decodeKey(k []byte) (int, error) {
 	return int(binary.BigEndian.Uint64(k)), nil
 }
 
-// partMap is the in-task representation of "a set of local skylines S_p for
-// non-empty partitions p" (the S of Algorithms 3 and 8).
+// partMap is the shuffle-boundary representation of "a set of local
+// skylines S_p for non-empty partitions p": decodePartMap yields plain
+// tuple lists, which the receiving task folds into its columnar windows.
 type partMap map[int]tuple.List
+
+// winMap is the in-task representation of the same S, held as columnar
+// dominance windows (the hot-path layout of Algorithms 3 and 8).
+type winMap map[int]*window.Window
+
+// window returns the partition's window, creating (and instrumenting) an
+// empty one on first use.
+func (wm winMap) window(p, dim int, reg *obs.Registry) *window.Window {
+	w := wm[p]
+	if w == nil {
+		w = window.New(dim)
+		w.Instrument(reg)
+		wm[p] = w
+	}
+	return w
+}
 
 // sortedPartitions returns the map's keys in ascending order; all emission
 // and comparison loops iterate in this order so task output is
 // byte-deterministic.
-func (pm partMap) sortedPartitions() []int {
-	out := make([]int, 0, len(pm))
-	for p := range pm {
+func (wm winMap) sortedPartitions() []int {
+	out := make([]int, 0, len(wm))
+	for p := range wm {
 		out = append(out, p)
 	}
 	sort.Ints(out)
 	return out
 }
 
-// appendPartMap appends the serialization of a subset of pm (the partitions
+// appendPartMap appends the serialization of a subset of wm (the partitions
 // listed in parts, skipping absent ones) to dst:
 //
 //	uvarint entryCount | entries × (uvarint partition | tuple list)
-func appendPartMap(dst []byte, pm partMap, parts []int) []byte {
+func appendPartMap(dst []byte, wm winMap, parts []int) []byte {
 	cnt := 0
 	for _, p := range parts {
-		if len(pm[p]) > 0 {
+		if wm[p].Len() > 0 {
 			cnt++
 		}
 	}
 	dst = binary.AppendUvarint(dst, uint64(cnt))
 	for _, p := range parts {
-		l := pm[p]
-		if len(l) == 0 {
+		w := wm[p]
+		if w.Len() == 0 {
 			continue
 		}
 		dst = binary.AppendUvarint(dst, uint64(p))
-		dst = tuple.AppendEncodeList(dst, l)
+		dst = tuple.AppendEncodeList(dst, w.Rows())
 	}
 	return dst
 }
 
 // encodePartMap is appendPartMap into a fresh buffer.
-func encodePartMap(pm partMap, parts []int) []byte {
-	return appendPartMap(nil, pm, parts)
+func encodePartMap(wm winMap, parts []int) []byte {
+	return appendPartMap(nil, wm, parts)
 }
 
 // decodePartMap parses one encodePartMap payload.

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"mrskyline/internal/skyline/window"
 	"mrskyline/internal/tuple"
 )
 
@@ -30,10 +31,20 @@ func TestKeyOrderingMatchesNumeric(t *testing.T) {
 	}
 }
 
+// winMapOf columnarizes per-partition tuple lists into a winMap for
+// encoding tests.
+func winMapOf(dim int, lists map[int]tuple.List) winMap {
+	wm := make(winMap, len(lists))
+	for p, l := range lists {
+		wm[p] = window.FromList(dim, l)
+	}
+	return wm
+}
+
 func TestPartMapRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	for trial := 0; trial < 50; trial++ {
-		pm := make(partMap)
+		pm := make(map[int]tuple.List)
 		nParts := rng.Intn(10)
 		for i := 0; i < nParts; i++ {
 			p := rng.Intn(1000)
@@ -43,8 +54,9 @@ func TestPartMapRoundTrip(t *testing.T) {
 			}
 			pm[p] = l
 		}
-		parts := pm.sortedPartitions()
-		enc := encodePartMap(pm, parts)
+		wm := winMapOf(2, pm)
+		parts := wm.sortedPartitions()
+		enc := encodePartMap(wm, parts)
 		dec, err := decodePartMap(enc)
 		if err != nil {
 			t.Fatal(err)
@@ -67,8 +79,8 @@ func TestPartMapRoundTrip(t *testing.T) {
 }
 
 func TestPartMapSubsetEncoding(t *testing.T) {
-	pm := partMap{1: {{0.1}}, 2: {{0.2}}, 3: {{0.3}}}
-	enc := encodePartMap(pm, []int{1, 3, 99}) // 99 absent: skipped
+	wm := winMapOf(1, map[int]tuple.List{1: {{0.1}}, 2: {{0.2}}, 3: {{0.3}}})
+	enc := encodePartMap(wm, []int{1, 3, 99}) // 99 absent: skipped
 	dec, err := decodePartMap(enc)
 	if err != nil {
 		t.Fatal(err)
@@ -79,8 +91,8 @@ func TestPartMapSubsetEncoding(t *testing.T) {
 }
 
 func TestPartMapEmptyListsSkipped(t *testing.T) {
-	pm := partMap{5: {}}
-	enc := encodePartMap(pm, []int{5})
+	wm := winMap{5: window.New(1)}
+	enc := encodePartMap(wm, []int{5})
 	dec, err := decodePartMap(enc)
 	if err != nil || len(dec) != 0 {
 		t.Errorf("empty-list encoding: %v, %v", dec, err)
@@ -88,8 +100,8 @@ func TestPartMapEmptyListsSkipped(t *testing.T) {
 }
 
 func TestPartMapDecodeErrors(t *testing.T) {
-	pm := partMap{1: {{0.5, 0.5}}}
-	enc := encodePartMap(pm, []int{1})
+	wm := winMapOf(2, map[int]tuple.List{1: {{0.5, 0.5}}})
+	enc := encodePartMap(wm, []int{1})
 	for i := 0; i < len(enc); i++ {
 		if _, err := decodePartMap(enc[:i]); err == nil {
 			t.Errorf("truncation to %d bytes accepted", i)

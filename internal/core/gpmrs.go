@@ -103,7 +103,7 @@ func newGPMRSMapper(cfg *Config, g *grid.Grid) mapreduce.Mapper {
 				if err != nil {
 					return err
 				}
-				state = newLocalState(g, bs, cfg.Kernel)
+				state = newLocalState(g, bs, cfg.Kernel, ctx.Trace.Metrics())
 			}
 			t, err := cfg.decode(rec)
 			if err != nil || t == nil {
@@ -167,7 +167,7 @@ func newGPMRSReducer(cfg *Config, g *grid.Grid) mapreduce.Reducer {
 				return fmt.Errorf("core: reducer received unknown group bucket %d", b)
 			}
 			// Lines 1–8: merge the mappers' windows per partition.
-			s := make(partMap)
+			s := make(winMap)
 			for _, v := range values {
 				pm, err := decodePartMap(v)
 				if err != nil {
@@ -177,11 +177,10 @@ func newGPMRSReducer(cfg *Config, g *grid.Grid) mapreduce.Reducer {
 					if !mg.HasPartition(p) {
 						return fmt.Errorf("core: bucket %d received foreign partition %d", b, p)
 					}
-					w := s[p]
+					w := s.window(p, g.Dim(), ctx.Trace.Metrics())
 					for _, t := range l {
-						w = skyline.InsertTuple(t, w, &cnt)
+						w.Insert(t, &cnt)
 					}
-					s[p] = w
 				}
 			}
 			// Lines 9–10: eliminate false positives within the group.
@@ -192,7 +191,7 @@ func newGPMRSReducer(cfg *Config, g *grid.Grid) mapreduce.Reducer {
 				if !mg.Responsible[p] {
 					continue
 				}
-				for _, t := range s[p] {
+				for _, t := range s[p].Rows() {
 					scratch = tuple.AppendEncode(scratch[:0], t)
 					emit(nil, scratch)
 				}

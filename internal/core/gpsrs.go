@@ -59,13 +59,13 @@ func gpsrsRun(cfg Config, input mapreduce.Input, prep *BitstringResult, start ti
 		Cache:       mapreduce.Cache{cacheKeyBitstring: bs.Encode()},
 		NewMapper:   func() mapreduce.Mapper { return newGPMapper(&cfg, g) },
 		NewReducer: func() mapreduce.Reducer {
-			// Algorithm 6. State: the merged per-partition windows.
+			// Algorithm 6. State: the merged per-partition columnar windows.
 			var (
-				merged = make(partMap)
+				merged = make(winMap)
 				cnt    skyline.Count
 			)
 			return mapreduce.ReducerFuncs{
-				ReduceFn: func(_ *mapreduce.TaskContext, key []byte, values [][]byte, _ mapreduce.Emitter) error {
+				ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, _ mapreduce.Emitter) error {
 					// One key per partition; values are the mappers' local
 					// windows for it (lines 1–6).
 					p, err := decodeKey(key)
@@ -75,17 +75,16 @@ func gpsrsRun(cfg Config, input mapreduce.Input, prep *BitstringResult, start ti
 					if p < 0 || p >= g.NumPartitions() {
 						return fmt.Errorf("core: partition key %d out of range", p)
 					}
-					w := merged[p]
+					w := merged.window(p, g.Dim(), ctx.Trace.Metrics())
 					for _, v := range values {
 						l, _, err := tuple.DecodeList(v)
 						if err != nil {
 							return err
 						}
 						for _, t := range l {
-							w = skyline.InsertTuple(t, w, &cnt)
+							w.Insert(t, &cnt)
 						}
 					}
-					merged[p] = w
 					return nil
 				},
 				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
@@ -99,7 +98,7 @@ func gpsrsRun(cfg Config, input mapreduce.Input, prep *BitstringResult, start ti
 					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
 					var scratch []byte
 					for _, p := range merged.sortedPartitions() {
-						for _, t := range merged[p] {
+						for _, t := range merged[p].Rows() {
 							scratch = tuple.AppendEncode(scratch[:0], t)
 							emit(nil, scratch)
 						}
@@ -135,7 +134,7 @@ func newGPMapper(cfg *Config, g *grid.Grid) mapreduce.Mapper {
 				if err != nil {
 					return err
 				}
-				state = newLocalState(g, bs, cfg.Kernel)
+				state = newLocalState(g, bs, cfg.Kernel, ctx.Trace.Metrics())
 			}
 			t, err := cfg.decode(rec)
 			if err != nil || t == nil {
@@ -153,7 +152,7 @@ func newGPMapper(cfg *Config, g *grid.Grid) mapreduce.Mapper {
 			state.recordCounters(ctx, mapreduce.PhaseMap)
 			var scratch []byte
 			for _, p := range s.sortedPartitions() {
-				scratch = tuple.AppendEncodeList(scratch[:0], s[p])
+				scratch = tuple.AppendEncodeList(scratch[:0], s[p].Rows())
 				emit(encodeKey(p), scratch)
 			}
 			return nil

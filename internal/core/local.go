@@ -6,18 +6,22 @@ import (
 	"mrskyline/internal/bitstring"
 	"mrskyline/internal/grid"
 	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/obs"
 	"mrskyline/internal/skyline"
+	"mrskyline/internal/skyline/window"
 	"mrskyline/internal/tuple"
 )
 
 // localState is the shared mapper-side machinery of Algorithms 3 and 8:
-// per-partition local skyline windows gated by the global bitstring,
-// followed by cross-partition false-positive elimination.
+// per-partition local skyline windows (columnar, see the window package)
+// gated by the global bitstring, followed by cross-partition
+// false-positive elimination.
 type localState struct {
 	g      *grid.Grid
 	bs     *bitstring.Bitstring
 	kernel skyline.Kernel
-	s      partMap
+	reg    *obs.Registry
+	s      winMap
 	// buffered tuples per partition, used by the batch kernels (SFS, D&C),
 	// which need the whole partition before running.
 	pending map[int]tuple.List
@@ -27,8 +31,8 @@ type localState struct {
 	partCmp int64
 }
 
-func newLocalState(g *grid.Grid, bs *bitstring.Bitstring, kernel skyline.Kernel) *localState {
-	ls := &localState{g: g, bs: bs, kernel: kernel, s: make(partMap)}
+func newLocalState(g *grid.Grid, bs *bitstring.Bitstring, kernel skyline.Kernel, reg *obs.Registry) *localState {
+	ls := &localState{g: g, bs: bs, kernel: kernel, reg: reg, s: make(winMap)}
 	if kernel != skyline.KernelBNL {
 		ls.pending = make(map[int]tuple.List)
 	}
@@ -50,17 +54,19 @@ func (ls *localState) add(t tuple.Tuple) error {
 		ls.pending[j] = append(ls.pending[j], t)
 		return nil
 	}
-	ls.s[j] = skyline.InsertTuple(t, ls.s[j], &ls.cnt)
+	ls.s.window(j, ls.g.Dim(), ls.reg).Insert(t, &ls.cnt)
 	return nil
 }
 
-// finish completes the local phase: materialize SFS windows if needed, then
-// run ComparePartitions across the mapper's partitions (Algorithm 3 lines
-// 9–10). It returns the resulting partition map.
-func (ls *localState) finish() partMap {
+// finish completes the local phase: materialize batch-kernel windows if
+// needed, then run ComparePartitions across the mapper's partitions
+// (Algorithm 3 lines 9–10). It returns the resulting window map.
+func (ls *localState) finish() winMap {
 	if ls.pending != nil {
 		for p, data := range ls.pending {
-			ls.s[p] = ls.kernel.Compute(data, &ls.cnt)
+			w := window.FromList(ls.g.Dim(), ls.kernel.Compute(data, &ls.cnt))
+			w.Instrument(ls.reg)
+			ls.s[p] = w
 		}
 		ls.pending = nil
 	}
@@ -91,26 +97,25 @@ func (ls *localState) recordCounters(ctx *mapreduce.TaskContext, phase mapreduce
 // S in place during the loop cannot change the outcome (a window tuple
 // removed early is itself dominated by a tuple in a window that also
 // filters S_p, by ADR transitivity).
-func comparePartitions(s partMap, g *grid.Grid, cnt *skyline.Count, partCmp *int64) {
+func comparePartitions(s winMap, g *grid.Grid, cnt *skyline.Count, partCmp *int64) {
 	parts := s.sortedPartitions()
 	for _, p := range parts {
 		sp := s[p]
 		for _, pi := range parts {
-			if pi == p || len(s[pi]) == 0 || !g.InADR(pi, p) {
+			if pi == p || s[pi].Len() == 0 || !g.InADR(pi, p) {
 				continue
 			}
 			*partCmp++
-			sp = skyline.Filter(sp, s[pi], cnt)
-			if len(sp) == 0 {
+			sp.FilterBy(s[pi], cnt)
+			if sp.Len() == 0 {
 				break
 			}
 		}
-		s[p] = sp
 	}
 	// Drop partitions whose windows were fully eliminated so they are not
 	// shuffled as empty payloads.
 	for _, p := range parts {
-		if len(s[p]) == 0 {
+		if s[p].Len() == 0 {
 			delete(s, p)
 		}
 	}

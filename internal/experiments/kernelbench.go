@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/skyline/window"
+	"mrskyline/internal/tuple"
+)
+
+// KernelPoint is one (dimensionality, window size) cell of the dominance
+// kernel micro-benchmark: scalar reference versus columnar block kernel
+// on a full-window insertion scan and a full-window membership scan.
+type KernelPoint struct {
+	Dim    int `json:"dim"`
+	Window int `json:"window"`
+	// InsertNs is the per-operation cost of one window insertion whose
+	// scan examines every window tuple (the candidate is dominated by the
+	// last window tuple, so the window never changes).
+	ScalarInsertNs   float64 `json:"scalar_insert_ns"`
+	ColumnarInsertNs float64 `json:"columnar_insert_ns"`
+	InsertSpeedup    float64 `json:"insert_speedup"`
+	// DominatedNs is the per-operation cost of the pure membership check
+	// against a window no tuple of which dominates the probe.
+	ScalarDominatedNs   float64 `json:"scalar_dominated_ns"`
+	ColumnarDominatedNs float64 `json:"columnar_dominated_ns"`
+	DominatedSpeedup    float64 `json:"dominated_speedup"`
+}
+
+// KernelBenchRecord is the BENCH_kernel.json payload: the full
+// (dim, window) sweep plus the acceptance gate — the minimum insertion
+// speedup over the cells with window ≥ 256 and dim ≤ 6, the regime the
+// columnar kernel was built for.
+type KernelBenchRecord struct {
+	BlockSize int           `json:"block_size"`
+	Seed      int64         `json:"seed"`
+	Dims      []int         `json:"dims"`
+	Windows   []int         `json:"windows"`
+	Points    []KernelPoint `json:"points"`
+	// GateMinInsertSpeedup is min(insert_speedup) over window ≥ 256,
+	// dim ≤ 6.
+	GateMinInsertSpeedup float64 `json:"gate_min_insert_speedup"`
+}
+
+// kernelBenchTarget is the wall time each measurement loop aims for.
+// Long enough to amortize timer overhead, short enough that the full
+// 5×5 sweep (100 measurements) stays in the low seconds.
+const kernelBenchTarget = 5 * time.Millisecond
+
+// equalSumRows builds a dominance-free window of exactly n random
+// d-dimensional tuples: every tuple is normalized to the same coordinate
+// sum, and dominance implies a strictly smaller sum, so the rows are
+// pairwise incomparable. This pins the window size without sampling a
+// skyline, and a scan over it never terminates early — the steady-state
+// worst case the kernel exists for.
+func equalSumRows(rng *rand.Rand, n, d int) tuple.List {
+	out := make(tuple.List, n)
+	for i := range out {
+		t := make(tuple.Tuple, d)
+		var sum float64
+		for k := range t {
+			t[k] = 0.1 + rng.Float64()
+			sum += t[k]
+		}
+		for k := range t {
+			t[k] *= float64(d) / (2 * sum)
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// measureNs times op (which performs one operation per call) until the
+// target wall time is reached, returning nanoseconds per operation.
+func measureNs(op func()) float64 {
+	for _, warm := 0, 0; warm < 16; warm++ {
+		op()
+	}
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < kernelBenchTarget {
+		for i := 0; i < 64; i++ {
+			op()
+		}
+		iters += 64
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// RunKernelBench measures the scalar and columnar dominance kernels over
+// the full (dim, window) sweep.
+func RunKernelBench(seed int64) *KernelBenchRecord {
+	rec := &KernelBenchRecord{
+		BlockSize: window.BlockSize,
+		Seed:      seed,
+		Dims:      []int{2, 4, 6, 8, 10},
+		Windows:   []int{16, 64, 256, 1024, 4096},
+	}
+	rec.GateMinInsertSpeedup = 0
+	for _, d := range rec.Dims {
+		for _, n := range rec.Windows {
+			rng := rand.New(rand.NewSource(seed + int64(d*1_000_000+n)))
+			rows := equalSumRows(rng, n, d)
+			probe := equalSumRows(rng, 1, d)[0]
+			cand := rows[n-1].Clone()
+			for k := range cand {
+				cand[k] += 1e-9
+			}
+			w := window.FromList(d, rows)
+
+			p := KernelPoint{Dim: d, Window: n}
+			var c skyline.Count
+			scalarRows := rows
+			p.ScalarInsertNs = measureNs(func() { scalarRows = skyline.InsertTuple(cand, scalarRows, &c) })
+			p.ColumnarInsertNs = measureNs(func() { w.Insert(cand, &c) })
+			p.ScalarDominatedNs = measureNs(func() {
+				for _, u := range rows {
+					c.Add(1)
+					if tuple.Dominates(u, probe) {
+						panic("experiments: probe dominated in kernel bench")
+					}
+				}
+			})
+			p.ColumnarDominatedNs = measureNs(func() { w.Dominated(probe, &c) })
+			p.InsertSpeedup = p.ScalarInsertNs / p.ColumnarInsertNs
+			p.DominatedSpeedup = p.ScalarDominatedNs / p.ColumnarDominatedNs
+			rec.Points = append(rec.Points, p)
+			if n >= 256 && d <= 6 && (rec.GateMinInsertSpeedup == 0 || p.InsertSpeedup < rec.GateMinInsertSpeedup) {
+				rec.GateMinInsertSpeedup = p.InsertSpeedup
+			}
+		}
+	}
+	return rec
+}
+
+// WriteKernelBenchJSON writes rec as indented JSON to path.
+func WriteKernelBenchJSON(path string, rec *KernelBenchRecord) error {
+	return writeJSONFile(path, rec)
+}

@@ -41,7 +41,7 @@ func BBSOverTree(tree *rtree.Tree, c *Count) tuple.List {
 
 	dominatedBy := func(lo tuple.Tuple) bool {
 		for _, s := range result {
-			c.add(1)
+			c.Add(1)
 			if tuple.Dominates(s, lo) {
 				return true
 			}

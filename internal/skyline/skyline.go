@@ -4,27 +4,25 @@
 // the sort-filter-skyline variant with presorting [Chomicki et al., ICDE
 // 2003], a naive O(n²) reference used by tests, and the cross-partition
 // false-positive elimination of Algorithm 5 (ComparePartitions).
+//
+// The production dominance hot path lives in the columnar block kernel of
+// mrskyline/internal/skyline/window; BNL, SFS and Filter here run on it.
+// InsertTuple is retained as the scalar reference the window package's
+// differential tests compare against, pair for pair.
 package skyline
 
 import (
 	"sort"
 
+	"mrskyline/internal/skyline/window"
 	"mrskyline/internal/tuple"
 )
 
-// Counter tallies tuple-dominance comparisons. Implementations must be
-// safe for use from a single goroutine; tasks aggregate into shared
-// counters at the end. A nil *Count is valid and counts nothing.
-type Count struct {
-	// DominanceTests is the number of tuple-pair dominance evaluations.
-	DominanceTests int64
-}
-
-func (c *Count) add(n int64) {
-	if c != nil {
-		c.DominanceTests += n
-	}
-}
+// Count tallies tuple-dominance comparisons. It is an alias of the window
+// kernel's counter so scalar and columnar call sites share one accounting
+// unit. A nil *Count is valid and counts nothing; tasks aggregate into
+// shared counters at the end.
+type Count = window.Count
 
 // InsertTuple implements Algorithm 4: it merges tuple t into the local
 // skyline window s, dropping t if dominated and evicting any window tuples
@@ -32,14 +30,18 @@ func (c *Count) add(n int64) {
 // in place and must not be shared.
 //
 // The window must be dominance-free (no element dominating another), which
-// InsertTuple itself maintains; every window in this repository is built
-// exclusively through it. Duplicate handling follows Definition 1: equal
-// tuples do not dominate each other, so duplicates of a skyline tuple are
-// all retained.
+// InsertTuple itself maintains. Duplicate handling follows Definition 1:
+// equal tuples do not dominate each other, so duplicates of a skyline
+// tuple are all retained.
+//
+// InsertTuple is the scalar reference implementation of the columnar
+// window.Window.Insert: the two must agree on the resulting window —
+// contents and order — and on the exact DominanceTests advance for every
+// call. The window package's differential tests enforce this.
 func InsertTuple(t tuple.Tuple, s tuple.List, c *Count) tuple.List {
 	out := s[:0]
 	for i, u := range s {
-		c.add(1)
+		c.Add(1)
 		switch tuple.Compare(u, t) {
 		case tuple.DomLeft:
 			// u dominates t: discard t. By transitivity and the
@@ -58,44 +60,43 @@ func InsertTuple(t tuple.Tuple, s tuple.List, c *Count) tuple.List {
 	return append(out, t)
 }
 
-// BNL computes the skyline of data with the block-nested-loop algorithm,
-// assuming the window always fits in memory (it does in every mapper and
-// reducer of this repository: windows hold local skylines only).
+// BNL computes the skyline of data with the block-nested-loop algorithm on
+// the columnar window kernel, assuming the window always fits in memory
+// (it does in every mapper and reducer of this repository: windows hold
+// local skylines only).
 func BNL(data tuple.List, c *Count) tuple.List {
-	var window tuple.List
-	for _, t := range data {
-		window = InsertTuple(t, window, c)
+	if len(data) == 0 {
+		return nil
 	}
-	return window
+	w := window.New(len(data[0]))
+	for _, t := range data {
+		w.Insert(t, c)
+	}
+	return w.Rows()
 }
 
 // SFS computes the skyline with the sort-filter-skyline presorting
 // technique: tuples are processed in ascending order of a monotone score
 // (the entry sum), which guarantees that no later tuple can dominate an
-// earlier one. Each incoming tuple is therefore only *checked* against the
-// window, never evicts from it, halving the comparison work on skyline-
-// heavy inputs.
+// earlier one. Each incoming tuple therefore degrades to a pure window
+// membership check — it never evicts — halving the comparison work on
+// skyline-heavy inputs.
 func SFS(data tuple.List, c *Count) tuple.List {
+	if len(data) == 0 {
+		return nil
+	}
 	sorted := make(tuple.List, len(data))
 	copy(sorted, data)
 	sort.SliceStable(sorted, func(i, j int) bool {
 		return sorted[i].Sum() < sorted[j].Sum()
 	})
-	var window tuple.List
+	w := window.New(len(data[0]))
 	for _, t := range sorted {
-		dominated := false
-		for _, u := range window {
-			c.add(1)
-			if tuple.Dominates(u, t) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			window = append(window, t)
+		if !w.Dominated(t, c) {
+			w.Append(t)
 		}
 	}
-	return window
+	return w.Rows()
 }
 
 // Naive computes the skyline by comparing every pair of tuples. It is the
@@ -123,19 +124,18 @@ func Naive(data tuple.List) tuple.List {
 
 // Filter removes from s every tuple dominated by a tuple of by, returning
 // the reduced slice (s is modified in place). It is the inner operation of
-// ComparePartitions (Algorithm 5, line 3).
+// ComparePartitions (Algorithm 5, line 3). The filtering list is
+// columnarized once and scanned with the block kernel; callers filtering
+// by the same window repeatedly should hold a window.Window and use
+// FilterBy directly.
 func Filter(s tuple.List, by tuple.List, c *Count) tuple.List {
+	if len(s) == 0 || len(by) == 0 {
+		return s
+	}
+	bw := window.FromList(len(by[0]), by)
 	out := s[:0]
 	for _, t := range s {
-		dominated := false
-		for _, u := range by {
-			c.add(1)
-			if tuple.Dominates(u, t) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
+		if !bw.Dominated(t, c) {
 			out = append(out, t)
 		}
 	}

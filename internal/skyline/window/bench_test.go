@@ -1,0 +1,106 @@
+package window_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/skyline/window"
+	"mrskyline/internal/tuple"
+)
+
+// equalSumWindow builds a dominance-free window of exactly n random
+// d-dimensional tuples by normalizing every tuple to the same coordinate
+// sum: dominance implies a strictly smaller sum, so equal-sum tuples are
+// pairwise incomparable and the window never shrinks or rejects. This
+// pins the window size exactly, unlike sampling a skyline.
+func equalSumWindow(rng *rand.Rand, n, d int) tuple.List {
+	out := make(tuple.List, n)
+	for i := range out {
+		t := make(tuple.Tuple, d)
+		var sum float64
+		for k := range t {
+			t[k] = 0.1 + rng.Float64()
+			sum += t[k]
+		}
+		for k := range t {
+			t[k] *= float64(d) / (2 * sum) // every tuple sums to d/2
+		}
+		out[i] = t
+	}
+	return out
+}
+
+var benchDims = []int{2, 4, 6, 8, 10}
+var benchWindows = []int{16, 64, 256, 1024, 4096}
+
+// BenchmarkInsertTuple measures one window insertion that scans the full
+// window — the candidate is dominated only by the last window tuple, so
+// both kernels examine all n pairs and leave the window unchanged
+// (stable, mutation-free repeated measurement).
+func BenchmarkInsertTuple(b *testing.B) {
+	for _, d := range benchDims {
+		for _, n := range benchWindows {
+			rows := equalSumWindow(rand.New(rand.NewSource(int64(d*100000+n))), n, d)
+			cand := rows[n-1].Clone()
+			for k := range cand {
+				cand[k] += 1e-9
+			}
+			b.Run(fmt.Sprintf("kernel=scalar/d=%d/w=%d", d, n), func(b *testing.B) {
+				var c skyline.Count
+				for i := 0; i < b.N; i++ {
+					rows = skyline.InsertTuple(cand, rows, &c)
+				}
+				if len(rows) != n {
+					b.Fatalf("window drifted to %d tuples", len(rows))
+				}
+			})
+			w := window.FromList(d, rows)
+			b.Run(fmt.Sprintf("kernel=columnar/d=%d/w=%d", d, n), func(b *testing.B) {
+				var c skyline.Count
+				for i := 0; i < b.N; i++ {
+					if w.Insert(cand, &c) {
+						b.Fatal("candidate entered the window")
+					}
+				}
+				if w.Len() != n {
+					b.Fatalf("window drifted to %d tuples", w.Len())
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDominance measures the pure membership check over a window no
+// tuple of which dominates the probe — the SFS inner loop's worst case,
+// scanning all n pairs.
+func BenchmarkDominance(b *testing.B) {
+	for _, d := range benchDims {
+		for _, n := range benchWindows {
+			rng := rand.New(rand.NewSource(int64(d*200000 + n)))
+			rows := equalSumWindow(rng, n, d)
+			probe := equalSumWindow(rng, 1, d)[0]
+			b.Run(fmt.Sprintf("kernel=scalar/d=%d/w=%d", d, n), func(b *testing.B) {
+				var c skyline.Count
+				for i := 0; i < b.N; i++ {
+					for _, u := range rows {
+						c.Add(1)
+						if tuple.Dominates(u, probe) {
+							b.Fatal("probe dominated")
+						}
+					}
+				}
+			})
+			w := window.FromList(d, rows)
+			b.Run(fmt.Sprintf("kernel=columnar/d=%d/w=%d", d, n), func(b *testing.B) {
+				var c skyline.Count
+				for i := 0; i < b.N; i++ {
+					if w.Dominated(probe, &c) {
+						b.Fatal("probe dominated")
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,23 @@
+//go:build amd64
+
+package window
+
+// hasAVX2 selects the assembly block kernel once at startup; the check
+// covers CPU support and OS-enabled YMM state.
+var hasAVX2 = cpuHasAVX2()
+
+// cpuHasAVX2 is implemented in masks_amd64.s.
+func cpuHasAVX2() bool
+
+// masksAVX2 is masks16 as four 4-lane VCMPPD per mask direction; it
+// assumes BlockSize == 16. Implemented in masks_amd64.s.
+func masksAVX2(col *[BlockSize]float64, tv float64) (less, greater uint32)
+
+// masksBlock classifies one full block column, dispatching to the AVX2
+// kernel when available and the portable branch-lean masks16 otherwise.
+func masksBlock(col *[BlockSize]float64, tv float64) (less, greater uint32) {
+	if hasAVX2 {
+		return masksAVX2(col, tv)
+	}
+	return masks16(col, tv)
+}

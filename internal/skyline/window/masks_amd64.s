@@ -1,0 +1,85 @@
+// AVX2 block-mask kernel: one full 16-lane column block classified per
+// call. See masks_amd64.go for the dispatch contract and window.go
+// (masks16) for the semantics being reproduced.
+
+#include "textflag.h"
+
+// func cpuHasAVX2() bool
+//
+// AVX2 requires three checks: the OS must have enabled XSAVE
+// (CPUID.1:ECX.OSXSAVE), the enabled XCR0 state must cover XMM and YMM
+// registers (XGETBV bits 1 and 2), and the CPU must report AVX2
+// (CPUID.7.0:EBX bit 5).
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	MOVL CX, R8
+	ANDL $(1<<27|1<<28), R8       // OSXSAVE and AVX
+	CMPL R8, $(1<<27|1<<28)
+	JNE  unsupported
+	MOVL $0, CX
+	XGETBV                         // XCR0 into DX:AX
+	ANDL $6, AX                    // XMM and YMM state enabled
+	CMPL AX, $6
+	JNE  unsupported
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	ANDL $(1<<5), BX               // AVX2
+	JZ   unsupported
+	MOVB $1, ret+0(FP)
+	RET
+unsupported:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func masksAVX2(col *[16]float64, tv float64) (less, greater uint32)
+//
+// Bit i of less (greater) is tv < col[i] (tv > col[i]). Four VCMPPD per
+// direction classify all 16 lanes; VMOVMSKPD extracts the lane sign
+// masks. Inputs are finite by the tuple validation contract, so the
+// ordered-quiet predicate (LT_OQ) agrees exactly with Go's < operator.
+TEXT ·masksAVX2(SB), NOSPLIT, $0-24
+	MOVQ         col+0(FP), AX
+	VBROADCASTSD tv+8(FP), Y0
+	VMOVUPD      (AX), Y1
+	VMOVUPD      32(AX), Y2
+	VMOVUPD      64(AX), Y3
+	VMOVUPD      96(AX), Y4
+
+	// less[i] = tv < col[i]
+	VCMPPD    $0x11, Y1, Y0, Y5
+	VCMPPD    $0x11, Y2, Y0, Y6
+	VCMPPD    $0x11, Y3, Y0, Y7
+	VCMPPD    $0x11, Y4, Y0, Y8
+	VMOVMSKPD Y5, R8
+	VMOVMSKPD Y6, R9
+	VMOVMSKPD Y7, R10
+	VMOVMSKPD Y8, R11
+	SHLL      $4, R9
+	SHLL      $8, R10
+	SHLL      $12, R11
+	ORL       R9, R8
+	ORL       R11, R10
+	ORL       R10, R8
+
+	// greater[i] = col[i] < tv
+	VCMPPD    $0x11, Y0, Y1, Y5
+	VCMPPD    $0x11, Y0, Y2, Y6
+	VCMPPD    $0x11, Y0, Y3, Y7
+	VCMPPD    $0x11, Y0, Y4, Y8
+	VMOVMSKPD Y5, AX
+	VMOVMSKPD Y6, CX
+	VMOVMSKPD Y7, DX
+	VMOVMSKPD Y8, BX
+	SHLL      $4, CX
+	SHLL      $8, DX
+	SHLL      $12, BX
+	ORL       CX, AX
+	ORL       BX, DX
+	ORL       DX, AX
+
+	VZEROUPPER
+	MOVL R8, less+16(FP)
+	MOVL AX, greater+20(FP)
+	RET

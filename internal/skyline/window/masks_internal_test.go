@@ -1,0 +1,26 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMasksBlockMatchesMasks16 pins the dispatch kernel (AVX2 on amd64
+// when available) to the portable masks16 bit for bit, including ties:
+// equal lanes must set neither mask bit.
+func TestMasksBlockMatchesMasks16(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		var col [BlockSize]float64
+		for i := range col {
+			col[i] = float64(rng.Intn(8)) / 8
+		}
+		tv := float64(rng.Intn(8)) / 8
+		wantL, wantG := masks16(&col, tv)
+		gotL, gotG := masksBlock(&col, tv)
+		if gotL != wantL || gotG != wantG {
+			t.Fatalf("trial %d: masksBlock(%v, %v) = %04x/%04x, want %04x/%04x",
+				trial, col, tv, gotL, gotG, wantL, wantG)
+		}
+	}
+}

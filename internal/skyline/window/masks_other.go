@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package window
+
+// masksBlock classifies one full block column with the portable
+// branch-lean kernel; amd64 overrides this with an AVX2 dispatch.
+func masksBlock(col *[BlockSize]float64, tv float64) (less, greater uint32) {
+	return masks16(col, tv)
+}

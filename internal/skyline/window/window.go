@@ -1,0 +1,413 @@
+// Package window implements the columnar block-dominance kernel shared by
+// every skyline algorithm in this repository.
+//
+// A Window stores a local-skyline window as struct-of-arrays []float64
+// columns instead of a []tuple.Tuple row slice, and classifies one
+// candidate tuple against a block of window tuples per pass over the
+// columns using better/worse bitmasks. The column sweep is branch-lean:
+// each comparison contributes one bit through a conditional the compiler
+// lowers without a data-dependent jump, so the classification throughput
+// does not collapse on the unpredictable comparison outcomes that real
+// skyline data produces (on anti-correlated inputs every branch of the
+// scalar tuple.Compare is a coin flip).
+//
+// The kernel preserves the scalar reference semantics of
+// skyline.InsertTuple / skyline.Filter pair for pair: windows evolve in
+// the same order, produce the same contents, and Count.DominanceTests
+// advances by exactly the same amounts — including inside the block that
+// terminates a scan, where the mask's trailing-zero position recovers the
+// index at which the scalar loop would have stopped. Differential tests
+// in this package fuzz that equivalence.
+package window
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"mrskyline/internal/obs"
+	"mrskyline/internal/tuple"
+)
+
+// BlockSize is the number of window tuples classified per pass over the
+// columns. 16 keeps a block's slice of one column inside two cache lines
+// while amortizing the per-block mask bookkeeping.
+const BlockSize = 16
+
+// Count tallies tuple-pair dominance classifications. A nil *Count is
+// valid and counts nothing. It is the unit the paper's Section 6 cost
+// model estimates, so the columnar kernel counts pairs classified —
+// including block-masked ones — exactly as the scalar reference loop
+// does.
+type Count struct {
+	// DominanceTests is the number of tuple-pair dominance evaluations.
+	DominanceTests int64
+}
+
+// Add adds n pair classifications to the counter; nil-safe.
+func (c *Count) Add(n int64) {
+	if c != nil {
+		c.DominanceTests += n
+	}
+}
+
+// Metric names published by instrumented windows (see Instrument).
+const (
+	// MetricDominanceTests is the obs counter of pair classifications.
+	MetricDominanceTests = "algo.dominance.tests"
+	// MetricInsertNs is the obs histogram of per-Insert latencies.
+	MetricInsertNs = "algo.insert.ns"
+)
+
+// Window is a dominance-free local-skyline window in columnar layout:
+// cols[k][i] holds tuple i's value on dimension k, and rows[i] is the
+// original tuple handle (the algorithms emit tuples, so the row view is
+// kept alongside the columns). The zero Window is not usable; create
+// with New or FromList. A nil *Window is a valid empty read-only window.
+type Window struct {
+	dim  int
+	cols [][]float64
+	rows tuple.List
+	// evicts is the per-block eviction mask scratch reused across Inserts.
+	evicts []uint32
+	// reg, when non-nil, receives MetricDominanceTests /  MetricInsertNs.
+	// Nil costs one predictable branch per operation (pay-for-use).
+	reg *obs.Registry
+}
+
+// New returns an empty window for dim-dimensional tuples.
+func New(dim int) *Window {
+	if dim <= 0 {
+		panic(fmt.Sprintf("window: invalid dimensionality %d", dim))
+	}
+	return &Window{dim: dim, cols: make([][]float64, dim)}
+}
+
+// FromList columnarizes an existing tuple list into a window without any
+// dominance testing — the caller asserts l is dominance-free (every list
+// in this repository is built through InsertTuple or a Window). The
+// window references l's tuples but not the slice itself.
+func FromList(dim int, l tuple.List) *Window {
+	w := New(dim)
+	for _, t := range l {
+		w.Append(t)
+	}
+	return w
+}
+
+// Instrument attaches an obs metrics registry: Insert observes
+// MetricInsertNs per call, and every classifying operation adds its pair
+// count to MetricDominanceTests. A nil registry detaches.
+func (w *Window) Instrument(reg *obs.Registry) { w.reg = reg }
+
+// Len returns the number of tuples in the window; nil-safe.
+func (w *Window) Len() int {
+	if w == nil {
+		return 0
+	}
+	return len(w.rows)
+}
+
+// Dim returns the window's dimensionality.
+func (w *Window) Dim() int { return w.dim }
+
+// Rows returns the window's tuples in insertion order. The slice is the
+// window's live backing store: it is invalidated by the next mutating
+// call, and appending to or reordering it corrupts the window. Callers
+// either treat it as a read-only snapshot or take ownership of a window
+// they will no longer mutate. Nil-safe.
+func (w *Window) Rows() tuple.List {
+	if w == nil {
+		return nil
+	}
+	return w.rows
+}
+
+// At returns the i-th tuple of the window.
+func (w *Window) At(i int) tuple.Tuple { return w.rows[i] }
+
+// Append adds t to the window without any dominance checks. It is the
+// fast path for callers that already know t belongs: SFS processes
+// tuples in monotone-score order, so a tuple that survives the
+// membership check can never be evicted and never evicts (sorted-order
+// early termination), and FromList trusts its input.
+func (w *Window) Append(t tuple.Tuple) {
+	if len(t) != w.dim {
+		panic(fmt.Sprintf("window: tuple dimensionality %d does not match window d=%d", len(t), w.dim))
+	}
+	for k := 0; k < w.dim; k++ {
+		w.cols[k] = append(w.cols[k], t[k])
+	}
+	w.rows = append(w.rows, t)
+}
+
+// b2u converts a comparison outcome to a mask bit. The compiler lowers
+// this pattern to a flag-materializing instruction rather than a jump,
+// which is what keeps the block sweep branch-lean.
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fullMask has one bit per lane of a complete block.
+const fullMask = uint32(1)<<BlockSize - 1
+
+// masks16 classifies tv against one full-block column slice, returning
+// the 16-lane masks of tv < col[i] (less) and tv > col[i] (greater).
+// The constant indices and constant shift amounts are what make the
+// kernel fast: the compiler emits sixteen independent
+// load/compare/set chains with no bounds checks, no variable shifts,
+// and no data-dependent branch, so the comparisons schedule at full ILP
+// width regardless of their outcomes. Each column value is loaded once
+// and feeds both masks; the masks accumulate over four independent
+// chains apiece so no single OR chain serializes the block.
+func masks16(col *[BlockSize]float64, tv float64) (less, greater uint32) {
+	var l0, l1, l2, l3, g0, g1, g2, g3 uint32
+	v0, v1, v2, v3 := col[0], col[1], col[2], col[3]
+	l0 = b2u(tv < v0) | b2u(tv < v1)<<1 | b2u(tv < v2)<<2 | b2u(tv < v3)<<3
+	g0 = b2u(tv > v0) | b2u(tv > v1)<<1 | b2u(tv > v2)<<2 | b2u(tv > v3)<<3
+	v0, v1, v2, v3 = col[4], col[5], col[6], col[7]
+	l1 = b2u(tv < v0)<<4 | b2u(tv < v1)<<5 | b2u(tv < v2)<<6 | b2u(tv < v3)<<7
+	g1 = b2u(tv > v0)<<4 | b2u(tv > v1)<<5 | b2u(tv > v2)<<6 | b2u(tv > v3)<<7
+	v0, v1, v2, v3 = col[8], col[9], col[10], col[11]
+	l2 = b2u(tv < v0)<<8 | b2u(tv < v1)<<9 | b2u(tv < v2)<<10 | b2u(tv < v3)<<11
+	g2 = b2u(tv > v0)<<8 | b2u(tv > v1)<<9 | b2u(tv > v2)<<10 | b2u(tv > v3)<<11
+	v0, v1, v2, v3 = col[12], col[13], col[14], col[15]
+	l3 = b2u(tv < v0)<<12 | b2u(tv < v1)<<13 | b2u(tv < v2)<<14 | b2u(tv < v3)<<15
+	g3 = b2u(tv > v0)<<12 | b2u(tv > v1)<<13 | b2u(tv > v2)<<14 | b2u(tv > v3)<<15
+	return l0 | l1 | l2 | l3, g0 | g1 | g2 | g3
+}
+
+// classifyBlock classifies candidate t against the bn window tuples
+// starting at base, returning bitmasks over the block: bit i of better
+// (worse) is set when t is strictly better (worse) than tuple base+i on
+// at least one dimension. Once every pair in the block has both bits set
+// the remaining columns cannot change any classification and the sweep
+// stops early.
+func (w *Window) classifyBlock(t tuple.Tuple, base, bn int) (better, worse uint32) {
+	if bn == BlockSize {
+		for k := 0; k < w.dim; k++ {
+			l, g := masksBlock((*[BlockSize]float64)(w.cols[k][base:]), t[k])
+			better |= l
+			worse |= g
+			if better&worse == fullMask {
+				break // every pair already incomparable
+			}
+		}
+		return better, worse
+	}
+	full := uint32(1)<<uint(bn) - 1
+	for k := 0; k < w.dim; k++ {
+		col := w.cols[k][base : base+bn : base+bn]
+		tv := t[k]
+		var bb, ww uint32
+		for i, v := range col {
+			bb |= b2u(tv < v) << uint(i)
+			ww |= b2u(tv > v) << uint(i)
+		}
+		better |= bb
+		worse |= ww
+		if better&worse == full {
+			break
+		}
+	}
+	return better, worse
+}
+
+// dominatedInBlock reports whether any tuple of the block starting at
+// base dominates t, returning the in-block index of the first dominator
+// (-1 if none). It is the membership-check variant of classifyBlock: it
+// only needs the worse&^better mask, so it can additionally stop as soon
+// as t is strictly better than every tuple of the block on some
+// dimension seen so far — none of them can dominate t then.
+func (w *Window) dominatedInBlock(t tuple.Tuple, base, bn int) int {
+	var better, worse uint32
+	if bn == BlockSize {
+		for k := 0; k < w.dim; k++ {
+			l, g := masksBlock((*[BlockSize]float64)(w.cols[k][base:]), t[k])
+			better |= l
+			worse |= g
+			if better == fullMask {
+				return -1 // t beats every block tuple somewhere: no dominator here
+			}
+		}
+		if dom := worse &^ better; dom != 0 {
+			return bits.TrailingZeros32(dom)
+		}
+		return -1
+	}
+	full := uint32(1)<<uint(bn) - 1
+	for k := 0; k < w.dim; k++ {
+		col := w.cols[k][base : base+bn : base+bn]
+		tv := t[k]
+		var bb, ww uint32
+		for i, v := range col {
+			bb |= b2u(tv < v) << uint(i)
+			ww |= b2u(tv > v) << uint(i)
+		}
+		better |= bb
+		worse |= ww
+		if better == full {
+			return -1
+		}
+	}
+	if dom := worse &^ better; dom != 0 {
+		return bits.TrailingZeros32(dom)
+	}
+	return -1
+}
+
+// Insert implements Algorithm 4 against the columnar window: t is
+// dropped when a window tuple dominates it, window tuples t dominates
+// are evicted, and t is appended otherwise. It reports whether t entered
+// the window.
+//
+// The window must be dominance-free, which Insert itself maintains.
+// Counting matches the scalar reference exactly: one test per window
+// tuple examined, where a scan that a dominator terminates counts only
+// the pairs up to and including the dominator — the block mask's
+// trailing-zero position recovers that index. As in the scalar path,
+// when a dominator exists the dominance-free invariant guarantees t has
+// evicted nothing (a tuple dominated by a window tuple cannot dominate
+// another window tuple, by transitivity), so stopping at the dominating
+// block leaves the window untouched.
+func (w *Window) Insert(t tuple.Tuple, c *Count) bool {
+	if len(t) != w.dim {
+		panic(fmt.Sprintf("window: tuple dimensionality %d does not match window d=%d", len(t), w.dim))
+	}
+	var t0 time.Time
+	if w.reg != nil {
+		t0 = time.Now()
+	}
+	n := len(w.rows)
+	nBlocks := (n + BlockSize - 1) / BlockSize
+	if cap(w.evicts) < nBlocks {
+		w.evicts = make([]uint32, nBlocks)
+	}
+	evicts := w.evicts[:nBlocks]
+	anyEvict := false
+	pairs := int64(n)
+	inserted := true
+	for b := 0; b < nBlocks; b++ {
+		base := b * BlockSize
+		bn := n - base
+		if bn > BlockSize {
+			bn = BlockSize
+		}
+		better, worse := w.classifyBlock(t, base, bn)
+		if dom := worse &^ better; dom != 0 {
+			// A window tuple dominates t: the scalar loop stops at the
+			// first such tuple, having examined exactly the pairs before
+			// and including it.
+			pairs = int64(base + bits.TrailingZeros32(dom) + 1)
+			inserted = false
+			break
+		}
+		if ev := better &^ worse; ev != 0 {
+			evicts[b] = ev
+			anyEvict = true
+		} else {
+			evicts[b] = 0
+		}
+	}
+	c.Add(pairs)
+	if inserted {
+		if anyEvict {
+			w.compactEvicted(n)
+		}
+		w.Append(t)
+	}
+	if w.reg != nil {
+		w.reg.Observe(MetricInsertNs, int64(time.Since(t0)))
+		w.reg.Count(MetricDominanceTests, pairs)
+	}
+	return inserted
+}
+
+// compactEvicted removes the rows whose bits are set in the eviction
+// scratch, preserving order, over the first n rows.
+func (w *Window) compactEvicted(n int) {
+	out := 0
+	for i := 0; i < n; i++ {
+		if w.evicts[i/BlockSize]&(1<<uint(i%BlockSize)) != 0 {
+			continue
+		}
+		if out != i {
+			w.rows[out] = w.rows[i]
+			for k := 0; k < w.dim; k++ {
+				w.cols[k][out] = w.cols[k][i]
+			}
+		}
+		out++
+	}
+	w.rows = w.rows[:out]
+	for k := 0; k < w.dim; k++ {
+		w.cols[k] = w.cols[k][:out]
+	}
+}
+
+// Dominated reports whether any window tuple dominates t — the pure
+// membership check that SFS insertion degrades to under sorted-order
+// early termination, and the inner operation of Filter. Counting matches
+// the scalar loop: one test per tuple examined, stopping at the first
+// dominator.
+func (w *Window) Dominated(t tuple.Tuple, c *Count) bool {
+	if w == nil {
+		return false
+	}
+	if len(t) != w.dim {
+		panic(fmt.Sprintf("window: tuple dimensionality %d does not match window d=%d", len(t), w.dim))
+	}
+	n := len(w.rows)
+	dominated := false
+	pairs := int64(n)
+	for base := 0; base < n; base += BlockSize {
+		bn := n - base
+		if bn > BlockSize {
+			bn = BlockSize
+		}
+		if i := w.dominatedInBlock(t, base, bn); i >= 0 {
+			pairs = int64(base + i + 1)
+			dominated = true
+			break
+		}
+	}
+	c.Add(pairs)
+	if w.reg != nil {
+		w.reg.Count(MetricDominanceTests, pairs)
+	}
+	return dominated
+}
+
+// FilterBy removes from w every tuple dominated by a tuple of by,
+// preserving order — the inner operation of ComparePartitions
+// (Algorithm 5, line 3) as a window-to-window pass. w and by may be the
+// same window only if w is dominance-free (then nothing is removed).
+func (w *Window) FilterBy(by *Window, c *Count) {
+	if by.Len() == 0 || w.Len() == 0 {
+		return
+	}
+	if w.dim != by.dim {
+		panic(fmt.Sprintf("window: dimensionality mismatch %d vs %d", w.dim, by.dim))
+	}
+	n := len(w.rows)
+	out := 0
+	for i := 0; i < n; i++ {
+		if by.Dominated(w.rows[i], c) {
+			continue
+		}
+		if out != i {
+			w.rows[out] = w.rows[i]
+			for k := 0; k < w.dim; k++ {
+				w.cols[k][out] = w.cols[k][i]
+			}
+		}
+		out++
+	}
+	w.rows = w.rows[:out]
+	for k := 0; k < w.dim; k++ {
+		w.cols[k] = w.cols[k][:out]
+	}
+}

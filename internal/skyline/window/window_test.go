@@ -1,0 +1,292 @@
+// Differential tests: the columnar block kernel must reproduce the
+// scalar reference (skyline.InsertTuple and the plain membership loop)
+// exactly — same window contents in the same order, same insertion
+// outcomes, and the same Count.DominanceTests advance on every single
+// call. The generators cover the regimes that exercise different mask
+// paths: random (mixed outcomes), anti-correlated (incomparable-heavy,
+// saturates the early-exit mask), duplicate-heavy (equal tuples and
+// evictions), and all-equal (pure equality, nothing dominates).
+package window_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mrskyline/internal/obs"
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/skyline/window"
+	"mrskyline/internal/tuple"
+)
+
+// generators produce deterministic datasets per distribution name.
+var generators = map[string]func(rng *rand.Rand, n, d int) tuple.List{
+	"random": func(rng *rand.Rand, n, d int) tuple.List {
+		out := make(tuple.List, n)
+		for i := range out {
+			t := make(tuple.Tuple, d)
+			for k := range t {
+				t[k] = rng.Float64()
+			}
+			out[i] = t
+		}
+		return out
+	},
+	"anticorrelated": func(rng *rand.Rand, n, d int) tuple.List {
+		// Points scattered around the hyperplane sum = d/2: good on one
+		// dimension means bad on another, so almost every pair is
+		// incomparable and the masks saturate.
+		out := make(tuple.List, n)
+		for i := range out {
+			t := make(tuple.Tuple, d)
+			var sum float64
+			for k := range t {
+				t[k] = rng.Float64()
+				sum += t[k]
+			}
+			shift := sum/float64(d) - 0.5
+			for k := range t {
+				t[k] -= shift
+			}
+			out[i] = t
+		}
+		return out
+	},
+	"duplicate-heavy": func(rng *rand.Rand, n, d int) tuple.List {
+		// Coarse value grid plus whole-tuple repeats: lots of equal
+		// values per dimension, frequent exact duplicates, frequent
+		// dominance (so evictions and drops both trigger).
+		out := make(tuple.List, 0, n)
+		for len(out) < n {
+			if len(out) > 0 && rng.Intn(4) == 0 {
+				out = append(out, out[rng.Intn(len(out))])
+				continue
+			}
+			t := make(tuple.Tuple, d)
+			for k := range t {
+				t[k] = float64(rng.Intn(4)) / 4
+			}
+			out = append(out, t)
+		}
+		return out
+	},
+	"all-equal": func(rng *rand.Rand, n, d int) tuple.List {
+		t := make(tuple.Tuple, d)
+		for k := range t {
+			t[k] = rng.Float64()
+		}
+		out := make(tuple.List, n)
+		for i := range out {
+			out[i] = t
+		}
+		return out
+	},
+}
+
+// scalarDominated is the scalar reference of Window.Dominated: one test
+// per tuple examined, stopping at the first dominator.
+func scalarDominated(t tuple.Tuple, s tuple.List, c *skyline.Count) bool {
+	for _, u := range s {
+		c.Add(1)
+		if tuple.Dominates(u, t) {
+			return true
+		}
+	}
+	return false
+}
+
+func sameList(a, b tuple.List) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestInsertMatchesScalarReference drives the columnar Insert and the
+// scalar InsertTuple side by side and asserts exact agreement after
+// every insertion: window contents and order, and the precise
+// DominanceTests advance (including scans cut short by a dominator
+// inside a block).
+func TestInsertMatchesScalarReference(t *testing.T) {
+	for name, gen := range generators {
+		for _, d := range []int{1, 2, 3, 4, 6, 9} {
+			rng := rand.New(rand.NewSource(int64(42 + d)))
+			data := gen(rng, 400, d)
+			w := window.New(d)
+			var s tuple.List
+			var cw, cs skyline.Count
+			for i, tp := range data {
+				w.Insert(tp, &cw)
+				s = skyline.InsertTuple(tp, s, &cs)
+				if cw.DominanceTests != cs.DominanceTests {
+					t.Fatalf("%s d=%d step %d: columnar counted %d tests, scalar %d",
+						name, d, i, cw.DominanceTests, cs.DominanceTests)
+				}
+				if !sameList(w.Rows(), s) {
+					t.Fatalf("%s d=%d step %d: windows diverged (%d vs %d tuples)",
+						name, d, i, w.Len(), len(s))
+				}
+			}
+		}
+	}
+}
+
+// TestDominatedMatchesScalarReference probes dominance-free windows with
+// fresh tuples and asserts Dominated agrees with the scalar membership
+// loop on both the verdict and the count advance.
+func TestDominatedMatchesScalarReference(t *testing.T) {
+	for name, gen := range generators {
+		for _, d := range []int{1, 2, 4, 7} {
+			rng := rand.New(rand.NewSource(int64(7 * d)))
+			var cnt skyline.Count
+			sky := skyline.BNL(gen(rng, 500, d), &cnt)
+			w := window.FromList(d, sky)
+			for i, probe := range gen(rng, 300, d) {
+				var cw, cs skyline.Count
+				got := w.Dominated(probe, &cw)
+				want := scalarDominated(probe, sky, &cs)
+				if got != want || cw.DominanceTests != cs.DominanceTests {
+					t.Fatalf("%s d=%d probe %d: columnar (%v, %d), scalar (%v, %d)",
+						name, d, i, got, cw.DominanceTests, want, cs.DominanceTests)
+				}
+			}
+		}
+	}
+}
+
+// TestFilterByMatchesScalarReference filters one local skyline by
+// another — the ComparePartitions inner operation — and checks survivors
+// and counts against the scalar loops.
+func TestFilterByMatchesScalarReference(t *testing.T) {
+	for name, gen := range generators {
+		for _, d := range []int{2, 3, 5} {
+			rng := rand.New(rand.NewSource(int64(100 + d)))
+			var cnt skyline.Count
+			a := skyline.BNL(gen(rng, 400, d), &cnt)
+			b := skyline.BNL(gen(rng, 400, d), &cnt)
+
+			var cw skyline.Count
+			wa := window.FromList(d, a)
+			wa.FilterBy(window.FromList(d, b), &cw)
+
+			var cs skyline.Count
+			var want tuple.List
+			for _, tp := range a {
+				if !scalarDominated(tp, b, &cs) {
+					want = append(want, tp)
+				}
+			}
+			if cw.DominanceTests != cs.DominanceTests {
+				t.Fatalf("%s d=%d: columnar counted %d tests, scalar %d",
+					name, d, cw.DominanceTests, cs.DominanceTests)
+			}
+			if !sameList(wa.Rows(), want) {
+				t.Fatalf("%s d=%d: survivors diverged (%d vs %d tuples)",
+					name, d, wa.Len(), len(want))
+			}
+		}
+	}
+}
+
+// TestWindowStaysDominanceFree asserts the structural invariant every
+// algorithm relies on: after any insertion sequence no window tuple
+// dominates another.
+func TestWindowStaysDominanceFree(t *testing.T) {
+	for name, gen := range generators {
+		rng := rand.New(rand.NewSource(3))
+		w := window.New(3)
+		for _, tp := range gen(rng, 600, 3) {
+			w.Insert(tp, nil)
+		}
+		rows := w.Rows()
+		for i, a := range rows {
+			for j, b := range rows {
+				if i != j && tuple.Dominates(a, b) {
+					t.Fatalf("%s: window tuple %d dominates tuple %d", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestInstrumentedWindowPublishesMetrics checks the obs wiring: an
+// instrumented window publishes the pair-classification counter and the
+// per-insert latency histogram, in agreement with the Count it was
+// handed; a detached window publishes nothing.
+func TestInstrumentedWindowPublishesMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := window.New(2)
+	w.Instrument(reg)
+	rng := rand.New(rand.NewSource(9))
+	var cnt skyline.Count
+	inserts := int64(0)
+	for _, tp := range generators["random"](rng, 200, 2) {
+		w.Insert(tp, &cnt)
+		inserts++
+	}
+	w.Dominated(tuple.Tuple{0.5, 0.5}, &cnt)
+	snap := reg.Snapshot()
+	var tests int64
+	for _, c := range snap.Counters {
+		if c.Name == window.MetricDominanceTests {
+			tests = c.Value
+		}
+	}
+	if tests != cnt.DominanceTests {
+		t.Errorf("metric %s = %d, want %d", window.MetricDominanceTests, tests, cnt.DominanceTests)
+	}
+	found := false
+	for _, h := range snap.Histograms {
+		if h.Name == window.MetricInsertNs {
+			found = true
+			if h.Count != inserts {
+				t.Errorf("metric %s observed %d samples, want %d", window.MetricInsertNs, h.Count, inserts)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("metric %s not published", window.MetricInsertNs)
+	}
+
+	// Detached windows must not publish (pay-for-use).
+	w2 := window.New(2)
+	w2.Insert(tuple.Tuple{0.1, 0.2}, nil)
+	if s := (&obs.Registry{}).Snapshot(); len(s.Counters) != 0 {
+		t.Errorf("uninstrumented window published metrics: %v", s)
+	}
+}
+
+// FuzzInsertDifferential fuzzes the Insert equivalence: arbitrary bytes
+// become a tuple stream on a coarse value grid (maximizing duplicate
+// values, equal tuples, and dominance), and the columnar and scalar
+// windows must stay identical in contents, order, and counts.
+func FuzzInsertDifferential(f *testing.F) {
+	f.Add(uint8(2), []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 15, 15, 0})
+	f.Add(uint8(4), []byte{9, 9, 9, 9, 1, 2, 3, 4, 4, 3, 2, 1})
+	f.Add(uint8(1), []byte{5, 5, 5, 4, 6})
+	f.Add(uint8(6), []byte{})
+	f.Fuzz(func(t *testing.T, dim uint8, raw []byte) {
+		d := int(dim%6) + 1
+		w := window.New(d)
+		var s tuple.List
+		var cw, cs skyline.Count
+		for i := 0; i+d <= len(raw); i += d {
+			tp := make(tuple.Tuple, d)
+			for k := 0; k < d; k++ {
+				tp[k] = float64(raw[i+k]%16) / 16
+			}
+			w.Insert(tp, &cw)
+			s = skyline.InsertTuple(tp, s, &cs)
+			if cw.DominanceTests != cs.DominanceTests {
+				t.Fatalf("step %d: columnar counted %d tests, scalar %d", i/d, cw.DominanceTests, cs.DominanceTests)
+			}
+			if !sameList(w.Rows(), s) {
+				t.Fatalf("step %d: windows diverged (%d vs %d tuples)", i/d, w.Len(), len(s))
+			}
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package mrskyline_test
+
+import (
+	"fmt"
+	"testing"
+
+	mrskyline "mrskyline"
+)
+
+// TestKernelCountParity pins the exact DominanceTests of every algorithm
+// on fixed workloads. The values were captured with the scalar
+// tuple-at-a-time window before the columnar block kernel replaced it:
+// the block kernel must classify exactly the same tuple pairs — including
+// scans a dominator cuts short mid-block — so any drift here means the
+// kernels no longer agree pair for pair, even if the skyline itself is
+// still correct. Skyline cardinality is pinned alongside as a sanity
+// anchor.
+func TestKernelCountParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parity sweep runs every algorithm; skipped in -short mode")
+	}
+	type golden struct {
+		tests int64
+		size  int
+	}
+	want := map[string]golden{
+		"independent/MR-GPMRS/bnl":     {25609, 88},
+		"independent/MR-GPMRS/sfs":     {23083, 88},
+		"independent/MR-GPSRS/bnl":     {16111, 88},
+		"independent/MR-GPSRS/sfs":     {14013, 88},
+		"independent/Hybrid/bnl":       {16111, 88},
+		"independent/Hybrid/sfs":       {14013, 88},
+		"independent/MR-BNL/bnl":       {20716, 88},
+		"independent/MR-BNL/sfs":       {20716, 88},
+		"independent/MR-SFS/bnl":       {18458, 88},
+		"independent/MR-SFS/sfs":       {18458, 88},
+		"independent/MR-Angle/bnl":     {15604, 88},
+		"independent/MR-Angle/sfs":     {15604, 88},
+		"independent/SKY-MR/bnl":       {9754, 88},
+		"independent/SKY-MR/sfs":       {9754, 88},
+		"independent/MR-Bitmap/bnl":    {6000, 88},
+		"independent/MR-Bitmap/sfs":    {6000, 88},
+		"anticorrelated/MR-GPMRS/bnl":  {177711, 551},
+		"anticorrelated/MR-GPMRS/sfs":  {173716, 551},
+		"anticorrelated/MR-GPSRS/bnl":  {112135, 551},
+		"anticorrelated/MR-GPSRS/sfs":  {109494, 551},
+		"anticorrelated/Hybrid/bnl":    {112135, 551},
+		"anticorrelated/Hybrid/sfs":    {109494, 551},
+		"anticorrelated/MR-BNL/bnl":    {98548, 551},
+		"anticorrelated/MR-BNL/sfs":    {98548, 551},
+		"anticorrelated/MR-SFS/bnl":    {95951, 551},
+		"anticorrelated/MR-SFS/sfs":    {95951, 551},
+		"anticorrelated/MR-Angle/bnl":  {242746, 551},
+		"anticorrelated/MR-Angle/sfs":  {242746, 551},
+		"anticorrelated/SKY-MR/bnl":    {32007, 551},
+		"anticorrelated/SKY-MR/sfs":    {32007, 551},
+		"anticorrelated/MR-Bitmap/bnl": {6000, 551},
+		"anticorrelated/MR-Bitmap/sfs": {6000, 551},
+		"correlated/MR-GPMRS/bnl":      {3658, 4},
+		"correlated/MR-GPMRS/sfs":      {2828, 4},
+		"correlated/MR-GPSRS/bnl":      {3349, 4},
+		"correlated/MR-GPSRS/sfs":      {2542, 4},
+		"correlated/Hybrid/bnl":        {3349, 4},
+		"correlated/Hybrid/sfs":        {2542, 4},
+		"correlated/MR-BNL/bnl":        {10847, 4},
+		"correlated/MR-BNL/sfs":        {10847, 4},
+		"correlated/MR-SFS/bnl":        {9000, 4},
+		"correlated/MR-SFS/sfs":        {9000, 4},
+		"correlated/MR-Angle/bnl":      {2602, 4},
+		"correlated/MR-Angle/sfs":      {2602, 4},
+		"correlated/SKY-MR/bnl":        {2335, 4},
+		"correlated/SKY-MR/sfs":        {2335, 4},
+		"correlated/MR-Bitmap/bnl":     {6000, 4},
+		"correlated/MR-Bitmap/sfs":     {6000, 4},
+	}
+	for _, dist := range []string{"independent", "anticorrelated", "correlated"} {
+		data, err := mrskyline.Generate(dist, 1500, 4, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range mrskyline.Algorithms() {
+			for _, kern := range []string{"bnl", "sfs"} {
+				key := fmt.Sprintf("%s/%s/%s", dist, algo, kern)
+				res, err := mrskyline.Compute(data, mrskyline.Options{Algorithm: algo, Nodes: 4, Kernel: kern})
+				if err != nil {
+					t.Errorf("%s: %v", key, err)
+					continue
+				}
+				g, ok := want[key]
+				if !ok {
+					t.Errorf("%s: no golden recorded (new algorithm? capture its counts)", key)
+					continue
+				}
+				if res.Stats.DominanceTests != g.tests || res.Stats.SkylineSize != g.size {
+					t.Errorf("%s: tests=%d size=%d, want tests=%d size=%d",
+						key, res.Stats.DominanceTests, res.Stats.SkylineSize, g.tests, g.size)
+				}
+			}
+		}
+	}
+}

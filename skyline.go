@@ -220,24 +220,13 @@ func computeOn(ctx context.Context, eng *mapreduce.Engine, data [][]float64, opt
 		return nil, fmt.Errorf("mrskyline: Maximize has %d entries for %d-dimensional data", len(opts.Maximize), d)
 	}
 
-	// Orient: negate maximized dimensions (exact in IEEE 754), so the rest
-	// of the pipeline is pure minimization.
+	// Orient: negate maximized dimensions once (exact in IEEE 754), so the
+	// rest of the pipeline is pure minimization with no per-comparison
+	// orientation branching.
+	orient := NewOrientation(opts.Maximize)
 	work := make(tuple.List, len(data))
-	negate := opts.Maximize != nil
 	for i, row := range data {
-		if negate {
-			t := make(tuple.Tuple, len(row))
-			for k, v := range row {
-				if k < len(opts.Maximize) && opts.Maximize[k] {
-					t[k] = -v
-				} else {
-					t[k] = v
-				}
-			}
-			work[i] = t
-		} else {
-			work[i] = tuple.Tuple(row)
-		}
+		work[i] = tuple.Tuple(orient.Apply(row))
 	}
 	if err := work.Validate(); err != nil {
 		return nil, fmt.Errorf("mrskyline: %w", err)
@@ -320,18 +309,10 @@ func computeOn(ctx context.Context, eng *mapreduce.Engine, data [][]float64, opt
 		return nil, fmt.Errorf("mrskyline: unknown algorithm %q", opts.Algorithm)
 	}
 
-	// Orient back and hand out plain slices.
+	// Orient back (Apply is an involution) and hand out plain slices.
 	out := make([][]float64, len(sky))
 	for i, t := range sky {
-		row := []float64(t)
-		if negate {
-			for k := range row {
-				if opts.Maximize[k] {
-					row[k] = -row[k]
-				}
-			}
-		}
-		out[i] = row
+		out[i] = orient.Apply([]float64(t))
 	}
 	return &Result{Skyline: out, Stats: st}, nil
 }
@@ -400,18 +381,70 @@ func domainBounds(data tuple.List) (lo, hi tuple.Tuple) {
 	return lo, hi
 }
 
-// Dominates reports whether tuple a dominates tuple b under the orientation
-// given by maximize (nil = minimize everything): a is at least as good on
-// every dimension and strictly better on at least one.
-func Dominates(a, b []float64, maximize []bool) bool {
+// Orientation captures a per-dimension min/max preference, normalized
+// once into a sign vector: minimized dimensions carry +1, maximized ones
+// −1, and multiplying a value by its sign turns every later comparison
+// into pure minimization with no per-dimension branching (negation is
+// exact in IEEE 754). Build one with NewOrientation and reuse it when
+// comparing many tuple pairs under the same preference.
+type Orientation struct {
+	// signs is nil for the identity orientation (all dimensions
+	// minimize); dimensions beyond its length minimize.
+	signs []float64
+}
+
+// NewOrientation builds the orientation for maximize, interpreted as in
+// Options.Maximize: nil (or all-false) means every dimension minimizes.
+func NewOrientation(maximize []bool) Orientation {
+	var signs []float64
+	for k, m := range maximize {
+		if m {
+			if signs == nil {
+				signs = make([]float64, len(maximize))
+				for j := range signs {
+					signs[j] = 1
+				}
+			}
+			signs[k] = -1
+		}
+	}
+	return Orientation{signs: signs}
+}
+
+// Identity reports whether the orientation leaves values unchanged.
+func (o Orientation) Identity() bool { return o.signs == nil }
+
+// Apply returns row under the all-minimize view: maximized dimensions
+// are negated. The identity orientation returns row itself (no copy);
+// otherwise a fresh slice is returned. Apply is its own inverse up to
+// the copy: applying it to an oriented row restores the original values.
+func (o Orientation) Apply(row []float64) []float64 {
+	if o.signs == nil {
+		return row
+	}
+	out := make([]float64, len(row))
+	for k, v := range row {
+		if k < len(o.signs) {
+			v *= o.signs[k]
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// Dominates reports whether a dominates b under the orientation: at
+// least as good on every dimension and strictly better on at least one.
+func (o Orientation) Dominates(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false
 	}
 	better, worse := false, false
 	for k := range a {
 		av, bv := a[k], b[k]
-		if maximize != nil && k < len(maximize) && maximize[k] {
-			av, bv = -av, -bv
+		if k < len(o.signs) {
+			s := o.signs[k]
+			av *= s
+			bv *= s
 		}
 		switch {
 		case av < bv:
@@ -421,4 +454,13 @@ func Dominates(a, b []float64, maximize []bool) bool {
 		}
 	}
 	return better && !worse
+}
+
+// Dominates reports whether tuple a dominates tuple b under the orientation
+// given by maximize (nil = minimize everything): a is at least as good on
+// every dimension and strictly better on at least one. Callers comparing
+// many pairs under one preference should build a NewOrientation once and
+// use its Dominates method instead.
+func Dominates(a, b []float64, maximize []bool) bool {
+	return NewOrientation(maximize).Dominates(a, b)
 }
