@@ -29,9 +29,13 @@ import (
 	mrskyline "mrskyline"
 	"mrskyline/internal/experiments"
 	"mrskyline/internal/obs"
+	"mrskyline/internal/rpcexec"
 )
 
 func main() {
+	// Worker re-exec entry: when the master spawned this process, serve
+	// tasks and exit instead of parsing flags.
+	rpcexec.WorkerMain()
 	var (
 		exp          = flag.String("exp", "all", "experiments to run: comma-separated ids or 'all' (ids: "+strings.Join(experiments.FigureNames(), ", ")+")")
 		scale        = flag.Float64("scale", experiments.DefaultScale, "cardinality scale factor relative to the paper (1 = full size)")
@@ -53,6 +57,9 @@ func main() {
 		kernelbench  = flag.Bool("kernel", false, "run the dominance-kernel micro-benchmark (scalar vs columnar) instead of figures; writes BENCH_kernel.json to -outdir")
 		servequeries = flag.Int("servequeries", 64, "total queries for -serveload")
 		serveworkers = flag.Int("serveworkers", 8, "concurrent clients for -serveload")
+		executor     = flag.String("executor", "inproc", "MapReduce backend: inproc (simulated cluster figures) or process (multi-process workers over RPC; runs the backend comparison instead of figures and writes BENCH_executor.json to -outdir)")
+		workers      = flag.Int("workers", 4, "worker processes for -executor=process")
+		tracedir     = flag.String("tracedir", "", "with -executor=process, directory where each worker process writes its own Chrome trace (worker-<i>.trace.json)")
 		traceOut     = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto / chrome://tracing)")
 		cpuprof      = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof      = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -61,6 +68,47 @@ func main() {
 
 	if err := experiments.ValidateFaultConfig(*faultrate, flagSet("faultseed")); err != nil {
 		fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch *executor {
+	case "inproc":
+	case "process":
+		var masterTrace *obs.Tracer
+		if *traceOut != "" {
+			masterTrace = obs.New()
+		}
+		rec, err := experiments.RunExecutorBench(experiments.ExecBenchConfig{
+			Workers:  *workers,
+			Seed:     *seed,
+			Trace:    masterTrace,
+			TraceDir: *tracedir,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: -executor=process: %v\n", err)
+			os.Exit(1)
+		}
+		if masterTrace != nil {
+			if err := writeTrace(*traceOut, masterTrace); err != nil {
+				fmt.Fprintf(os.Stderr, "skybench: -trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote trace %s (%d spans)\n", *traceOut, len(masterTrace.Spans()))
+		}
+		path := filepath.Join(*outdir, "BENCH_executor.json")
+		if err := experiments.WriteExecBenchJSON(path, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: -executor=process: %v\n", err)
+			os.Exit(1)
+		}
+		for _, a := range rec.Algorithms {
+			fmt.Printf("%-9s inproc %.3fs  process %.3fs  skyline %d  identical %v\n",
+				a.Algorithm, a.InprocSec, a.ProcessSec, a.SkylineSize, a.Identical)
+		}
+		fmt.Printf("rpc: %d leases, %d wire shuffle bytes, heartbeat RTT p50 %dns\nwrote %s\n",
+			rec.LeasesGranted, rec.WireShuffleBytes, rec.HeartbeatRTTP50, path)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "skybench: unknown -executor %q (want inproc|process)\n", *executor)
 		os.Exit(1)
 	}
 

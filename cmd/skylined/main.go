@@ -27,34 +27,69 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	mrskyline "mrskyline"
+	"mrskyline/internal/rpcexec"
 )
 
 func main() {
+	// Worker re-exec entry: when a process-executor master spawned this
+	// process, serve tasks and exit instead of starting the HTTP server.
+	rpcexec.WorkerMain()
 	addr := flag.String("addr", ":8080", "listen address")
-	nodes := flag.Int("nodes", 8, "simulated cluster nodes")
-	slots := flag.Int("slots", 2, "task slots per node")
-	maxInFlight := flag.Int("maxinflight", 4, "concurrently executing queries")
-	maxQueue := flag.Int("maxqueue", 64, "queued queries beyond maxinflight (negative: reject when busy)")
+	executor := flag.String("executor", "inproc", "MapReduce backend: inproc (simulated cluster) or process (multi-process workers over RPC)")
+	workers := flag.Int("workers", 4, "worker processes for -executor=process")
+	nodes := flag.Int("nodes", 8, "simulated cluster nodes (inproc)")
+	slots := flag.Int("slots", 2, "task slots per node (inproc)")
+	maxInFlight := flag.Int("maxinflight", 4, "concurrently executing queries (inproc)")
+	maxQueue := flag.Int("maxqueue", 64, "queued queries beyond maxinflight (negative: reject when busy; inproc)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-query deadline (0: none)")
 	flag.Parse()
 
-	svc, err := mrskyline.NewService(mrskyline.ServiceConfig{
+	cfg := mrskyline.ServiceConfig{
 		Nodes:        *nodes,
 		SlotsPerNode: *slots,
 		MaxInFlight:  *maxInFlight,
 		MaxQueue:     *maxQueue,
 		QueryTimeout: *timeout,
-	})
+	}
+	switch *executor {
+	case "inproc":
+	case "process":
+		pe, err := rpcexec.New(rpcexec.Config{Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Executor = pe
+	default:
+		log.Fatalf("skylined: unknown -executor %q (want inproc|process)", *executor)
+	}
+	svc, err := mrskyline.NewService(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("skylined: listening on %s (%d nodes × %d slots, %d in flight)", *addr, *nodes, *slots, *maxInFlight)
-	log.Fatal(http.ListenAndServe(*addr, newServer(svc).handler()))
+	// Shut worker processes down on SIGINT/SIGTERM (no-op for inproc).
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		svc.Close()
+		os.Exit(0)
+	}()
+	if *executor == "process" {
+		log.Printf("skylined: listening on %s (%d worker processes)", *addr, *workers)
+	} else {
+		log.Printf("skylined: listening on %s (%d nodes × %d slots, %d in flight)", *addr, *nodes, *slots, *maxInFlight)
+	}
+	err = http.ListenAndServe(*addr, newServer(svc).handler())
+	svc.Close()
+	log.Fatal(err)
 }
 
 // server is the HTTP front-end: one Service plus a named-dataset cache so

@@ -36,8 +36,10 @@ import (
 
 // Config parametrizes the baseline algorithms.
 type Config struct {
-	// Engine executes the MapReduce job; required.
-	Engine *mapreduce.Engine
+	// Engine executes the MapReduce job; required. Any mapreduce.Executor
+	// works: the in-process *mapreduce.Engine or rpcexec's multi-process
+	// backend.
+	Engine mapreduce.Executor
 	// Ctx, when non-nil, bounds every job of the run (deadline or
 	// cancellation; flows into mapreduce.Engine.RunContext). Nil means
 	// context.Background().
@@ -104,7 +106,7 @@ func (c *Config) mappers() int {
 	if c.NumMappers > 0 {
 		return c.NumMappers
 	}
-	return c.Engine.Cluster().TotalSlots()
+	return c.Engine.TotalSlots()
 }
 
 // Stats reports a baseline run.
@@ -169,10 +171,90 @@ func getWindow(m map[int]*window.Window, p, dim int, reg *obs.Registry) *window.
 	return w
 }
 
+// newPartitionMapper builds the shared baseline mapper: maintain one
+// columnar local-skyline window per partition id (locate routes tuples to
+// partitions) and emit (partition, window) on flush. Non-BNL kernels
+// buffer per partition and run the batch kernel at flush time.
+func newPartitionMapper(dim int, locate func(t tuple.Tuple) int, kernel skyline.Kernel) mapreduce.Mapper {
+	windows := make(map[int]*window.Window)
+	pending := make(map[int]tuple.List) // batch-kernel buffers
+	var cnt skyline.Count
+	return mapreduce.MapperFuncs{
+		MapFn: func(ctx *mapreduce.TaskContext, rec mapreduce.Record, _ mapreduce.Emitter) error {
+			t, err := mapreduce.DecodeTupleRecord(rec)
+			if err != nil {
+				return err
+			}
+			p := locate(t)
+			if kernel != skyline.KernelBNL {
+				pending[p] = append(pending[p], t)
+				return nil
+			}
+			getWindow(windows, p, dim, ctx.Trace.Metrics()).Insert(t, &cnt)
+			return nil
+		},
+		FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+			doneLocal := ctx.Trace.Timed(ctx.Track, "local-skyline", obs.CatAlgo, "algo.local_skyline.ns")
+			for p, buf := range pending {
+				windows[p] = window.FromList(dim, kernel.Compute(buf, &cnt))
+			}
+			doneLocal()
+			ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
+			var scratch []byte
+			for _, w := range sortedWindows(windows) {
+				scratch = tuple.AppendEncodeList(scratch[:0], w.win.Rows())
+				emit(encodeKey(w.id), scratch)
+			}
+			return nil
+		},
+	}
+}
+
+// newSingleReducer builds the shared baseline reducer: merge the mappers'
+// per-partition windows, then run the algorithm-specific global merge
+// (finishReduce) and emit the skyline.
+func newSingleReducer(dim int, finishReduce func(s map[int]*window.Window, cnt *skyline.Count) tuple.List) mapreduce.Reducer {
+	s := make(map[int]*window.Window)
+	var cnt skyline.Count
+	return mapreduce.ReducerFuncs{
+		ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, _ mapreduce.Emitter) error {
+			p, err := decodeKey(key)
+			if err != nil {
+				return err
+			}
+			w := getWindow(s, p, dim, ctx.Trace.Metrics())
+			for _, v := range values {
+				l, _, err := tuple.DecodeList(v)
+				if err != nil {
+					return err
+				}
+				for _, t := range l {
+					w.Insert(t, &cnt)
+				}
+			}
+			return nil
+		},
+		FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+			doneMerge := ctx.Trace.Timed(ctx.Track, "merge", obs.CatAlgo, "algo.merge.ns")
+			sky := finishReduce(s, &cnt)
+			doneMerge()
+			ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
+			var scratch []byte
+			for _, t := range sky {
+				scratch = tuple.AppendEncode(scratch[:0], t)
+				emit(nil, scratch)
+			}
+			return nil
+		},
+	}
+}
+
 // runSingleReducerJob executes the shared shape of all three baselines:
 // mappers maintain one columnar local-skyline window per partition id and
 // emit (partition, window); a single reducer merges and finishes. The
 // finishReduce callback implements the algorithm-specific global merge.
+// A non-empty kind stamps the job for the process executor (spec must then
+// reconstruct locate/finishReduce; see kinds.go).
 func runSingleReducerJob(
 	cfg *Config,
 	name string,
@@ -180,6 +262,8 @@ func runSingleReducerJob(
 	locate func(t tuple.Tuple) int,
 	kernel skyline.Kernel,
 	finishReduce func(s map[int]*window.Window, cnt *skyline.Count) tuple.List,
+	kind string,
+	spec []byte,
 ) (tuple.List, *mapreduce.Result, error) {
 	dim := data.Dim()
 	job := &mapreduce.Job{
@@ -188,75 +272,10 @@ func runSingleReducerJob(
 		NumMappers:  cfg.mappers(),
 		NumReducers: 1,
 		MaxAttempts: cfg.MaxAttempts,
-		NewMapper: func() mapreduce.Mapper {
-			windows := make(map[int]*window.Window)
-			pending := make(map[int]tuple.List) // batch-kernel buffers
-			var cnt skyline.Count
-			return mapreduce.MapperFuncs{
-				MapFn: func(ctx *mapreduce.TaskContext, rec mapreduce.Record, _ mapreduce.Emitter) error {
-					t, err := mapreduce.DecodeTupleRecord(rec)
-					if err != nil {
-						return err
-					}
-					p := locate(t)
-					if kernel != skyline.KernelBNL {
-						pending[p] = append(pending[p], t)
-						return nil
-					}
-					getWindow(windows, p, dim, ctx.Trace.Metrics()).Insert(t, &cnt)
-					return nil
-				},
-				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
-					doneLocal := ctx.Trace.Timed(ctx.Track, "local-skyline", obs.CatAlgo, "algo.local_skyline.ns")
-					for p, buf := range pending {
-						windows[p] = window.FromList(dim, kernel.Compute(buf, &cnt))
-					}
-					doneLocal()
-					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
-					var scratch []byte
-					for _, w := range sortedWindows(windows) {
-						scratch = tuple.AppendEncodeList(scratch[:0], w.win.Rows())
-						emit(encodeKey(w.id), scratch)
-					}
-					return nil
-				},
-			}
-		},
-		NewReducer: func() mapreduce.Reducer {
-			s := make(map[int]*window.Window)
-			var cnt skyline.Count
-			return mapreduce.ReducerFuncs{
-				ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, _ mapreduce.Emitter) error {
-					p, err := decodeKey(key)
-					if err != nil {
-						return err
-					}
-					w := getWindow(s, p, dim, ctx.Trace.Metrics())
-					for _, v := range values {
-						l, _, err := tuple.DecodeList(v)
-						if err != nil {
-							return err
-						}
-						for _, t := range l {
-							w.Insert(t, &cnt)
-						}
-					}
-					return nil
-				},
-				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
-					doneMerge := ctx.Trace.Timed(ctx.Track, "merge", obs.CatAlgo, "algo.merge.ns")
-					sky := finishReduce(s, &cnt)
-					doneMerge()
-					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
-					var scratch []byte
-					for _, t := range sky {
-						scratch = tuple.AppendEncode(scratch[:0], t)
-						emit(nil, scratch)
-					}
-					return nil
-				},
-			}
-		},
+		Kind:        kind,
+		Spec:        spec,
+		NewMapper:   func() mapreduce.Mapper { return newPartitionMapper(dim, locate, kernel) },
+		NewReducer:  func() mapreduce.Reducer { return newSingleReducer(dim, finishReduce) },
 	}
 	res, err := cfg.Engine.RunContext(cfg.ctx(), job)
 	if err != nil {

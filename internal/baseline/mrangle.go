@@ -127,7 +127,7 @@ func MRAngle(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 				}
 			}
 			return merge.Rows()
-		})
+		}, "", nil) // no kind: the angle partitioner is not spec-serialized
 	if err != nil {
 		return nil, nil, err
 	}

@@ -188,7 +188,7 @@ func MRBitmap(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 	}
 
 	// ---- Job 2: parallel membership tests --------------------------------
-	reducers := cfg.Engine.Cluster().TotalSlots()
+	reducers := cfg.Engine.TotalSlots()
 	recs := make([]mapreduce.Record, n)
 	// Values share one backing arena (cf. mapreduce.TupleInput); keys are
 	// the 8-byte tuple ids routing round-robin across reducers.

@@ -46,6 +46,34 @@ func MRSFS(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 	return mrHalfspace(cfg, "mr-sfs", data, skyline.KernelSFS)
 }
 
+// halfspaceFinish is MR-BNL's global merge: filter each subspace skyline
+// by every subspace that may dominate it, then output the union. Windows
+// stay columnar throughout, so every pass runs on the block kernel.
+func halfspaceFinish(s map[int]*window.Window, cnt *skyline.Count) tuple.List {
+	codes := make([]int, 0, len(s))
+	for c := range s {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, b := range codes {
+		w := s[b]
+		for _, a := range codes {
+			if s[a].Len() == 0 || !subspaceMayDominate(a, b) {
+				continue
+			}
+			w.FilterBy(s[a], cnt)
+			if w.Len() == 0 {
+				break
+			}
+		}
+	}
+	var out tuple.List
+	for _, c := range codes {
+		out = append(out, s[c].Rows()...)
+	}
+	return out
+}
+
 func mrHalfspace(cfg Config, name string, data tuple.List, kernel skyline.Kernel) (tuple.List, *Stats, error) {
 	start := time.Now()
 	if err := data.Validate(); err != nil {
@@ -69,34 +97,7 @@ func mrHalfspace(cfg Config, name string, data tuple.List, kernel skyline.Kernel
 	mid := cfg.mid(d)
 	sky, res, err := runSingleReducerJob(&cfg, name, data,
 		func(t tuple.Tuple) int { return subspaceOf(t, mid) }, kernel,
-		func(s map[int]*window.Window, cnt *skyline.Count) tuple.List {
-			// Cross-subspace elimination: filter each subspace skyline by
-			// every subspace that may dominate it, then output the union.
-			// Windows stay columnar throughout, so every pass runs on the
-			// block kernel.
-			codes := make([]int, 0, len(s))
-			for c := range s {
-				codes = append(codes, c)
-			}
-			sort.Ints(codes)
-			for _, b := range codes {
-				w := s[b]
-				for _, a := range codes {
-					if s[a].Len() == 0 || !subspaceMayDominate(a, b) {
-						continue
-					}
-					w.FilterBy(s[a], cnt)
-					if w.Len() == 0 {
-						break
-					}
-				}
-			}
-			var out tuple.List
-			for _, c := range codes {
-				out = append(out, s[c].Rows()...)
-			}
-			return out
-		})
+		halfspaceFinish, KindHalfspace, halfspaceSpecBytes(d, mid, kernel))
 	if err != nil {
 		return nil, nil, err
 	}

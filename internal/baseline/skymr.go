@@ -76,7 +76,7 @@ func SKYMR(cfg Config, data tuple.List) (tuple.List, *Stats, error) {
 		return nil, nil, err
 	}
 	cache := mapreduce.Cache{cacheKeySample: tuple.EncodeList(sample)}
-	reducers := cfg.Engine.Cluster().TotalSlots()
+	reducers := cfg.Engine.TotalSlots()
 	if reducers > qt.numLeaves() {
 		reducers = qt.numLeaves()
 	}

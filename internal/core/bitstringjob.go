@@ -42,56 +42,10 @@ func BuildBitstring(cfg *Config, g *grid.Grid, input mapreduce.Input, disablePru
 		NumMappers:  cfg.mappers(),
 		NumReducers: 1,
 		MaxAttempts: cfg.MaxAttempts,
-		NewMapper: func() mapreduce.Mapper {
-			// Algorithm 1.
-			local := bitstring.New(g.NumPartitions())
-			return mapreduce.MapperFuncs{
-				MapFn: func(_ *mapreduce.TaskContext, rec mapreduce.Record, _ mapreduce.Emitter) error {
-					t, err := cfg.decode(rec)
-					if err != nil {
-						return err
-					}
-					if t == nil {
-						return nil
-					}
-					if len(t) != g.Dim() {
-						return fmt.Errorf("core: tuple dimensionality %d does not match grid d=%d", len(t), g.Dim())
-					}
-					local.Set(g.Locate(t))
-					return nil
-				},
-				FlushFn: func(_ *mapreduce.TaskContext, emit mapreduce.Emitter) error {
-					emit(nil, local.Encode())
-					return nil
-				},
-			}
-		},
-		NewReducer: func() mapreduce.Reducer {
-			// Algorithm 2.
-			global := bitstring.New(g.NumPartitions())
-			return mapreduce.ReducerFuncs{
-				ReduceFn: func(_ *mapreduce.TaskContext, _ []byte, values [][]byte, _ mapreduce.Emitter) error {
-					for _, v := range values {
-						local, _, err := bitstring.Decode(v)
-						if err != nil {
-							return err
-						}
-						global.Or(local)
-					}
-					return nil
-				},
-				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
-					ctx.Counters.Add("bitstring.nonempty", int64(global.Count()))
-					if !disablePruning {
-						g.Prune(global)
-					}
-					ctx.Counters.Add("bitstring.surviving", int64(global.Count()))
-					emit(nil, global.Encode())
-					return nil
-				},
-			}
-		},
+		NewMapper:   func() mapreduce.Mapper { return newBitstringMapper(cfg, g) },
+		NewReducer:  func() mapreduce.Reducer { return newBitstringReducer(g, disablePruning) },
 	}
+	cfg.markKind(job, KindBitstringGen, bitstringSpec{Grid: gridSpecOf(g), DisablePruning: disablePruning})
 	doneExch := cfg.Engine.WallTracer().Timed(obs.DriverTrack, "bitstring-exchange", obs.CatAlgo, "algo.bitstring_exchange.ns")
 	res, err := cfg.Engine.RunContext(cfg.ctx(), job)
 	doneExch()
@@ -112,6 +66,144 @@ func BuildBitstring(cfg *Config, g *grid.Grid, input mapreduce.Input, disablePru
 		PPD:       g.PPD(),
 		Job:       res,
 	}, nil
+}
+
+// newBitstringMapper builds an Algorithm 1 mapper: fold the split into a
+// local occupancy bitstring, emitted on flush.
+func newBitstringMapper(cfg *Config, g *grid.Grid) mapreduce.Mapper {
+	local := bitstring.New(g.NumPartitions())
+	return mapreduce.MapperFuncs{
+		MapFn: func(_ *mapreduce.TaskContext, rec mapreduce.Record, _ mapreduce.Emitter) error {
+			t, err := cfg.decode(rec)
+			if err != nil {
+				return err
+			}
+			if t == nil {
+				return nil
+			}
+			if len(t) != g.Dim() {
+				return fmt.Errorf("core: tuple dimensionality %d does not match grid d=%d", len(t), g.Dim())
+			}
+			local.Set(g.Locate(t))
+			return nil
+		},
+		FlushFn: func(_ *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+			emit(nil, local.Encode())
+			return nil
+		},
+	}
+}
+
+// newBitstringReducer builds the Algorithm 2 reducer: OR the local
+// bitstrings into the global one and prune dominated partitions.
+func newBitstringReducer(g *grid.Grid, disablePruning bool) mapreduce.Reducer {
+	global := bitstring.New(g.NumPartitions())
+	return mapreduce.ReducerFuncs{
+		ReduceFn: func(_ *mapreduce.TaskContext, _ []byte, values [][]byte, _ mapreduce.Emitter) error {
+			for _, v := range values {
+				local, _, err := bitstring.Decode(v)
+				if err != nil {
+					return err
+				}
+				global.Or(local)
+			}
+			return nil
+		},
+		FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+			ctx.Counters.Add("bitstring.nonempty", int64(global.Count()))
+			if !disablePruning {
+				g.Prune(global)
+			}
+			ctx.Counters.Add("bitstring.surviving", int64(global.Count()))
+			emit(nil, global.Encode())
+			return nil
+		},
+	}
+}
+
+// newPPDSelectMapper builds the Section 3.3 mapper: one local occupancy
+// bitstring per candidate PPD, emitted keyed by the candidate on flush.
+func newPPDSelectMapper(cfg *Config, d int, candidates []int, grids map[int]*grid.Grid) mapreduce.Mapper {
+	locals := make(map[int]*bitstring.Bitstring, len(candidates))
+	for _, j := range candidates {
+		locals[j] = bitstring.New(grids[j].NumPartitions())
+	}
+	return mapreduce.MapperFuncs{
+		MapFn: func(_ *mapreduce.TaskContext, rec mapreduce.Record, _ mapreduce.Emitter) error {
+			t, err := cfg.decode(rec)
+			if err != nil {
+				return err
+			}
+			if t == nil {
+				return nil
+			}
+			if len(t) != d {
+				return fmt.Errorf("core: tuple dimensionality %d, want %d", len(t), d)
+			}
+			for _, j := range candidates {
+				locals[j].Set(grids[j].Locate(t))
+			}
+			return nil
+		},
+		FlushFn: func(_ *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+			for _, j := range candidates {
+				emit(encodeKey(j), locals[j].Encode())
+			}
+			return nil
+		},
+	}
+}
+
+// newPPDSelectReducer builds the Section 3.3 reducer: merge each
+// candidate's bitstrings, count ρ, pick the candidate minimizing
+// |c/ρ − c/j^d|, prune the winner and emit uvarint(best) ++ bitstring.
+func newPPDSelectReducer(card int, candidates []int, grids map[int]*grid.Grid, disablePruning bool) mapreduce.Reducer {
+	merged := make(map[int]*bitstring.Bitstring, len(candidates))
+	return mapreduce.ReducerFuncs{
+		ReduceFn: func(_ *mapreduce.TaskContext, key []byte, values [][]byte, _ mapreduce.Emitter) error {
+			j, err := decodeKey(key)
+			if err != nil {
+				return err
+			}
+			g, ok := grids[j]
+			if !ok {
+				return fmt.Errorf("core: unexpected PPD candidate %d", j)
+			}
+			global := bitstring.New(g.NumPartitions())
+			for _, v := range values {
+				local, _, err := bitstring.Decode(v)
+				if err != nil {
+					return err
+				}
+				global.Or(local)
+			}
+			merged[j] = global
+			return nil
+		},
+		FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+			d := grids[candidates[0]].Dim()
+			rho := make(map[int]int, len(merged))
+			for j, bs := range merged {
+				rho[j] = bs.Count()
+			}
+			best := grid.ChoosePPD(card, d, rho)
+			bs, ok := merged[best]
+			if !ok {
+				// No input at all: fall back to an empty PPD-2 grid.
+				best = candidates[0]
+				bs = bitstring.New(grids[best].NumPartitions())
+			}
+			ctx.Counters.Add("bitstring.nonempty", int64(bs.Count()))
+			if !disablePruning {
+				grids[best].Prune(bs)
+			}
+			ctx.Counters.Add("bitstring.surviving", int64(bs.Count()))
+			payload := binary.AppendUvarint(nil, uint64(best))
+			payload = bs.AppendEncode(payload)
+			emit(nil, payload)
+			return nil
+		},
+	}
 }
 
 // ppdCandidates returns the candidate PPD series of Section 3.3 — the
@@ -173,84 +265,13 @@ func ChoosePPDAndBitstring(cfg *Config, d, card int, input mapreduce.Input, disa
 		NumMappers:  cfg.mappers(),
 		NumReducers: 1,
 		MaxAttempts: cfg.MaxAttempts,
-		NewMapper: func() mapreduce.Mapper {
-			locals := make(map[int]*bitstring.Bitstring, len(candidates))
-			for _, j := range candidates {
-				locals[j] = bitstring.New(grids[j].NumPartitions())
-			}
-			return mapreduce.MapperFuncs{
-				MapFn: func(_ *mapreduce.TaskContext, rec mapreduce.Record, _ mapreduce.Emitter) error {
-					t, err := cfg.decode(rec)
-					if err != nil {
-						return err
-					}
-					if t == nil {
-						return nil
-					}
-					if len(t) != d {
-						return fmt.Errorf("core: tuple dimensionality %d, want %d", len(t), d)
-					}
-					for _, j := range candidates {
-						locals[j].Set(grids[j].Locate(t))
-					}
-					return nil
-				},
-				FlushFn: func(_ *mapreduce.TaskContext, emit mapreduce.Emitter) error {
-					for _, j := range candidates {
-						emit(encodeKey(j), locals[j].Encode())
-					}
-					return nil
-				},
-			}
-		},
-		NewReducer: func() mapreduce.Reducer {
-			merged := make(map[int]*bitstring.Bitstring, len(candidates))
-			return mapreduce.ReducerFuncs{
-				ReduceFn: func(_ *mapreduce.TaskContext, key []byte, values [][]byte, _ mapreduce.Emitter) error {
-					j, err := decodeKey(key)
-					if err != nil {
-						return err
-					}
-					g, ok := grids[j]
-					if !ok {
-						return fmt.Errorf("core: unexpected PPD candidate %d", j)
-					}
-					global := bitstring.New(g.NumPartitions())
-					for _, v := range values {
-						local, _, err := bitstring.Decode(v)
-						if err != nil {
-							return err
-						}
-						global.Or(local)
-					}
-					merged[j] = global
-					return nil
-				},
-				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
-					rho := make(map[int]int, len(merged))
-					for j, bs := range merged {
-						rho[j] = bs.Count()
-					}
-					best := grid.ChoosePPD(card, d, rho)
-					bs, ok := merged[best]
-					if !ok {
-						// No input at all: fall back to an empty PPD-2 grid.
-						best = candidates[0]
-						bs = bitstring.New(grids[best].NumPartitions())
-					}
-					ctx.Counters.Add("bitstring.nonempty", int64(bs.Count()))
-					if !disablePruning {
-						grids[best].Prune(bs)
-					}
-					ctx.Counters.Add("bitstring.surviving", int64(bs.Count()))
-					payload := binary.AppendUvarint(nil, uint64(best))
-					payload = bs.AppendEncode(payload)
-					emit(nil, payload)
-					return nil
-				},
-			}
-		},
+		NewMapper:   func() mapreduce.Mapper { return newPPDSelectMapper(cfg, d, candidates, grids) },
+		NewReducer:  func() mapreduce.Reducer { return newPPDSelectReducer(card, candidates, grids, disablePruning) },
 	}
+	cfg.markKind(job, KindPPDSelect, ppdSelectSpec{
+		D: d, Card: card, Lo: cfg.Lo, Hi: cfg.Hi,
+		Candidates: candidates, DisablePruning: disablePruning,
+	})
 	doneExch := cfg.Engine.WallTracer().Timed(obs.DriverTrack, "bitstring-exchange", obs.CatAlgo, "algo.bitstring_exchange.ns")
 	res, err := cfg.Engine.RunContext(cfg.ctx(), job)
 	doneExch()

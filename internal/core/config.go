@@ -15,10 +15,12 @@ import (
 // Config parametrizes the grid-partitioning skyline algorithms. The zero
 // value of every optional field selects the paper's default behaviour.
 type Config struct {
-	// Engine executes the MapReduce jobs; required.
-	Engine *mapreduce.Engine
+	// Engine executes the MapReduce jobs; required. Any
+	// mapreduce.Executor works: the in-process *mapreduce.Engine (the
+	// default everywhere) or rpcexec's multi-process backend.
+	Engine mapreduce.Executor
 	// Ctx, when non-nil, bounds every job of the run: it flows into
-	// mapreduce.Engine.RunContext, so a deadline or cancellation aborts
+	// Executor.RunContext, so a deadline or cancellation aborts
 	// queued admission waits and stops task placement. Nil means
 	// context.Background().
 	Ctx context.Context
@@ -148,14 +150,14 @@ func (c *Config) mappers() int {
 	if c.NumMappers > 0 {
 		return c.NumMappers
 	}
-	return c.Engine.Cluster().TotalSlots()
+	return c.Engine.TotalSlots()
 }
 
 func (c *Config) reducers() int {
 	if c.NumReducers > 0 {
 		return c.NumReducers
 	}
-	return len(c.Engine.Cluster().Nodes())
+	return c.Engine.NumNodes()
 }
 
 // Stats reports what one algorithm run did: grid shape, pruning

@@ -313,7 +313,7 @@ func TestFaultToleranceEndToEnd(t *testing.T) {
 	cfg := testConfig(t, 4, 2)
 	cfg.PPD = 3
 	cfg.NumReducers = 3
-	cfg.Engine.FaultInjector = func(phase mapreduce.Phase, taskID, attempt int) error {
+	cfg.Engine.(*mapreduce.Engine).FaultInjector = func(phase mapreduce.Phase, taskID, attempt int) error {
 		if attempt == 1 {
 			return fmt.Errorf("injected %v-%d failure", phase, taskID)
 		}

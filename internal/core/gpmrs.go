@@ -62,19 +62,11 @@ func gpmrsRun(cfg Config, input mapreduce.Input, prep *BitstringResult, start ti
 		NumReducers: r,
 		MaxAttempts: cfg.MaxAttempts,
 		Cache:       mapreduce.Cache{cacheKeyBitstring: bs.Encode()},
-		// Bucket IDs are dense in [0, min(r, groups)), so identity routing
-		// sends bucket b to reduce task b (Algorithm 8's "i % r" with the
-		// merge step already applied).
-		Partition: func(key []byte, r int) int {
-			b, err := decodeKey(key)
-			if err != nil || b < 0 {
-				return 0
-			}
-			return b % r
-		},
-		NewMapper:  func() mapreduce.Mapper { return newGPMRSMapper(&cfg, g) },
-		NewReducer: func() mapreduce.Reducer { return newGPMRSReducer(&cfg, g) },
+		Partition:   gpmrsPartition,
+		NewMapper:   func() mapreduce.Mapper { return newGPMRSMapper(&cfg, g) },
+		NewReducer:  func() mapreduce.Reducer { return newGPMRSReducer(&cfg, g) },
 	}
+	cfg.markKind(job, KindGPMRS, skySpec{Grid: gridSpecOf(g), Kernel: int(cfg.Kernel), Merge: int(cfg.Merge)})
 	res, err := cfg.Engine.RunContext(cfg.ctx(), job)
 	if err != nil {
 		return nil, nil, err
@@ -85,6 +77,18 @@ func gpmrsRun(cfg Config, input mapreduce.Input, prep *BitstringResult, start ti
 	}
 	finishStats(stats, prep, res, sky, skyStart, start)
 	return sky, stats, nil
+}
+
+// gpmrsPartition routes merged-group bucket IDs to reduce tasks. Bucket
+// IDs are dense in [0, min(r, groups)), so identity routing sends bucket b
+// to reduce task b (Algorithm 8's "i % r" with the merge step already
+// applied).
+func gpmrsPartition(key []byte, r int) int {
+	b, err := decodeKey(key)
+	if err != nil || b < 0 {
+		return 0
+	}
+	return b % r
 }
 
 // newGPMRSMapper implements Algorithm 8: the local phase of Algorithm 3

@@ -58,56 +58,9 @@ func gpsrsRun(cfg Config, input mapreduce.Input, prep *BitstringResult, start ti
 		MaxAttempts: cfg.MaxAttempts,
 		Cache:       mapreduce.Cache{cacheKeyBitstring: bs.Encode()},
 		NewMapper:   func() mapreduce.Mapper { return newGPMapper(&cfg, g) },
-		NewReducer: func() mapreduce.Reducer {
-			// Algorithm 6. State: the merged per-partition columnar windows.
-			var (
-				merged = make(winMap)
-				cnt    skyline.Count
-			)
-			return mapreduce.ReducerFuncs{
-				ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, _ mapreduce.Emitter) error {
-					// One key per partition; values are the mappers' local
-					// windows for it (lines 1–6).
-					p, err := decodeKey(key)
-					if err != nil {
-						return err
-					}
-					if p < 0 || p >= g.NumPartitions() {
-						return fmt.Errorf("core: partition key %d out of range", p)
-					}
-					w := merged.window(p, g.Dim(), ctx.Trace.Metrics())
-					for _, v := range values {
-						l, _, err := tuple.DecodeList(v)
-						if err != nil {
-							return err
-						}
-						for _, t := range l {
-							w.Insert(t, &cnt)
-						}
-					}
-					return nil
-				},
-				FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
-					// Lines 7–8: eliminate cross-partition false positives,
-					// then output the union (line 9).
-					doneMerge := ctx.Trace.Timed(ctx.Track, "merge", obs.CatAlgo, "algo.merge.ns")
-					var partCmp int64
-					comparePartitions(merged, g, &cnt, &partCmp)
-					doneMerge()
-					ctx.Counters.SetMax(counterPartCmpReduceMax, partCmp)
-					ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
-					var scratch []byte
-					for _, p := range merged.sortedPartitions() {
-						for _, t := range merged[p].Rows() {
-							scratch = tuple.AppendEncode(scratch[:0], t)
-							emit(nil, scratch)
-						}
-					}
-					return nil
-				},
-			}
-		},
+		NewReducer:  func() mapreduce.Reducer { return newGPSRSReducer(g) },
 	}
+	cfg.markKind(job, KindGPSRS, skySpec{Grid: gridSpecOf(g), Kernel: int(cfg.Kernel)})
 	res, err := cfg.Engine.RunContext(cfg.ctx(), job)
 	if err != nil {
 		return nil, nil, err
@@ -118,6 +71,57 @@ func gpsrsRun(cfg Config, input mapreduce.Input, prep *BitstringResult, start ti
 	}
 	finishStats(stats, prep, res, sky, skyStart, start)
 	return sky, stats, nil
+}
+
+// newGPSRSReducer builds the single reducer of MR-GPSRS (Algorithm 6).
+// State: the merged per-partition columnar windows.
+func newGPSRSReducer(g *grid.Grid) mapreduce.Reducer {
+	var (
+		merged = make(winMap)
+		cnt    skyline.Count
+	)
+	return mapreduce.ReducerFuncs{
+		ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, _ mapreduce.Emitter) error {
+			// One key per partition; values are the mappers' local
+			// windows for it (lines 1–6).
+			p, err := decodeKey(key)
+			if err != nil {
+				return err
+			}
+			if p < 0 || p >= g.NumPartitions() {
+				return fmt.Errorf("core: partition key %d out of range", p)
+			}
+			w := merged.window(p, g.Dim(), ctx.Trace.Metrics())
+			for _, v := range values {
+				l, _, err := tuple.DecodeList(v)
+				if err != nil {
+					return err
+				}
+				for _, t := range l {
+					w.Insert(t, &cnt)
+				}
+			}
+			return nil
+		},
+		FlushFn: func(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
+			// Lines 7–8: eliminate cross-partition false positives,
+			// then output the union (line 9).
+			doneMerge := ctx.Trace.Timed(ctx.Track, "merge", obs.CatAlgo, "algo.merge.ns")
+			var partCmp int64
+			comparePartitions(merged, g, &cnt, &partCmp)
+			doneMerge()
+			ctx.Counters.SetMax(counterPartCmpReduceMax, partCmp)
+			ctx.Counters.Add(counterDominanceTests, cnt.DominanceTests)
+			var scratch []byte
+			for _, p := range merged.sortedPartitions() {
+				for _, t := range merged[p].Rows() {
+					scratch = tuple.AppendEncode(scratch[:0], t)
+					emit(nil, scratch)
+				}
+			}
+			return nil
+		},
+	}
 }
 
 // newGPMapper wires localState into the Mapper contract for GPSRS

@@ -30,7 +30,7 @@ func TestFromDFSEndToEnd(t *testing.T) {
 	fsys, err := dfs.New(dfs.Config{
 		BlockSize:   2048, // many blocks → many splits → real healing at work
 		Replication: 2,
-		Nodes:       cfg.Engine.Cluster().Nodes(),
+		Nodes:       cfg.Engine.(*mapreduce.Engine).Cluster().Nodes(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -78,7 +78,7 @@ func TestFromDFSEndToEnd(t *testing.T) {
 // blank lines flowing through the engine.
 func TestFromDFSWithComments(t *testing.T) {
 	cfg := testConfig(t, 2, 1)
-	fsys, err := dfs.New(dfs.Config{BlockSize: 16, Replication: 1, Nodes: cfg.Engine.Cluster().Nodes()})
+	fsys, err := dfs.New(dfs.Config{BlockSize: 16, Replication: 1, Nodes: cfg.Engine.(*mapreduce.Engine).Cluster().Nodes()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestFromDFSWithComments(t *testing.T) {
 // a job error rather than being silently dropped.
 func TestFromDFSBadRecordFails(t *testing.T) {
 	cfg := testConfig(t, 2, 1)
-	fsys, _ := dfs.New(dfs.Config{BlockSize: 64, Replication: 1, Nodes: cfg.Engine.Cluster().Nodes()})
+	fsys, _ := dfs.New(dfs.Config{BlockSize: 64, Replication: 1, Nodes: cfg.Engine.(*mapreduce.Engine).Cluster().Nodes()})
 	fsys.WriteFile("bad.csv", []byte("0.1,0.2\nnot,numbers,here\n"))
 	cfg.DecodeRecord = core.CSVRecordDecoder(2)
 	cfg.PPD = 2

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mrskyline/internal/grid"
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/skyline"
+)
+
+// Every core job's task functions are pure functions of a small
+// serializable parameter set: the grid is rebuilt from (d, ppd, bounds),
+// the global bitstring travels in the distributed cache, and GPMRS group
+// structure is recomputed in-task from that bitstring. The kinds
+// registered here let rpcexec worker processes reconstruct the exact
+// mapper/reducer closures the driver built, which is what makes
+// process-executor output byte-identical to the in-process engine's. Jobs
+// configured with a custom DecodeRecord are not stamped with a kind (a Go
+// function cannot be serialized), so they stay in-process-only.
+
+// Job kinds registered by this package.
+const (
+	KindBitstringGen = "core/bitstring-gen"
+	KindPPDSelect    = "core/ppd-select"
+	KindGPSRS        = "core/gpsrs"
+	KindGPMRS        = "core/gpmrs"
+)
+
+func init() {
+	mapreduce.RegisterKind(KindBitstringGen, buildBitstringKind)
+	mapreduce.RegisterKind(KindPPDSelect, buildPPDSelectKind)
+	mapreduce.RegisterKind(KindGPSRS, buildGPSRSKind)
+	mapreduce.RegisterKind(KindGPMRS, buildGPMRSKind)
+}
+
+// gridSpec is a grid flattened to its construction parameters.
+type gridSpec struct {
+	D   int       `json:"d"`
+	PPD int       `json:"ppd"`
+	Lo  []float64 `json:"lo"`
+	Hi  []float64 `json:"hi"`
+}
+
+func gridSpecOf(g *grid.Grid) gridSpec {
+	return gridSpec{D: g.Dim(), PPD: g.PPD(), Lo: g.Lo(), Hi: g.Hi()}
+}
+
+func (s gridSpec) build() (*grid.Grid, error) {
+	return grid.NewWithBounds(s.D, s.PPD, s.Lo, s.Hi)
+}
+
+// skySpec parametrizes the GPSRS/GPMRS skyline jobs.
+type skySpec struct {
+	Grid   gridSpec `json:"grid"`
+	Kernel int      `json:"kernel"`
+	Merge  int      `json:"merge,omitempty"` // GPMRS only
+}
+
+// bitstringSpec parametrizes the Algorithm 1–2 bitstring job.
+type bitstringSpec struct {
+	Grid           gridSpec `json:"grid"`
+	DisablePruning bool     `json:"disablePruning,omitempty"`
+}
+
+// ppdSelectSpec parametrizes the Section 3.3 PPD-selection job.
+type ppdSelectSpec struct {
+	D              int       `json:"d"`
+	Card           int       `json:"card"`
+	Lo             []float64 `json:"lo,omitempty"`
+	Hi             []float64 `json:"hi,omitempty"`
+	Candidates     []int     `json:"candidates"`
+	DisablePruning bool      `json:"disablePruning,omitempty"`
+}
+
+// markKind stamps a job with its kind and serialized spec when the job is
+// reconstructible out of process — i.e. when records are decoded with the
+// default binary tuple codec. A custom DecodeRecord closure cannot cross a
+// process boundary, so such jobs keep an empty Kind and the process
+// executor rejects them with a clear error.
+func (c *Config) markKind(job *mapreduce.Job, kind string, spec any) {
+	if c.DecodeRecord != nil {
+		return
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		panic(fmt.Sprintf("core: marshalling %s spec: %v", kind, err)) // specs are plain data; cannot fail
+	}
+	job.Kind, job.Spec = kind, b
+}
+
+func buildGPSRSKind(spec []byte) (*mapreduce.JobFuncs, error) {
+	var s skySpec
+	if err := json.Unmarshal(spec, &s); err != nil {
+		return nil, fmt.Errorf("core: gpsrs spec: %w", err)
+	}
+	g, err := s.Grid.build()
+	if err != nil {
+		return nil, err
+	}
+	cfg := &Config{Kernel: skyline.Kernel(s.Kernel)}
+	return &mapreduce.JobFuncs{
+		NewMapper:  func() mapreduce.Mapper { return newGPMapper(cfg, g) },
+		NewReducer: func() mapreduce.Reducer { return newGPSRSReducer(g) },
+	}, nil
+}
+
+func buildGPMRSKind(spec []byte) (*mapreduce.JobFuncs, error) {
+	var s skySpec
+	if err := json.Unmarshal(spec, &s); err != nil {
+		return nil, fmt.Errorf("core: gpmrs spec: %w", err)
+	}
+	g, err := s.Grid.build()
+	if err != nil {
+		return nil, err
+	}
+	cfg := &Config{Kernel: skyline.Kernel(s.Kernel), Merge: grid.MergeStrategy(s.Merge)}
+	return &mapreduce.JobFuncs{
+		NewMapper:  func() mapreduce.Mapper { return newGPMRSMapper(cfg, g) },
+		NewReducer: func() mapreduce.Reducer { return newGPMRSReducer(cfg, g) },
+		Partition:  gpmrsPartition,
+	}, nil
+}
+
+func buildBitstringKind(spec []byte) (*mapreduce.JobFuncs, error) {
+	var s bitstringSpec
+	if err := json.Unmarshal(spec, &s); err != nil {
+		return nil, fmt.Errorf("core: bitstring spec: %w", err)
+	}
+	g, err := s.Grid.build()
+	if err != nil {
+		return nil, err
+	}
+	cfg := &Config{}
+	return &mapreduce.JobFuncs{
+		NewMapper:  func() mapreduce.Mapper { return newBitstringMapper(cfg, g) },
+		NewReducer: func() mapreduce.Reducer { return newBitstringReducer(g, s.DisablePruning) },
+	}, nil
+}
+
+func buildPPDSelectKind(spec []byte) (*mapreduce.JobFuncs, error) {
+	var s ppdSelectSpec
+	if err := json.Unmarshal(spec, &s); err != nil {
+		return nil, fmt.Errorf("core: ppd-select spec: %w", err)
+	}
+	cfg := &Config{Lo: s.Lo, Hi: s.Hi}
+	grids := make(map[int]*grid.Grid, len(s.Candidates))
+	for _, j := range s.Candidates {
+		g, err := cfg.newGrid(s.D, j)
+		if err != nil {
+			return nil, fmt.Errorf("core: ppd-select candidate %d: %w", j, err)
+		}
+		grids[j] = g
+	}
+	return &mapreduce.JobFuncs{
+		NewMapper:  func() mapreduce.Mapper { return newPPDSelectMapper(cfg, s.D, s.Candidates, grids) },
+		NewReducer: func() mapreduce.Reducer { return newPPDSelectReducer(s.Card, s.Candidates, grids, s.DisablePruning) },
+	}, nil
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"mrskyline/internal/baseline"
+	"mrskyline/internal/cluster"
+	"mrskyline/internal/core"
+	"mrskyline/internal/datagen"
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/obs"
+	"mrskyline/internal/rpcexec"
+	"mrskyline/internal/tuple"
+)
+
+// ExecBenchConfig shapes the executor-backend comparison bench.
+type ExecBenchConfig struct {
+	// Workers is the worker-process count of the process backend; the
+	// in-process engine runs on a matching Workers×1 simulated cluster so
+	// both backends see the same task layout. Defaults to 4.
+	Workers int
+	// Card and Dim shape the workload; defaults are the scaled paper
+	// workload (anti-correlated, 4000 × 4d).
+	Card int
+	Dim  int
+	// Seed makes data generation deterministic; defaults to 1.
+	Seed int64
+	// TraceDir, when set, makes worker processes write Chrome traces there.
+	TraceDir string
+	// Trace, when set, is used as the master-side tracer (spans plus the
+	// rpc.* metrics the record reports); otherwise a private one is used.
+	Trace *obs.Tracer
+}
+
+func (c ExecBenchConfig) withDefaults() ExecBenchConfig {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Card == 0 {
+		c.Card = 4000
+	}
+	if c.Dim == 0 {
+		c.Dim = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ExecAlgoResult compares one algorithm across the two backends.
+type ExecAlgoResult struct {
+	Algorithm string `json:"algorithm"`
+	// InprocSec / ProcessSec are host wall-clock seconds per backend.
+	InprocSec  float64 `json:"inproc_seconds"`
+	ProcessSec float64 `json:"process_seconds"`
+	// SkylineSize and OutputBytes describe the (identical) result.
+	SkylineSize int  `json:"skyline_size"`
+	OutputBytes int  `json:"output_bytes"`
+	Identical   bool `json:"identical"`
+	// ShuffleBytes is the reducer-payload volume (same counter on both
+	// backends, so it must agree).
+	InprocShuffleBytes  int64 `json:"inproc_shuffle_bytes"`
+	ProcessShuffleBytes int64 `json:"process_shuffle_bytes"`
+}
+
+// ExecBenchRecord is the BENCH_executor.json payload: the in-process
+// engine and the rpcexec multi-process backend measured on the same paper
+// workload, with the process backend's RPC telemetry.
+type ExecBenchRecord struct {
+	Workers      int    `json:"workers"`
+	Card         int    `json:"card"`
+	Dim          int    `json:"dim"`
+	Seed         int64  `json:"seed"`
+	Distribution string `json:"distribution"`
+
+	Algorithms []ExecAlgoResult `json:"algorithms"`
+
+	// RPC telemetry of the process backend across all runs.
+	WireShuffleBytes int64 `json:"wire_shuffle_bytes"`
+	LeasesGranted    int64 `json:"leases_granted"`
+	LeasesExpired    int64 `json:"leases_expired"`
+	WorkerDeaths     int64 `json:"worker_deaths"`
+	HeartbeatRTTP50  int64 `json:"heartbeat_rtt_p50_ns"`
+}
+
+// execBenchAlgo is one algorithm of the comparison, parameterized over the
+// executor backend.
+type execBenchAlgo struct {
+	name string
+	run  func(exec mapreduce.Executor, workers int, data tupleList) (tuple.List, int64, error)
+}
+
+func execBenchAlgos() []execBenchAlgo {
+	coreRun := func(f func(core.Config, tuple.List) (tuple.List, *core.Stats, error)) func(mapreduce.Executor, int, tupleList) (tuple.List, int64, error) {
+		return func(exec mapreduce.Executor, workers int, data tupleList) (tuple.List, int64, error) {
+			cfg := core.Config{Engine: exec, NumMappers: workers, NumReducers: workers}
+			sky, st, err := f(cfg, data)
+			if err != nil {
+				return nil, 0, err
+			}
+			return sky, st.ShuffleBytes, nil
+		}
+	}
+	return []execBenchAlgo{
+		{AlgoGPSRS, coreRun(core.GPSRS)},
+		{AlgoGPMRS, coreRun(core.GPMRS)},
+		{AlgoBNL, func(exec mapreduce.Executor, workers int, data tupleList) (tuple.List, int64, error) {
+			cfg := baseline.Config{Engine: exec, NumMappers: workers}
+			sky, st, err := baseline.MRBNL(cfg, data)
+			if err != nil {
+				return nil, 0, err
+			}
+			return sky, st.ShuffleBytes, nil
+		}},
+	}
+}
+
+// RunExecutorBench measures MR-GPSRS, MR-GPMRS and MR-BNL on the
+// in-process engine and on the multi-process rpcexec backend, asserting
+// byte-identical skylines — the determinism contract of DESIGN.md §12 —
+// and reporting per-backend wall times plus the process backend's RPC
+// telemetry. Map and reduce task counts are pinned to the worker count on
+// both backends so the task layouts coincide.
+func RunExecutorBench(cfg ExecBenchConfig) (*ExecBenchRecord, error) {
+	cfg = cfg.withDefaults()
+	data := datagen.Generate(datagen.AntiCorrelated, cfg.Card, cfg.Dim, cfg.Seed)
+
+	// In-process backend: Workers nodes × 1 slot, wall-clock (no SimConfig),
+	// matching the process backend's one-task-per-worker concurrency.
+	cl, err := cluster.Uniform(cfg.Workers, 1)
+	if err != nil {
+		return nil, err
+	}
+	eng := mapreduce.NewEngine(cl)
+
+	tr := cfg.Trace
+	if tr == nil {
+		tr = obs.New()
+	}
+	pe, err := rpcexec.New(rpcexec.Config{Workers: cfg.Workers, Trace: tr, TraceDir: cfg.TraceDir})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: starting process executor: %w", err)
+	}
+	defer pe.Close()
+
+	rec := &ExecBenchRecord{
+		Workers:      cfg.Workers,
+		Card:         cfg.Card,
+		Dim:          cfg.Dim,
+		Seed:         cfg.Seed,
+		Distribution: "anticorrelated",
+	}
+	for _, a := range execBenchAlgos() {
+		start := time.Now()
+		skyIn, shufIn, err := a.run(eng, cfg.Workers, data)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on in-process engine: %w", a.name, err)
+		}
+		inSec := time.Since(start).Seconds()
+
+		start = time.Now()
+		skyProc, shufProc, err := a.run(pe, cfg.Workers, data)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on process executor: %w", a.name, err)
+		}
+		procSec := time.Since(start).Seconds()
+
+		encIn, encProc := tuple.EncodeList(skyIn), tuple.EncodeList(skyProc)
+		identical := bytes.Equal(encIn, encProc)
+		rec.Algorithms = append(rec.Algorithms, ExecAlgoResult{
+			Algorithm:           a.name,
+			InprocSec:           inSec,
+			ProcessSec:          procSec,
+			SkylineSize:         len(skyIn),
+			OutputBytes:         len(encIn),
+			Identical:           identical,
+			InprocShuffleBytes:  shufIn,
+			ProcessShuffleBytes: shufProc,
+		})
+		if !identical {
+			return rec, fmt.Errorf("experiments: %s output differs between backends (%d vs %d tuples)", a.name, len(skyIn), len(skyProc))
+		}
+	}
+
+	snap := tr.Metrics().Snapshot()
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "rpc.shuffle.wire.bytes":
+			rec.WireShuffleBytes = c.Value
+		case "rpc.lease.granted":
+			rec.LeasesGranted = c.Value
+		case "rpc.lease.expired":
+			rec.LeasesExpired = c.Value
+		case "rpc.worker.deaths":
+			rec.WorkerDeaths = c.Value
+		}
+	}
+	for _, h := range snap.Histograms {
+		if h.Name == "rpc.heartbeat.rtt.ns" {
+			rec.HeartbeatRTTP50 = h.P50
+		}
+	}
+	return rec, nil
+}
+
+// WriteExecBenchJSON writes rec as indented JSON to path.
+func WriteExecBenchJSON(path string, rec *ExecBenchRecord) error {
+	return writeJSONFile(path, rec)
+}

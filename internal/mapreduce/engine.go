@@ -55,6 +55,14 @@ type Job struct {
 	// NewCombiner, when non-nil, constructs a map-side combiner per map
 	// task; see Combiner.
 	NewCombiner func() Combiner
+	// Kind and Spec, when set, make the job executable out of process: Kind
+	// names a builder registered with RegisterKind and Spec is the builder's
+	// serialized parameters, from which worker processes reconstruct the
+	// mapper/reducer/combiner/partition functions. The in-process engine
+	// ignores both and always runs the closures above; process backends
+	// reject jobs whose Kind is empty or unregistered.
+	Kind string
+	Spec []byte
 	// Cache is the distributed cache content shipped to every task.
 	Cache Cache
 	// MaxAttempts bounds per-task attempts (default 3, mirroring Hadoop's

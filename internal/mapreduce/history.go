@@ -57,6 +57,11 @@ func (h *History) add(r TaskRecord) {
 	h.mu.Unlock()
 }
 
+// Append records one attempt. Execution backends outside this package
+// (internal/rpcexec's master) report remote task attempts through it; the
+// in-process engine uses the same path internally.
+func (h *History) Append(r TaskRecord) { h.add(r) }
+
 // Records returns all attempts ordered by phase, task id, then attempt.
 func (h *History) Records() []TaskRecord {
 	if h == nil {

@@ -1,0 +1,418 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Jobs built in the driver close over live Go state (grids, bitstrings,
+// configuration), which cannot cross a process boundary. The kind registry
+// is the bridge: a job that sets Job.Kind and Job.Spec names a registered
+// builder that reconstructs its Mapper/Reducer/Combiner/Partition functions
+// from the spec bytes alone. Worker processes link the same binary, so a
+// kind registered in an init() on the driver is registered in the worker
+// too; everything else the tasks need travels in the job's distributed
+// cache. The in-process Engine ignores Kind entirely — it always uses the
+// closures — so registering a kind never changes in-process behaviour, and
+// the two paths stay byte-for-byte comparable.
+
+// JobFuncs is the executable half of a job, reconstructed from a spec by a
+// registered kind builder. NewCombiner and Partition may be nil (no
+// combiner; hash partitioning).
+type JobFuncs struct {
+	NewMapper   func() Mapper
+	NewReducer  func() Reducer
+	NewCombiner func() Combiner
+	Partition   PartitionFunc
+}
+
+// KindBuilder reconstructs a job's functions from its serialized spec.
+type KindBuilder func(spec []byte) (*JobFuncs, error)
+
+var (
+	kindMu    sync.RWMutex
+	kindTable = make(map[string]KindBuilder)
+)
+
+// RegisterKind makes a job kind available for out-of-process execution.
+// Call from an init() so driver and worker binaries agree; registering the
+// same name twice panics.
+func RegisterKind(name string, b KindBuilder) {
+	if name == "" || b == nil {
+		panic("mapreduce: RegisterKind with empty name or nil builder")
+	}
+	kindMu.Lock()
+	defer kindMu.Unlock()
+	if _, dup := kindTable[name]; dup {
+		panic(fmt.Sprintf("mapreduce: job kind %q registered twice", name))
+	}
+	kindTable[name] = b
+}
+
+// BuildKind reconstructs the functions of a registered kind.
+func BuildKind(name string, spec []byte) (*JobFuncs, error) {
+	kindMu.RLock()
+	b, ok := kindTable[name]
+	kindMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("mapreduce: job kind %q not registered in this binary", name)
+	}
+	return b(spec)
+}
+
+// KindRegistered reports whether the kind is available in this binary.
+func KindRegistered(name string) bool {
+	kindMu.RLock()
+	defer kindMu.RUnlock()
+	_, ok := kindTable[name]
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Wire framing
+
+// Records and shuffle segments cross the wire in one flat framing:
+// per record uvarint(keyLen), key bytes, uvarint(valueLen), value bytes.
+// Decoding rebuilds the engine's arena representation, so grouping and
+// value order on the remote path are byte-identical to the in-process
+// shuffle.
+
+// AppendRecord appends one framed record to dst.
+func AppendRecord(dst, key, value []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	dst = binary.AppendUvarint(dst, uint64(len(value)))
+	dst = append(dst, value...)
+	return dst
+}
+
+// EncodeRecords frames a record slice.
+func EncodeRecords(recs []Record) []byte {
+	var out []byte
+	for _, r := range recs {
+		out = AppendRecord(out, r.Key, r.Value)
+	}
+	return out
+}
+
+// DecodeRecords parses a framed record stream. Zero-length keys and values
+// decode as nil, matching the arena accessors.
+func DecodeRecords(b []byte) ([]Record, error) {
+	var out []Record
+	for off := 0; off < len(b); {
+		key, n, err := readChunk(b, off)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: record %d key: %w", len(out), err)
+		}
+		off = n
+		val, n, err := readChunk(b, off)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: record %d value: %w", len(out), err)
+		}
+		off = n
+		out = append(out, Record{Key: key, Value: val})
+	}
+	return out, nil
+}
+
+// readChunk reads one uvarint-prefixed byte chunk starting at off,
+// returning the chunk (nil when empty) and the next offset.
+func readChunk(b []byte, off int) ([]byte, int, error) {
+	l, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("truncated length at offset %d", off)
+	}
+	off += n
+	if l > uint64(len(b)-off) {
+		return nil, 0, fmt.Errorf("chunk of %d bytes overruns buffer", l)
+	}
+	if l == 0 {
+		return nil, off, nil
+	}
+	end := off + int(l)
+	return b[off:end:end], end, nil
+}
+
+// encodeArena frames a shuffle segment.
+func encodeArena(a *bucketArena) []byte {
+	var out []byte
+	for i := 0; i < a.len(); i++ {
+		out = AppendRecord(out, a.key(i), a.value(i))
+	}
+	return out
+}
+
+// decodeArena rebuilds a segment arena from its framing.
+func decodeArena(b []byte) (bucketArena, error) {
+	var a bucketArena
+	for off := 0; off < len(b); {
+		key, n, err := readChunk(b, off)
+		if err != nil {
+			return bucketArena{}, fmt.Errorf("mapreduce: segment record %d key: %w", a.len(), err)
+		}
+		off = n
+		val, n, err := readChunk(b, off)
+		if err != nil {
+			return bucketArena{}, fmt.Errorf("mapreduce: segment record %d value: %w", a.len(), err)
+		}
+		off = n
+		a.add(key, val)
+	}
+	return a, nil
+}
+
+// SegmentChecksum hashes a framed segment (FNV-1a over the wire bytes) —
+// the role the arena checksums play for the in-process corruption/refetch
+// path, applied to map-output transfers between worker processes.
+func SegmentChecksum(seg []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(seg)
+	return h.Sum64()
+}
+
+// SegmentPayloadBytes returns the key+value volume of a framed segment —
+// the quantity CounterShuffleBytes counts, excluding framing overhead so
+// remote and in-process shuffle counters agree.
+func SegmentPayloadBytes(seg []byte) (int64, error) {
+	total := int64(0)
+	for off := 0; off < len(seg); {
+		for half := 0; half < 2; half++ {
+			l, n := binary.Uvarint(seg[off:])
+			if n <= 0 || l > uint64(len(seg)-off-n) {
+				return 0, fmt.Errorf("mapreduce: malformed segment at offset %d", off)
+			}
+			off += n + int(l)
+			total += int64(l)
+		}
+	}
+	return total, nil
+}
+
+// ---------------------------------------------------------------------------
+// Remote task runtime
+
+// RemoteTask carries everything a worker process needs to execute one task
+// attempt of a kind-registered job.
+type RemoteTask struct {
+	// Job is the job name (errors, history).
+	Job string
+	// Kind and Spec identify the registered builder and its parameters.
+	Kind string
+	Spec []byte
+	// Cache is the job's distributed cache.
+	Cache Cache
+	// TaskID, Attempt, NumMappers, NumReducers and Node fill the
+	// TaskContext exactly as the in-process engine would.
+	TaskID      int
+	Attempt     int
+	NumMappers  int
+	NumReducers int
+	Node        string
+}
+
+func (t *RemoteTask) taskContext() *TaskContext {
+	return &TaskContext{
+		Job:         t.Job,
+		TaskID:      t.TaskID,
+		Attempt:     t.Attempt,
+		NumMappers:  t.NumMappers,
+		NumReducers: t.NumReducers,
+		Node:        t.Node,
+		Cache:       t.Cache,
+		Counters:    NewCounters(),
+	}
+}
+
+// jobAndLayout builds the transient Job and layout shared by both remote
+// attempt runners.
+func (t *RemoteTask) jobAndLayout() (*Job, *resolvedJob, error) {
+	funcs, err := BuildKind(t.Kind, t.Spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if funcs.NewMapper == nil || funcs.NewReducer == nil {
+		return nil, nil, fmt.Errorf("mapreduce: kind %q built incomplete JobFuncs", t.Kind)
+	}
+	job := &Job{
+		Name:        t.Job,
+		NewMapper:   funcs.NewMapper,
+		NewReducer:  funcs.NewReducer,
+		NewCombiner: funcs.NewCombiner,
+		Partition:   funcs.Partition,
+		Cache:       t.Cache,
+	}
+	rj := &resolvedJob{
+		numMappers:  t.NumMappers,
+		numReducers: t.NumReducers,
+		partition:   funcs.Partition,
+	}
+	if rj.numReducers < 1 {
+		rj.numReducers = 1
+	}
+	if rj.partition == nil {
+		rj.partition = HashPartition
+	}
+	return job, rj, nil
+}
+
+// RunRemoteMap executes one map-task attempt on a worker process: the
+// framed split records are fed through the kind's Mapper (combiner
+// applied), and the per-reducer output comes back as framed segments
+// (nil for empty buckets). Counters are the attempt's task-local set; the
+// master merges them only if it accepts the attempt — the same
+// success-only rule the in-process engine applies. A panicking mapper is
+// recovered into an error, mirroring the in-process retry path.
+func RunRemoteMap(t *RemoteTask, split []byte) (segs [][]byte, counters *Counters, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			segs, counters = nil, nil
+			err = fmt.Errorf("map task %d on %s: panic: %v", t.TaskID, t.Node, p)
+		}
+	}()
+	job, rj, err := t.jobAndLayout()
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, err := DecodeRecords(split)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := t.taskContext()
+	buckets, err := attemptMap(job, rj, memorySplit(recs), ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("map task %d on %s: %w", t.TaskID, t.Node, err)
+	}
+	segs = make([][]byte, rj.numReducers)
+	for r := range buckets {
+		if buckets[r].len() > 0 {
+			segs[r] = encodeArena(&buckets[r])
+		}
+	}
+	return segs, ctx.Counters, nil
+}
+
+// RunRemoteReduce executes one reduce-task attempt on a worker process.
+// segs holds one framed segment per map task in map-task order (nil
+// entries are empty segments); preserving that order reproduces the
+// engine's (mapper index, emission order) value grouping exactly. The
+// reducer's output comes back framed.
+func RunRemoteReduce(t *RemoteTask, segs [][]byte) (output []byte, counters *Counters, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			output, counters = nil, nil
+			err = fmt.Errorf("reduce task %d on %s: panic: %v", t.TaskID, t.Node, p)
+		}
+	}()
+	job, _, err := t.jobAndLayout()
+	if err != nil {
+		return nil, nil, err
+	}
+	var in bucketArena
+	for m, seg := range segs {
+		if len(seg) == 0 {
+			continue
+		}
+		a, err := decodeArena(seg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("reduce task %d: segment from map %d: %w", t.TaskID, m, err)
+		}
+		in.absorb(&a)
+	}
+	idx := in.sortedIndex()
+	groups := in.groupRuns(idx)
+	ctx := t.taskContext()
+	out, err := attemptReduce(job, &in, idx, groups, ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reduce task %d on %s: %w", t.TaskID, t.Node, err)
+	}
+	return encodeArena(&out), ctx.Counters, nil
+}
+
+// ---------------------------------------------------------------------------
+// Counter transport
+
+// CounterDump is a Counters value flattened for the wire.
+type CounterDump struct {
+	Sums map[string]int64
+	Maxs map[string]int64
+}
+
+// Dump snapshots the counters for transport.
+func (c *Counters) Dump() CounterDump {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := CounterDump{Sums: make(map[string]int64, len(c.sums)), Maxs: make(map[string]int64, len(c.maxs))}
+	for k, v := range c.sums {
+		d.Sums[k] = v
+	}
+	for k, v := range c.maxs {
+		d.Maxs[k] = v
+	}
+	return d
+}
+
+// MergeDump folds a transported dump into c (sums add, maxes take the
+// maximum), the wire twin of Merge.
+func (c *Counters) MergeDump(d CounterDump) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range d.Sums {
+		c.sums[k] += v
+	}
+	for k, v := range d.Maxs {
+		if v > c.maxs[k] {
+			c.maxs[k] = v
+		}
+	}
+}
+
+// SplitPayloads materializes a job's input splits as framed record streams,
+// one per map task — what the master ships inside map-task leases. The
+// split layout is identical to the in-process engine's (same Input.Splits
+// call), so task counts and split contents agree across backends.
+func SplitPayloads(job *Job, defaultMappers int) ([][]byte, error) {
+	hint := job.NumMappers
+	if hint < 1 {
+		hint = defaultMappers
+	}
+	if hint < 1 {
+		hint = 1
+	}
+	if job.Input == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no input", job.Name)
+	}
+	splits, err := job.Input.Splits(hint)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: splitting input: %w", job.Name, err)
+	}
+	out := make([][]byte, len(splits))
+	for i, s := range splits {
+		var buf []byte
+		err := s.Each(func(rec Record) error {
+			buf = AppendRecord(buf, rec.Key, rec.Value)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: reading split %d: %w", job.Name, i, err)
+		}
+		out[i] = buf
+	}
+	return out, nil
+}
+
+// SortedCounterNames lists a dump's counter names (sums then maxes),
+// for deterministic logging in tests.
+func (d CounterDump) SortedCounterNames() []string {
+	names := make([]string, 0, len(d.Sums)+len(d.Maxs))
+	for k := range d.Sums {
+		names = append(names, k)
+	}
+	for k := range d.Maxs {
+		names = append(names, k+".max")
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,434 @@
+package rpcexec
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/obs"
+)
+
+// The master unit tests drive the RPC handlers directly — no processes, no
+// sockets — so every scheduling transition (fencing, expiry, death,
+// regression, failure budgets) is exercised deterministically.
+
+// newTestMaster builds a master with inert watchdog timings (the tests
+// trigger transitions explicitly) and registers n fake workers.
+func newTestMaster(t *testing.T, n int, tr *obs.Tracer) *master {
+	t.Helper()
+	cfg, err := (&Config{
+		Workers:           n,
+		LeaseTimeout:      time.Hour,
+		HeartbeatInterval: time.Hour,
+		HeartbeatTimeout:  time.Hour,
+		Trace:             tr,
+	}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := newMaster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.stop)
+	for i := 0; i < n; i++ {
+		var reply RegisterReply
+		if err := m.Register(&RegisterArgs{Addr: "127.0.0.1:0", PID: 1000 + i, Index: i}, &reply); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		if reply.WorkerID != i {
+			t.Fatalf("Register assigned id %d, want %d", reply.WorkerID, i)
+		}
+		if reply.HeartbeatEveryNs != int64(time.Hour) || reply.LeasePollEveryNs <= 0 {
+			t.Fatalf("Register reply timings = %+v", reply)
+		}
+	}
+	return m
+}
+
+// addTestJob registers a bare two-map job directly with the master.
+func addTestJob(m *master, maps, reduces, maxAttempts int) *jobState {
+	splits := make([][]byte, maps)
+	for i := range splits {
+		splits[i] = mapreduce.AppendRecord(nil, []byte("k"), []byte{byte(i)})
+	}
+	return m.addJob(&mapreduce.Job{Name: "unit", Kind: testSumKind}, splits, reduces, maxAttempts)
+}
+
+func lease(t *testing.T, m *master, worker int) *LeaseReply {
+	t.Helper()
+	var reply LeaseReply
+	if err := m.Lease(&LeaseArgs{WorkerID: worker}, &reply); err != nil {
+		t.Fatalf("Lease(worker %d): %v", worker, err)
+	}
+	return &reply
+}
+
+func mapDone(t *testing.T, m *master, l *LeaseReply, worker int, segBytes []int64) {
+	t.Helper()
+	checks := make([]uint64, len(segBytes))
+	for i, b := range segBytes {
+		if b > 0 {
+			checks[i] = uint64(100 + i)
+		}
+	}
+	err := m.MapDone(&MapDoneArgs{
+		WorkerID: worker, JobID: l.JobID, TaskID: l.TaskID, Attempt: l.Attempt,
+		Checksums: checks, Bytes: segBytes,
+	}, &Empty{})
+	if err != nil {
+		t.Fatalf("MapDone: %v", err)
+	}
+}
+
+func TestLeaseOrderingAndReduceGating(t *testing.T) {
+	m := newTestMaster(t, 2, nil)
+	j := addTestJob(m, 2, 2, 3)
+
+	l0 := lease(t, m, 0)
+	l1 := lease(t, m, 1)
+	if l0.Kind != LeaseMap || l1.Kind != LeaseMap || l0.TaskID == l1.TaskID {
+		t.Fatalf("expected two distinct map leases, got %+v and %+v", l0, l1)
+	}
+	if len(l0.Split) == 0 {
+		t.Error("map lease carries no split payload")
+	}
+	// Maps in flight: nothing else runnable, and reduces must not start.
+	if l := lease(t, m, 0); l.Kind != LeaseNone {
+		t.Fatalf("lease during map flight = %q, want none", l.Kind)
+	}
+
+	mapDone(t, m, l0, 0, []int64{4, 0}) // map → reduce 0 only
+	if l := lease(t, m, 0); l.Kind != LeaseNone {
+		t.Fatalf("reduce leased before all maps done: %+v", l)
+	}
+	mapDone(t, m, l1, 1, []int64{3, 5})
+
+	r0 := lease(t, m, 0)
+	if r0.Kind != LeaseReduce {
+		t.Fatalf("lease after maps done = %q, want reduce", r0.Kind)
+	}
+	// Sources list non-empty segments only, in map-task order.
+	var wantSources int
+	switch r0.TaskID {
+	case 0:
+		wantSources = 2
+	case 1:
+		wantSources = 1
+	}
+	if len(r0.Sources) != wantSources {
+		t.Fatalf("reduce %d sources = %+v, want %d entries", r0.TaskID, r0.Sources, wantSources)
+	}
+	for i := 1; i < len(r0.Sources); i++ {
+		if r0.Sources[i-1].MapTask >= r0.Sources[i].MapTask {
+			t.Error("sources not in map-task order")
+		}
+	}
+
+	// Finish both reduces; the job resolves cleanly.
+	r1 := lease(t, m, 1)
+	for worker, r := range map[int]*LeaseReply{0: r0, 1: r1} {
+		err := m.ReduceDone(&ReduceDoneArgs{
+			WorkerID: worker, JobID: r.JobID, TaskID: r.TaskID, Attempt: r.Attempt,
+			FetchFailedWorker: -1, Output: mapreduce.AppendRecord(nil, []byte("k"), []byte("v")),
+		}, &Empty{})
+		if err != nil {
+			t.Fatalf("ReduceDone: %v", err)
+		}
+	}
+	select {
+	case <-j.done:
+	default:
+		t.Fatal("job not finished after all reduces reported")
+	}
+	if j.err != nil {
+		t.Fatalf("job error = %v", j.err)
+	}
+}
+
+func TestLeaseExpiryRequeuesAsKilled(t *testing.T) {
+	tr := obs.New()
+	m := newTestMaster(t, 2, tr)
+	addTestJob(m, 1, 1, 3)
+
+	l := lease(t, m, 0)
+	if l.Kind != LeaseMap || l.Attempt != 1 {
+		t.Fatalf("first lease = %+v", l)
+	}
+	// Push the clock past the deadline by hand: expiry is a watchdog
+	// decision, tested here without waiting an hour.
+	m.mu.Lock()
+	m.expireLeases(time.Now().Add(2 * time.Hour))
+	m.mu.Unlock()
+
+	// The stale holder's report must be fenced off…
+	mapDone(t, m, l, 0, []int64{1})
+	// …and the re-lease goes out as attempt 2.
+	l2 := lease(t, m, 1)
+	if l2.Kind != LeaseMap || l2.Attempt != 2 {
+		t.Fatalf("post-expiry lease = %+v, want map attempt 2", l2)
+	}
+	mapDone(t, m, l2, 1, []int64{1})
+
+	j := m.jobs[l.JobID]
+	m.mu.Lock()
+	recs := j.history.Records()
+	mapsDone := j.mapsDone
+	m.mu.Unlock()
+	if mapsDone != 1 {
+		t.Fatalf("mapsDone = %d after fenced stale report + accepted report, want 1", mapsDone)
+	}
+	if len(recs) != 2 || !recs[0].Killed || !strings.Contains(recs[0].Err, "lease expired") {
+		t.Fatalf("history = %+v, want killed attempt 1 then success", recs)
+	}
+	if recs[1].Err != "" || recs[1].Killed || recs[1].Attempt != 2 {
+		t.Fatalf("second record = %+v, want clean attempt 2", recs[1])
+	}
+	if got := j.counters.Get(mapreduce.CounterTaskFailures); got != 0 {
+		t.Fatalf("CounterTaskFailures = %d, expiry must not count as failure", got)
+	}
+	expired := int64(0)
+	for _, c := range tr.Metrics().Snapshot().Counters {
+		if c.Name == "rpc.lease.expired" {
+			expired = c.Value
+		}
+	}
+	if expired != 1 {
+		t.Fatalf("rpc.lease.expired = %d, want 1", expired)
+	}
+}
+
+func TestTaskFailureBudget(t *testing.T) {
+	m := newTestMaster(t, 1, nil)
+	j := addTestJob(m, 1, 1, 2) // two strikes
+
+	for attempt := 1; attempt <= 2; attempt++ {
+		l := lease(t, m, 0)
+		if l.Attempt != attempt {
+			t.Fatalf("lease attempt = %d, want %d", l.Attempt, attempt)
+		}
+		err := m.MapDone(&MapDoneArgs{
+			WorkerID: 0, JobID: l.JobID, TaskID: l.TaskID, Attempt: l.Attempt,
+			Err: "synthetic task error",
+		}, &Empty{})
+		if err != nil {
+			t.Fatalf("MapDone: %v", err)
+		}
+	}
+	select {
+	case <-j.done:
+	default:
+		t.Fatal("job not failed after exhausting MaxAttempts")
+	}
+	if j.err == nil || !strings.Contains(j.err.Error(), "failed 2 times") {
+		t.Fatalf("job error = %v, want MaxAttempts failure", j.err)
+	}
+	if got := j.counters.Get(mapreduce.CounterTaskFailures); got != 2 {
+		t.Fatalf("CounterTaskFailures = %d, want 2", got)
+	}
+	if failed := j.history.Failed(); len(failed) != 2 {
+		t.Fatalf("history.Failed() = %d records, want 2", len(failed))
+	}
+}
+
+func TestWorkerDeathRegressesDoneMaps(t *testing.T) {
+	tr := obs.New()
+	m := newTestMaster(t, 2, tr)
+	j := addTestJob(m, 2, 1, 3)
+
+	l0 := lease(t, m, 0)
+	l1 := lease(t, m, 1)
+	mapDone(t, m, l0, 0, []int64{2})
+	mapDone(t, m, l1, 1, []int64{2})
+	r := lease(t, m, 1)
+	if r.Kind != LeaseReduce || len(r.Sources) != 2 {
+		t.Fatalf("reduce lease = %+v, want 2 sources", r)
+	}
+
+	// Worker 0 dies: its done map regresses, worker 1's reduce lease (which
+	// depends on worker 0's segment) is requeued by the fetch-failure path
+	// below — here the death alone must already regress the map.
+	m.mu.Lock()
+	m.markWorkerDead(0, "unit test")
+	mapsDone := j.mapsDone
+	m.mu.Unlock()
+	if mapsDone != 1 {
+		t.Fatalf("mapsDone = %d after output holder died, want 1", mapsDone)
+	}
+	if got := j.counters.Get(mapreduce.CounterNodeFailures); got != 1 {
+		t.Fatalf("CounterNodeFailures = %d, want 1", got)
+	}
+
+	// Dead workers lease nothing; the survivor re-runs the lost map.
+	if l := lease(t, m, 0); l.Kind != LeaseExit {
+		t.Fatalf("dead worker lease = %q, want exit", l.Kind)
+	}
+	l0b := lease(t, m, 1)
+	if l0b.Kind != LeaseMap || l0b.TaskID != l0.TaskID || l0b.Attempt != 2 {
+		t.Fatalf("regressed map re-lease = %+v, want task %d attempt 2", l0b, l0.TaskID)
+	}
+
+	deaths := int64(0)
+	for _, c := range tr.Metrics().Snapshot().Counters {
+		if c.Name == "rpc.worker.deaths" {
+			deaths = c.Value
+		}
+	}
+	if deaths != 1 {
+		t.Fatalf("rpc.worker.deaths = %d, want 1", deaths)
+	}
+
+	// Idempotent: declaring the same worker dead twice changes nothing.
+	m.mu.Lock()
+	m.markWorkerDead(0, "again")
+	m.mu.Unlock()
+	if got := j.counters.Get(mapreduce.CounterNodeFailures); got != 1 {
+		t.Fatalf("CounterNodeFailures after duplicate death = %d, want 1", got)
+	}
+}
+
+func TestReduceFetchFailureKillsServingWorker(t *testing.T) {
+	m := newTestMaster(t, 2, nil)
+	j := addTestJob(m, 1, 1, 3)
+
+	lm := lease(t, m, 0)
+	mapDone(t, m, lm, 0, []int64{2})
+	r := lease(t, m, 1)
+	if r.Kind != LeaseReduce {
+		t.Fatalf("lease = %+v, want reduce", r)
+	}
+	// Worker 1 cannot reach worker 0 mid-shuffle: the report is evidence of
+	// worker 0's death, the reduce attempt is killed (not failed), and the
+	// lost map regresses immediately — no heartbeat timeout involved.
+	err := m.ReduceDone(&ReduceDoneArgs{
+		WorkerID: 1, JobID: r.JobID, TaskID: r.TaskID, Attempt: r.Attempt,
+		Err: "fetch map 0 from worker-0: connection refused", FetchFailedWorker: 0,
+	}, &Empty{})
+	if err != nil {
+		t.Fatalf("ReduceDone: %v", err)
+	}
+	m.mu.Lock()
+	alive := m.workers[0].alive
+	mapsDone := j.mapsDone
+	m.mu.Unlock()
+	if alive {
+		t.Fatal("worker 0 still alive after fetch-failure evidence")
+	}
+	if mapsDone != 0 {
+		t.Fatalf("mapsDone = %d, want 0 (lost output regressed)", mapsDone)
+	}
+	if got := j.counters.Get(mapreduce.CounterTaskFailures); got != 0 {
+		t.Fatalf("CounterTaskFailures = %d, fetch failure must not charge the budget", got)
+	}
+	killed := 0
+	for _, rec := range j.history.Records() {
+		if rec.Killed && rec.Phase == mapreduce.PhaseReduce {
+			killed++
+		}
+	}
+	if killed != 1 {
+		t.Fatalf("killed reduce records = %d, want 1", killed)
+	}
+}
+
+func TestAllWorkersDeadFailsJobs(t *testing.T) {
+	m := newTestMaster(t, 1, nil)
+	j := addTestJob(m, 1, 1, 3)
+	lease(t, m, 0)
+	m.mu.Lock()
+	m.markWorkerDead(0, "unit test")
+	m.mu.Unlock()
+	select {
+	case <-j.done:
+	default:
+		t.Fatal("job not failed with no workers left")
+	}
+	if j.err == nil || !strings.Contains(j.err.Error(), "all workers dead") {
+		t.Fatalf("job error = %v, want 'all workers dead'", j.err)
+	}
+}
+
+func TestHeartbeatControlPlane(t *testing.T) {
+	m := newTestMaster(t, 1, nil)
+
+	var hb HeartbeatReply
+	if err := m.Heartbeat(&HeartbeatArgs{WorkerID: 7}, &hb); err == nil {
+		t.Error("heartbeat from unknown worker: want error")
+	}
+	if err := m.Heartbeat(&HeartbeatArgs{WorkerID: 0, PrevRTTNs: 1234}, &hb); err != nil || hb.Exit {
+		t.Fatalf("heartbeat = %+v, %v; want no exit", hb, err)
+	}
+
+	// A finished job's id rides the next heartbeat as a drop notice, once.
+	j := addTestJob(m, 1, 1, 3)
+	m.mu.Lock()
+	m.failJob(j, nil)
+	m.mu.Unlock()
+	if err := m.Heartbeat(&HeartbeatArgs{WorkerID: 0}, &hb); err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.DropJobs) != 1 || hb.DropJobs[0] != j.id {
+		t.Fatalf("DropJobs = %v, want [%d]", hb.DropJobs, j.id)
+	}
+	if err := m.Heartbeat(&HeartbeatArgs{WorkerID: 0}, &hb); err != nil || len(hb.DropJobs) != 0 {
+		t.Fatalf("second heartbeat DropJobs = %v, want empty", hb.DropJobs)
+	}
+
+	m.beginShutdown()
+	if err := m.Heartbeat(&HeartbeatArgs{WorkerID: 0}, &hb); err != nil || !hb.Exit {
+		t.Fatalf("heartbeat after shutdown = %+v, want Exit", hb)
+	}
+	if l := lease(t, m, 0); l.Kind != LeaseExit {
+		t.Fatalf("lease after shutdown = %q, want exit", l.Kind)
+	}
+}
+
+func TestStaleReportsAreDropped(t *testing.T) {
+	m := newTestMaster(t, 1, nil)
+	j := addTestJob(m, 1, 1, 3)
+	l := lease(t, m, 0)
+
+	// Unknown job, out-of-range task, wrong attempt: all silently dropped.
+	if err := m.MapDone(&MapDoneArgs{WorkerID: 0, JobID: 999, TaskID: 0, Attempt: 1}, &Empty{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MapDone(&MapDoneArgs{WorkerID: 0, JobID: l.JobID, TaskID: 99, Attempt: 1}, &Empty{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MapDone(&MapDoneArgs{WorkerID: 0, JobID: l.JobID, TaskID: 0, Attempt: 7}, &Empty{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReduceDone(&ReduceDoneArgs{WorkerID: 0, JobID: 999, TaskID: 0, Attempt: 1, FetchFailedWorker: -1}, &Empty{}); err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	mapsDone, recs := j.mapsDone, len(j.history.Records())
+	m.mu.Unlock()
+	if mapsDone != 0 || recs != 0 {
+		t.Fatalf("stale reports mutated state: mapsDone=%d, records=%d", mapsDone, recs)
+	}
+
+	// Cancelled jobs drop late reports too.
+	m.cancelJob(j, context.Canceled)
+	if err := m.MapDone(&MapDoneArgs{WorkerID: 0, JobID: l.JobID, TaskID: 0, Attempt: l.Attempt, Bytes: []int64{1}, Checksums: []uint64{1}}, &Empty{}); err != nil {
+		t.Fatal(err)
+	}
+	m.dropJob(j)
+	if err := m.JobInfo(&JobInfoArgs{JobID: l.JobID}, &JobInfoReply{}); err == nil {
+		t.Error("JobInfo for dropped job: want error")
+	}
+}
+
+func TestJobInfo(t *testing.T) {
+	m := newTestMaster(t, 1, nil)
+	addTestJob(m, 2, 3, 3)
+	var info JobInfoReply
+	if err := m.JobInfo(&JobInfoArgs{JobID: 1}, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "unit" || info.Kind != testSumKind || info.NumMappers != 2 || info.NumReducers != 3 {
+		t.Fatalf("JobInfo = %+v", info)
+	}
+}

@@ -1,0 +1,17 @@
+package rpcexec
+
+import "syscall"
+
+// workerSysProcAttr makes workers die with the driver: PDEATHSIG delivers
+// SIGKILL to a worker the moment its parent exits, so a crashed or killed
+// driver can never strand worker processes.
+func workerSysProcAttr() *syscall.SysProcAttr {
+	return &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+}
+
+// selfKill is the chaos hook's exit: raw SIGKILL to self, uncatchable and
+// with no deferred cleanup — indistinguishable from the OOM killer.
+func selfKill() {
+	syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+	select {} // unreachable; SIGKILL cannot be handled
+}

@@ -1,0 +1,19 @@
+//go:build !linux
+
+package rpcexec
+
+import (
+	"os"
+	"syscall"
+)
+
+// workerSysProcAttr: parent-death signals are linux-only; elsewhere worker
+// cleanup relies on Close and the heartbeat timeout.
+func workerSysProcAttr() *syscall.SysProcAttr { return nil }
+
+// selfKill terminates the process as abruptly as the platform allows.
+func selfKill() {
+	p, _ := os.FindProcess(os.Getpid())
+	p.Kill()
+	select {}
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package rpcexec
+
+// processAlive's non-unix fallback: without kill(pid, 0) there is no cheap
+// liveness probe, so the process-table assertions become no-ops.
+func processAlive(pid int) bool { return false }

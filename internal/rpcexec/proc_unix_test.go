@@ -1,0 +1,16 @@
+//go:build unix
+
+package rpcexec
+
+import (
+	"errors"
+	"syscall"
+)
+
+// processAlive reports whether pid still exists in the process table.
+// Workers are reaped by ProcExecutor the moment they exit, so a dead worker
+// never lingers as a zombie and kill(pid, 0) answers ESRCH.
+func processAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return !errors.Is(err, syscall.ESRCH)
+}

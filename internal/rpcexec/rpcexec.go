@@ -1,0 +1,253 @@
+package rpcexec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/obs"
+)
+
+// Config shapes a ProcExecutor.
+type Config struct {
+	// Workers is the number of worker processes to spawn (required, >= 1).
+	Workers int
+	// BinPath is the worker binary; defaults to os.Args[0] — the current
+	// binary re-exec'd, which is required for the kind registry to line up.
+	BinPath string
+	// LeaseTimeout bounds one task attempt before the master reclaims the
+	// lease (default 5s).
+	LeaseTimeout time.Duration
+	// HeartbeatInterval is the worker beacon period (default 50ms);
+	// HeartbeatTimeout is how stale a worker's last contact may go before
+	// the master declares it dead (default 1s).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// LeasePoll is the idle worker's lease polling period (default 2ms).
+	LeasePoll time.Duration
+	// Trace, when non-nil, receives the master's spans and rpc.* metrics.
+	Trace *obs.Tracer
+	// Chaos[i], when set, tells worker i to SIGKILL itself at a chaos
+	// event ("map", "reduce", "fetch", "serve", optionally ":n"). Tests
+	// only.
+	Chaos []string
+	// TraceDir, when set, makes each worker write its own obs Chrome trace
+	// to TraceDir/worker-<i>.trace.json on clean exit.
+	TraceDir string
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	cfg := *c
+	if cfg.Workers < 1 {
+		return cfg, errors.New("rpcexec: Config.Workers must be >= 1")
+	}
+	if cfg.BinPath == "" {
+		cfg.BinPath = os.Args[0]
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 5 * time.Second
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = time.Second
+	}
+	if cfg.LeasePoll <= 0 {
+		cfg.LeasePoll = 2 * time.Millisecond
+	}
+	if len(cfg.Chaos) > cfg.Workers {
+		return cfg, errors.New("rpcexec: more chaos specs than workers")
+	}
+	return cfg, nil
+}
+
+// ProcExecutor is the multi-process mapreduce.Executor: worker OS
+// processes driven by an in-driver master over net/rpc. Workers are
+// spawned once at New and serve every job until Close; dead workers are
+// not respawned (capacity degrades, correctness does not — the lease
+// machinery re-executes their tasks elsewhere).
+type ProcExecutor struct {
+	cfg    Config
+	m      *master
+	procs  []*exec.Cmd
+	waits  []chan error
+	closed bool
+}
+
+var _ mapreduce.Executor = (*ProcExecutor)(nil)
+
+// New starts the master and spawns cfg.Workers worker processes, waiting
+// until all have registered.
+func New(cfg Config) (*ProcExecutor, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m, err := newMaster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &ProcExecutor{cfg: cfg, m: m}
+	for i := 0; i < cfg.Workers; i++ {
+		if err := p.spawn(i); err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for m.registeredWorkers() < cfg.Workers {
+		if time.Now().After(deadline) {
+			p.Close()
+			return nil, fmt.Errorf("rpcexec: only %d/%d workers registered in time", m.registeredWorkers(), cfg.Workers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return p, nil
+}
+
+func (p *ProcExecutor) spawn(i int) error {
+	cmd := exec.Command(p.cfg.BinPath)
+	cmd.Env = append(os.Environ(),
+		workerEnvAddr+"="+p.m.addr,
+		workerEnvIndex+"="+strconv.Itoa(i),
+	)
+	if i < len(p.cfg.Chaos) && p.cfg.Chaos[i] != "" {
+		cmd.Env = append(cmd.Env, workerEnvChaos+"="+p.cfg.Chaos[i])
+	}
+	if p.cfg.TraceDir != "" {
+		path := filepath.Join(p.cfg.TraceDir, fmt.Sprintf("worker-%d.trace.json", i))
+		cmd.Env = append(cmd.Env, workerEnvTrace+"="+path)
+	}
+	cmd.Stderr = os.Stderr
+	cmd.SysProcAttr = workerSysProcAttr() // die with the driver (linux)
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("rpcexec: spawn worker %d: %w", i, err)
+	}
+	// Reap immediately on exit so chaos-killed workers never linger as
+	// zombies — the shutdown tests assert on the live process table.
+	wait := make(chan error, 1)
+	go func() { wait <- cmd.Wait() }()
+	p.procs = append(p.procs, cmd)
+	p.waits = append(p.waits, wait)
+	return nil
+}
+
+// TotalSlots implements mapreduce.Executor: each worker runs one task at a
+// time.
+func (p *ProcExecutor) TotalSlots() int { return p.cfg.Workers }
+
+// NumNodes implements mapreduce.Executor: every worker process is its own
+// failure domain.
+func (p *ProcExecutor) NumNodes() int { return p.cfg.Workers }
+
+// WallTracer implements mapreduce.Executor.
+func (p *ProcExecutor) WallTracer() *obs.Tracer { return p.cfg.Trace }
+
+// WorkerPIDs returns the spawned workers' process ids, in spawn order;
+// tests use it for process-table assertions.
+func (p *ProcExecutor) WorkerPIDs() []int {
+	pids := make([]int, len(p.procs))
+	for i, c := range p.procs {
+		pids[i] = c.Process.Pid
+	}
+	return pids
+}
+
+// RunContext implements mapreduce.Executor. The job must carry a
+// registered Kind (see mapreduce.RegisterKind); its closures never cross
+// the process boundary. Cancelling ctx abandons the job: in-flight worker
+// attempts finish and are dropped by the master's fencing, and the worker
+// processes live on to serve the next job (Close tears them down).
+func (p *ProcExecutor) RunContext(ctx context.Context, job *mapreduce.Job) (*mapreduce.Result, error) {
+	if job.Kind == "" {
+		return nil, fmt.Errorf("rpcexec: job %q has no Kind: the process executor needs a registered job kind to reconstruct its functions worker-side", job.Name)
+	}
+	if !mapreduce.KindRegistered(job.Kind) {
+		return nil, fmt.Errorf("rpcexec: job %q: kind %q is not registered in this binary", job.Name, job.Kind)
+	}
+	if job.NewMapper == nil || job.NewReducer == nil {
+		return nil, fmt.Errorf("rpcexec: job %q is missing a mapper or reducer", job.Name)
+	}
+	splits, err := mapreduce.SplitPayloads(job, p.TotalSlots())
+	if err != nil {
+		return nil, err
+	}
+	numReducers := job.NumReducers
+	if numReducers < 1 {
+		numReducers = 1
+	}
+	maxAttempts := job.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 3
+	}
+	j := p.m.addJob(job, splits, numReducers, maxAttempts)
+	select {
+	case <-ctx.Done():
+		p.m.cancelJob(j, ctx.Err())
+		<-j.done
+		p.m.dropJob(j)
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, ctx.Err())
+	case <-j.done:
+	}
+	defer p.m.dropJob(j)
+	return p.assemble(j, job.Name)
+}
+
+// assemble turns a finished jobState into a Result, mirroring the
+// in-process engine's contract: output ordered by reduce task then
+// emission order, counters from accepted attempts only, full attempt
+// History — and on error a partial Result carrying History and counters.
+func (p *ProcExecutor) assemble(j *jobState, name string) (*mapreduce.Result, error) {
+	p.m.mu.Lock()
+	defer p.m.mu.Unlock()
+	res := &mapreduce.Result{Counters: j.counters, History: j.history}
+	if !j.mapEnd.IsZero() {
+		res.MapTime = j.mapEnd.Sub(j.start)
+		res.ReduceTime = time.Since(j.mapEnd)
+	}
+	if j.err != nil {
+		return res, fmt.Errorf("mapreduce: job %q: %w", name, j.err)
+	}
+	for r := range j.reduces {
+		recs, err := mapreduce.DecodeRecords(j.reduces[r].output)
+		if err != nil {
+			return res, fmt.Errorf("mapreduce: job %q: decoding reduce %d output: %w", name, r, err)
+		}
+		res.Output = append(res.Output, recs...)
+	}
+	return res, nil
+}
+
+// Close shuts the executor down: workers are asked to exit via their next
+// lease/heartbeat, given a grace period, then SIGKILLed; the master stops
+// after all worker processes are reaped. Safe to call twice.
+func (p *ProcExecutor) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	p.m.beginShutdown()
+	grace := time.After(2 * time.Second)
+	for i, wait := range p.waits {
+		select {
+		case <-wait:
+		case <-grace:
+			p.procs[i].Process.Kill()
+			<-wait
+			// Re-arm an already-fired grace channel for the remaining
+			// workers: they get killed immediately too.
+			expired := make(chan time.Time)
+			close(expired)
+			grace = expired
+		}
+	}
+	p.m.stop()
+	return nil
+}

@@ -1,0 +1,67 @@
+package rpcexec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mrskyline"
+	"mrskyline/internal/datagen"
+)
+
+// TestServiceShutdownLeavesNoWorkerProcesses covers the serving layer's
+// shutdown contract with an external executor: NewService takes ownership
+// of the ProcExecutor, a query cancelled mid-lease aborts without wedging
+// anything, and Close tears the worker processes down — verified against
+// the live process table, not the executor's own bookkeeping.
+func TestServiceShutdownLeavesNoWorkerProcesses(t *testing.T) {
+	pe, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	pids := pe.WorkerPIDs()
+
+	svc, err := mrskyline.NewService(mrskyline.ServiceConfig{Executor: pe})
+	if err != nil {
+		pe.Close()
+		t.Fatalf("NewService: %v", err)
+	}
+	if got := svc.Stats().TotalSlots; got != 2 {
+		t.Errorf("Stats().TotalSlots = %d, want 2 (external executor)", got)
+	}
+
+	// A workload big enough to still be mid-lease when the context dies.
+	tuples := datagen.Generate(datagen.AntiCorrelated, 30000, 5, 1)
+	data := make([][]float64, len(tuples))
+	for i, tp := range tuples {
+		data[i] = tp
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err = svc.Compute(ctx, data, mrskyline.Options{Algorithm: mrskyline.GPSRS})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query error = %v, want context.Canceled (or fast success)", err)
+	}
+
+	// Close shuts the owned executor down; every worker leaves the process
+	// table — cancellation must not strand a worker behind a lost lease.
+	if err := svc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for _, pid := range pids {
+		deadline := time.Now().Add(3 * time.Second)
+		for processAlive(pid) {
+			if time.Now().After(deadline) {
+				t.Fatalf("worker pid %d leaked past Service.Close", pid)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

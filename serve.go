@@ -17,6 +17,12 @@ var ErrOverloaded = mapreduce.ErrQueueFull
 
 // ServiceConfig shapes a Service. The zero value is ready to use.
 type ServiceConfig struct {
+	// Executor, when non-nil, runs every query instead of a fresh
+	// in-process simulated cluster — e.g. rpcexec's multi-process backend.
+	// Nodes, SlotsPerNode, MaxInFlight and MaxQueue are then ignored
+	// (admission control is an in-process-engine feature), and the Service
+	// takes ownership: Close shuts the executor down.
+	Executor mapreduce.Executor
 	// Nodes is the simulated cluster size (default 8).
 	Nodes int
 	// SlotsPerNode is the per-node concurrent task count (default 2).
@@ -46,13 +52,21 @@ type ServiceConfig struct {
 //
 // All methods are safe for concurrent use.
 type Service struct {
-	eng     *mapreduce.Engine
+	exec    mapreduce.Executor
+	eng     *mapreduce.Engine // nil when an external Executor was supplied
 	trace   *obs.Tracer
 	timeout time.Duration
 }
 
-// NewService builds a Service on a fresh simulated cluster.
+// NewService builds a Service on a fresh simulated cluster, or on
+// cfg.Executor when one is supplied.
 func NewService(cfg ServiceConfig) (*Service, error) {
+	if cfg.QueryTimeout < 0 {
+		return nil, fmt.Errorf("mrskyline: QueryTimeout must be ≥ 0, got %v", cfg.QueryTimeout)
+	}
+	if cfg.Executor != nil {
+		return &Service{exec: cfg.Executor, trace: cfg.Executor.WallTracer(), timeout: cfg.QueryTimeout}, nil
+	}
 	nodes := cfg.Nodes
 	if nodes == 0 {
 		nodes = 8
@@ -78,9 +92,6 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	case maxQueue < 0:
 		maxQueue = 0
 	}
-	if cfg.QueryTimeout < 0 {
-		return nil, fmt.Errorf("mrskyline: QueryTimeout must be ≥ 0, got %v", cfg.QueryTimeout)
-	}
 	c, err := cluster.Uniform(nodes, slots)
 	if err != nil {
 		return nil, fmt.Errorf("mrskyline: %w", err)
@@ -89,7 +100,18 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	tr := obs.New()
 	eng.SetTrace(tr)
 	eng.SetAdmission(maxInFlight, maxQueue)
-	return &Service{eng: eng, trace: tr, timeout: cfg.QueryTimeout}, nil
+	return &Service{exec: eng, eng: eng, trace: tr, timeout: cfg.QueryTimeout}, nil
+}
+
+// Close releases the service's executor. With an external Executor that
+// implements io.Closer (rpcexec's multi-process backend does), its worker
+// processes are shut down; the default in-process engine needs no cleanup.
+// The Service must not be used after Close.
+func (s *Service) Close() error {
+	if c, ok := s.exec.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // queryCtx applies the service deadline.
@@ -115,7 +137,7 @@ func (s *Service) Compute(ctx context.Context, data [][]float64, opts Options) (
 	}
 	ctx, cancel := s.queryCtx(ctx)
 	defer cancel()
-	return computeOn(ctx, s.eng, data, opts)
+	return computeOn(ctx, s.exec, data, opts)
 }
 
 // ComputeConstrained is the Service counterpart of the package-level
@@ -136,7 +158,7 @@ func (s *Service) ComputeConstrained(ctx context.Context, data [][]float64, cons
 	}
 	ctx, cancel := s.queryCtx(ctx)
 	defer cancel()
-	return computeOn(ctx, s.eng, filtered, opts)
+	return computeOn(ctx, s.exec, filtered, opts)
 }
 
 // ComputeSubspace is the Service counterpart of the package-level
@@ -157,7 +179,7 @@ func (s *Service) ComputeSubspace(ctx context.Context, data [][]float64, dims []
 	}
 	ctx, cancel := s.queryCtx(ctx)
 	defer cancel()
-	return computeOn(ctx, s.eng, projected, opts)
+	return computeOn(ctx, s.exec, projected, opts)
 }
 
 // ServiceStats is a point-in-time view of the service's load.
@@ -176,14 +198,14 @@ type ServiceStats struct {
 	Canceled int64 `json:"canceled"`
 }
 
-// Stats returns the service's current load.
+// Stats returns the service's current load. With an external Executor the
+// admission and busy-slot figures stay zero: they are in-process-engine
+// telemetry.
 func (s *Service) Stats() ServiceStats {
-	inFlight, queued := s.eng.AdmissionStats()
-	st := ServiceStats{
-		InFlight:   inFlight,
-		Queued:     queued,
-		BusySlots:  s.eng.Cluster().BusySlots(),
-		TotalSlots: s.eng.Cluster().TotalSlots(),
+	st := ServiceStats{TotalSlots: s.exec.TotalSlots()}
+	if s.eng != nil {
+		st.InFlight, st.Queued = s.eng.AdmissionStats()
+		st.BusySlots = s.eng.Cluster().BusySlots()
 	}
 	for _, c := range s.trace.Metrics().Snapshot().Counters {
 		switch c.Name {

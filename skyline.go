@@ -207,11 +207,11 @@ func validateOptions(opts Options) error {
 }
 
 // computeOn runs the pipeline — orientation, row validation, algorithm
-// dispatch — on an existing engine, which may be shared across concurrent
-// callers (Service runs all its queries through one engine). opts must
-// already have passed validateOptions; ctx bounds every MapReduce job of
-// the run.
-func computeOn(ctx context.Context, eng *mapreduce.Engine, data [][]float64, opts Options) (*Result, error) {
+// dispatch — on an existing executor, which may be shared across
+// concurrent callers (Service runs all its queries through one) and may be
+// the in-process engine or a multi-process backend. opts must already have
+// passed validateOptions; ctx bounds every MapReduce job of the run.
+func computeOn(ctx context.Context, eng mapreduce.Executor, data [][]float64, opts Options) (*Result, error) {
 	if len(data) == 0 {
 		return emptyResult(opts), nil
 	}
