@@ -9,6 +9,7 @@
 //	skybench -exp all -scale 1        # the paper's full cardinalities
 //	skybench -exp fig9 -csv           # machine-readable output
 //	skybench -exp all -json           # write BENCH_<figure>.json per figure
+//	skybench -spillbench -spillbudget 33554432  # beyond-RAM shuffle bench
 //
 // By default cardinalities are scaled down (see -scale) so the full suite
 // completes on a laptop while preserving the figures' shapes, and task
@@ -53,6 +54,9 @@ func main() {
 		mpar         = flag.Int("measurepar", 0, "concurrently measured tasks (0 = min(GOMAXPROCS, slots), 1 = serial isolation)")
 		faultrate    = flag.Float64("faultrate", 0, "deterministic fault-injection rate for crashes/stragglers/corruption (0 = fault-free)")
 		faultseed    = flag.Int64("faultseed", 0, "fault plan seed (0 = data seed; only with -faultrate > 0)")
+		spillbudget  = flag.Int64("spillbudget", 0, "external-memory shuffle budget in bytes (0 = all in RAM); map outputs beyond the budget spill to sorted run files and merge back under it")
+		spilldir     = flag.String("spilldir", "", "directory for spill run files (default: the system temp dir; only with -spillbudget > 0)")
+		spillbench   = flag.Bool("spillbench", false, "run the beyond-RAM spill bench instead of figures; writes BENCH_spill.json to -outdir")
 		serveload    = flag.Bool("serveload", false, "run the concurrent serving-load harness instead of figures; writes BENCH_serve.json to -outdir")
 		kernelbench  = flag.Bool("kernel", false, "run the dominance-kernel micro-benchmark (scalar vs columnar) instead of figures; writes BENCH_kernel.json to -outdir")
 		servequeries = flag.Int("servequeries", 64, "total queries for -serveload")
@@ -70,19 +74,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
 		os.Exit(1)
 	}
+	if err := experiments.ValidateSpillConfig(*spillbudget, *spilldir, flagSet("spillbudget"), flagSet("spilldir")); err != nil {
+		fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *spillbench {
+		rec, err := experiments.RunSpillBench(experiments.SpillBenchConfig{
+			Seed:   *seed,
+			Budget: *spillbudget,
+			Dir:    *spilldir,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: -spillbench: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outdir, "BENCH_spill.json")
+		if err := experiments.WriteSpillBenchJSON(path, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: -spillbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, a := range rec.Algorithms {
+			fmt.Printf("%-9s in-RAM %.3fs  spilled %.3fs  skyline %d  identical %v  runs %d  merge rounds %d\n",
+				a.Algorithm, a.InMemorySec, a.SpilledSec, a.SkylineSize, a.Identical, a.RunsWritten, a.MergeRounds)
+		}
+		fmt.Printf("spill: %d tuples (%s), budget %d B, dataset %d B, peak resident %d B\nwrote %s\n",
+			rec.Card, rec.Distribution, rec.Budget, rec.DatasetBytes, rec.PeakResidentBytes, path)
+		return
+	}
 
 	switch *executor {
 	case "inproc":
 	case "process":
+		if err := experiments.ValidateWorkers(*workers); err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
+			os.Exit(1)
+		}
 		var masterTrace *obs.Tracer
 		if *traceOut != "" {
 			masterTrace = obs.New()
 		}
 		rec, err := experiments.RunExecutorBench(experiments.ExecBenchConfig{
-			Workers:  *workers,
-			Seed:     *seed,
-			Trace:    masterTrace,
-			TraceDir: *tracedir,
+			Workers:     *workers,
+			Seed:        *seed,
+			Trace:       masterTrace,
+			TraceDir:    *tracedir,
+			SpillBudget: *spillbudget,
+			SpillDir:    *spilldir,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "skybench: -executor=process: %v\n", err)
@@ -202,6 +240,8 @@ func main() {
 		MeasureParallelism: *mpar,
 		FaultRate:          *faultrate,
 		FaultSeed:          *faultseed,
+		SpillBudget:        *spillbudget,
+		SpillDir:           *spilldir,
 		Trace:              tracer,
 	}
 

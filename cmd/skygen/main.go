@@ -5,6 +5,12 @@
 //
 //	skygen -dist anticorrelated -card 1000000 -dim 6 -o data.csv
 //	skygen -dist independent -card 1000 -dim 2        # to stdout
+//	skygen -stream -card 100000000 -dim 4 -o big.csv  # constant memory
+//
+// With -stream, tuples are written as they are drawn instead of
+// materializing the dataset first, so cardinality is bounded by disk, not
+// RAM. The output is byte-identical to the non-streaming mode for the same
+// parameters.
 package main
 
 import (
@@ -14,31 +20,29 @@ import (
 	"os"
 
 	mrskyline "mrskyline"
+	"mrskyline/internal/datagen"
 )
 
 func main() {
 	var (
-		dist = flag.String("dist", "independent", "distribution: independent, correlated, anticorrelated")
-		card = flag.Int("card", 10000, "number of tuples")
-		dim  = flag.Int("dim", 2, "dimensionality")
-		seed = flag.Int64("seed", 1, "random seed (generation is deterministic per seed)")
-		out  = flag.String("o", "", "output file (default stdout)")
+		dist   = flag.String("dist", "independent", "distribution: independent, correlated, anticorrelated")
+		card   = flag.Int("card", 10000, "number of tuples")
+		dim    = flag.Int("dim", 2, "dimensionality")
+		seed   = flag.Int64("seed", 1, "random seed (generation is deterministic per seed)")
+		out    = flag.String("o", "", "output file (default stdout)")
+		stream = flag.Bool("stream", false, "write tuples as they are generated (constant memory, identical output)")
 	)
 	flag.Parse()
 
-	if err := run(*dist, *card, *dim, *seed, *out); err != nil {
+	if err := run(*dist, *card, *dim, *seed, *out, *stream); err != nil {
 		fmt.Fprintf(os.Stderr, "skygen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dist string, card, dim int, seed int64, out string) error {
+func run(dist string, card, dim int, seed int64, out string, stream bool) error {
 	if card < 0 || dim < 1 {
 		return fmt.Errorf("invalid shape: card=%d dim=%d", card, dim)
-	}
-	data, err := mrskyline.Generate(dist, card, dim, seed)
-	if err != nil {
-		return err
 	}
 	var w io.Writer = os.Stdout
 	if out != "" {
@@ -48,6 +52,17 @@ func run(dist string, card, dim int, seed int64, out string) error {
 		}
 		defer f.Close()
 		w = f
+	}
+	if stream {
+		d, err := datagen.ParseDistribution(dist)
+		if err != nil {
+			return err
+		}
+		return datagen.StreamCSV(w, d, card, dim, seed)
+	}
+	data, err := mrskyline.Generate(dist, card, dim, seed)
+	if err != nil {
+		return err
 	}
 	return mrskyline.WriteCSV(w, data)
 }

@@ -9,7 +9,7 @@ import (
 
 func TestRunWritesDataset(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "data.csv")
-	if err := run("anticorrelated", 50, 3, 9, out); err != nil {
+	if err := run("anticorrelated", 50, 3, 9, out, false); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
@@ -28,10 +28,10 @@ func TestRunWritesDataset(t *testing.T) {
 func TestRunDeterministicPerSeed(t *testing.T) {
 	a := filepath.Join(t.TempDir(), "a.csv")
 	b := filepath.Join(t.TempDir(), "b.csv")
-	if err := run("independent", 20, 2, 4, a); err != nil {
+	if err := run("independent", 20, 2, 4, a, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("independent", 20, 2, 4, b); err != nil {
+	if err := run("independent", 20, 2, 4, b, false); err != nil {
 		t.Fatal(err)
 	}
 	ba, _ := os.ReadFile(a)
@@ -41,17 +41,37 @@ func TestRunDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+func TestRunStreamIdentical(t *testing.T) {
+	for _, dist := range []string{"independent", "correlated", "anticorrelated"} {
+		mem := filepath.Join(t.TempDir(), "mem.csv")
+		str := filepath.Join(t.TempDir(), "stream.csv")
+		if err := run(dist, 100, 4, 7, mem, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(dist, 100, 4, 7, str, true); err != nil {
+			t.Fatal(err)
+		}
+		bm, _ := os.ReadFile(mem)
+		bs, _ := os.ReadFile(str)
+		if string(bm) != string(bs) {
+			t.Errorf("%s: -stream output differs from in-memory output", dist)
+		}
+	}
+}
+
 func TestRunValidation(t *testing.T) {
-	if err := run("zipf", 10, 2, 1, ""); err == nil {
-		t.Error("unknown distribution accepted")
-	}
-	if err := run("independent", -1, 2, 1, ""); err == nil {
-		t.Error("negative cardinality accepted")
-	}
-	if err := run("independent", 10, 0, 1, ""); err == nil {
-		t.Error("zero dimensionality accepted")
-	}
-	if err := run("independent", 1, 1, 1, filepath.Join(t.TempDir(), "no", "such", "dir", "f.csv")); err == nil {
-		t.Error("unwritable output accepted")
+	for _, stream := range []bool{false, true} {
+		if err := run("zipf", 10, 2, 1, "", stream); err == nil {
+			t.Errorf("stream=%v: unknown distribution accepted", stream)
+		}
+		if err := run("independent", -1, 2, 1, "", stream); err == nil {
+			t.Errorf("stream=%v: negative cardinality accepted", stream)
+		}
+		if err := run("independent", 10, 0, 1, "", stream); err == nil {
+			t.Errorf("stream=%v: zero dimensionality accepted", stream)
+		}
+		if err := run("independent", 1, 1, 1, filepath.Join(t.TempDir(), "no", "such", "dir", "f.csv"), stream); err == nil {
+			t.Errorf("stream=%v: unwritable output accepted", stream)
+		}
 	}
 }

@@ -32,7 +32,9 @@ import (
 	"mrskyline/internal/cluster"
 	"mrskyline/internal/core"
 	"mrskyline/internal/dfs"
+	"mrskyline/internal/experiments"
 	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/spill"
 	"mrskyline/internal/tuple"
 )
 
@@ -49,14 +51,31 @@ func main() {
 		ppd      = flag.Int("ppd", 0, "fixed partitions-per-dimension (0 = auto)")
 		maximize = flag.String("maximize", "", "comma-separated 0-based column indexes where larger is better")
 		stats    = flag.Bool("stats", false, "print run statistics to stderr")
+
+		spillbudget = flag.Int64("spillbudget", 0, "external-memory shuffle budget in bytes (0 = all in RAM); map outputs beyond the budget spill to sorted run files and merge back under it")
+		spilldir    = flag.String("spilldir", "", "directory for spill run files (default: the system temp dir; only with -spillbudget > 0)")
 	)
 	flag.Parse()
 
+	flagSet := func(name string) bool {
+		set := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == name {
+				set = true
+			}
+		})
+		return set
+	}
+	if err := experiments.ValidateSpillConfig(*spillbudget, *spilldir, flagSet("spillbudget"), flagSet("spilldir")); err != nil {
+		fmt.Fprintf(os.Stderr, "skyline: %v\n", err)
+		os.Exit(1)
+	}
+
 	var err error
 	if *viaDFS {
-		err = runViaDFS(*in, *out, *algo, *nodes, *slots, *mappers, *reducers, *ppd, *maximize, *stats)
+		err = runViaDFS(*in, *out, *algo, *nodes, *slots, *mappers, *reducers, *ppd, *maximize, *stats, *spillbudget, *spilldir)
 	} else {
-		err = run(*in, *out, *algo, *nodes, *slots, *mappers, *reducers, *ppd, *maximize, *stats)
+		err = run(*in, *out, *algo, *nodes, *slots, *mappers, *reducers, *ppd, *maximize, *stats, *spillbudget, *spilldir)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skyline: %v\n", err)
@@ -64,7 +83,7 @@ func main() {
 	}
 }
 
-func run(in, out, algo string, nodes, slots, mappers, reducers, ppd int, maximize string, stats bool) error {
+func run(in, out, algo string, nodes, slots, mappers, reducers, ppd int, maximize string, stats bool, spillBudget int64, spillDir string) error {
 	var r io.Reader = os.Stdin
 	if in != "" {
 		f, err := os.Open(in)
@@ -102,6 +121,8 @@ func run(in, out, algo string, nodes, slots, mappers, reducers, ppd int, maximiz
 		Reducers:     reducers,
 		PPD:          ppd,
 		Maximize:     maxMask,
+		SpillBudget:  spillBudget,
+		SpillDir:     spillDir,
 	})
 	if err != nil {
 		return err
@@ -143,7 +164,7 @@ func run(in, out, algo string, nodes, slots, mappers, reducers, ppd int, maximiz
 // runViaDFS executes the grid algorithms over the simulated distributed
 // file system: the input file is written into block-split, replicated DFS
 // storage and map tasks parse CSV records from their own splits.
-func runViaDFS(in, out, algo string, nodes, slots, mappers, reducers, ppd int, maximize string, stats bool) error {
+func runViaDFS(in, out, algo string, nodes, slots, mappers, reducers, ppd int, maximize string, stats bool, spillBudget int64, spillDir string) error {
 	if maximize != "" {
 		return fmt.Errorf("-maximize is not supported with -via-dfs")
 	}
@@ -163,6 +184,13 @@ func runViaDFS(in, out, algo string, nodes, slots, mappers, reducers, ppd int, m
 		return err
 	}
 	eng := mapreduce.NewEngine(clus)
+	if spillBudget > 0 {
+		dir := spillDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		eng.Spill = &spill.Config{Dir: dir, Budget: spillBudget, Stats: &spill.Stats{}}
+	}
 	fsys, err := dfs.New(dfs.Config{
 		BlockSize:   256 * 1024,
 		Replication: 3,

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,7 +31,7 @@ func readLines(t *testing.T, path string) []string {
 func TestRunEndToEnd(t *testing.T) {
 	in := writeTempCSV(t, "0.5,0.5\n0.2,0.8\n0.8,0.2\n0.9,0.9\n")
 	out := filepath.Join(t.TempDir(), "out.csv")
-	if err := run(in, out, "MR-GPSRS", 2, 1, 0, 0, 2, "", false); err != nil {
+	if err := run(in, out, "MR-GPSRS", 2, 1, 0, 0, 2, "", false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	lines := readLines(t, out)
@@ -48,7 +49,7 @@ func TestRunMaximize(t *testing.T) {
 	// Maximizing the second column flips which tuples survive.
 	in := writeTempCSV(t, "1,5\n1,9\n2,9\n")
 	out := filepath.Join(t.TempDir(), "out.csv")
-	if err := run(in, out, "MR-GPMRS", 2, 1, 0, 0, 2, "1", false); err != nil {
+	if err := run(in, out, "MR-GPMRS", 2, 1, 0, 0, 2, "1", false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	lines := readLines(t, out)
@@ -59,16 +60,16 @@ func TestRunMaximize(t *testing.T) {
 
 func TestRunMaximizeValidation(t *testing.T) {
 	in := writeTempCSV(t, "1,2\n")
-	if err := run(in, "", "MR-GPSRS", 2, 1, 0, 0, 2, "7", false); err == nil {
+	if err := run(in, "", "MR-GPSRS", 2, 1, 0, 0, 2, "7", false, 0, ""); err == nil {
 		t.Error("out-of-range maximize column accepted")
 	}
-	if err := run(in, "", "MR-GPSRS", 2, 1, 0, 0, 2, "x", false); err == nil {
+	if err := run(in, "", "MR-GPSRS", 2, 1, 0, 0, 2, "x", false, 0, ""); err == nil {
 		t.Error("garbage maximize column accepted")
 	}
 }
 
 func TestRunMissingInput(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "nope.csv"), "", "MR-GPSRS", 2, 1, 0, 0, 2, "", false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope.csv"), "", "MR-GPSRS", 2, 1, 0, 0, 2, "", false, 0, ""); err == nil {
 		t.Error("missing input accepted")
 	}
 }
@@ -86,10 +87,10 @@ func TestRunViaDFSEndToEnd(t *testing.T) {
 	outDirect := filepath.Join(t.TempDir(), "direct.csv")
 	outDFS := filepath.Join(t.TempDir(), "dfs.csv")
 
-	if err := run(in, outDirect, "MR-GPMRS", 3, 2, 0, 0, 0, "", false); err != nil {
+	if err := run(in, outDirect, "MR-GPMRS", 3, 2, 0, 0, 0, "", false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := runViaDFS(in, outDFS, "MR-GPMRS", 3, 2, 0, 0, 0, "", false); err != nil {
+	if err := runViaDFS(in, outDFS, "MR-GPMRS", 3, 2, 0, 0, 0, "", false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	direct := readLines(t, outDirect)
@@ -110,14 +111,14 @@ func TestRunViaDFSEndToEnd(t *testing.T) {
 
 func TestRunViaDFSValidation(t *testing.T) {
 	in := writeTempCSV(t, "0.1,0.2\n")
-	if err := runViaDFS(in, "", "MR-GPSRS", 2, 1, 0, 0, 2, "1", false); err == nil {
+	if err := runViaDFS(in, "", "MR-GPSRS", 2, 1, 0, 0, 2, "1", false, 0, ""); err == nil {
 		t.Error("maximize accepted with -via-dfs")
 	}
-	if err := runViaDFS(in, "", "MR-Angle", 2, 1, 0, 0, 2, "", false); err == nil {
+	if err := runViaDFS(in, "", "MR-Angle", 2, 1, 0, 0, 2, "", false, 0, ""); err == nil {
 		t.Error("baseline accepted with -via-dfs")
 	}
 	empty := writeTempCSV(t, "# only comments\n")
-	if err := runViaDFS(empty, "", "MR-GPSRS", 2, 1, 0, 0, 2, "", false); err == nil {
+	if err := runViaDFS(empty, "", "MR-GPSRS", 2, 1, 0, 0, 2, "", false, 0, ""); err == nil {
 		t.Error("comment-only input accepted")
 	}
 }
@@ -147,5 +148,26 @@ func TestCSVBounds(t *testing.T) {
 	lo, hi, err = csvBounds([]byte("1,7\n2,7\n"), 2)
 	if err != nil || hi[1] <= lo[1] {
 		t.Errorf("constant-dim bounds = %v %v, %v", lo, hi, err)
+	}
+}
+
+func TestRunSpilledIdentical(t *testing.T) {
+	var rows strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&rows, "0.%03d,0.%03d\n", (i*37)%1000, (i*61)%1000)
+	}
+	in := writeTempCSV(t, rows.String())
+	mem := filepath.Join(t.TempDir(), "mem.csv")
+	sp := filepath.Join(t.TempDir(), "spilled.csv")
+	if err := run(in, mem, "MR-GPMRS", 2, 1, 0, 0, 2, "", false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, sp, "MR-GPMRS", 2, 1, 0, 0, 2, "", false, 256, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	bm, _ := os.ReadFile(mem)
+	bs, _ := os.ReadFile(sp)
+	if string(bm) != string(bs) {
+		t.Error("-spillbudget output differs from in-memory output")
 	}
 }

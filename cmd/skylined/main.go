@@ -35,6 +35,7 @@ import (
 	"time"
 
 	mrskyline "mrskyline"
+	"mrskyline/internal/experiments"
 	"mrskyline/internal/rpcexec"
 )
 
@@ -50,7 +51,13 @@ func main() {
 	maxInFlight := flag.Int("maxinflight", 4, "concurrently executing queries (inproc)")
 	maxQueue := flag.Int("maxqueue", 64, "queued queries beyond maxinflight (negative: reject when busy; inproc)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-query deadline (0: none)")
+	spillBudget := flag.Int64("spillbudget", 0, "external-memory shuffle budget in bytes (0 = all in RAM)")
+	spillDir := flag.String("spilldir", "", "directory for spill run files (default: the system temp dir; only with -spillbudget > 0)")
 	flag.Parse()
+
+	if err := experiments.ValidateSpillConfig(*spillBudget, *spillDir, flagSet("spillbudget"), flagSet("spilldir")); err != nil {
+		log.Fatalf("skylined: %v", err)
+	}
 
 	cfg := mrskyline.ServiceConfig{
 		Nodes:        *nodes,
@@ -58,11 +65,24 @@ func main() {
 		MaxInFlight:  *maxInFlight,
 		MaxQueue:     *maxQueue,
 		QueryTimeout: *timeout,
+		SpillBudget:  *spillBudget,
+		SpillDir:     *spillDir,
 	}
 	switch *executor {
 	case "inproc":
 	case "process":
-		pe, err := rpcexec.New(rpcexec.Config{Workers: *workers})
+		if err := experiments.ValidateWorkers(*workers); err != nil {
+			log.Fatalf("skylined: %v", err)
+		}
+		spillDirProc := *spillDir
+		if *spillBudget > 0 && spillDirProc == "" {
+			spillDirProc = os.TempDir()
+		}
+		pe, err := rpcexec.New(rpcexec.Config{
+			Workers:     *workers,
+			SpillBudget: *spillBudget,
+			SpillDir:    spillDirProc,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -90,6 +110,18 @@ func main() {
 	err = http.ListenAndServe(*addr, newServer(svc).handler())
 	svc.Close()
 	log.Fatal(err)
+}
+
+// flagSet reports whether the named flag was passed explicitly on the
+// command line (as opposed to holding its default).
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // server is the HTTP front-end: one Service plus a named-dataset cache so

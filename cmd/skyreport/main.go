@@ -31,20 +31,29 @@ func main() {
 		// Publication runs default to strictly serial task measurement:
 		// per-task durations must reflect each task's work alone, free of
 		// even scheduler noise from sibling tasks.
-		measurePar = flag.Int("measurepar", 1, "concurrently measured tasks (1 = serial isolation for publishable figures, 0 = min(GOMAXPROCS, slots))")
-		faultrate  = flag.Float64("faultrate", 0, "deterministic fault-injection rate for crashes/stragglers/corruption (0 = fault-free)")
-		faultseed  = flag.Int64("faultseed", 0, "fault plan seed (0 = data seed; only with -faultrate > 0)")
-		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto / chrome://tracing)")
+		measurePar  = flag.Int("measurepar", 1, "concurrently measured tasks (1 = serial isolation for publishable figures, 0 = min(GOMAXPROCS, slots))")
+		faultrate   = flag.Float64("faultrate", 0, "deterministic fault-injection rate for crashes/stragglers/corruption (0 = fault-free)")
+		faultseed   = flag.Int64("faultseed", 0, "fault plan seed (0 = data seed; only with -faultrate > 0)")
+		spillbudget = flag.Int64("spillbudget", 0, "external-memory shuffle budget in bytes (0 = all in RAM)")
+		spilldir    = flag.String("spilldir", "", "directory for spill run files (default: the system temp dir; only with -spillbudget > 0)")
+		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto / chrome://tracing)")
 	)
 	flag.Parse()
 
-	faultseedSet := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "faultseed" {
-			faultseedSet = true
-		}
-	})
-	if err := experiments.ValidateFaultConfig(*faultrate, faultseedSet); err != nil {
+	flagSet := func(name string) bool {
+		set := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == name {
+				set = true
+			}
+		})
+		return set
+	}
+	if err := experiments.ValidateFaultConfig(*faultrate, flagSet("faultseed")); err != nil {
+		fmt.Fprintf(os.Stderr, "skyreport: %v\n", err)
+		os.Exit(1)
+	}
+	if err := experiments.ValidateSpillConfig(*spillbudget, *spilldir, flagSet("spillbudget"), flagSet("spilldir")); err != nil {
 		fmt.Fprintf(os.Stderr, "skyreport: %v\n", err)
 		os.Exit(1)
 	}
@@ -92,6 +101,8 @@ func main() {
 		MeasureParallelism: *measurePar,
 		FaultRate:          *faultrate,
 		FaultSeed:          *faultseed,
+		SpillBudget:        *spillbudget,
+		SpillDir:           *spilldir,
 		Trace:              tracer,
 	}
 	if err := experiments.Report(setup, w); err != nil {

@@ -15,21 +15,40 @@ import (
 func WriteCSV(w io.Writer, l tuple.List) error {
 	bw := bufio.NewWriter(w)
 	for _, t := range l {
-		for k, v := range t {
-			if k > 0 {
-				if err := bw.WriteByte(','); err != nil {
-					return err
-				}
-			}
-			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
-				return err
-			}
-		}
-		if err := bw.WriteByte('\n'); err != nil {
+		if err := writeTupleLine(bw, t); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// StreamCSV generates card tuples from the distribution and writes them to w
+// as CSV without ever holding the dataset in memory. The output is
+// byte-identical to WriteCSV(w, Generate(dist, card, d, seed)).
+func StreamCSV(w io.Writer, dist Distribution, card, d int, seed int64) error {
+	bw := bufio.NewWriter(w)
+	err := Stream(dist, card, d, seed, func(t tuple.Tuple) error {
+		return writeTupleLine(bw, t)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeTupleLine writes one tuple as one CSV line.
+func writeTupleLine(bw *bufio.Writer, t tuple.Tuple) error {
+	for k, v := range t {
+		if k > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.WriteByte('\n')
 }
 
 // ReadCSV parses tuples from comma-separated lines. Blank lines and lines

@@ -75,6 +75,25 @@ func Generate(dist Distribution, card, d int, seed int64) tuple.List {
 	return out
 }
 
+// Stream invokes fn with each of card d-dimensional tuples in turn without
+// materializing the whole dataset, stopping at the first error. The tuple
+// sequence is identical to Generate's for the same parameters — both draw
+// sequentially from one seeded source — so streamed and in-memory pipelines
+// see byte-identical data. The tuple passed to fn is freshly allocated; fn
+// may retain it.
+func Stream(dist Distribution, card, d int, seed int64, fn func(tuple.Tuple) error) error {
+	if card < 0 || d < 1 {
+		panic(fmt.Sprintf("datagen: invalid shape card=%d d=%d", card, d))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < card; i++ {
+		if err := fn(next(dist, rng, d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // next draws one tuple. The three procedures follow the published benchmark
 // generator: random_equal, random_peak and random_normal are direct
 // adaptations of its helper functions.

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"time"
 
 	"mrskyline/internal/baseline"
@@ -12,6 +13,7 @@ import (
 	"mrskyline/internal/mapreduce"
 	"mrskyline/internal/obs"
 	"mrskyline/internal/rpcexec"
+	"mrskyline/internal/spill"
 	"mrskyline/internal/tuple"
 )
 
@@ -29,6 +31,10 @@ type ExecBenchConfig struct {
 	Seed int64
 	// TraceDir, when set, makes worker processes write Chrome traces there.
 	TraceDir string
+	// SpillBudget and SpillDir, when SpillBudget > 0, run both backends
+	// through the external-memory shuffle (see spill.Config).
+	SpillBudget int64
+	SpillDir    string
 	// Trace, when set, is used as the master-side tracer (spans plus the
 	// rpc.* metrics the record reports); otherwise a private one is used.
 	Trace *obs.Tracer
@@ -135,12 +141,26 @@ func RunExecutorBench(cfg ExecBenchConfig) (*ExecBenchRecord, error) {
 		return nil, err
 	}
 	eng := mapreduce.NewEngine(cl)
+	if cfg.SpillBudget > 0 {
+		dir := cfg.SpillDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		eng.Spill = &spill.Config{Dir: dir, Budget: cfg.SpillBudget, Stats: &spill.Stats{}}
+		cfg.SpillDir = dir
+	}
 
 	tr := cfg.Trace
 	if tr == nil {
 		tr = obs.New()
 	}
-	pe, err := rpcexec.New(rpcexec.Config{Workers: cfg.Workers, Trace: tr, TraceDir: cfg.TraceDir})
+	pe, err := rpcexec.New(rpcexec.Config{
+		Workers:     cfg.Workers,
+		Trace:       tr,
+		TraceDir:    cfg.TraceDir,
+		SpillBudget: cfg.SpillBudget,
+		SpillDir:    cfg.SpillDir,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: starting process executor: %w", err)
 	}

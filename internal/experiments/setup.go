@@ -11,12 +11,14 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"mrskyline/internal/cluster"
 	"mrskyline/internal/datagen"
 	"mrskyline/internal/mapreduce"
 	"mrskyline/internal/obs"
+	"mrskyline/internal/spill"
 )
 
 // ValidateFaultConfig checks the fault-injection knobs as front ends
@@ -30,6 +32,37 @@ func ValidateFaultConfig(rate float64, seedSet bool) error {
 	}
 	if seedSet && rate == 0 {
 		return fmt.Errorf("experiments: fault seed set but fault rate is 0 (set a rate in (0, 1] to enable fault injection)")
+	}
+	return nil
+}
+
+// ValidateSpillConfig checks the external-memory shuffle knobs as front
+// ends receive them. budgetSet and dirSet report whether the user passed
+// the flags explicitly (the zero budget means "all in RAM", so presence
+// cannot be inferred from the value). A positive budget requires an
+// existing spill directory.
+func ValidateSpillConfig(budget int64, dir string, budgetSet, dirSet bool) error {
+	if budgetSet && budget <= 0 {
+		return fmt.Errorf("experiments: spill budget must be positive, got %d", budget)
+	}
+	if dirSet && dir == "" {
+		return fmt.Errorf("experiments: spill dir set but empty")
+	}
+	if dirSet && budget <= 0 {
+		return fmt.Errorf("experiments: spill dir set but spill budget is 0 (set a positive budget to enable spilling)")
+	}
+	if budget > 0 && dir != "" {
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			return fmt.Errorf("experiments: spill dir %q is not a usable directory", dir)
+		}
+	}
+	return nil
+}
+
+// ValidateWorkers checks a worker-process count as front ends receive it.
+func ValidateWorkers(workers int) error {
+	if workers < 1 {
+		return fmt.Errorf("experiments: worker count must be >= 1, got %d", workers)
 	}
 	return nil
 }
@@ -90,6 +123,15 @@ type Setup struct {
 	// FaultSeed seeds the fault plan (only meaningful with FaultRate > 0);
 	// 0 uses the data seed.
 	FaultSeed int64
+	// SpillBudget, when positive, runs every job through the
+	// external-memory shuffle: map outputs spill to sorted run files under
+	// SpillDir whenever more than SpillBudget bytes would sit resident, and
+	// reduce inputs arrive through a multi-round merge whose fan-in
+	// SpillFanIn caps (0 uses the spill package default). Zero keeps the
+	// all-in-RAM shuffle; results are byte-identical either way.
+	SpillBudget int64
+	SpillDir    string
+	SpillFanIn  int
 	// Trace, when non-nil, is attached to every engine the run builds:
 	// spans from all jobs accumulate on its shared timeline (virtual-clock
 	// jobs are serialized onto it via the tracer's virtual base), and
@@ -152,6 +194,18 @@ func (s Setup) newEngine() (*mapreduce.Engine, error) {
 			StragglerRate: s.FaultRate,
 			CorruptRate:   s.FaultRate,
 			Speculative:   &mapreduce.SpeculativeConfig{},
+		}
+	}
+	if s.SpillBudget > 0 {
+		dir := s.SpillDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		eng.Spill = &spill.Config{
+			Dir:    dir,
+			Budget: s.SpillBudget,
+			FanIn:  s.SpillFanIn,
+			Stats:  &spill.Stats{},
 		}
 	}
 	eng.SetTrace(s.Trace)

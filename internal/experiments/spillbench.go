@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"mrskyline/internal/cluster"
+	"mrskyline/internal/core"
+	"mrskyline/internal/datagen"
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/spill"
+	"mrskyline/internal/tuple"
+)
+
+// SpillBenchConfig shapes the beyond-RAM shuffle bench.
+type SpillBenchConfig struct {
+	// Card and Dim shape the workload; defaults are 3×10⁶ independent
+	// tuples at d = 4 — a dataset whose encoded payload is far larger than
+	// the default budget, so completing the run proves the shuffle never
+	// needs the dataset resident.
+	Card int
+	Dim  int
+	// Seed makes data generation deterministic; defaults to 1.
+	Seed int64
+	// Budget is the per-writer resident-byte budget (default 32 MiB);
+	// Dir is where run files go (default: a fresh temp dir, removed after).
+	Budget int64
+	Dir    string
+	// FanIn caps the merge fan-in (0 = spill package default).
+	FanIn int
+	// Slots is the engine's parallelism (Slots nodes × 1 slot, wall-clock);
+	// defaults to 4. Mappers is fixed at 4×Slots so every reducer merges
+	// more runs than the fan-in, forcing a multi-round merge tree.
+	Slots int
+}
+
+func (c SpillBenchConfig) withDefaults() SpillBenchConfig {
+	if c.Card == 0 {
+		c.Card = 3_000_000
+	}
+	if c.Dim == 0 {
+		c.Dim = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Budget == 0 {
+		c.Budget = 32 << 20
+	}
+	if c.Slots == 0 {
+		c.Slots = 4
+	}
+	if c.FanIn == 0 {
+		c.FanIn = spill.DefaultFanIn
+	}
+	return c
+}
+
+// SpillAlgoResult compares one algorithm across the two shuffle paths.
+type SpillAlgoResult struct {
+	Algorithm string `json:"algorithm"`
+	// InMemorySec / SpilledSec are host wall-clock seconds per path.
+	InMemorySec float64 `json:"in_memory_seconds"`
+	SpilledSec  float64 `json:"spilled_seconds"`
+	// SkylineSize and OutputBytes describe the (identical) result.
+	SkylineSize int  `json:"skyline_size"`
+	OutputBytes int  `json:"output_bytes"`
+	Identical   bool `json:"identical"`
+	// ShuffleBytes is the reducer-payload volume (same on both paths).
+	ShuffleBytes int64 `json:"shuffle_bytes"`
+	// Spill telemetry of the spilled run.
+	RunsWritten       int64 `json:"runs_written"`
+	SpillBytes        int64 `json:"spill_bytes"`
+	MergeRounds       int64 `json:"merge_rounds"`
+	PeakResidentBytes int64 `json:"peak_resident_bytes"`
+}
+
+// SpillBenchRecord is the BENCH_spill.json payload: MR-GPSRS and MR-GPMRS
+// run all-in-RAM and through the external-memory shuffle on the same
+// beyond-RAM workload, asserting byte-identical skylines and reporting the
+// spilled path's peak shuffle residency against the budget.
+type SpillBenchRecord struct {
+	Card         int    `json:"card"`
+	Dim          int    `json:"dim"`
+	Seed         int64  `json:"seed"`
+	Distribution string `json:"distribution"`
+	Budget       int64  `json:"budget_bytes"`
+	FanIn        int    `json:"merge_fan_in"`
+	Mappers      int    `json:"mappers"`
+	Reducers     int    `json:"reducers"`
+	// DatasetBytes is the encoded size of the input tuples — the volume an
+	// all-in-RAM shuffle would hold resident per job.
+	DatasetBytes int64 `json:"dataset_bytes"`
+	// PeakResidentBytes is the maximum across algorithms of the spill
+	// gauge: writer arenas plus merge buffers actually resident at once.
+	PeakResidentBytes int64 `json:"peak_resident_bytes"`
+
+	Algorithms []SpillAlgoResult `json:"algorithms"`
+}
+
+// RunSpillBench measures MR-GPSRS and MR-GPMRS with the shuffle all in RAM
+// and again with a spill budget far below the dataset size, asserting the
+// two paths produce byte-identical skylines (the DESIGN.md §13 contract)
+// and that the spilled path's peak residency stays bounded by writer
+// budgets rather than dataset size. Mappers outnumber the merge fan-in per
+// reducer, so every spilled reduce exercises a multi-round merge tree.
+func RunSpillBench(cfg SpillBenchConfig) (*SpillBenchRecord, error) {
+	cfg = cfg.withDefaults()
+	dir := cfg.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "skybench-spill-")
+		if err != nil {
+			return nil, fmt.Errorf("experiments: spill bench temp dir: %w", err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	data := datagen.Generate(datagen.Independent, cfg.Card, cfg.Dim, cfg.Seed)
+	mappers := 4 * cfg.Slots
+	reducers := cfg.Slots
+
+	cl, err := cluster.Uniform(cfg.Slots, 1)
+	if err != nil {
+		return nil, err
+	}
+	eng := mapreduce.NewEngine(cl)
+
+	rec := &SpillBenchRecord{
+		Card:         cfg.Card,
+		Dim:          cfg.Dim,
+		Seed:         cfg.Seed,
+		Distribution: "independent",
+		Budget:       cfg.Budget,
+		FanIn:        cfg.FanIn,
+		Mappers:      mappers,
+		Reducers:     reducers,
+		DatasetBytes: int64(len(tuple.EncodeList(data))),
+	}
+
+	algos := []struct {
+		name string
+		run  func(core.Config, tuple.List) (tuple.List, *core.Stats, error)
+	}{
+		{AlgoGPSRS, core.GPSRS},
+		{AlgoGPMRS, core.GPMRS},
+	}
+	for _, a := range algos {
+		ccfg := core.Config{Engine: eng, NumMappers: mappers, NumReducers: reducers}
+
+		eng.Spill = nil
+		start := time.Now()
+		skyMem, stMem, err := a.run(ccfg, data)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s all-in-RAM: %w", a.name, err)
+		}
+		memSec := time.Since(start).Seconds()
+
+		stats := &spill.Stats{}
+		eng.Spill = &spill.Config{Dir: dir, Budget: cfg.Budget, FanIn: cfg.FanIn, Stats: stats}
+		start = time.Now()
+		skySp, _, err := a.run(ccfg, data)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s spilled: %w", a.name, err)
+		}
+		spSec := time.Since(start).Seconds()
+		eng.Spill = nil
+
+		encMem, encSp := tuple.EncodeList(skyMem), tuple.EncodeList(skySp)
+		identical := bytes.Equal(encMem, encSp)
+		peak := stats.PeakResident()
+		if peak > rec.PeakResidentBytes {
+			rec.PeakResidentBytes = peak
+		}
+		rec.Algorithms = append(rec.Algorithms, SpillAlgoResult{
+			Algorithm:         a.name,
+			InMemorySec:       memSec,
+			SpilledSec:        spSec,
+			SkylineSize:       len(skyMem),
+			OutputBytes:       len(encMem),
+			Identical:         identical,
+			ShuffleBytes:      stMem.ShuffleBytes,
+			RunsWritten:       stats.RunsWritten.Load(),
+			SpillBytes:        stats.SpillBytes.Load(),
+			MergeRounds:       stats.MergeRounds.Load(),
+			PeakResidentBytes: peak,
+		})
+		if !identical {
+			return rec, fmt.Errorf("experiments: %s output differs between shuffle paths (%d vs %d tuples)", a.name, len(skyMem), len(skySp))
+		}
+	}
+	return rec, nil
+}
+
+// WriteSpillBenchJSON writes rec as indented JSON to path.
+func WriteSpillBenchJSON(path string, rec *SpillBenchRecord) error {
+	return writeJSONFile(path, rec)
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunSpillBenchSmall runs the beyond-RAM bench at a reduced scale with
+// a budget tiny enough to force spilling and multi-round merges, and
+// checks the record it emits: identical outputs, spill activity recorded,
+// residency peak tracked.
+func TestRunSpillBenchSmall(t *testing.T) {
+	rec, err := RunSpillBench(SpillBenchConfig{
+		Card:   4000,
+		Dim:    3,
+		Seed:   2,
+		Budget: 4096,
+		Dir:    t.TempDir(),
+		FanIn:  2,
+		Slots:  2,
+	})
+	if err != nil {
+		t.Fatalf("RunSpillBench: %v", err)
+	}
+	if len(rec.Algorithms) != 2 {
+		t.Fatalf("algorithms = %d, want 2", len(rec.Algorithms))
+	}
+	for _, a := range rec.Algorithms {
+		if !a.Identical {
+			t.Errorf("%s: spilled output differs from in-memory output", a.Algorithm)
+		}
+		if a.RunsWritten == 0 || a.SpillBytes == 0 {
+			t.Errorf("%s: no spill activity recorded (runs %d, bytes %d)", a.Algorithm, a.RunsWritten, a.SpillBytes)
+		}
+		if a.MergeRounds == 0 {
+			t.Errorf("%s: no merge rounds with 8 mappers at fan-in 2", a.Algorithm)
+		}
+		if a.InMemorySec <= 0 || a.SpilledSec <= 0 {
+			t.Errorf("%s: non-positive timings (%v, %v)", a.Algorithm, a.InMemorySec, a.SpilledSec)
+		}
+	}
+	if rec.PeakResidentBytes <= 0 || rec.PeakResidentBytes > rec.DatasetBytes {
+		t.Errorf("peak resident %d not in (0, dataset %d]", rec.PeakResidentBytes, rec.DatasetBytes)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_spill.json")
+	if err := WriteSpillBenchJSON(path, rec); err != nil {
+		t.Fatalf("WriteSpillBenchJSON: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpillBenchRecord
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("written JSON does not parse: %v", err)
+	}
+	if back.Card != 4000 || len(back.Algorithms) != 2 {
+		t.Errorf("round-tripped record lost fields: %+v", back)
+	}
+}
+
+func TestValidateSpillConfig(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name      string
+		budget    int64
+		dir       string
+		budgetSet bool
+		dirSet    bool
+		wantErr   bool
+	}{
+		{"all defaults", 0, "", false, false, false},
+		{"valid budget and dir", 1 << 20, dir, true, true, false},
+		{"budget without dir", 1 << 20, "", true, false, false},
+		{"zero budget set", 0, "", true, false, true},
+		{"negative budget set", -5, "", true, false, true},
+		{"empty dir set", 0, "", false, true, true},
+		{"dir without budget", 0, dir, false, true, true},
+		{"dir does not exist", 1 << 20, filepath.Join(dir, "missing"), true, true, true},
+	}
+	for _, c := range cases {
+		err := ValidateSpillConfig(c.budget, c.dir, c.budgetSet, c.dirSet)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: ValidateSpillConfig(%d, %q, %v, %v) err = %v, wantErr %v",
+				c.name, c.budget, c.dir, c.budgetSet, c.dirSet, err, c.wantErr)
+		}
+	}
+}
+
+func TestValidateWorkers(t *testing.T) {
+	if err := ValidateWorkers(0); err == nil {
+		t.Error("ValidateWorkers(0) accepted")
+	}
+	if err := ValidateWorkers(-2); err == nil {
+		t.Error("ValidateWorkers(-2) accepted")
+	}
+	if err := ValidateWorkers(1); err != nil {
+		t.Errorf("ValidateWorkers(1): %v", err)
+	}
+}

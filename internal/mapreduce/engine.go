@@ -3,12 +3,14 @@ package mapreduce
 import (
 	"context"
 	"fmt"
+	"os"
 	"strconv"
 	"sync"
 	"time"
 
 	"mrskyline/internal/cluster"
 	"mrskyline/internal/obs"
+	"mrskyline/internal/spill"
 )
 
 // Phase identifies the half of a job a task belongs to; the fault injector
@@ -127,6 +129,16 @@ type Engine struct {
 	// spans on the driver track, task-attempt spans on per-slot tracks,
 	// and duration/byte histograms. Set with SetTrace.
 	trace *obs.Tracer
+	// Spill, when non-nil with a positive budget, switches the shuffle to
+	// the external-memory path: map outputs are flushed to sorted run
+	// files under a per-job subdirectory of Spill.Dir and each reducer
+	// streams a budget-bounded multi-round merge of its runs instead of a
+	// materialized arena. Nil (or a zero budget) keeps every shuffle byte
+	// resident — the historical behaviour. Fault-schedule execution
+	// (Faults) ignores Spill: the virtual clock models shuffle faults on
+	// in-memory segments, and mixing in host I/O would break its
+	// determinism.
+	Spill *spill.Config
 	// Sim, when non-nil, turns on simulated-time accounting: concurrent
 	// task bodies are bounded by SimConfig.MeasureParallelism for
 	// contention-free measurement and Result gains a SimulatedTime
@@ -319,10 +331,11 @@ func attemptMap(job *Job, rj *resolvedJob, split Split, ctx *TaskContext) ([]buc
 	return buckets, nil
 }
 
-// attemptReduce executes the user half of one reduce-task attempt over the
-// pre-grouped shuffle input. Like attemptMap it is free of external side
-// effects.
-func attemptReduce(job *Job, in *bucketArena, idx []int32, groups []span, ctx *TaskContext) (bucketArena, error) {
+// attemptReduce executes the user half of one reduce-task attempt, pulling
+// its input from src — a sorted in-memory arena or a spilled run merge;
+// both sources present the identical (key order, per-key value order)
+// group stream. Like attemptMap it is free of external side effects.
+func attemptReduce(job *Job, src groupSource, ctx *TaskContext) (bucketArena, error) {
 	var out bucketArena
 	emitted := int64(0)
 	emit := func(key, value []byte) {
@@ -331,12 +344,16 @@ func attemptReduce(job *Job, in *bucketArena, idx []int32, groups []span, ctx *T
 	}
 	reducer := job.NewReducer()
 	inRecords := int64(0)
-	for _, g := range groups {
-		key := in.key(int(idx[g.lo]))
-		vals := make([][]byte, 0, g.hi-g.lo)
-		for _, i := range idx[g.lo:g.hi] {
-			vals = append(vals, in.value(int(i)))
+	inKeys := int64(0)
+	for {
+		key, vals, ok, err := src.next()
+		if err != nil {
+			return bucketArena{}, err
 		}
+		if !ok {
+			break
+		}
+		inKeys++
 		inRecords += int64(len(vals))
 		if err := reducer.Reduce(ctx, key, vals, emit); err != nil {
 			return bucketArena{}, err
@@ -345,7 +362,7 @@ func attemptReduce(job *Job, in *bucketArena, idx []int32, groups []span, ctx *T
 	if err := reducer.Flush(ctx, emit); err != nil {
 		return bucketArena{}, err
 	}
-	ctx.Counters.Add(CounterReduceInputKeys, int64(len(groups)))
+	ctx.Counters.Add(CounterReduceInputKeys, inKeys)
 	ctx.Counters.Add(CounterReduceInputRecords, inRecords)
 	ctx.Counters.Add(CounterReduceOutputRecords, emitted)
 	return out, nil
@@ -476,6 +493,25 @@ func (e *Engine) runConcurrent(ctx context.Context, job *Job, rj *resolvedJob) (
 		obs.Arg{Key: "reducers", Value: strconv.Itoa(numReducers)})
 	defer func() { jobSpan.EndWith(stateArg(retErr)) }()
 
+	// External-memory shuffle: a per-job copy of the engine's spill
+	// configuration pointing at a fresh subdirectory, removed when the job
+	// resolves. Nil when spilling is off, which leaves every code path
+	// below byte-identical to the all-in-RAM engine.
+	var spillCfg *spill.Config
+	if e.Spill.Enabled() {
+		dir, err := os.MkdirTemp(e.Spill.Dir, "job-")
+		if err != nil {
+			return res, fmt.Errorf("mapreduce: job %q: creating spill directory: %w", job.Name, err)
+		}
+		defer os.RemoveAll(dir)
+		cfg := *e.Spill
+		cfg.Dir = dir
+		if cfg.Metrics == nil {
+			cfg.Metrics = tr.Metrics()
+		}
+		spillCfg = &cfg
+	}
+
 	// Simulated-time instrumentation: a counting semaphore bounds how many
 	// task bodies run while being measured. At the default capacity
 	// (min(GOMAXPROCS, cluster slots)) every in-flight task is one
@@ -498,8 +534,14 @@ func (e *Engine) runConcurrent(ctx context.Context, job *Job, rj *resolvedJob) (
 	mapStart := time.Now()
 	jobStart := mapStart // TaskRecord.Start offsets are from job start
 	mapSpan := tr.Start(obs.DriverTrack, "map", obs.CatPhase)
-	// mapOut[m][r] holds mapper m's records destined for reducer r.
+	// mapOut[m][r] holds mapper m's records destined for reducer r; on the
+	// spill path the records go to disk instead and mapRuns[m][r] holds
+	// the run files of the (m, r) segment.
 	mapOut := make([][]bucketArena, numMappers)
+	var mapRuns [][][]spill.RunFile
+	if spillCfg != nil {
+		mapRuns = make([][][]spill.RunFile, numMappers)
+	}
 	mapTasks := make([]cluster.Task, numMappers)
 	for m := 0; m < numMappers; m++ {
 		m := m
@@ -554,6 +596,17 @@ func (e *Engine) runConcurrent(ctx context.Context, job *Job, rj *resolvedJob) (
 					})
 					return err
 				}
+				var runs [][]spill.RunFile
+				if spillCfg != nil {
+					if runs, err = spillMapBuckets(spillCfg, buckets, m, attempt); err != nil {
+						err = fmt.Errorf("map task %d on %s: spilling output: %w", m, node, err)
+						res.History.add(TaskRecord{
+							Phase: PhaseMap, TaskID: m, Attempt: attempt,
+							Node: node, Slot: slot, Start: startOff, Duration: time.Since(taskStart), Err: err.Error(),
+						})
+						return err
+					}
+				}
 				// Install output and counters only on success.
 				dur := time.Since(taskStart)
 				if mapDurs != nil {
@@ -561,17 +614,26 @@ func (e *Engine) runConcurrent(ctx context.Context, job *Job, rj *resolvedJob) (
 				}
 				if tr != nil {
 					tr.Metrics().Observe("mr.task.map.ns", int64(dur))
-					var spill int64
+					spilled := int64(0)
 					for i := range buckets {
-						spill += buckets[i].payloadBytes()
+						spilled += buckets[i].payloadBytes()
 					}
-					tr.Metrics().Observe("mr.spill.map.bytes", spill)
+					for _, rs := range runs {
+						for _, rf := range rs {
+							spilled += rf.PayloadBytes
+						}
+					}
+					tr.Metrics().Observe("mr.spill.map.bytes", spilled)
 				}
 				res.History.add(TaskRecord{
 					Phase: PhaseMap, TaskID: m, Attempt: attempt,
 					Node: node, Slot: slot, Start: startOff, Duration: dur,
 				})
-				mapOut[m] = buckets
+				if spillCfg != nil {
+					mapRuns[m] = runs
+				} else {
+					mapOut[m] = buckets
+				}
 				res.Counters.Merge(ctx.Counters)
 				return nil
 			},
@@ -596,7 +658,18 @@ func (e *Engine) runConcurrent(ctx context.Context, job *Job, rj *resolvedJob) (
 	// where the old grouping ran.
 	reduceStart := time.Now()
 	shuffleSpan := tr.Start(obs.DriverTrack, "shuffle", obs.CatPhase)
-	reduceIn, perReducerBytes, err := e.shuffleMapOutput(mapOut, rj, res, tr)
+	var (
+		reduceIn        []bucketArena
+		perReducerBytes []int64
+		err             error
+	)
+	if spillCfg != nil {
+		// Spilled jobs shuffle lazily: each reduce attempt merges its run
+		// files itself, so this phase only accounts volumes.
+		perReducerBytes = e.spilledShuffleStats(mapRuns, rj, res, tr)
+	} else {
+		reduceIn, perReducerBytes, err = e.shuffleMapOutput(mapOut, rj, res, tr)
+	}
 	shuffleSpan.EndWith(stateArg(err))
 	if err != nil {
 		return res, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
@@ -608,9 +681,16 @@ func (e *Engine) runConcurrent(ctx context.Context, job *Job, rj *resolvedJob) (
 	reduceTasks := make([]cluster.Task, numReducers)
 	for r := 0; r < numReducers; r++ {
 		r := r
-		in := &reduceIn[r]
-		idx := in.sortedIndex()
-		groups := in.groupRuns(idx)
+		var (
+			in     *bucketArena
+			idx    []int32
+			groups []span
+		)
+		if spillCfg == nil {
+			in = &reduceIn[r]
+			idx = in.sortedIndex()
+			groups = in.groupRuns(idx)
+		}
 		attempts := 0
 		reduceTasks[r] = cluster.Task{
 			Name: fmt.Sprintf("%s-reduce-%d", job.Name, r),
@@ -648,7 +728,12 @@ func (e *Engine) runConcurrent(ctx context.Context, job *Job, rj *resolvedJob) (
 				}
 				taskStart := time.Now()
 				startOff := taskStart.Sub(jobStart)
-				out, err := attemptReduce(job, in, idx, groups, ctx)
+				var out bucketArena
+				if spillCfg != nil {
+					out, err = e.spilledReduce(job, rj, spillCfg, mapRuns, r, attempt, ctx, res.Counters)
+				} else {
+					out, err = attemptReduce(job, &arenaGroups{in: in, idx: idx, groups: groups}, ctx)
+				}
 				if err != nil {
 					err = fmt.Errorf("reduce task %d on %s: %w", r, node, err)
 					res.History.add(TaskRecord{

@@ -636,7 +636,7 @@ func (e *Engine) runFaulty(job *Job, rj *resolvedJob) (*Result, error) {
 		taskName:    func(r int) string { return fmt.Sprintf("%s-reduce-%d", job.Name, r) },
 		body: func(r, attempt int, node string) error {
 			ctx := newCtx(r, attempt, node)
-			out, err := attemptReduce(job, &reduceIn[r], idxs[r], groups[r], ctx)
+			out, err := attemptReduce(job, &arenaGroups{in: &reduceIn[r], idx: idxs[r], groups: groups[r]}, ctx)
 			if err != nil {
 				return fmt.Errorf("reduce task %d on %s: %w", r, node, err)
 			}

@@ -4,8 +4,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"sort"
 	"sync"
+
+	"mrskyline/internal/spill"
 )
 
 // Jobs built in the driver close over live Go state (grids, bitstrings,
@@ -211,6 +214,16 @@ type RemoteTask struct {
 	NumMappers  int
 	NumReducers int
 	Node        string
+	// SpillBudget and SpillDir, when SpillBudget > 0, switch reduce
+	// attempts to the external-memory merge: fetched segments are written
+	// through a budget-tracked spill writer and reduced over a streaming
+	// run merge instead of one materialized arena, so a worker's resident
+	// reduce input stays bounded by the budget. SpillFanIn caps the merge
+	// fan-in (0 uses the spill package default). Map attempts are
+	// unaffected — their output is bounded by the split size.
+	SpillBudget int64
+	SpillDir    string
+	SpillFanIn  int
 }
 
 func (t *RemoteTask) taskContext() *TaskContext {
@@ -310,25 +323,81 @@ func RunRemoteReduce(t *RemoteTask, segs [][]byte) (output []byte, counters *Cou
 	if err != nil {
 		return nil, nil, err
 	}
-	var in bucketArena
-	for m, seg := range segs {
-		if len(seg) == 0 {
-			continue
-		}
-		a, err := decodeArena(seg)
-		if err != nil {
-			return nil, nil, fmt.Errorf("reduce task %d: segment from map %d: %w", t.TaskID, m, err)
-		}
-		in.absorb(&a)
-	}
-	idx := in.sortedIndex()
-	groups := in.groupRuns(idx)
 	ctx := t.taskContext()
-	out, err := attemptReduce(job, &in, idx, groups, ctx)
+	var out bucketArena
+	if t.SpillBudget > 0 {
+		out, err = t.spilledRemoteReduce(job, segs, ctx)
+	} else {
+		var in bucketArena
+		for m, seg := range segs {
+			if len(seg) == 0 {
+				continue
+			}
+			a, err := decodeArena(seg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("reduce task %d: segment from map %d: %w", t.TaskID, m, err)
+			}
+			in.absorb(&a)
+		}
+		idx := in.sortedIndex()
+		groups := in.groupRuns(idx)
+		out, err = attemptReduce(job, &arenaGroups{in: &in, idx: idx, groups: groups}, ctx)
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("reduce task %d on %s: %w", t.TaskID, t.Node, err)
 	}
 	return encodeArena(&out), ctx.Counters, nil
+}
+
+// spilledRemoteReduce streams the fetched segments through a
+// budget-tracked spill writer and reduces over the merged runs, never
+// holding the whole reducer input resident. Segments are consumed in map
+// order, so the runs inherit the engine's (mapper index, emission order)
+// arrival order and the merge reproduces the in-memory grouping exactly.
+// All files live in a per-attempt directory removed before returning; a
+// run that fails its checksum fails the attempt, which the master retries
+// like any other task error.
+func (t *RemoteTask) spilledRemoteReduce(job *Job, segs [][]byte, ctx *TaskContext) (bucketArena, error) {
+	dir, err := os.MkdirTemp(t.SpillDir, fmt.Sprintf("reduce%d-a%d-", t.TaskID, t.Attempt))
+	if err != nil {
+		return bucketArena{}, fmt.Errorf("creating spill directory: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := &spill.Config{Dir: dir, Budget: t.SpillBudget, FanIn: t.SpillFanIn}
+	w := spill.NewWriter(cfg, "seg", t.TaskID)
+	for m, seg := range segs {
+		for off := 0; off < len(seg); {
+			key, n, err := readChunk(seg, off)
+			if err == nil {
+				off = n
+				var val []byte
+				if val, n, err = readChunk(seg, off); err == nil {
+					off = n
+					err = w.Add(key, val)
+				}
+			}
+			if err != nil {
+				w.Discard()
+				return bucketArena{}, fmt.Errorf("segment from map %d: %w", m, err)
+			}
+		}
+	}
+	runs, err := w.Finish()
+	if err != nil {
+		w.Discard()
+		return bucketArena{}, err
+	}
+	final, _, err := spill.MergeTree(cfg, dir, "merge", runs)
+	if err != nil {
+		return bucketArena{}, err
+	}
+	g, err := spill.NewGroups(cfg, final)
+	if err != nil {
+		return bucketArena{}, err
+	}
+	src := spillGroups{g}
+	defer src.close()
+	return attemptReduce(job, src, ctx)
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,223 @@
+package mapreduce_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"mrskyline/internal/mapreduce"
+	"mrskyline/internal/spill"
+)
+
+// indexJob pins down the full shuffle contract: every word maps to the
+// list of its occurrence positions, so the reduce output encodes not just
+// grouping but the exact per-key value order (mapper index, then emission
+// order) — any reordering on the spilled path changes the output bytes.
+func indexJob(lines []string, mappers, reducers int) *mapreduce.Job {
+	recs := make([]mapreduce.Record, len(lines))
+	for i, line := range lines {
+		recs[i] = mapreduce.Record{Key: []byte(fmt.Sprintf("L%04d", i)), Value: []byte(line)}
+	}
+	return &mapreduce.Job{
+		Name:        "index",
+		Input:       mapreduce.MemoryInput{Records: recs},
+		NumMappers:  mappers,
+		NumReducers: reducers,
+		NewMapper: func() mapreduce.Mapper {
+			return mapreduce.MapperFuncs{
+				MapFn: func(ctx *mapreduce.TaskContext, rec mapreduce.Record, emit mapreduce.Emitter) error {
+					for pos, w := range strings.Fields(string(rec.Value)) {
+						emit([]byte(w), []byte(fmt.Sprintf("%s:%d", rec.Key, pos)))
+					}
+					return nil
+				},
+			}
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return mapreduce.ReducerFuncs{
+				ReduceFn: func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emitter) error {
+					parts := make([]string, len(values))
+					for i, v := range values {
+						parts[i] = string(v)
+					}
+					emit(key, []byte(strings.Join(parts, "|")))
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// randomLines builds a corpus from a small vocabulary so keys collide
+// across lines and mappers.
+func randomLines(rng *rand.Rand, lines int) []string {
+	vocab := []string{"ant", "bee", "cat", "dog", "elk", "fox", "gnu", "hen", "ibis", "jay"}
+	out := make([]string, lines)
+	for i := range out {
+		n := 1 + rng.Intn(8)
+		words := make([]string, n)
+		for j := range words {
+			words[j] = vocab[rng.Intn(len(vocab))]
+		}
+		out[i] = strings.Join(words, " ")
+	}
+	return out
+}
+
+func recordsIdentical(a, b []mapreduce.Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSpilledMatchesInMemory is the spilled-versus-resident differential:
+// across 30 seeds of random corpora and task layouts, a job run under a
+// tiny spill budget with fan-in 2 (forcing multiple runs per segment and
+// multi-round merge trees) must produce byte-identical output and the same
+// shuffle byte count as the all-in-RAM engine.
+func TestSpilledMatchesInMemory(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 6
+	}
+	totalRuns, totalRounds := int64(0), int64(0)
+	for seed := 1; seed <= seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		lines := randomLines(rng, 20+rng.Intn(60))
+		mappers := 1 + rng.Intn(5)
+		reducers := 1 + rng.Intn(4)
+
+		e := newEngine(t, 2+rng.Intn(3), 1+rng.Intn(2))
+		resMem, err := e.Run(indexJob(lines, mappers, reducers))
+		if err != nil {
+			t.Fatalf("seed %d: in-memory run: %v", seed, err)
+		}
+
+		stats := &spill.Stats{}
+		e.Spill = &spill.Config{Dir: t.TempDir(), Budget: 256, FanIn: 2, Stats: stats}
+		resSp, err := e.Run(indexJob(lines, mappers, reducers))
+		if err != nil {
+			t.Fatalf("seed %d: spilled run: %v", seed, err)
+		}
+		e.Spill = nil
+
+		if !recordsIdentical(resMem.Output, resSp.Output) {
+			t.Errorf("seed %d (mappers=%d reducers=%d): spilled output differs from in-memory output",
+				seed, mappers, reducers)
+		}
+		if m, s := resMem.Counters.Get(mapreduce.CounterShuffleBytes), resSp.Counters.Get(mapreduce.CounterShuffleBytes); m != s {
+			t.Errorf("seed %d: shuffle bytes diverge: in-memory %d, spilled %d", seed, m, s)
+		}
+		if stats.RunsWritten.Load() == 0 {
+			t.Errorf("seed %d: spilled run wrote no run files", seed)
+		}
+		totalRuns += stats.RunsWritten.Load()
+		totalRounds += stats.MergeRounds.Load()
+	}
+	if totalRounds == 0 {
+		t.Errorf("no merge rounds across %d seeds: the 256-byte budget with fan-in 2 should force multi-round merges", seeds)
+	}
+	t.Logf("across %d seeds: %d runs written, %d merge rounds", seeds, totalRuns, totalRounds)
+}
+
+// TestSpilledEmptyReducers covers reducers whose input is empty (no runs at
+// all) and jobs whose whole shuffle fits one record.
+func TestSpilledEmptyReducers(t *testing.T) {
+	e := newEngine(t, 2, 1)
+	e.Spill = &spill.Config{Dir: t.TempDir(), Budget: 64, FanIn: 2, Stats: &spill.Stats{}}
+	res, err := e.Run(indexJob([]string{"only"}, 2, 4))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Output) != 1 || string(res.Output[0].Key) != "only" {
+		t.Fatalf("output = %v, want the single word", res.Output)
+	}
+}
+
+// TestSpilledJobCleansSpillDir: the per-job spill subdirectory is removed
+// when the job resolves.
+func TestSpilledJobCleansSpillDir(t *testing.T) {
+	dir := t.TempDir()
+	e := newEngine(t, 2, 2)
+	e.Spill = &spill.Config{Dir: dir, Budget: 128, Stats: &spill.Stats{}}
+	if _, err := e.Run(indexJob(randomLines(rand.New(rand.NewSource(9)), 30), 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("spill dir not cleaned after job: %d entries remain", len(ents))
+	}
+}
+
+// TestSpilledCorruptSourceRunRepaired: a map-output run corrupted on disk
+// before the reduce phase reads it must be detected by its checksum and
+// repaired by re-executing the producing map task — the job succeeds with
+// the exact fault-free output and counts the corruption.
+func TestSpilledCorruptSourceRunRepaired(t *testing.T) {
+	lines := randomLines(rand.New(rand.NewSource(11)), 40)
+
+	clean := newEngine(t, 2, 2)
+	want, err := clean.Run(indexJob(lines, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	e := newEngine(t, 2, 2)
+	e.Spill = &spill.Config{Dir: dir, Budget: 256, FanIn: 2, Stats: &spill.Stats{}}
+	var once sync.Once
+	corrupted := false
+	e.FaultInjector = func(phase mapreduce.Phase, taskID, attempt int) error {
+		if phase != mapreduce.PhaseReduce {
+			return nil
+		}
+		// The reduce phase starting means every map run is on disk; flip
+		// one byte in the middle of the first map-output run file.
+		once.Do(func() {
+			matches, err := filepath.Glob(filepath.Join(dir, "job-*", "m*.run"))
+			if err != nil || len(matches) == 0 {
+				t.Errorf("no map run files found to corrupt: %v (err %v)", matches, err)
+				return
+			}
+			raw, err := os.ReadFile(matches[0])
+			if err != nil {
+				t.Errorf("reading run to corrupt: %v", err)
+				return
+			}
+			raw[len(raw)/2] ^= 0xFF
+			if err := os.WriteFile(matches[0], raw, 0o600); err != nil {
+				t.Errorf("writing corrupted run: %v", err)
+				return
+			}
+			corrupted = true
+		})
+		return nil
+	}
+	res, err := e.Run(indexJob(lines, 3, 2))
+	if err != nil {
+		t.Fatalf("corrupted run did not recover: %v", err)
+	}
+	if !corrupted {
+		t.Fatal("injector never corrupted a run file")
+	}
+	if !recordsIdentical(res.Output, want.Output) {
+		t.Error("recovered output differs from the fault-free output")
+	}
+	if got := res.Counters.Get(mapreduce.CounterShuffleCorruptions); got < 1 {
+		t.Errorf("CounterShuffleCorruptions = %d, want >= 1", got)
+	}
+}

@@ -1,0 +1,221 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"mrskyline/internal/obs"
+	"mrskyline/internal/spill"
+)
+
+// The external-memory shuffle path. When the engine carries a spill
+// configuration with a positive budget, map outputs are flushed to sorted
+// run files on disk (one writer per (mapper, reducer) segment, so runs
+// inherit the segment's arrival order) and each reduce attempt lazily
+// merges its runs through a budget-bounded merge tree instead of
+// materializing a bucketArena. The reducer consumes both shapes through
+// the groupSource interface below, which presents the identical
+// (key order, per-key value order) stream either way — the basis of the
+// spilled-versus-resident byte-identity property the tests pin down.
+
+// groupSource streams one reduce attempt's input as per-key groups in key
+// order. Returned slices are valid until the following next call.
+type groupSource interface {
+	// next returns the next key group; ok is false when the input is
+	// cleanly drained.
+	next() (key []byte, vals [][]byte, ok bool, err error)
+	close()
+}
+
+// arenaGroups serves groups from a sorted in-memory arena — the original
+// all-in-RAM reduce input. The zero value is an empty source.
+type arenaGroups struct {
+	in     *bucketArena
+	idx    []int32
+	groups []span
+	pos    int
+}
+
+func (g *arenaGroups) next() ([]byte, [][]byte, bool, error) {
+	if g.pos >= len(g.groups) {
+		return nil, nil, false, nil
+	}
+	sp := g.groups[g.pos]
+	g.pos++
+	key := g.in.key(int(g.idx[sp.lo]))
+	vals := make([][]byte, 0, sp.hi-sp.lo)
+	for _, i := range g.idx[sp.lo:sp.hi] {
+		vals = append(vals, g.in.value(int(i)))
+	}
+	return key, vals, true, nil
+}
+
+func (g *arenaGroups) close() {}
+
+// spillGroups adapts the spill package's streaming merge to groupSource.
+type spillGroups struct{ g *spill.Groups }
+
+func (s spillGroups) next() ([]byte, [][]byte, bool, error) { return s.g.Next() }
+func (s spillGroups) close()                                { s.g.Close() }
+
+// removeRunFiles deletes run files, best effort.
+func removeRunFiles(runs []spill.RunFile) {
+	for _, rf := range runs {
+		os.Remove(rf.Path)
+	}
+}
+
+// spillArena writes one bucket's records (arrival order preserved)
+// through a budget-tracked writer, producing the segment's sorted runs.
+// An empty bucket produces no runs.
+func spillArena(cfg *spill.Config, b *bucketArena, prefix string, tag int) ([]spill.RunFile, error) {
+	if b.len() == 0 {
+		return nil, nil
+	}
+	w := spill.NewWriter(cfg, prefix, tag)
+	for i := 0; i < b.len(); i++ {
+		if err := w.Add(b.key(i), b.value(i)); err != nil {
+			w.Discard()
+			return nil, err
+		}
+	}
+	runs, err := w.Finish()
+	if err != nil {
+		w.Discard()
+		return nil, err
+	}
+	return runs, nil
+}
+
+// spillMapBuckets spills every per-reducer bucket of one successful map
+// attempt, releasing each arena as it lands on disk. The attempt number
+// keys the file names so a retried attempt never collides with a
+// previous one's files.
+func spillMapBuckets(cfg *spill.Config, buckets []bucketArena, m, attempt int) ([][]spill.RunFile, error) {
+	runs := make([][]spill.RunFile, len(buckets))
+	for r := range buckets {
+		rs, err := spillArena(cfg, &buckets[r], fmt.Sprintf("m%d-a%d-r%d", m, attempt, r), m)
+		if err != nil {
+			for _, prev := range runs[:r] {
+				removeRunFiles(prev)
+			}
+			return nil, err
+		}
+		runs[r] = rs
+		buckets[r] = bucketArena{}
+	}
+	return runs, nil
+}
+
+// spilledShuffleStats reports shuffle volumes for a spilled job. The data
+// is already on disk as per-(mapper, reducer) runs, so "shuffle" is pure
+// accounting — the byte movement happens lazily inside each reduce
+// attempt's merge.
+func (e *Engine) spilledShuffleStats(mapRuns [][][]spill.RunFile, rj *resolvedJob, res *Result, tr *obs.Tracer) []int64 {
+	perReducerBytes := make([]int64, rj.numReducers)
+	shuffleBytes := int64(0)
+	for r := 0; r < rj.numReducers; r++ {
+		for m := 0; m < rj.numMappers; m++ {
+			for _, rf := range mapRuns[m][r] {
+				perReducerBytes[r] += rf.PayloadBytes
+			}
+		}
+		shuffleBytes += perReducerBytes[r]
+		tr.Metrics().Observe("mr.shuffle.reducer.bytes", perReducerBytes[r])
+	}
+	res.Counters.Add(CounterShuffleBytes, shuffleBytes)
+	return perReducerBytes
+}
+
+// maxSpillRepairs bounds how many corrupt source runs one reduce attempt
+// repairs (by re-executing the producing map task) before the attempt
+// fails outright and falls back to the cluster's retry budget.
+const maxSpillRepairs = 2
+
+// spilledReduce is the reduce attempt body on the spill path: merge this
+// reducer's runs under the budget, stream the groups through the reducer,
+// and — when a source run fails its checksum — re-execute the map task
+// that produced it and retry, the spilled twin of the shuffle refetch.
+// attemptMap is free of side effects, so re-running it for repair is
+// always safe.
+func (e *Engine) spilledReduce(job *Job, rj *resolvedJob, cfg *spill.Config, mapRuns [][][]spill.RunFile, r, attempt int, ctx *TaskContext, counters *Counters) (bucketArena, error) {
+	for repair := 0; ; repair++ {
+		var runs []spill.RunFile
+		for m := range mapRuns {
+			runs = append(runs, mapRuns[m][r]...)
+		}
+		// Each try runs against fresh task counters so a half-consumed
+		// corrupt try cannot double-count; only the successful try merges.
+		tryCtx := *ctx
+		tryCtx.Counters = NewCounters()
+		out, err := e.spilledReduceOnce(job, cfg, runs, r, attempt, repair, &tryCtx)
+		if err == nil {
+			ctx.Counters.Merge(tryCtx.Counters)
+			return out, nil
+		}
+		var ce *spill.CorruptError
+		if !errors.As(err, &ce) {
+			return bucketArena{}, err
+		}
+		counters.Add(CounterShuffleCorruptions, 1)
+		if ce.Tag < 0 || repair >= maxSpillRepairs {
+			return bucketArena{}, err
+		}
+		if rerr := e.respillMap(job, rj, cfg, mapRuns, ce.Tag, r, attempt, repair); rerr != nil {
+			return bucketArena{}, fmt.Errorf("repairing corrupt run: %w", rerr)
+		}
+	}
+}
+
+// spilledReduceOnce performs one merge-and-reduce try. Intermediate merge
+// runs live in a per-try directory removed when the try resolves; the
+// source runs are never deleted here — they are the repair path's input.
+func (e *Engine) spilledReduceOnce(job *Job, cfg *spill.Config, runs []spill.RunFile, r, attempt, repair int, ctx *TaskContext) (bucketArena, error) {
+	if len(runs) == 0 {
+		return attemptReduce(job, &arenaGroups{}, ctx)
+	}
+	dir, err := os.MkdirTemp(cfg.Dir, fmt.Sprintf("r%d-a%d-p%d-", r, attempt, repair))
+	if err != nil {
+		return bucketArena{}, err
+	}
+	defer os.RemoveAll(dir)
+	final, _, err := spill.MergeTree(cfg, dir, "merge", runs)
+	if err != nil {
+		return bucketArena{}, err
+	}
+	g, err := spill.NewGroups(cfg, final)
+	if err != nil {
+		return bucketArena{}, err
+	}
+	src := spillGroups{g}
+	defer src.close()
+	return attemptReduce(job, src, ctx)
+}
+
+// respillMap re-executes map task m and rewrites its runs for reducer r,
+// replacing the corrupt set. Distinct reducers repair distinct
+// (m, r) slots, so concurrent repairs of the same mapper never collide.
+func (e *Engine) respillMap(job *Job, rj *resolvedJob, cfg *spill.Config, mapRuns [][][]spill.RunFile, m, r, attempt, repair int) error {
+	mctx := &TaskContext{
+		Job:         job.Name,
+		TaskID:      m,
+		Attempt:     1,
+		NumMappers:  rj.numMappers,
+		NumReducers: rj.numReducers,
+		Node:        "repair",
+		Cache:       job.Cache,
+		Counters:    NewCounters(),
+	}
+	buckets, err := attemptMap(job, rj, rj.splits[m], mctx)
+	if err != nil {
+		return fmt.Errorf("re-executing map task %d: %w", m, err)
+	}
+	runs, err := spillArena(cfg, &buckets[r], fmt.Sprintf("m%d-r%d-a%d-p%d", m, r, attempt, repair), m)
+	if err != nil {
+		return err
+	}
+	removeRunFiles(mapRuns[m][r])
+	mapRuns[m][r] = runs
+	return nil
+}

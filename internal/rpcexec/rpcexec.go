@@ -40,6 +40,15 @@ type Config struct {
 	// TraceDir, when set, makes each worker write its own obs Chrome trace
 	// to TraceDir/worker-<i>.trace.json on clean exit.
 	TraceDir string
+	// SpillBudget and SpillDir, when SpillBudget > 0, switch workers to
+	// the external-memory shuffle: map-output segments are stored as files
+	// under a per-worker subdirectory of SpillDir (served to peers from
+	// disk) and reduce attempts merge spilled runs under the budget
+	// instead of materializing their whole input. SpillFanIn caps the
+	// merge fan-in (0 uses the spill package default).
+	SpillBudget int64
+	SpillDir    string
+	SpillFanIn  int
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -64,6 +73,20 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if len(cfg.Chaos) > cfg.Workers {
 		return cfg, errors.New("rpcexec: more chaos specs than workers")
+	}
+	if cfg.SpillBudget < 0 {
+		return cfg, errors.New("rpcexec: Config.SpillBudget must not be negative")
+	}
+	if cfg.SpillBudget > 0 {
+		if cfg.SpillDir == "" {
+			return cfg, errors.New("rpcexec: Config.SpillDir is required when SpillBudget is set")
+		}
+		if st, err := os.Stat(cfg.SpillDir); err != nil || !st.IsDir() {
+			return cfg, fmt.Errorf("rpcexec: Config.SpillDir %q is not a usable directory", cfg.SpillDir)
+		}
+		if cfg.SpillFanIn < 0 || cfg.SpillFanIn == 1 {
+			return cfg, fmt.Errorf("rpcexec: Config.SpillFanIn must be >= 2 (or 0 for the default), got %d", cfg.SpillFanIn)
+		}
 	}
 	return cfg, nil
 }
@@ -124,6 +147,13 @@ func (p *ProcExecutor) spawn(i int) error {
 	if p.cfg.TraceDir != "" {
 		path := filepath.Join(p.cfg.TraceDir, fmt.Sprintf("worker-%d.trace.json", i))
 		cmd.Env = append(cmd.Env, workerEnvTrace+"="+path)
+	}
+	if p.cfg.SpillBudget > 0 {
+		cmd.Env = append(cmd.Env,
+			workerEnvSpillBudget+"="+strconv.FormatInt(p.cfg.SpillBudget, 10),
+			workerEnvSpillDir+"="+p.cfg.SpillDir,
+			workerEnvSpillFanIn+"="+strconv.Itoa(p.cfg.SpillFanIn),
+		)
 	}
 	cmd.Stderr = os.Stderr
 	cmd.SysProcAttr = workerSysProcAttr() // die with the driver (linux)

@@ -189,6 +189,10 @@ const (
 	// ChaosServe: SIGKILL self on receiving a peer's Fetch RPC (the serving
 	// side dies mid-shuffle, taking its map outputs with it).
 	ChaosServe = "serve"
+	// ChaosCorrupt: do not die — serve one peer Fetch with a single byte
+	// flipped in the reply. The fetcher's checksum verification must catch
+	// it and refetch; the stored segment itself stays pristine.
+	ChaosCorrupt = "corrupt"
 )
 
 // chaosSpec is a parsed worker chaos directive: die by SIGKILL on the
@@ -217,7 +221,7 @@ func parseChaos(s string) (*chaosSpec, error) {
 		spec.nth = int32(n)
 	}
 	switch event {
-	case ChaosMap, ChaosReduce, ChaosFetch, ChaosServe:
+	case ChaosMap, ChaosReduce, ChaosFetch, ChaosServe, ChaosCorrupt:
 		return spec, nil
 	}
 	return nil, fmt.Errorf("rpcexec: unknown chaos event %q", event)
@@ -233,6 +237,15 @@ func (c *chaosSpec) maybeKill(event string) {
 	if c.hits.Add(1) == c.nth {
 		selfKill()
 	}
+}
+
+// takeCorrupt reports whether this serve should corrupt its reply: true
+// exactly once, on the nth ChaosCorrupt occurrence.
+func (c *chaosSpec) takeCorrupt() bool {
+	if c.event != ChaosCorrupt {
+		return false
+	}
+	return c.hits.Add(1) == c.nth
 }
 
 // workerNode names worker i the way task records and trace tracks see it.

@@ -5,6 +5,8 @@ import (
 	"net"
 	"net/rpc"
 	"os"
+	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,10 +21,13 @@ import (
 // set. Re-exec'ing the same binary is what makes the kind registry work —
 // every RegisterKind init that ran in the driver has run in the worker.
 const (
-	workerEnvAddr  = "MRSKYLINE_WORKER"
-	workerEnvIndex = "MRSKYLINE_WORKER_INDEX"
-	workerEnvChaos = "MRSKYLINE_WORKER_CHAOS"
-	workerEnvTrace = "MRSKYLINE_WORKER_TRACE"
+	workerEnvAddr        = "MRSKYLINE_WORKER"
+	workerEnvIndex       = "MRSKYLINE_WORKER_INDEX"
+	workerEnvChaos       = "MRSKYLINE_WORKER_CHAOS"
+	workerEnvTrace       = "MRSKYLINE_WORKER_TRACE"
+	workerEnvSpillBudget = "MRSKYLINE_WORKER_SPILL_BUDGET"
+	workerEnvSpillDir    = "MRSKYLINE_WORKER_SPILL_DIR"
+	workerEnvSpillFanIn  = "MRSKYLINE_WORKER_SPILL_FANIN"
 )
 
 // WorkerMain turns the process into an rpcexec worker when the
@@ -59,8 +64,14 @@ type worker struct {
 
 	exit atomic.Bool // set when the master asks us to shut down
 
+	// spill, when non-nil, switches the worker to the external-memory
+	// shuffle: map-output segments live as files under spill.dir instead
+	// of in store, and reduce attempts run the budget-bounded run merge.
+	spill *workerSpill
+
 	storeMu sync.Mutex
 	store   map[storeKey][][]byte // map output segments, index = reducer
+	files   map[storeKey][]string // spill mode: segment file per reducer ("" = empty)
 
 	peerMu sync.Mutex
 	peers  map[string]*rpc.Client
@@ -83,11 +94,18 @@ func runWorker(masterAddr string) error {
 		index: index,
 		chaos: chaos,
 		store: make(map[storeKey][][]byte),
+		files: make(map[storeKey][]string),
 		peers: make(map[string]*rpc.Client),
 		infos: make(map[int64]*JobInfoReply),
 	}
 	if path := os.Getenv(workerEnvTrace); path != "" {
 		w.tr = obs.New()
+	}
+	if sp, err := workerSpillFromEnv(index); err != nil {
+		return err
+	} else if sp != nil {
+		w.spill = sp
+		defer os.RemoveAll(sp.dir)
 	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -188,15 +206,31 @@ func (w *worker) heartbeatLoop(every time.Duration) {
 	}
 }
 
-// dropJobs evicts finished jobs' segments and cached job info.
+// dropJobs evicts finished jobs' segments (memory and disk) and cached
+// job info.
 func (w *worker) dropJobs(ids []int64) {
 	w.storeMu.Lock()
-	for k := range w.store {
+	dropped := func(job int64) bool {
 		for _, id := range ids {
-			if k.job == id {
-				delete(w.store, k)
-				break
+			if job == id {
+				return true
 			}
+		}
+		return false
+	}
+	for k := range w.store {
+		if dropped(k.job) {
+			delete(w.store, k)
+		}
+	}
+	for k, paths := range w.files {
+		if dropped(k.job) {
+			for _, p := range paths {
+				if p != "" {
+					os.Remove(p)
+				}
+			}
+			delete(w.files, k)
 		}
 	}
 	w.storeMu.Unlock()
@@ -205,6 +239,99 @@ func (w *worker) dropJobs(ids []int64) {
 		delete(w.infos, id)
 	}
 	w.infoMu.Unlock()
+}
+
+// workerSpill is a worker's external-memory shuffle configuration: its
+// private segment/run directory plus the reduce-merge budget.
+type workerSpill struct {
+	dir    string
+	budget int64
+	fanIn  int
+}
+
+// workerSpillFromEnv builds the worker's spill state from the environment
+// the master set at spawn; nil when spilling is off. The worker owns a
+// private subdirectory so concurrent workers never collide.
+func workerSpillFromEnv(index int) (*workerSpill, error) {
+	budgetStr := os.Getenv(workerEnvSpillBudget)
+	if budgetStr == "" {
+		return nil, nil
+	}
+	budget, err := strconv.ParseInt(budgetStr, 10, 64)
+	if err != nil || budget <= 0 {
+		return nil, fmt.Errorf("worker spill budget %q invalid", budgetStr)
+	}
+	base := os.Getenv(workerEnvSpillDir)
+	if base == "" {
+		return nil, fmt.Errorf("worker spill budget set without a directory")
+	}
+	fanIn := 0
+	if s := os.Getenv(workerEnvSpillFanIn); s != "" {
+		if fanIn, err = strconv.Atoi(s); err != nil {
+			return nil, fmt.Errorf("worker spill fan-in %q invalid", s)
+		}
+	}
+	dir, err := os.MkdirTemp(base, fmt.Sprintf("worker%d-", index))
+	if err != nil {
+		return nil, fmt.Errorf("worker spill dir: %w", err)
+	}
+	return &workerSpill{dir: dir, budget: budget, fanIn: fanIn}, nil
+}
+
+// putSegs stores one map task's output segments: in memory normally, as
+// one file per non-empty segment in spill mode, so a beyond-RAM job's map
+// outputs never accumulate in the worker heap.
+func (w *worker) putSegs(k storeKey, segs [][]byte) error {
+	if w.spill == nil {
+		w.storeMu.Lock()
+		w.store[k] = segs
+		w.storeMu.Unlock()
+		return nil
+	}
+	paths := make([]string, len(segs))
+	for r, seg := range segs {
+		if len(seg) == 0 {
+			continue
+		}
+		p := filepath.Join(w.spill.dir, fmt.Sprintf("j%d-m%d-r%d.seg", k.job, k.task, r))
+		if err := os.WriteFile(p, seg, 0o600); err != nil {
+			return fmt.Errorf("storing segment: %w", err)
+		}
+		paths[r] = p
+	}
+	w.storeMu.Lock()
+	w.files[k] = paths
+	w.storeMu.Unlock()
+	return nil
+}
+
+// getSeg loads one stored segment (nil for a stored-but-empty one); ok is
+// false when the task's output is not in the store at all. Disk
+// corruption of a spilled segment surfaces at the consumer as a checksum
+// mismatch, feeding the existing refetch / worker-death machinery.
+func (w *worker) getSeg(k storeKey, r int) (seg []byte, ok bool, err error) {
+	w.storeMu.Lock()
+	if w.spill == nil {
+		segs, found := w.store[k]
+		w.storeMu.Unlock()
+		if !found || r < 0 || r >= len(segs) {
+			return nil, false, nil
+		}
+		return segs[r], true, nil
+	}
+	paths, found := w.files[k]
+	w.storeMu.Unlock()
+	if !found || r < 0 || r >= len(paths) {
+		return nil, false, nil
+	}
+	if paths[r] == "" {
+		return nil, true, nil
+	}
+	seg, err = os.ReadFile(paths[r])
+	if err != nil {
+		return nil, true, fmt.Errorf("reading stored segment: %w", err)
+	}
+	return seg, true, nil
 }
 
 // jobInfo returns the job's static description, fetching it from the
@@ -224,7 +351,7 @@ func (w *worker) jobInfo(jobID int64) (*JobInfoReply, error) {
 }
 
 func (w *worker) remoteTask(info *JobInfoReply, lease *LeaseReply) *mapreduce.RemoteTask {
-	return &mapreduce.RemoteTask{
+	t := &mapreduce.RemoteTask{
 		Job:         info.Name,
 		Kind:        info.Kind,
 		Spec:        info.Spec,
@@ -235,6 +362,12 @@ func (w *worker) remoteTask(info *JobInfoReply, lease *LeaseReply) *mapreduce.Re
 		NumReducers: info.NumReducers,
 		Node:        w.node,
 	}
+	if w.spill != nil {
+		t.SpillBudget = w.spill.budget
+		t.SpillDir = w.spill.dir
+		t.SpillFanIn = w.spill.fanIn
+	}
+	return t
 }
 
 // runMap executes one map lease: run the kind's mapper over the shipped
@@ -251,9 +384,9 @@ func (w *worker) runMap(lease *LeaseReply) error {
 		var counters *mapreduce.Counters
 		segs, counters, err = mapreduce.RunRemoteMap(w.remoteTask(info, lease), lease.Split)
 		if err == nil {
-			w.storeMu.Lock()
-			w.store[storeKey{job: lease.JobID, task: lease.TaskID}] = segs
-			w.storeMu.Unlock()
+			err = w.putSegs(storeKey{job: lease.JobID, task: lease.TaskID}, segs)
+		}
+		if err == nil {
 			args.Checksums = make([]uint64, len(segs))
 			args.Bytes = make([]int64, len(segs))
 			for r, seg := range segs {
@@ -328,13 +461,13 @@ func (w *worker) runReduce(lease *LeaseReply) error {
 // shuffle segments.
 func (w *worker) fetchSegment(lease *LeaseReply, src MapSource) (seg []byte, wireBytes, refetches int64, err error) {
 	if src.WorkerID == w.id {
-		w.storeMu.Lock()
-		segs, ok := w.store[storeKey{job: lease.JobID, task: src.MapTask}]
-		w.storeMu.Unlock()
-		if !ok || lease.TaskID >= len(segs) {
+		seg, ok, err := w.getSeg(storeKey{job: lease.JobID, task: src.MapTask}, lease.TaskID)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("reduce task %d: %w", lease.TaskID, err)
+		}
+		if !ok {
 			return nil, 0, 0, fmt.Errorf("reduce task %d: local segment for map %d missing", lease.TaskID, src.MapTask)
 		}
-		seg = segs[lease.TaskID]
 		if mapreduce.SegmentChecksum(seg) != src.Checksum {
 			return nil, 0, 0, fmt.Errorf("reduce task %d: local segment for map %d corrupt", lease.TaskID, src.MapTask)
 		}
@@ -420,16 +553,25 @@ type workerFetchService struct {
 	w *worker
 }
 
-// Fetch implements the Worker.Fetch RPC.
+// Fetch implements the Worker.Fetch RPC. Under the "corrupt" chaos event
+// one reply is served with a byte flipped — the stored segment stays
+// pristine, so the fetcher's checksum verification catches the mismatch
+// and its refetch succeeds.
 func (s *workerFetchService) Fetch(args *FetchArgs, reply *FetchReply) error {
 	s.w.chaos.maybeKill(ChaosServe)
-	s.w.storeMu.Lock()
-	segs, ok := s.w.store[storeKey{job: args.JobID, task: args.MapTask}]
-	s.w.storeMu.Unlock()
-	if !ok || args.Reduce < 0 || args.Reduce >= len(segs) {
+	seg, ok, err := s.w.getSeg(storeKey{job: args.JobID, task: args.MapTask}, args.Reduce)
+	if err != nil {
+		return err
+	}
+	if !ok {
 		return fmt.Errorf("rpcexec: worker %d has no segment for job %d map %d reduce %d",
 			s.w.id, args.JobID, args.MapTask, args.Reduce)
 	}
-	reply.Seg = segs[args.Reduce]
+	if len(seg) > 0 && s.w.chaos.takeCorrupt() {
+		bad := append([]byte(nil), seg...)
+		bad[0] ^= 0xFF
+		seg = bad
+	}
+	reply.Seg = seg
 	return nil
 }

@@ -1,0 +1,178 @@
+package spill
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestConfigEnabled(t *testing.T) {
+	var nilCfg *Config
+	if nilCfg.Enabled() {
+		t.Error("nil config reports enabled")
+	}
+	if (&Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !(&Config{Dir: t.TempDir(), Budget: 1}).Enabled() {
+		t.Error("budgeted config reports disabled")
+	}
+}
+
+func TestCorruptErrorMessage(t *testing.T) {
+	err := &CorruptError{Path: "/runs/m0.run", Tag: 7}
+	msg := err.Error()
+	if !strings.Contains(msg, "/runs/m0.run") || !strings.Contains(msg, "7") {
+		t.Errorf("Error() = %q, want path and tag included", msg)
+	}
+}
+
+func TestWriterLenAndDiscard(t *testing.T) {
+	stats := &Stats{}
+	cfg := &Config{Dir: t.TempDir(), Budget: 64, FanIn: 2, Stats: stats}
+	w := NewWriter(cfg, "d", 3)
+	for i := 0; i < 20; i++ {
+		if err := w.Add([]byte(fmt.Sprintf("key%02d", i)), []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Len() == 0 {
+		t.Error("Len() = 0 with records buffered")
+	}
+	if stats.RunsWritten.Load() == 0 {
+		t.Fatal("tiny budget wrote no runs before Discard")
+	}
+	w.Discard()
+	if w.Len() != 0 {
+		t.Errorf("Len() = %d after Discard", w.Len())
+	}
+	ents, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("Discard left %d run files on disk", len(ents))
+	}
+}
+
+// TestMergerCloseMidStream: closing before the merge is drained releases
+// every open run reader and is idempotent.
+func TestMergerCloseMidStream(t *testing.T) {
+	cfg := &Config{Dir: t.TempDir(), Budget: 32, FanIn: 4, Stats: &Stats{}}
+	w := NewWriter(cfg, "m", 0)
+	for i := 0; i < 30; i++ {
+		if err := w.Add([]byte(fmt.Sprintf("k%03d", i)), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMerger(cfg, runs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Next(); err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+	m.Close()
+	m.Close() // idempotent
+
+	g, err := NewGroups(cfg, runs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := g.Next(); !ok || err != nil {
+		t.Fatalf("Groups first Next: ok=%v err=%v", ok, err)
+	}
+	g.Close()
+	g.Close()
+	removeRuns(runs)
+	if matches, _ := filepath.Glob(filepath.Join(cfg.Dir, "*.run")); len(matches) != 0 {
+		t.Errorf("removeRuns left %d files", len(matches))
+	}
+}
+
+// TestWriterEmptyFinish: a writer that never saw a record produces no runs.
+func TestWriterEmptyFinish(t *testing.T) {
+	cfg := &Config{Dir: t.TempDir(), Budget: 64, Stats: &Stats{}}
+	runs, err := NewWriter(cfg, "e", 0).Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != nil {
+		t.Errorf("empty writer produced %d runs", len(runs))
+	}
+}
+
+// TestCreateRunBadDir: run creation into a missing directory fails cleanly.
+func TestCreateRunBadDir(t *testing.T) {
+	cfg := &Config{Dir: filepath.Join(t.TempDir(), "missing", "sub"), Budget: 8, Stats: &Stats{}}
+	w := NewWriter(cfg, "x", 0)
+	var err error
+	for i := 0; i < 10 && err == nil; i++ {
+		err = w.Add([]byte("aaaa"), []byte("bbbb"))
+	}
+	if err == nil {
+		_, err = w.Finish()
+	}
+	if err == nil {
+		t.Error("spilling into a missing directory succeeded")
+	}
+}
+
+// TestLargeRecordsRoundtrip exercises multi-byte uvarint length prefixes
+// (lengths >= 128) through the writer, merge, and checksum verification.
+func TestLargeRecordsRoundtrip(t *testing.T) {
+	cfg := &Config{Dir: t.TempDir(), Budget: 4096, FanIn: 2, Stats: &Stats{}}
+	w := NewWriter(cfg, "big", 0)
+	key := bytesRepeat('k', 200)
+	val := bytesRepeat('v', 1000)
+	for i := 0; i < 8; i++ {
+		if err := w.Add(append(key, byte('a'+i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, temps, err := MergeTree(cfg, cfg.Dir, "bigmerge", runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer removePaths(temps)
+	g, err := NewGroups(cfg, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	n := 0
+	for {
+		k, vals, ok, err := g.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		if len(k) != 201 || len(vals) != 1 || len(vals[0]) != 1000 {
+			t.Fatalf("group shape: klen=%d groups=%d", len(k), len(vals))
+		}
+		n++
+	}
+	if n != 8 {
+		t.Errorf("streamed %d groups, want 8", n)
+	}
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}

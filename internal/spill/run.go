@@ -1,0 +1,301 @@
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+)
+
+// Run file layout. Records are length-prefixed with the same uvarint
+// framing shuffle segments use on the rpcexec wire, bracketed by a fixed
+// header and trailer:
+//
+//	magic   8 bytes  "SKYRUN1\n"
+//	records          uvarint(klen) key uvarint(vlen) value ...
+//	count   8 bytes  little-endian record count
+//	frames  8 bytes  little-endian byte length of the records region
+//	sum     8 bytes  little-endian FNV-1a over everything above
+//
+// The checksum covers the magic, every record byte and the two trailer
+// counts, and is verified incrementally as a reader streams the file: a
+// flipped bit anywhere surfaces as *CorruptError by the time the run is
+// drained, before its consumer commits anything derived from it.
+
+const (
+	runMagic       = "SKYRUN1\n"
+	runTrailerSize = 24
+)
+
+// RunFile describes one sorted run on disk.
+type RunFile struct {
+	// Path is the file location.
+	Path string
+	// Tag identifies the run's producer (the engine stores the map-task
+	// id); it travels into CorruptError so consumers can re-execute the
+	// producer. Intermediate merge outputs carry -1.
+	Tag int
+	// Records is the record count.
+	Records int64
+	// PayloadBytes is the key+value volume (framing excluded) — the
+	// quantity shuffle counters measure.
+	PayloadBytes int64
+	// FrameBytes is the byte length of the records region.
+	FrameBytes int64
+}
+
+// runWriter streams one run file, hashing as it writes.
+type runWriter struct {
+	f       *os.File
+	bw      *bufio.Writer
+	h       io.Writer // bw tee'd into the FNV hash
+	sum     interface{ Sum64() uint64 }
+	rf      RunFile
+	scratch [2 * binary.MaxVarintLen64]byte
+}
+
+// createRun opens a new run file at path.
+func createRun(path string, tag int) (*runWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: creating run: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	h := fnv.New64a()
+	w := &runWriter{f: f, bw: bw, h: io.MultiWriter(bw, h), sum: h, rf: RunFile{Path: path, Tag: tag}}
+	if _, err := w.h.Write([]byte(runMagic)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return w, nil
+}
+
+// add appends one framed record.
+func (w *runWriter) add(key, value []byte) error {
+	n := binary.PutUvarint(w.scratch[:], uint64(len(key)))
+	if _, err := w.h.Write(w.scratch[:n]); err != nil {
+		return err
+	}
+	if _, err := w.h.Write(key); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(w.scratch[:], uint64(len(value)))
+	if _, err := w.h.Write(w.scratch[:n]); err != nil {
+		return err
+	}
+	if _, err := w.h.Write(value); err != nil {
+		return err
+	}
+	w.rf.Records++
+	w.rf.PayloadBytes += int64(len(key) + len(value))
+	w.rf.FrameBytes += int64(uvarintLen(uint64(len(key))) + len(key) + uvarintLen(uint64(len(value))) + len(value))
+	return nil
+}
+
+// finish writes the trailer and closes the file, returning the completed
+// descriptor. The file is removed on error.
+func (w *runWriter) finish() (RunFile, error) {
+	rf, err := w.finishInner()
+	if err != nil {
+		w.f.Close()
+		os.Remove(w.rf.Path)
+		return RunFile{}, err
+	}
+	return rf, nil
+}
+
+func (w *runWriter) finishInner() (RunFile, error) {
+	var buf [runTrailerSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(w.rf.Records))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(w.rf.FrameBytes))
+	if _, err := w.h.Write(buf[:16]); err != nil {
+		return RunFile{}, err
+	}
+	binary.LittleEndian.PutUint64(buf[16:], w.sum.Sum64())
+	if _, err := w.bw.Write(buf[16:24]); err != nil {
+		return RunFile{}, err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return RunFile{}, err
+	}
+	if err := w.f.Close(); err != nil {
+		return RunFile{}, err
+	}
+	return w.rf, nil
+}
+
+// abort discards a partially written run.
+func (w *runWriter) abort() {
+	w.f.Close()
+	os.Remove(w.rf.Path)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// RunReader replays one run file in record order, verifying the checksum
+// incrementally; the final Next that returns io.EOF has proven the whole
+// file intact (or returned *CorruptError).
+type RunReader struct {
+	rf        RunFile
+	f         *os.File
+	br        *bufio.Reader
+	h         interface{ Sum64() uint64 }
+	hw        io.Writer
+	remaining int64 // record-region bytes left
+	read      int64 // records consumed
+	buf       []byte
+	wantSum   uint64
+	scratch   [8]byte
+}
+
+// OpenRun opens a run file for streaming. bufSize shapes the read buffer
+// (≤ 0 uses 64 KiB).
+func OpenRun(rf RunFile, bufSize int) (*RunReader, error) {
+	if bufSize <= 0 {
+		bufSize = 1 << 16
+	}
+	f, err := os.Open(rf.Path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: opening run: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r := &RunReader{rf: rf, f: f}
+	// The trailer is read up front: the counts locate the record region
+	// and the stored checksum is compared once streaming reaches the end.
+	if st.Size() < int64(len(runMagic))+runTrailerSize {
+		f.Close()
+		return nil, &CorruptError{Path: rf.Path, Tag: rf.Tag}
+	}
+	var trailer [runTrailerSize]byte
+	if _, err := f.ReadAt(trailer[:], st.Size()-runTrailerSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	count := int64(binary.LittleEndian.Uint64(trailer[0:]))
+	frames := int64(binary.LittleEndian.Uint64(trailer[8:]))
+	r.wantSum = binary.LittleEndian.Uint64(trailer[16:])
+	if frames != st.Size()-int64(len(runMagic))-runTrailerSize || count < 0 {
+		f.Close()
+		return nil, &CorruptError{Path: rf.Path, Tag: rf.Tag}
+	}
+	r.remaining = frames
+	r.rf.Records = count
+	r.rf.FrameBytes = frames
+	h := fnv.New64a()
+	r.h, r.hw = h, h
+	r.br = bufio.NewReaderSize(f, bufSize)
+	var magic [len(runMagic)]byte
+	if _, err := io.ReadFull(r.br, magic[:]); err != nil || string(magic[:]) != runMagic {
+		f.Close()
+		return nil, &CorruptError{Path: rf.Path, Tag: rf.Tag}
+	}
+	r.hw.Write(magic[:])
+	return r, nil
+}
+
+// Next returns the next record. The returned slices are valid until the
+// following Next call. At end of file the checksum is verified: a clean
+// end returns io.EOF, a mismatch returns *CorruptError.
+func (r *RunReader) Next() (key, value []byte, err error) {
+	if r.remaining == 0 {
+		return nil, nil, r.verify()
+	}
+	// Reads interleave with hash updates in exact file order (klen prefix,
+	// key, vlen prefix, value) so the incremental sum matches the writer's.
+	klen, err := r.readLen()
+	if err != nil {
+		return nil, nil, err
+	}
+	if cap(r.buf) < klen {
+		r.buf = make([]byte, klen)
+	}
+	r.buf = r.buf[:klen]
+	if _, err := io.ReadFull(r.br, r.buf); err != nil {
+		return nil, nil, r.corrupt()
+	}
+	r.hw.Write(r.buf)
+	r.remaining -= int64(klen)
+	vlen, err := r.readLen()
+	if err != nil {
+		return nil, nil, err
+	}
+	need := klen + vlen
+	if cap(r.buf) < need {
+		grown := make([]byte, need)
+		copy(grown, r.buf)
+		r.buf = grown
+	}
+	r.buf = r.buf[:need]
+	if _, err := io.ReadFull(r.br, r.buf[klen:]); err != nil {
+		return nil, nil, r.corrupt()
+	}
+	r.hw.Write(r.buf[klen:])
+	r.remaining -= int64(vlen)
+	r.read++
+	if r.read > r.rf.Records {
+		return nil, nil, r.corrupt()
+	}
+	return r.buf[:klen:klen], r.buf[klen:need:need], nil
+}
+
+// readLen reads one uvarint length prefix, bounded by the remaining
+// record-region bytes.
+func (r *RunReader) readLen() (int, error) {
+	n := 0
+	for shift := uint(0); ; shift += 7 {
+		if r.remaining == 0 || shift > 63 {
+			return 0, r.corrupt()
+		}
+		b, err := r.br.ReadByte()
+		if err != nil {
+			return 0, r.corrupt()
+		}
+		r.scratch[0] = b
+		r.hw.Write(r.scratch[:1])
+		r.remaining--
+		n |= int(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+	}
+	if n < 0 || int64(n) > r.remaining {
+		return 0, r.corrupt()
+	}
+	return n, nil
+}
+
+// verify checks the trailer checksum once the record region is drained.
+func (r *RunReader) verify() error {
+	if r.read != r.rf.Records {
+		return r.corrupt()
+	}
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(r.rf.Records))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(r.rf.FrameBytes))
+	r.hw.Write(buf[:])
+	if r.h.Sum64() != r.wantSum {
+		return r.corrupt()
+	}
+	return io.EOF
+}
+
+func (r *RunReader) corrupt() error {
+	return &CorruptError{Path: r.rf.Path, Tag: r.rf.Tag}
+}
+
+// Close releases the underlying file.
+func (r *RunReader) Close() error { return r.f.Close() }

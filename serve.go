@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"time"
 
 	"mrskyline/internal/cluster"
 	"mrskyline/internal/mapreduce"
 	"mrskyline/internal/obs"
+	"mrskyline/internal/spill"
 )
 
 // ErrOverloaded is returned by Service queries rejected because the
@@ -37,6 +39,14 @@ type ServiceConfig struct {
 	// queue wait and execution; an expired query returns the context
 	// error.
 	QueryTimeout time.Duration
+	// SpillBudget, when positive, runs every query through the
+	// external-memory shuffle: map-output bytes beyond the budget spill to
+	// sorted run files under SpillDir (default: the system temp dir) and
+	// merge back in bounded memory. Zero keeps the all-in-RAM shuffle;
+	// skylines are byte-identical either way. Ignored when an external
+	// Executor is supplied (configure spilling on the executor instead).
+	SpillBudget int64
+	SpillDir    string
 }
 
 // Service executes skyline queries on one long-lived simulated cluster —
@@ -63,6 +73,12 @@ type Service struct {
 func NewService(cfg ServiceConfig) (*Service, error) {
 	if cfg.QueryTimeout < 0 {
 		return nil, fmt.Errorf("mrskyline: QueryTimeout must be ≥ 0, got %v", cfg.QueryTimeout)
+	}
+	if cfg.SpillBudget < 0 {
+		return nil, fmt.Errorf("mrskyline: SpillBudget must be ≥ 0, got %d", cfg.SpillBudget)
+	}
+	if cfg.SpillDir != "" && cfg.SpillBudget == 0 {
+		return nil, fmt.Errorf("mrskyline: SpillDir set but SpillBudget is 0 (set a positive budget to enable spilling)")
 	}
 	if cfg.Executor != nil {
 		return &Service{exec: cfg.Executor, trace: cfg.Executor.WallTracer(), timeout: cfg.QueryTimeout}, nil
@@ -97,6 +113,16 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		return nil, fmt.Errorf("mrskyline: %w", err)
 	}
 	eng := mapreduce.NewEngine(c)
+	if cfg.SpillBudget > 0 {
+		dir := cfg.SpillDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("mrskyline: SpillDir %q is not a usable directory", dir)
+		}
+		eng.Spill = &spill.Config{Dir: dir, Budget: cfg.SpillBudget, Stats: &spill.Stats{}}
+	}
 	tr := obs.New()
 	eng.SetTrace(tr)
 	eng.SetAdmission(maxInFlight, maxQueue)

@@ -45,6 +45,7 @@ package mrskyline
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"mrskyline/internal/baseline"
@@ -52,6 +53,7 @@ import (
 	"mrskyline/internal/core"
 	"mrskyline/internal/mapreduce"
 	"mrskyline/internal/skyline"
+	"mrskyline/internal/spill"
 	"mrskyline/internal/tuple"
 )
 
@@ -118,6 +120,14 @@ type Options struct {
 	// algorithms: "bnl" (default, the paper's Algorithm 4), "sfs", "dc"
 	// (divide & conquer) or "bbs" (branch-and-bound over an R-tree).
 	Kernel string
+	// SpillBudget, when positive, bounds shuffle residency in bytes: map
+	// outputs beyond the budget spill to sorted run files and reducers
+	// stream a merge of those runs. 0 keeps the shuffle in memory. The
+	// spilled path produces byte-identical results.
+	SpillBudget int64
+	// SpillDir is where run files go when SpillBudget is set (default:
+	// the system temp dir). Per-job files are removed when the job ends.
+	SpillDir string
 }
 
 // Stats describes what a Compute call did.
@@ -202,6 +212,12 @@ func validateOptions(opts Options) error {
 	}
 	if opts.Reducers < 0 {
 		return fmt.Errorf("mrskyline: Reducers must be ≥ 0, got %d", opts.Reducers)
+	}
+	if opts.SpillBudget < 0 {
+		return fmt.Errorf("mrskyline: SpillBudget must be ≥ 0, got %d", opts.SpillBudget)
+	}
+	if opts.SpillDir != "" && opts.SpillBudget == 0 {
+		return fmt.Errorf("mrskyline: SpillDir is set but SpillBudget is 0")
 	}
 	return nil
 }
@@ -358,7 +374,18 @@ func newEngine(opts Options) (*mapreduce.Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mrskyline: %w", err)
 	}
-	return mapreduce.NewEngine(c), nil
+	eng := mapreduce.NewEngine(c)
+	if opts.SpillBudget > 0 {
+		dir := opts.SpillDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("mrskyline: SpillDir %q is not a usable directory", dir)
+		}
+		eng.Spill = &spill.Config{Dir: dir, Budget: opts.SpillBudget, Stats: &spill.Stats{}}
+	}
+	return eng, nil
 }
 
 // domainBounds computes a half-open bounding box [lo, hi) for the grid.
