@@ -61,6 +61,8 @@ func main() {
 		kernelbench  = flag.Bool("kernel", false, "run the dominance-kernel micro-benchmark (scalar vs columnar) instead of figures; writes BENCH_kernel.json to -outdir")
 		servequeries = flag.Int("servequeries", 64, "total queries for -serveload")
 		serveworkers = flag.Int("serveworkers", 8, "concurrent clients for -serveload")
+		servechurn   = flag.Float64("servechurn", 0, "update-heavy mix for -serveload: fraction of the dataset churned per delta batch against a maintained skyline (0 = queries only)")
+		servebatches = flag.Int("servebatches", 0, "delta batches for -servechurn (0 = default 16)")
 		executor     = flag.String("executor", "inproc", "MapReduce backend: inproc (simulated cluster figures) or process (multi-process workers over RPC; runs the backend comparison instead of figures and writes BENCH_executor.json to -outdir)")
 		workers      = flag.Int("workers", 4, "worker processes for -executor=process")
 		tracedir     = flag.String("tracedir", "", "with -executor=process, directory where each worker process writes its own Chrome trace (worker-<i>.trace.json)")
@@ -152,10 +154,12 @@ func main() {
 
 	if *serveload {
 		res, err := experiments.ServeLoad(experiments.ServeLoadConfig{
-			Queries: *servequeries,
-			Workers: *serveworkers,
-			Seed:    *seed,
-			Service: mrskyline.ServiceConfig{Nodes: *nodes, SlotsPerNode: *slots},
+			Queries:       *servequeries,
+			Workers:       *serveworkers,
+			Seed:          *seed,
+			Service:       mrskyline.ServiceConfig{Nodes: *nodes, SlotsPerNode: *slots},
+			ChurnFraction: *servechurn,
+			DeltaBatches:  *servebatches,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "skybench: -serveload: %v\n", err)
@@ -168,6 +172,10 @@ func main() {
 		}
 		fmt.Printf("serveload: %d queries, %d workers: %.1f q/s, p50 %.1f ms, p99 %.1f ms, %d errors\nwrote %s\n",
 			res.Queries, res.Workers, res.ThroughputQPS, res.LatencyP50Ms, res.LatencyP99Ms, res.Errors, path)
+		if res.ChurnFraction > 0 {
+			fmt.Printf("churn: %d batches × %.1f%%, apply p50 %.3f ms, maintained read p50 %.6f ms, recompute p50 %.3f ms, speedup %.0f×, gen %d\n",
+				res.DeltaBatches, res.ChurnFraction*100, res.DeltaApplyP50Ms, res.MaintainedP50Ms, res.RecomputeP50Ms, res.MaintainedSpeedupP50, res.FinalGen)
+		}
 		return
 	}
 

@@ -14,6 +14,13 @@
 //	GET  /v1/stats        service load + metrics registry
 //	GET  /healthz         liveness
 //
+// A dataset registered with "maintain": true keeps its skyline
+// incrementally up to date under churn instead of recomputing per query:
+//
+//	POST /v1/datasets/{name}/deltas   {"deltas":[{"op":"insert","row":[..]},{"op":"delete","row":[..]}]}
+//	GET  /v1/datasets/{name}/skyline  latest skyline + generation; ?since_gen=N
+//	                                  answers {"changed":false} cheaply when nothing moved
+//
 // Query requests name a cached dataset ("dataset":"hotels") or carry rows
 // inline ("data"). Overload surfaces as 429, a deadline as 504, invalid
 // arguments as 400.
@@ -30,6 +37,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -131,11 +139,35 @@ type server struct {
 	svc *mrskyline.Service
 
 	mu       sync.RWMutex
-	datasets map[string][][]float64
+	datasets map[string]*dataset
+}
+
+// dataset is one cache entry: plain rows, or a maintained skyline handle
+// when the dataset was registered with "maintain": true. Maintained
+// entries serve regular queries from their current resident rows.
+type dataset struct {
+	data  [][]float64
+	maint *mrskyline.MaintainedSkyline
+}
+
+// rows returns the dataset's current rows (a maintained dataset's
+// residents change under deltas; a plain dataset is immutable).
+func (d *dataset) rows() [][]float64 {
+	if d.maint != nil {
+		return d.maint.Rows()
+	}
+	return d.data
+}
+
+func (d *dataset) size() int {
+	if d.maint != nil {
+		return d.maint.Size()
+	}
+	return len(d.data)
 }
 
 func newServer(svc *mrskyline.Service) *server {
-	return &server{svc: svc, datasets: make(map[string][][]float64)}
+	return &server{svc: svc, datasets: make(map[string]*dataset)}
 }
 
 func (s *server) handler() http.Handler {
@@ -144,6 +176,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/constrained", s.postOnly(s.handleConstrained))
 	mux.HandleFunc("/v1/subspace", s.postOnly(s.handleSubspace))
 	mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	mux.HandleFunc("POST /v1/datasets/{name}/deltas", s.handleDeltas)
+	mux.HandleFunc("GET /v1/datasets/{name}/skyline", s.handleMaintainedSkyline)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -263,12 +297,78 @@ func (s *server) decodeQuery(r *http.Request) (*queryRequest, [][]float64, error
 		return nil, nil, &httpError{http.StatusBadRequest, `"dataset" and "data" are mutually exclusive`}
 	}
 	s.mu.RLock()
-	data, ok := s.datasets[q.Dataset]
+	ds, ok := s.datasets[q.Dataset]
 	s.mu.RUnlock()
 	if !ok {
 		return nil, nil, &httpError{http.StatusNotFound, fmt.Sprintf("unknown dataset %q", q.Dataset)}
 	}
-	return &q, data, nil
+	return &q, ds.rows(), nil
+}
+
+// lookupMaintained resolves a path's {name} to a maintained dataset.
+func (s *server) lookupMaintained(r *http.Request) (*mrskyline.MaintainedSkyline, error) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	ds, ok := s.datasets[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, &httpError{http.StatusNotFound, fmt.Sprintf("unknown dataset %q", name)}
+	}
+	if ds.maint == nil {
+		return nil, &httpError{http.StatusConflict, fmt.Sprintf("dataset %q is not maintained (register it with \"maintain\": true)", name)}
+	}
+	return ds.maint, nil
+}
+
+// handleDeltas applies a batch of inserts/deletes to a maintained
+// dataset and reports the new generation.
+func (s *server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	h, err := s.lookupMaintained(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req struct {
+		Deltas []mrskyline.Delta `json:"deltas"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, &httpError{http.StatusBadRequest, "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Deltas) == 0 {
+		writeError(w, &httpError{http.StatusBadRequest, `"deltas" is required and must be non-empty`})
+		return
+	}
+	res, err := h.ApplyDeltas(req.Deltas)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// handleMaintainedSkyline serves the latest maintained skyline. With
+// ?since_gen=N it is a cheap continuous-query poll: when the generation
+// still equals N the response is {"gen":N,"changed":false} with no rows.
+func (s *server) handleMaintainedSkyline(w http.ResponseWriter, r *http.Request) {
+	h, err := s.lookupMaintained(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if sg := r.URL.Query().Get("since_gen"); sg != "" {
+		since, err := strconv.ParseUint(sg, 10, 64)
+		if err != nil {
+			writeError(w, &httpError{http.StatusBadRequest, "bad since_gen: " + err.Error()})
+			return
+		}
+		if cur := h.Generation(); cur == since {
+			writeJSON(w, map[string]any{"gen": cur, "changed": false})
+			return
+		}
+	}
+	snap := h.Skyline()
+	writeJSON(w, map[string]any{"gen": snap.Gen, "changed": true, "skyline": snap.Skyline})
 }
 
 func (s *server) handleSkyline(w http.ResponseWriter, r *http.Request) {
@@ -328,6 +428,16 @@ type datasetRequest struct {
 		Dim          int    `json:"dim"`
 		Seed         int64  `json:"seed"`
 	} `json:"generate,omitempty"`
+	// Maintain opens the dataset as an incrementally maintained skyline:
+	// POST {name}/deltas applies churn and GET {name}/skyline reads the
+	// up-to-date result without recomputing. The remaining fields tune the
+	// maintained handle (see mrskyline.MaintainOptions) and require
+	// Maintain; MaintainDim permits an empty seed ("data": []).
+	Maintain       bool   `json:"maintain,omitempty"`
+	MaintainDim    int    `json:"maintain_dim,omitempty"`
+	MaintainPPD    int    `json:"maintain_ppd,omitempty"`
+	MaintainWindow int    `json:"maintain_window,omitempty"`
+	Maximize       []bool `json:"maximize,omitempty"`
 }
 
 func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -335,12 +445,19 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		s.mu.RLock()
 		type entry struct {
-			Name string `json:"name"`
-			Rows int    `json:"rows"`
+			Name       string `json:"name"`
+			Rows       int    `json:"rows"`
+			Maintained bool   `json:"maintained,omitempty"`
+			Gen        uint64 `json:"gen,omitempty"`
 		}
 		list := make([]entry, 0, len(s.datasets))
-		for name, data := range s.datasets {
-			list = append(list, entry{name, len(data)})
+		for name, ds := range s.datasets {
+			e := entry{Name: name, Rows: ds.size()}
+			if ds.maint != nil {
+				e.Maintained = true
+				e.Gen = ds.maint.Generation()
+			}
+			list = append(list, e)
 		}
 		s.mu.RUnlock()
 		sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
@@ -373,10 +490,34 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			writeError(w, &httpError{http.StatusBadRequest, `either "data" or "generate" is required`})
 			return
 		}
+		if !req.Maintain && (req.MaintainDim != 0 || req.MaintainPPD != 0 || req.MaintainWindow != 0) {
+			writeError(w, &httpError{http.StatusBadRequest, `"maintain_dim"/"maintain_ppd"/"maintain_window" require "maintain": true`})
+			return
+		}
+		ds := &dataset{data: data}
+		if req.Maintain {
+			h, err := s.svc.OpenMaintained(data, mrskyline.MaintainOptions{
+				Dim:        req.MaintainDim,
+				PPD:        req.MaintainPPD,
+				WindowSize: req.MaintainWindow,
+				Maximize:   req.Maximize,
+			})
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			ds = &dataset{maint: h}
+		}
 		s.mu.Lock()
-		s.datasets[req.Name] = data
+		s.datasets[req.Name] = ds
 		s.mu.Unlock()
-		writeJSON(w, map[string]any{"name": req.Name, "rows": len(data)})
+		resp := map[string]any{"name": req.Name, "rows": ds.size()}
+		if req.Maintain {
+			resp["maintained"] = true
+			resp["gen"] = ds.maint.Generation()
+			resp["skyline_size"] = len(ds.maint.Skyline().Skyline)
+		}
+		writeJSON(w, resp)
 	default:
 		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET or POST required"})
 	}

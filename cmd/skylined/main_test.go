@@ -273,3 +273,202 @@ func TestConcurrentHTTPQueries(t *testing.T) {
 		t.Error("stats response lacks metrics registry")
 	}
 }
+
+// TestMaintainedDatasetEndpoints exercises the maintained-dataset flow
+// end to end: register with "maintain": true, push deltas, poll the
+// skyline with since_gen, and query the live residents by name.
+func TestMaintainedDatasetEndpoints(t *testing.T) {
+	ts := newTestServer(t, mrskyline.ServiceConfig{Nodes: 2})
+	code, raw := postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name":     "live",
+		"maintain": true,
+		"generate": map[string]any{"distribution": "independent", "card": 200, "dim": 2, "seed": 5},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("maintained registration: status %d: %s", code, raw)
+	}
+	var reg struct {
+		Maintained  bool   `json:"maintained"`
+		Gen         uint64 `json:"gen"`
+		SkylineSize int    `json:"skyline_size"`
+		Rows        int    `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &reg); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Maintained || reg.Gen != 1 || reg.Rows != 200 || reg.SkylineSize == 0 {
+		t.Fatalf("registration response = %+v", reg)
+	}
+
+	// Full read, then a cheap no-change poll against the same generation.
+	var snap struct {
+		Gen     uint64      `json:"gen"`
+		Changed bool        `json:"changed"`
+		Skyline [][]float64 `json:"skyline"`
+	}
+	getSkyline := func(query string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/datasets/live/skyline" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET skyline%s: status %d", query, resp.StatusCode)
+		}
+		snap = struct {
+			Gen     uint64      `json:"gen"`
+			Changed bool        `json:"changed"`
+			Skyline [][]float64 `json:"skyline"`
+		}{}
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	getSkyline("")
+	if !snap.Changed || snap.Gen != 1 || len(snap.Skyline) != reg.SkylineSize {
+		t.Fatalf("initial skyline read = %+v", snap)
+	}
+	getSkyline("?since_gen=1")
+	if snap.Changed || snap.Gen != 1 || snap.Skyline != nil {
+		t.Fatalf("no-change poll = %+v, want changed=false with no rows", snap)
+	}
+
+	// A delta batch advances the generation; the stale cursor sees it.
+	code, raw = postJSON(t, ts.URL+"/v1/datasets/live/deltas", map[string]any{
+		"deltas": []map[string]any{
+			{"op": "insert", "row": []float64{0.001, 0.001}},
+			{"op": "insert", "row": []float64{0.999, 0.999}},
+		},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("deltas: status %d: %s", code, raw)
+	}
+	var dres struct {
+		Inserted int    `json:"inserted"`
+		Gen      uint64 `json:"gen"`
+	}
+	if err := json.Unmarshal(raw, &dres); err != nil {
+		t.Fatal(err)
+	}
+	if dres.Inserted != 2 || dres.Gen != 2 {
+		t.Fatalf("delta result = %+v", dres)
+	}
+	getSkyline("?since_gen=1")
+	if !snap.Changed || snap.Gen != 2 {
+		t.Fatalf("stale poll after deltas = %+v", snap)
+	}
+	// {0.001, 0.001} dominates (nearly) everything.
+	found := false
+	for _, row := range snap.Skyline {
+		if row[0] == 0.001 && row[1] == 0.001 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("inserted dominator missing from maintained skyline %v", snap.Skyline)
+	}
+
+	// Regular query endpoints see the maintained dataset's live residents.
+	code, raw = postJSON(t, ts.URL+"/v1/skyline", map[string]any{"dataset": "live"})
+	if code != http.StatusOK {
+		t.Fatalf("query maintained dataset: status %d: %s", code, raw)
+	}
+	qr := decodeQueryResponse(t, raw)
+	if len(qr.Skyline) != len(snap.Skyline) {
+		t.Errorf("recompute over residents = %d rows, maintained = %d", len(qr.Skyline), len(snap.Skyline))
+	}
+
+	// The dataset listing reports maintenance state and generation.
+	resp, err := http.Get(ts.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Datasets []struct {
+			Name       string `json:"name"`
+			Rows       int    `json:"rows"`
+			Maintained bool   `json:"maintained"`
+			Gen        uint64 `json:"gen"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Datasets) != 1 || !list.Datasets[0].Maintained || list.Datasets[0].Gen != 2 || list.Datasets[0].Rows != 202 {
+		t.Errorf("dataset listing = %+v", list)
+	}
+}
+
+func TestMaintainedEndpointErrors(t *testing.T) {
+	ts := newTestServer(t, mrskyline.ServiceConfig{Nodes: 2})
+	code, raw := postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name": "plain",
+		"data": [][]float64{{1, 2}, {2, 1}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("plain registration: status %d: %s", code, raw)
+	}
+
+	// Deltas against an unknown dataset: 404. Against a plain one: 409.
+	code, _ = postJSON(t, ts.URL+"/v1/datasets/nope/deltas", map[string]any{
+		"deltas": []map[string]any{{"op": "insert", "row": []float64{1, 1}}},
+	})
+	if code != http.StatusNotFound {
+		t.Errorf("unknown dataset deltas: status %d, want 404", code)
+	}
+	code, _ = postJSON(t, ts.URL+"/v1/datasets/plain/deltas", map[string]any{
+		"deltas": []map[string]any{{"op": "insert", "row": []float64{1, 1}}},
+	})
+	if code != http.StatusConflict {
+		t.Errorf("non-maintained deltas: status %d, want 409", code)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/datasets/plain/skyline"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Errorf("non-maintained skyline read: status %d, want 409", resp.StatusCode)
+		}
+	}
+
+	// Maintained tuning fields without "maintain": true are rejected.
+	code, _ = postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name":         "tuned",
+		"data":         [][]float64{{1, 2}},
+		"maintain_ppd": 4,
+	})
+	if code != http.StatusBadRequest {
+		t.Errorf("tuning without maintain: status %d, want 400", code)
+	}
+
+	code, raw = postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name":     "live",
+		"maintain": true,
+		"data":     [][]float64{{0.5, 0.5}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("maintained registration: status %d: %s", code, raw)
+	}
+	// Empty delta batches and unknown ops are 400s.
+	code, _ = postJSON(t, ts.URL+"/v1/datasets/live/deltas", map[string]any{"deltas": []map[string]any{}})
+	if code != http.StatusBadRequest {
+		t.Errorf("empty delta batch: status %d, want 400", code)
+	}
+	code, _ = postJSON(t, ts.URL+"/v1/datasets/live/deltas", map[string]any{
+		"deltas": []map[string]any{{"op": "upsert", "row": []float64{1, 1}}},
+	})
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown op: status %d, want 400", code)
+	}
+	// Malformed since_gen is a 400.
+	if resp, err := http.Get(ts.URL + "/v1/datasets/live/skyline?since_gen=banana"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad since_gen: status %d, want 400", resp.StatusCode)
+		}
+	}
+}

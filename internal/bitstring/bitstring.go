@@ -124,6 +124,17 @@ func (b *Bitstring) Any() bool {
 	return false
 }
 
+// CopyFrom overwrites b's bits with other's. Both bitstrings must have the
+// same length. It is the allocation-free alternative to Clone for callers
+// that re-derive one bitstring from another repeatedly (the incremental
+// skyline maintainer recomputes survivors from occupancy per delta batch).
+func (b *Bitstring) CopyFrom(other *Bitstring) {
+	if b.n != other.n {
+		panic(fmt.Sprintf("bitstring: length mismatch %d vs %d", b.n, other.n))
+	}
+	copy(b.words, other.words)
+}
+
 // Clone returns a deep copy.
 func (b *Bitstring) Clone() *Bitstring {
 	c := &Bitstring{n: b.n, words: make([]uint64, len(b.words))}

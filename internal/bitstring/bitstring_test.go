@@ -256,3 +256,30 @@ func TestAnd(t *testing.T) {
 	}()
 	a.And(New(11))
 }
+
+func TestCopyFrom(t *testing.T) {
+	src := FromIndices(130, 0, 63, 64, 129)
+	dst := FromIndices(130, 5, 70)
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatalf("CopyFrom: dst %s != src %s", dst, src)
+	}
+	// Deep: mutating dst afterwards leaves src alone.
+	dst.Set(7)
+	if src.Get(7) {
+		t.Fatal("CopyFrom aliased the word arrays")
+	}
+	// Stale dst bits are fully overwritten, not OR-merged.
+	if dst.Get(5) || dst.Get(70) {
+		t.Fatal("CopyFrom kept stale destination bits")
+	}
+}
+
+func TestCopyFromLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom with mismatched lengths did not panic")
+		}
+	}()
+	New(10).CopyFrom(New(11))
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -26,9 +27,24 @@ type ServeLoadConfig struct {
 	Seed         int64
 	// Service configures the serving layer under test.
 	Service mrskyline.ServiceConfig
+	// ChurnFraction, when positive, appends an update-heavy phase after
+	// the query mix: a maintained skyline is opened on the service and
+	// DeltaBatches delta batches are applied, each churning
+	// ChurnFraction of the dataset (half deletes of resident rows, half
+	// inserts of fresh ones, so cardinality stays stable). Each batch
+	// measures the delta apply, the maintained skyline read, and the
+	// recompute-per-query baseline over the same residents. Must lie in
+	// (0, 1] when set.
+	ChurnFraction float64
+	// DeltaBatches is the churn phase's batch count (default 16; only
+	// with ChurnFraction > 0).
+	DeltaBatches int
 }
 
 func (c ServeLoadConfig) withDefaults() ServeLoadConfig {
+	if c.ChurnFraction > 0 && c.DeltaBatches == 0 {
+		c.DeltaBatches = 16
+	}
 	if c.Queries == 0 {
 		c.Queries = 64
 	}
@@ -80,6 +96,21 @@ type ServeLoadResult struct {
 	Admitted int64 `json:"admitted"`
 	Rejected int64 `json:"rejected"`
 	Canceled int64 `json:"canceled"`
+
+	// Churn phase (ChurnFraction > 0 only). MaintainedP50Ms is the
+	// latency of reading the maintained skyline after a delta batch;
+	// RecomputeP50Ms is the recompute-per-query baseline over the same
+	// resident rows; MaintainedSpeedupP50 is their ratio.
+	ChurnFraction        float64 `json:"churn_fraction,omitempty"`
+	DeltaBatches         int     `json:"delta_batches,omitempty"`
+	DeltaOps             int     `json:"delta_ops,omitempty"`
+	DeltaApplyP50Ms      float64 `json:"delta_apply_p50_ms,omitempty"`
+	MaintainedP50Ms      float64 `json:"maintained_p50_ms,omitempty"`
+	MaintainedP99Ms      float64 `json:"maintained_p99_ms,omitempty"`
+	RecomputeP50Ms       float64 `json:"recompute_p50_ms,omitempty"`
+	MaintainedSpeedupP50 float64 `json:"maintained_speedup_p50,omitempty"`
+	FinalGen             uint64  `json:"final_gen,omitempty"`
+	FinalSkylineSize     int     `json:"final_skyline_size,omitempty"`
 }
 
 // ServeLoad fires cfg.Queries mixed queries (plain, constrained and
@@ -89,6 +120,9 @@ type ServeLoadResult struct {
 // query must succeed.
 func ServeLoad(cfg ServeLoadConfig) (*ServeLoadResult, error) {
 	cfg = cfg.withDefaults()
+	if cfg.ChurnFraction < 0 || cfg.ChurnFraction > 1 {
+		return nil, fmt.Errorf("experiments: churn fraction %v outside [0, 1]", cfg.ChurnFraction)
+	}
 	data, err := mrskyline.Generate(cfg.Distribution, cfg.Card, cfg.Dim, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -184,7 +218,105 @@ func ServeLoad(cfg ServeLoadConfig) (*ServeLoadResult, error) {
 		Rejected: st.Rejected,
 		Canceled: st.Canceled,
 	}
+	if cfg.ChurnFraction > 0 {
+		if err := churn(svc, data, cfg, res); err != nil {
+			return nil, fmt.Errorf("experiments: churn phase: %w", err)
+		}
+	}
 	return res, nil
+}
+
+// churn runs the update-heavy phase: DeltaBatches delta batches against a
+// maintained skyline opened on svc, measuring — per batch — the apply
+// latency, the maintained read latency, and the recompute-per-query
+// baseline (a full Service.Compute over the same residents). The resident
+// multiset evolves but keeps its cardinality: each batch deletes
+// ⌈churn·card⌉/2 random resident rows and inserts as many fresh ones from
+// the same distribution.
+func churn(svc *mrskyline.Service, data [][]float64, cfg ServeLoadConfig, res *ServeLoadResult) error {
+	h, err := svc.OpenMaintained(data, mrskyline.MaintainOptions{})
+	if err != nil {
+		return err
+	}
+	batch := int(cfg.ChurnFraction * float64(cfg.Card))
+	if batch < 2 {
+		batch = 2
+	}
+	ins := batch / 2
+	del := batch - ins
+	fresh, err := mrskyline.Generate(cfg.Distribution, cfg.DeltaBatches*ins, cfg.Dim, cfg.Seed+7919)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 104729))
+	live := make([][]float64, len(data))
+	copy(live, data)
+
+	ctx := context.Background()
+	var applyLat, maintLat, recompLat []time.Duration
+	deltaOps := 0
+	for b := 0; b < cfg.DeltaBatches; b++ {
+		deltas := make([]mrskyline.Delta, 0, batch)
+		for i := 0; i < del && len(live) > 0; i++ {
+			j := rng.Intn(len(live))
+			deltas = append(deltas, mrskyline.Delta{Op: mrskyline.DeltaDelete, Row: live[j]})
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		for i := 0; i < ins; i++ {
+			row := fresh[b*ins+i]
+			deltas = append(deltas, mrskyline.Delta{Op: mrskyline.DeltaInsert, Row: row})
+			live = append(live, row)
+		}
+		deltaOps += len(deltas)
+		t0 := time.Now()
+		if _, err := h.ApplyDeltas(deltas); err != nil {
+			return err
+		}
+		applyLat = append(applyLat, time.Since(t0))
+		// The maintained read is far below timer resolution; time a burst
+		// and report the per-read mean as one sample.
+		const reads = 16
+		t0 = time.Now()
+		for r := 0; r < reads; r++ {
+			h.Skyline()
+		}
+		maintLat = append(maintLat, time.Since(t0)/reads)
+		t0 = time.Now()
+		if _, err := svc.Compute(ctx, live, mrskyline.Options{}); err != nil {
+			return err
+		}
+		recompLat = append(recompLat, time.Since(t0))
+	}
+
+	res.ChurnFraction = cfg.ChurnFraction
+	res.DeltaBatches = cfg.DeltaBatches
+	res.DeltaOps = deltaOps
+	res.DeltaApplyP50Ms = pctMs(applyLat, 50)
+	res.MaintainedP50Ms = pctMs(maintLat, 50)
+	res.MaintainedP99Ms = pctMs(maintLat, 99)
+	res.RecomputeP50Ms = pctMs(recompLat, 50)
+	if p50 := res.MaintainedP50Ms; p50 > 0 {
+		res.MaintainedSpeedupP50 = res.RecomputeP50Ms / p50
+	} else {
+		// Sub-resolution maintained reads: report the ratio against one
+		// timer tick rather than dividing by zero.
+		res.MaintainedSpeedupP50 = res.RecomputeP50Ms / (float64(time.Nanosecond) / float64(time.Millisecond))
+	}
+	snap := h.Skyline()
+	res.FinalGen = snap.Gen
+	res.FinalSkylineSize = len(snap.Skyline)
+	return nil
+}
+
+// pctMs returns the p-th percentile of lats in milliseconds (exact sort).
+func pctMs(lats []time.Duration, p int) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return float64(s[(len(s)-1)*p/100]) / float64(time.Millisecond)
 }
 
 // WriteServeBenchJSON serializes one serving-load run to path

@@ -48,3 +48,68 @@ func TestServeLoad(t *testing.T) {
 		t.Errorf("round-trip mismatch: %+v vs %+v", back, res)
 	}
 }
+
+// TestServeLoadChurn is the update-heavy serving benchmark at smoke
+// scale: the churn phase must populate the maintained-vs-recompute
+// fields, keep cardinality stable, and show the maintained read beating
+// a full recompute.
+func TestServeLoadChurn(t *testing.T) {
+	res, err := experiments.ServeLoad(experiments.ServeLoadConfig{
+		Queries:       6,
+		Workers:       3,
+		Card:          400,
+		Dim:           3,
+		ChurnFraction: 0.01,
+		DeltaBatches:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChurnFraction != 0.01 || res.DeltaBatches != 4 {
+		t.Fatalf("churn config not echoed: %+v", res)
+	}
+	// 1% of 400 = 4 ops per batch × 4 batches.
+	if res.DeltaOps != 16 {
+		t.Errorf("delta ops = %d, want 16", res.DeltaOps)
+	}
+	// One generation per batch on top of the seed publish.
+	if res.FinalGen != 1+uint64(res.DeltaBatches) {
+		t.Errorf("final gen = %d, want %d", res.FinalGen, 1+res.DeltaBatches)
+	}
+	if res.FinalSkylineSize <= 0 {
+		t.Errorf("final skyline size = %d, want > 0", res.FinalSkylineSize)
+	}
+	if res.RecomputeP50Ms <= 0 {
+		t.Errorf("recompute p50 = %v, want > 0", res.RecomputeP50Ms)
+	}
+	// The whole point: a maintained read is much cheaper than recomputing.
+	if res.MaintainedSpeedupP50 < 5 {
+		t.Errorf("maintained speedup p50 = %v, want ≥ 5", res.MaintainedSpeedupP50)
+	}
+
+	// Churn fields survive the BENCH_serve.json round trip.
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := experiments.WriteServeBenchJSON(path, res); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back experiments.ServeLoadResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.MaintainedSpeedupP50 != res.MaintainedSpeedupP50 || back.FinalGen != res.FinalGen {
+		t.Errorf("churn fields lost in round trip: %+v vs %+v", back, res)
+	}
+}
+
+func TestServeLoadChurnValidation(t *testing.T) {
+	if _, err := experiments.ServeLoad(experiments.ServeLoadConfig{ChurnFraction: 1.5}); err == nil {
+		t.Error("churn fraction > 1 accepted")
+	}
+	if _, err := experiments.ServeLoad(experiments.ServeLoadConfig{ChurnFraction: -0.1}); err == nil {
+		t.Error("negative churn fraction accepted")
+	}
+}

@@ -39,8 +39,9 @@ func ValidateFaultConfig(rate float64, seedSet bool) error {
 // ValidateSpillConfig checks the external-memory shuffle knobs as front
 // ends receive them. budgetSet and dirSet report whether the user passed
 // the flags explicitly (the zero budget means "all in RAM", so presence
-// cannot be inferred from the value). A positive budget requires an
-// existing spill directory.
+// cannot be inferred from the value); the flag-presence rules are CLI
+// concerns and live here, while the budget/dir pairing rule is the shared
+// spill.ValidateSetup every front end enforces.
 func ValidateSpillConfig(budget int64, dir string, budgetSet, dirSet bool) error {
 	if budgetSet && budget <= 0 {
 		return fmt.Errorf("experiments: spill budget must be positive, got %d", budget)
@@ -48,13 +49,8 @@ func ValidateSpillConfig(budget int64, dir string, budgetSet, dirSet bool) error
 	if dirSet && dir == "" {
 		return fmt.Errorf("experiments: spill dir set but empty")
 	}
-	if dirSet && budget <= 0 {
-		return fmt.Errorf("experiments: spill dir set but spill budget is 0 (set a positive budget to enable spilling)")
-	}
-	if budget > 0 && dir != "" {
-		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
-			return fmt.Errorf("experiments: spill dir %q is not a usable directory", dir)
-		}
+	if err := spill.ValidateSetup(budget, dir); err != nil {
+		return fmt.Errorf("experiments: %w", err)
 	}
 	return nil
 }

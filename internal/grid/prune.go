@@ -60,6 +60,21 @@ func (g *Grid) Prune(bs *bitstring.Bitstring) {
 	})
 }
 
+// PruneInto re-derives the surviving-partition bitstring from an occupancy
+// bitstring without consuming it: dst is overwritten with occ and then
+// pruned in place, so on return bit i of dst is set ⟺ p_i is non-empty and
+// not dominated by any non-empty partition, while occ is left untouched.
+// Callers that keep the occupancy bitstring resident across deltas (the
+// incremental maintainer) use it to refresh survivors after each batch.
+// dst must not alias occ and both must match the grid's size.
+func (g *Grid) PruneInto(dst, occ *bitstring.Bitstring) {
+	if dst == occ {
+		panic("grid: PruneInto dst must not alias occ")
+	}
+	dst.CopyFrom(occ)
+	g.Prune(dst)
+}
+
 // pruneNaive is the O(ρ·n^d) reference implementation of Equation 2 used to
 // cross-check Prune in tests: for every non-empty partition, clear all
 // partitions in its dominating region.

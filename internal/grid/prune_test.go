@@ -142,3 +142,47 @@ func BenchmarkPrune(b *testing.B) {
 		g.Prune(bs.Clone())
 	}
 }
+
+func TestPruneIntoLeavesOccupancyIntact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		d := 2 + rng.Intn(2)
+		n := 2 + rng.Intn(4)
+		g := mustGrid(t, d, n)
+		occ := bitstring.New(g.NumPartitions())
+		for i := 0; i < g.NumPartitions(); i++ {
+			if rng.Intn(3) == 0 {
+				occ.Set(i)
+			}
+		}
+		occBefore := occ.Clone()
+		want := occ.Clone()
+		g.Prune(want)
+
+		dst := bitstring.New(g.NumPartitions())
+		g.PruneInto(dst, occ)
+		if !dst.Equal(want) {
+			t.Fatalf("trial %d: PruneInto %s, Prune %s", trial, dst, want)
+		}
+		if !occ.Equal(occBefore) {
+			t.Fatalf("trial %d: PruneInto mutated occupancy: %s → %s", trial, occBefore, occ)
+		}
+		// Reusable: a second derivation into the same dst (with stale
+		// contents) matches too.
+		g.PruneInto(dst, occ)
+		if !dst.Equal(want) {
+			t.Fatalf("trial %d: second PruneInto diverged", trial)
+		}
+	}
+}
+
+func TestPruneIntoAliasPanics(t *testing.T) {
+	g := mustGrid(t, 2, 3)
+	bs := bitstring.New(g.NumPartitions())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PruneInto(bs, bs) did not panic")
+		}
+	}()
+	g.PruneInto(bs, bs)
+}

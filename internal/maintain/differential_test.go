@@ -1,0 +1,173 @@
+package maintain
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/tuple"
+)
+
+// TestDifferential30Seeds is the acceptance differential: 30 random
+// insert/delete workloads, and after EVERY delta batch the maintained
+// skyline must be byte-identical to a full recompute — both the naive
+// oracle over the resident multiset (set semantics, order-free) and a
+// fresh grid build over Rows() on the same grid (ordered, byte-for-byte).
+//
+// The workloads deliberately include duplicate tuples, deltas landing in
+// pruned cells (clustered far-corner churn), out-of-domain rows, deletes
+// of absent tuples, and periodic NaN batches that must be rejected with
+// no state change. Run under -race in CI alongside the concurrent-reader
+// test.
+func TestDifferential30Seeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep skipped in -short")
+	}
+	for seed := int64(1); seed <= 30; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			runDifferential(t, seed)
+		})
+	}
+}
+
+func runDifferential(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	d := 2 + rng.Intn(3) // 2..4 dimensions
+	card := 100 + rng.Intn(200)
+	cfg := Config{
+		PPD: 2 + rng.Intn(6),
+		Lo:  make([]float64, d),
+		Hi:  ones(d),
+	}
+	data := randomRows(rng, card, d)
+	m, err := New(data.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// resident shadows the maintained multiset with the same
+	// delete-first-equal semantics.
+	resident := data.Clone()
+
+	batches := 25
+	for b := 0; b < batches; b++ {
+		var batch []Delta
+		ops := 1 + rng.Intn(12)
+		for o := 0; o < ops; o++ {
+			switch {
+			case rng.Float64() < 0.45 && len(resident) > 0:
+				// Delete a resident row (occasionally an absent one).
+				if rng.Float64() < 0.1 {
+					batch = append(batch, Delta{Op: OpDelete, Row: tuple.Tuple{42, 42, 42, 42}[:d].Clone()})
+					break
+				}
+				j := rng.Intn(len(resident))
+				row := resident[j].Clone()
+				batch = append(batch, Delta{Op: OpDelete, Row: row})
+				resident = deleteFirstEqual(resident, row)
+			case rng.Float64() < 0.15 && len(resident) > 0:
+				// Duplicate insert: an exact copy of a resident row.
+				row := resident[rng.Intn(len(resident))].Clone()
+				batch = append(batch, Delta{Op: OpInsert, Row: row.Clone()})
+				resident = append(resident, row)
+			case rng.Float64() < 0.15:
+				// Pruned-cell churn: a clustered far-corner row, almost
+				// always in a dominated partition.
+				row := make(tuple.Tuple, d)
+				for k := range row {
+					row[k] = 0.9 + rng.Float64()*0.1
+				}
+				batch = append(batch, Delta{Op: OpInsert, Row: row.Clone()})
+				resident = append(resident, row)
+			case rng.Float64() < 0.1:
+				// Out-of-domain row: clamps into a boundary cell.
+				row := make(tuple.Tuple, d)
+				for k := range row {
+					row[k] = rng.Float64()*4 - 2
+				}
+				batch = append(batch, Delta{Op: OpInsert, Row: row.Clone()})
+				resident = append(resident, row)
+			default:
+				row := randomRows(rng, 1, d)[0]
+				batch = append(batch, Delta{Op: OpInsert, Row: row.Clone()})
+				resident = append(resident, row)
+			}
+		}
+		if _, err := m.Apply(batch); err != nil {
+			t.Fatalf("seed %d batch %d: %v", seed, b, err)
+		}
+
+		// Every 5th batch: a NaN insert must reject atomically.
+		if b%5 == 4 {
+			gen := m.Generation()
+			bad := make(tuple.Tuple, d)
+			bad[rng.Intn(d)] = math.NaN()
+			if _, err := m.Apply([]Delta{
+				{Op: OpInsert, Row: randomRows(rng, 1, d)[0]},
+				{Op: OpInsert, Row: bad},
+			}); err == nil {
+				t.Fatalf("seed %d batch %d: NaN batch accepted", seed, b)
+			}
+			if m.Generation() != gen {
+				t.Fatalf("seed %d batch %d: rejected batch advanced generation", seed, b)
+			}
+		}
+
+		// Multiset differential against the naive oracle.
+		got := sortedRows(m.Snapshot().Skyline)
+		want := sortedRows(skyline.Naive(resident))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d batch %d: skyline mismatch (%d vs %d rows)\n got  %v\n want %v",
+				seed, b, len(got), len(want), got, want)
+		}
+
+		// Byte-identical differential against a full rebuild on the same
+		// grid: same tuples in the same order.
+		fresh, err := New(m.Rows(), cfg)
+		if err != nil {
+			t.Fatalf("seed %d batch %d: rebuild: %v", seed, b, err)
+		}
+		if !reflect.DeepEqual(m.Snapshot().Skyline, fresh.Snapshot().Skyline) {
+			t.Fatalf("seed %d batch %d: incremental and rebuilt skylines differ in content or order",
+				seed, b)
+		}
+		if m.Size() != len(resident) {
+			t.Fatalf("seed %d batch %d: Size %d, shadow %d", seed, b, m.Size(), len(resident))
+		}
+	}
+}
+
+func randomRows(rng *rand.Rand, n, d int) tuple.List {
+	out := make(tuple.List, n)
+	for i := range out {
+		row := make(tuple.Tuple, d)
+		for k := range row {
+			// Two-decimal grid so duplicates and ties occur naturally.
+			row[k] = math.Round(rng.Float64()*100) / 100
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func ones(d int) []float64 {
+	out := make([]float64, d)
+	for k := range out {
+		out[k] = 1
+	}
+	return out
+}
+
+// deleteFirstEqual removes the first row equal to t, mirroring the
+// maintainer's delete semantics on the shadow multiset.
+func deleteFirstEqual(l tuple.List, row tuple.Tuple) tuple.List {
+	for i, u := range l {
+		if u.Equal(row) {
+			return append(l[:i], l[i+1:]...)
+		}
+	}
+	return l
+}

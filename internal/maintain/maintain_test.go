@@ -1,0 +1,406 @@
+package maintain
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"mrskyline/internal/skyline"
+	"mrskyline/internal/tuple"
+)
+
+// sortedRows canonicalizes a tuple list for multiset comparison:
+// lexicographic order over cloned rows.
+func sortedRows(l tuple.List) tuple.List {
+	out := l.Clone()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// checkAgainstNaive asserts m's published skyline equals the naive oracle
+// over the expected resident rows, as multisets.
+func checkAgainstNaive(t *testing.T, m *Maintained, resident tuple.List) {
+	t.Helper()
+	got := sortedRows(m.Snapshot().Skyline)
+	want := sortedRows(skyline.Naive(resident))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("skyline mismatch:\n got  %v\n want %v\n residents %v", got, want, resident)
+	}
+}
+
+func uniformRows(rng *rand.Rand, n, d int) tuple.List {
+	out := make(tuple.List, n)
+	for i := range out {
+		row := make(tuple.Tuple, d)
+		for k := range row {
+			row[k] = math.Round(rng.Float64()*100) / 100
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestSeedMatchesNaive(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		data := uniformRows(rng, 300, 3)
+		m, err := New(data.Clone(), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstNaive(t, m, data)
+		if m.Size() != len(data) {
+			t.Fatalf("Size = %d, want %d", m.Size(), len(data))
+		}
+		if g := m.Generation(); g != 1 {
+			t.Fatalf("seed generation = %d, want 1", g)
+		}
+	}
+}
+
+func TestInsertAndDeleteSemantics(t *testing.T) {
+	m, err := New(tuple.List{{0.5, 0.5}, {0.2, 0.8}, {0.8, 0.2}}, Config{PPD: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dominated insert leaves the skyline unchanged but is resident.
+	if err := m.Insert(tuple.Tuple{0.9, 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(m.Snapshot().Skyline); n != 3 {
+		t.Fatalf("skyline size after dominated insert = %d, want 3", n)
+	}
+	if m.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", m.Size())
+	}
+	// A dominating insert shrinks the skyline to itself.
+	if err := m.Insert(tuple.Tuple{0.01, 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if len(snap.Skyline) != 1 || !snap.Skyline[0].Equal(tuple.Tuple{0.01, 0.01}) {
+		t.Fatalf("skyline after dominating insert = %v, want [[0.01 0.01]]", snap.Skyline)
+	}
+	// Deleting it restores the previous skyline (3 points; the dominated
+	// 0.9,0.9 stays dominated).
+	found, err := m.Delete(tuple.Tuple{0.01, 0.01})
+	if err != nil || !found {
+		t.Fatalf("Delete = (%v, %v), want (true, nil)", found, err)
+	}
+	if n := len(m.Snapshot().Skyline); n != 3 {
+		t.Fatalf("skyline size after delete-repair = %d, want 3", n)
+	}
+	// Deleting an absent tuple is a found=false no-op.
+	found, err = m.Delete(tuple.Tuple{0.42, 0.42})
+	if err != nil || found {
+		t.Fatalf("Delete(absent) = (%v, %v), want (false, nil)", found, err)
+	}
+	checkAgainstNaive(t, m, tuple.List{{0.5, 0.5}, {0.2, 0.8}, {0.8, 0.2}, {0.9, 0.9}})
+}
+
+func TestDuplicateTuples(t *testing.T) {
+	dup := tuple.Tuple{0.1, 0.9}
+	m, err := New(tuple.List{dup.Clone(), dup.Clone(), {0.9, 0.1}, {0.5, 0.5}}, Config{PPD: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal tuples do not dominate each other (Definition 1): both copies
+	// are in the skyline.
+	if n := len(m.Snapshot().Skyline); n != 4 {
+		t.Fatalf("skyline size with duplicates = %d, want 4", n)
+	}
+	// Deleting removes exactly one instance.
+	if found, err := m.Delete(dup); err != nil || !found {
+		t.Fatalf("Delete(dup) failed: %v %v", found, err)
+	}
+	count := 0
+	for _, r := range m.Snapshot().Skyline {
+		if r.Equal(dup) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("duplicate instances after one delete = %d, want 1", count)
+	}
+}
+
+func TestBatchValidationIsAtomic(t *testing.T) {
+	m, err := New(tuple.List{{0.5, 0.5}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := m.Generation()
+	// NaN row anywhere in the batch rejects the whole batch.
+	_, err = m.Apply([]Delta{
+		{Op: OpInsert, Row: tuple.Tuple{0.1, 0.1}},
+		{Op: OpInsert, Row: tuple.Tuple{math.NaN(), 0.2}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Fatalf("NaN batch error = %v, want non-finite rejection", err)
+	}
+	// Ragged row likewise.
+	if _, err := m.Apply([]Delta{{Op: OpInsert, Row: tuple.Tuple{0.1}}}); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+	if m.Generation() != gen || m.Size() != 1 {
+		t.Fatalf("rejected batch mutated state: gen %d→%d size %d", gen, m.Generation(), m.Size())
+	}
+}
+
+func TestEmptySeedRequiresDim(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("empty seed without Dim accepted")
+	}
+	m, err := New(nil, Config{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Snapshot(); s.Gen != 1 || len(s.Skyline) != 0 {
+		t.Fatalf("empty seed snapshot = gen %d, %d rows", s.Gen, len(s.Skyline))
+	}
+	if err := m.Insert(tuple.Tuple{0.3, 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstNaive(t, m, tuple.List{{0.3, 0.3}})
+}
+
+func TestConfigErrors(t *testing.T) {
+	data := tuple.List{{0.1, 0.2}}
+	cases := []struct {
+		name string
+		data tuple.List
+		cfg  Config
+	}{
+		{"dim mismatch", data, Config{Dim: 3}},
+		{"negative window", data, Config{WindowCap: -1}},
+		{"seed exceeds window", tuple.List{{0.1, 0.2}, {0.3, 0.4}}, Config{WindowCap: 1}},
+		{"lo/hi mismatch", data, Config{Lo: []float64{0}, Hi: []float64{1}}},
+		{"nan seed", tuple.List{{math.NaN(), 0.2}}, Config{}},
+		{"ragged seed", tuple.List{{0.1, 0.2}, {0.3}}, Config{}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.data, c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSlidingWindow(t *testing.T) {
+	const cap = 16
+	m, err := New(nil, Config{Dim: 2, WindowCap: cap, Lo: []float64{0, 0}, Hi: []float64{1, 1}, PPD: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var stream tuple.List
+	for i := 0; i < 100; i++ {
+		row := tuple.Tuple{rng.Float64(), rng.Float64()}
+		stream = append(stream, row)
+		if err := m.Insert(row.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		// The resident set is the last cap rows of the stream.
+		lo := 0
+		if len(stream) > cap {
+			lo = len(stream) - cap
+		}
+		checkAgainstNaive(t, m, stream[lo:])
+	}
+	if m.Size() != cap {
+		t.Fatalf("Size = %d, want %d", m.Size(), cap)
+	}
+	st := m.Stats()
+	if st.Evictions != 100-cap {
+		t.Fatalf("Evictions = %d, want %d", st.Evictions, 100-cap)
+	}
+	// Explicit deletes are rejected in sliding-window mode.
+	if _, err := m.Delete(tuple.Tuple{0.5, 0.5}); err == nil {
+		t.Fatal("Delete accepted on a sliding window")
+	}
+}
+
+func TestRowsRebuildIsIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := uniformRows(rng, 200, 3)
+	cfg := Config{PPD: 5, Lo: []float64{0, 0, 0}, Hi: []float64{1, 1, 1}}
+	m, err := New(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		var batch []Delta
+		for j := 0; j < 8; j++ {
+			batch = append(batch, Delta{Op: OpInsert, Row: uniformRows(rng, 1, 3)[0]})
+		}
+		rows := m.Rows()
+		for j := 0; j < 5 && j < len(rows); j++ {
+			batch = append(batch, Delta{Op: OpDelete, Row: rows[rng.Intn(len(rows))]})
+		}
+		if _, err := m.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+		// A fresh build over the residents, on the same grid, publishes the
+		// exact same skyline — same tuples, same order.
+		fresh, err := New(m.Rows(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m.Snapshot().Skyline, fresh.Snapshot().Skyline) {
+			t.Fatalf("batch %d: incremental and rebuilt skylines differ:\n inc   %v\n fresh %v",
+				i, m.Snapshot().Skyline, fresh.Snapshot().Skyline)
+		}
+	}
+}
+
+func TestStatsAndContribReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := uniformRows(rng, 500, 2)
+	m, err := New(data, Config{PPD: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats()
+	if before.Size != 500 || before.Cells == 0 || before.Surviving == 0 {
+		t.Fatalf("implausible seed stats: %+v", before)
+	}
+	// A single far-corner insert (worst value in every dimension) lands in
+	// a dominated cell: publish must not recompute every contribution.
+	if err := m.Insert(tuple.Tuple{0.99, 0.99}); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Stats()
+	recomputed := after.ContribRecomputes - before.ContribRecomputes
+	if recomputed > uint64(before.Surviving)/2 {
+		t.Fatalf("corner insert recomputed %d contributions (surviving %d) — incremental reuse broken",
+			recomputed, before.Surviving)
+	}
+	if after.Inserts != before.Inserts+1 {
+		t.Fatalf("Inserts = %d, want %d", after.Inserts, before.Inserts+1)
+	}
+}
+
+func TestDeltasInPrunedCells(t *testing.T) {
+	// A near-origin point prunes almost the whole grid. Churn confined to
+	// the pruned region must stay invisible to the skyline but tracked for
+	// delete-repair.
+	seed := tuple.List{{0.05, 0.05}, {0.7, 0.7}, {0.9, 0.3}, {0.3, 0.9}}
+	m, err := New(seed.Clone(), Config{PPD: 8, Lo: []float64{0, 0}, Hi: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resident := seed.Clone()
+	for i := 0; i < 20; i++ {
+		row := tuple.Tuple{0.6 + float64(i%4)*0.1, 0.6 + float64(i%5)*0.08}
+		if err := m.Insert(row.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		resident = append(resident, row)
+		checkAgainstNaive(t, m, resident)
+	}
+	// Delete the pruner: everything it suppressed must resurface without a
+	// full recompute (their windows were maintained all along).
+	if found, err := m.Delete(tuple.Tuple{0.05, 0.05}); err != nil || !found {
+		t.Fatalf("Delete(pruner) = (%v, %v)", found, err)
+	}
+	resident = resident[1:]
+	checkAgainstNaive(t, m, resident)
+}
+
+func TestOutOfDomainClamping(t *testing.T) {
+	m, err := New(tuple.List{{0.5, 0.5}}, Config{Lo: []float64{0, 0}, Hi: []float64{1, 1}, PPD: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows outside the fixed domain clamp into boundary cells; pruning
+	// degrades, correctness must not.
+	resident := tuple.List{{0.5, 0.5}}
+	for _, row := range []tuple.Tuple{{-1, -1}, {2, 2}, {-0.5, 3}, {0.2, 0.2}} {
+		if err := m.Insert(row.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		resident = append(resident, row)
+		checkAgainstNaive(t, m, resident)
+	}
+	if found, err := m.Delete(tuple.Tuple{-1, -1}); err != nil || !found {
+		t.Fatalf("Delete(out-of-domain) = (%v, %v)", found, err)
+	}
+	var remaining tuple.List
+	for _, r := range resident {
+		if !r.Equal(tuple.Tuple{-1, -1}) {
+			remaining = append(remaining, r)
+		}
+	}
+	checkAgainstNaive(t, m, remaining)
+}
+
+func TestConcurrentReadersNeverBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := New(uniformRows(rng, 200, 3), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastGen uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := m.Snapshot()
+				if s == nil {
+					t.Error("Snapshot returned nil")
+					return
+				}
+				if s.Gen < lastGen {
+					t.Errorf("generation went backwards: %d after %d", s.Gen, lastGen)
+					return
+				}
+				lastGen = s.Gen
+				// Read every row: the race detector verifies immutability
+				// against concurrent writers.
+				for _, row := range s.Skyline {
+					_ = row[0]
+				}
+			}
+		}()
+	}
+	wrng := rand.New(rand.NewSource(6))
+	for i := 0; i < 50; i++ {
+		batch := []Delta{{Op: OpInsert, Row: uniformRows(wrng, 1, 3)[0]}}
+		if rows := m.Rows(); len(rows) > 0 && i%2 == 1 {
+			batch = append(batch, Delta{Op: OpDelete, Row: rows[wrng.Intn(len(rows))]})
+		}
+		if _, err := m.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestOpString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpDelete.String() != "delete" {
+		t.Fatalf("Op strings = %q, %q", OpInsert, OpDelete)
+	}
+	if s := Op(9).String(); s != "Op(9)" {
+		t.Fatalf("unknown op string = %q", s)
+	}
+}

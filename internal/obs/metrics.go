@@ -39,6 +39,19 @@ func (r *Registry) Count(name string, delta int64) {
 	r.mu.Unlock()
 }
 
+// Counter returns the current value of the named counter (0 when the
+// counter has never been incremented or the registry is disabled). It is
+// the cheap point lookup for hot read paths — unlike Snapshot it copies
+// and sorts nothing.
+func (r *Registry) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
 // Gauge sets the named gauge to its latest value.
 func (r *Registry) Gauge(name string, value int64) {
 	if r == nil {

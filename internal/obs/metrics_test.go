@@ -106,3 +106,27 @@ func TestSnapshotString(t *testing.T) {
 		}
 	}
 }
+
+func TestCounterDirectLookup(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Counter("absent"); got != 0 {
+		t.Fatalf("Counter(absent) = %d, want 0", got)
+	}
+	r.Count("mr.queue.admitted", 3)
+	r.Count("mr.queue.admitted", 4)
+	r.Count("other", 1)
+	if got := r.Counter("mr.queue.admitted"); got != 7 {
+		t.Fatalf("Counter = %d, want 7", got)
+	}
+	// Agrees with the full snapshot.
+	for _, c := range r.Snapshot().Counters {
+		if c.Name == "mr.queue.admitted" && c.Value != r.Counter(c.Name) {
+			t.Fatalf("Counter %d != Snapshot %d", r.Counter(c.Name), c.Value)
+		}
+	}
+	// Nil registry: disabled, returns zero.
+	var nilReg *Registry
+	if got := nilReg.Counter("anything"); got != 0 {
+		t.Fatalf("nil Counter = %d, want 0", got)
+	}
+}

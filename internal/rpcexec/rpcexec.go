@@ -12,6 +12,7 @@ import (
 
 	"mrskyline/internal/mapreduce"
 	"mrskyline/internal/obs"
+	"mrskyline/internal/spill"
 )
 
 // Config shapes a ProcExecutor.
@@ -74,15 +75,16 @@ func (c *Config) withDefaults() (Config, error) {
 	if len(cfg.Chaos) > cfg.Workers {
 		return cfg, errors.New("rpcexec: more chaos specs than workers")
 	}
-	if cfg.SpillBudget < 0 {
-		return cfg, errors.New("rpcexec: Config.SpillBudget must not be negative")
+	// The budget/dir pairing rule is shared with every other front end
+	// (spill.ValidateSetup); only the stricter bits are rpcexec's own — an
+	// explicit SpillDir is required because workers run in re-exec'd
+	// processes with their own temp dirs.
+	if err := spill.ValidateSetup(cfg.SpillBudget, cfg.SpillDir); err != nil {
+		return cfg, fmt.Errorf("rpcexec: %w", err)
 	}
 	if cfg.SpillBudget > 0 {
 		if cfg.SpillDir == "" {
 			return cfg, errors.New("rpcexec: Config.SpillDir is required when SpillBudget is set")
-		}
-		if st, err := os.Stat(cfg.SpillDir); err != nil || !st.IsDir() {
-			return cfg, fmt.Errorf("rpcexec: Config.SpillDir %q is not a usable directory", cfg.SpillDir)
 		}
 		if cfg.SpillFanIn < 0 || cfg.SpillFanIn == 1 {
 			return cfg, fmt.Errorf("rpcexec: Config.SpillFanIn must be >= 2 (or 0 for the default), got %d", cfg.SpillFanIn)

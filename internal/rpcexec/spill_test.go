@@ -107,3 +107,15 @@ func TestSpillConfigValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestSpillDirWithoutBudgetRejected: the shared budget/dir rule
+// (spill.ValidateSetup) applies to the process executor too — a spill
+// directory with a zero budget is a configuration error, exactly as
+// mrskyline.Options and ServiceConfig treat it, instead of the silently
+// ignored setting it used to be here.
+func TestSpillDirWithoutBudgetRejected(t *testing.T) {
+	if pe, err := New(Config{Workers: 1, SpillDir: t.TempDir()}); err == nil {
+		pe.Close()
+		t.Error("SpillDir with zero SpillBudget accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package spill
+
+import (
+	"fmt"
+	"os"
+)
+
+// ValidateSetup is the one shared check for the budget/dir pair as every
+// front end receives it — mrskyline.Options, mrskyline.ServiceConfig,
+// rpcexec.Config and the CLI flags all enforce exactly this rule:
+//
+//   - the budget must not be negative;
+//   - a spill directory without a positive budget is a configuration
+//     error (the directory would silently never be used);
+//   - with a positive budget, a non-empty directory must exist. An empty
+//     directory is allowed here because most callers default it to the
+//     system temp dir; callers that require an explicit directory (the
+//     process executor ships it to workers) check that themselves.
+//
+// Callers wrap the returned error with their own prefix.
+func ValidateSetup(budget int64, dir string) error {
+	if budget < 0 {
+		return fmt.Errorf("spill budget must be ≥ 0, got %d", budget)
+	}
+	if dir != "" && budget == 0 {
+		return fmt.Errorf("spill dir %q set but spill budget is 0 (set a positive budget to enable spilling)", dir)
+	}
+	if budget > 0 && dir != "" {
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			return fmt.Errorf("spill dir %q is not a usable directory", dir)
+		}
+	}
+	return nil
+}

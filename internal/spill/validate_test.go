@@ -1,0 +1,37 @@
+package spill
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestValidateSetup(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nope")
+	file := filepath.Join(dir, "f")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		budget int64
+		dir    string
+		wantOK bool
+	}{
+		{"all zero", 0, "", true},
+		{"budget only (default dir)", 1 << 20, "", true},
+		{"budget and dir", 1 << 20, dir, true},
+		{"negative budget", -1, "", false},
+		{"negative budget with dir", -1, dir, false},
+		{"dir without budget", 0, dir, false},
+		{"missing dir", 1 << 20, missing, false},
+		{"dir is a file", 1 << 20, file, false},
+	}
+	for _, c := range cases {
+		err := ValidateSetup(c.budget, c.dir)
+		if (err == nil) != c.wantOK {
+			t.Errorf("%s: ValidateSetup(%d, %q) = %v, want ok=%v", c.name, c.budget, c.dir, err, c.wantOK)
+		}
+	}
+}

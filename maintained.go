@@ -1,0 +1,252 @@
+package mrskyline
+
+// This file is the public face of internal/maintain: incrementally
+// maintained skylines for the serving layer. A MaintainedSkyline keeps
+// the grid, per-cell local skylines and the pruning bitstring resident so
+// a delta batch costs work proportional to the cells it touches, while
+// Compute-style queries rebuild all of it per call. Handles come from
+// OpenMaintained or Service.OpenMaintained; the latter also publishes
+// maintenance counters into the service's metrics registry.
+
+import (
+	"fmt"
+
+	"mrskyline/internal/maintain"
+	"mrskyline/internal/obs"
+	"mrskyline/internal/tuple"
+)
+
+// MaintainOptions shapes OpenMaintained. The zero value derives
+// everything from the seed data.
+type MaintainOptions struct {
+	// Dim fixes the dimensionality; required only when the seed data is
+	// empty (otherwise it must match the data, 0 = derive).
+	Dim int
+	// PPD fixes the grid's partitions-per-dimension; 0 chooses it with the
+	// paper's Equation 4 from the seed cardinality. The grid is fixed for
+	// the handle's lifetime.
+	PPD int
+	// Maximize flips dimensions to "higher is better", exactly as in
+	// Options.Maximize. The preference is fixed at open time.
+	Maximize []bool
+	// WindowSize, when positive, maintains the skyline of a sliding window
+	// over the insert stream: once the resident set reaches WindowSize,
+	// each insert evicts the oldest tuple. Sliding handles are insert-only.
+	WindowSize int
+}
+
+// DeltaOp names a delta operation in wire form.
+type DeltaOp string
+
+// The delta operations.
+const (
+	DeltaInsert DeltaOp = "insert"
+	DeltaDelete DeltaOp = "delete"
+)
+
+// Delta is one insert or delete against a maintained skyline.
+type Delta struct {
+	Op  DeltaOp   `json:"op"`
+	Row []float64 `json:"row"`
+}
+
+// DeltaResult summarizes one ApplyDeltas batch.
+type DeltaResult struct {
+	// Inserted and Deleted count applied operations; Missing counts
+	// deletes whose tuple was not resident (no-ops, not errors); Evicted
+	// counts sliding-window evictions triggered by inserts.
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+	Missing  int `json:"missing"`
+	Evicted  int `json:"evicted"`
+	// Gen and SkylineSize describe the snapshot published after the batch.
+	Gen         uint64 `json:"gen"`
+	SkylineSize int    `json:"skyline_size"`
+}
+
+// MaintainedSnapshot is one consistent published state of a maintained
+// skyline. Rows are copies in the caller's orientation; the caller owns
+// them.
+type MaintainedSnapshot struct {
+	Gen     uint64      `json:"gen"`
+	Skyline [][]float64 `json:"skyline"`
+}
+
+// MaintainStats reports a maintained handle's cumulative work.
+type MaintainStats struct {
+	Inserts           uint64 `json:"inserts"`
+	Deletes           uint64 `json:"deletes"`
+	DeleteMisses      uint64 `json:"delete_misses"`
+	Evictions         uint64 `json:"evictions"`
+	CellRebuilds      uint64 `json:"cell_rebuilds"`
+	ContribRecomputes uint64 `json:"contrib_recomputes"`
+	DominanceTests    int64  `json:"dominance_tests"`
+	Size              int    `json:"size"`
+	Cells             int    `json:"cells"`
+	Surviving         int    `json:"surviving"`
+	Gen               uint64 `json:"gen"`
+	SkylineSize       int    `json:"skyline_size"`
+}
+
+// MaintainedSkyline is an incrementally maintained skyline handle. All
+// methods are safe for concurrent use: ApplyDeltas serializes writers,
+// Skyline and Continuous readers never block.
+type MaintainedSkyline struct {
+	m      *maintain.Maintained
+	orient Orientation
+	reg    *obs.Registry // nil unless opened through a Service
+}
+
+// OpenMaintained seeds a maintained skyline with data. The data is
+// copied; later mutations of the caller's rows do not affect the handle.
+func OpenMaintained(data [][]float64, opts MaintainOptions) (*MaintainedSkyline, error) {
+	if opts.Maximize != nil && len(data) > 0 && len(opts.Maximize) != len(data[0]) {
+		return nil, fmt.Errorf("mrskyline: Maximize has %d entries for %d-dimensional data", len(opts.Maximize), len(data[0]))
+	}
+	orient := NewOrientation(opts.Maximize)
+	seed := make(tuple.List, len(data))
+	for i, row := range data {
+		seed[i] = tuple.Tuple(orient.Apply(row)).Clone()
+	}
+	m, err := maintain.New(seed, maintain.Config{
+		Dim:       opts.Dim,
+		PPD:       opts.PPD,
+		WindowCap: opts.WindowSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mrskyline: %w", err)
+	}
+	return &MaintainedSkyline{m: m, orient: orient}, nil
+}
+
+// OpenMaintained seeds a maintained skyline attached to the service: its
+// maintenance counters (maintain.deltas.*, maintain.publishes) land in
+// the service's metrics registry alongside the mr.* series, so
+// MetricsJSON and /v1/stats cover churn too. The handle itself serves
+// reads from resident state and never runs MapReduce jobs on the
+// service's cluster.
+func (s *Service) OpenMaintained(data [][]float64, opts MaintainOptions) (*MaintainedSkyline, error) {
+	h, err := OpenMaintained(data, opts)
+	if err != nil {
+		return nil, err
+	}
+	h.reg = s.trace.Metrics()
+	return h, nil
+}
+
+// ApplyDeltas applies a batch of inserts and deletes atomically and
+// publishes exactly one new snapshot: the whole batch is validated first
+// (a NaN or ragged row rejects the batch with no state change), and
+// concurrent readers observe either the pre- or post-batch skyline.
+func (h *MaintainedSkyline) ApplyDeltas(deltas []Delta) (DeltaResult, error) {
+	batch := make([]maintain.Delta, len(deltas))
+	for i, d := range deltas {
+		switch d.Op {
+		case DeltaInsert:
+			batch[i].Op = maintain.OpInsert
+		case DeltaDelete:
+			batch[i].Op = maintain.OpDelete
+		default:
+			return DeltaResult{}, fmt.Errorf("mrskyline: unknown delta op %q (delta %d)", d.Op, i)
+		}
+		batch[i].Row = tuple.Tuple(h.orient.Apply(d.Row)).Clone()
+	}
+	res, err := h.m.Apply(batch)
+	if err != nil {
+		return DeltaResult{}, fmt.Errorf("mrskyline: %w", err)
+	}
+	h.reg.Count("maintain.deltas.inserted", int64(res.Inserted))
+	h.reg.Count("maintain.deltas.deleted", int64(res.Deleted))
+	h.reg.Count("maintain.deltas.missing", int64(res.Missing))
+	h.reg.Count("maintain.deltas.evicted", int64(res.Evicted))
+	h.reg.Count("maintain.publishes", 1)
+	return DeltaResult{
+		Inserted:    res.Inserted,
+		Deleted:     res.Deleted,
+		Missing:     res.Missing,
+		Evicted:     res.Evicted,
+		Gen:         res.Gen,
+		SkylineSize: res.SkylineSize,
+	}, nil
+}
+
+// Skyline returns the latest published skyline. It never blocks, even
+// while a delta batch is being applied.
+func (h *MaintainedSkyline) Skyline() *MaintainedSnapshot {
+	return h.snapshotRows(h.m.Snapshot())
+}
+
+// snapshotRows copies a published snapshot out in the caller's
+// orientation.
+func (h *MaintainedSkyline) snapshotRows(s *maintain.Snapshot) *MaintainedSnapshot {
+	out := &MaintainedSnapshot{Gen: s.Gen, Skyline: make([][]float64, len(s.Skyline))}
+	for i, t := range s.Skyline {
+		out.Skyline[i] = tuple.Tuple(h.orient.Apply(t)).Clone()
+	}
+	return out
+}
+
+// Rows returns a copy of every resident tuple in the caller's
+// orientation — the dataset a full recompute would run over.
+func (h *MaintainedSkyline) Rows() [][]float64 {
+	rows := h.m.Rows()
+	out := make([][]float64, len(rows))
+	for i, t := range rows {
+		out[i] = tuple.Tuple(h.orient.Apply(t)).Clone()
+	}
+	return out
+}
+
+// Size returns the number of resident tuples.
+func (h *MaintainedSkyline) Size() int { return h.m.Size() }
+
+// Generation returns the latest published generation. Generations start
+// at 1 (the seed publish) and increase by one per ApplyDeltas batch.
+func (h *MaintainedSkyline) Generation() uint64 { return h.m.Generation() }
+
+// Stats returns the handle's cumulative maintenance work.
+func (h *MaintainedSkyline) Stats() MaintainStats {
+	st := h.m.Stats()
+	return MaintainStats{
+		Inserts:           st.Inserts,
+		Deletes:           st.Deletes,
+		DeleteMisses:      st.DeleteMisses,
+		Evictions:         st.Evictions,
+		CellRebuilds:      st.CellRebuilds,
+		ContribRecomputes: st.ContribRecomputes,
+		DominanceTests:    st.DominanceTests,
+		Size:              st.Size,
+		Cells:             st.Cells,
+		Surviving:         st.Surviving,
+		Gen:               st.Gen,
+		SkylineSize:       st.SkylineSize,
+	}
+}
+
+// Continuous opens a continuous query over the maintained skyline: a
+// cursor that reports the result set only when it changed since the last
+// poll. Each cursor tracks its own position; any number may run
+// concurrently with writers.
+func (h *MaintainedSkyline) Continuous() *ContinuousQuery {
+	return &ContinuousQuery{h: h}
+}
+
+// ContinuousQuery is a generation cursor over a MaintainedSkyline. Not
+// safe for concurrent use of the same cursor; open one per consumer.
+type ContinuousQuery struct {
+	h       *MaintainedSkyline
+	lastGen uint64
+}
+
+// Poll returns the latest skyline and true when its generation advanced
+// past the cursor (the first Poll always reports the seed state), or
+// (nil, false) when nothing changed — the cheap no-change path copies no
+// rows. Poll never blocks.
+func (c *ContinuousQuery) Poll() (*MaintainedSnapshot, bool) {
+	s := c.h.m.Snapshot()
+	if s.Gen == c.lastGen {
+		return nil, false
+	}
+	c.lastGen = s.Gen
+	return c.h.snapshotRows(s), true
+}

@@ -74,11 +74,8 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if cfg.QueryTimeout < 0 {
 		return nil, fmt.Errorf("mrskyline: QueryTimeout must be ≥ 0, got %v", cfg.QueryTimeout)
 	}
-	if cfg.SpillBudget < 0 {
-		return nil, fmt.Errorf("mrskyline: SpillBudget must be ≥ 0, got %d", cfg.SpillBudget)
-	}
-	if cfg.SpillDir != "" && cfg.SpillBudget == 0 {
-		return nil, fmt.Errorf("mrskyline: SpillDir set but SpillBudget is 0 (set a positive budget to enable spilling)")
+	if err := spill.ValidateSetup(cfg.SpillBudget, cfg.SpillDir); err != nil {
+		return nil, fmt.Errorf("mrskyline: %w", err)
 	}
 	if cfg.Executor != nil {
 		return &Service{exec: cfg.Executor, trace: cfg.Executor.WallTracer(), timeout: cfg.QueryTimeout}, nil
@@ -175,15 +172,22 @@ func (s *Service) ComputeConstrained(ctx context.Context, data [][]float64, cons
 	if err := validateConstraints(constraints, opts); err != nil {
 		return nil, err
 	}
+	// The deadline starts before constraint filtering: scanning a large
+	// dataset against the constraint box is part of serving the query, so a
+	// caller-supplied context that is already expired (or expires mid-scan)
+	// must not be billed only against the MapReduce job.
+	ctx, cancel := s.queryCtx(ctx)
+	defer cancel()
 	filtered, err := filterConstrained(data, constraints)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if len(filtered) == 0 {
 		return emptyResult(opts), nil
 	}
-	ctx, cancel := s.queryCtx(ctx)
-	defer cancel()
 	return computeOn(ctx, s.exec, filtered, opts)
 }
 
@@ -196,15 +200,20 @@ func (s *Service) ComputeSubspace(ctx context.Context, data [][]float64, dims []
 	if err := validateDims(dims, opts); err != nil {
 		return nil, err
 	}
+	// As in ComputeConstrained: projection work counts against the query
+	// deadline, so the context starts before it, not after.
+	ctx, cancel := s.queryCtx(ctx)
+	defer cancel()
 	projected, err := projectSubspace(data, dims)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if len(projected) == 0 {
 		return emptyResult(opts), nil
 	}
-	ctx, cancel := s.queryCtx(ctx)
-	defer cancel()
 	return computeOn(ctx, s.exec, projected, opts)
 }
 
@@ -233,16 +242,12 @@ func (s *Service) Stats() ServiceStats {
 		st.InFlight, st.Queued = s.eng.AdmissionStats()
 		st.BusySlots = s.eng.Cluster().BusySlots()
 	}
-	for _, c := range s.trace.Metrics().Snapshot().Counters {
-		switch c.Name {
-		case "mr.queue.admitted":
-			st.Admitted = c.Value
-		case "mr.queue.rejected":
-			st.Rejected = c.Value
-		case "mr.queue.canceled":
-			st.Canceled = c.Value
-		}
-	}
+	// Direct counter lookups: Stats sits on skylined's polling path, and a
+	// full Snapshot would copy and sort every metric just to read three.
+	reg := s.trace.Metrics()
+	st.Admitted = reg.Counter("mr.queue.admitted")
+	st.Rejected = reg.Counter("mr.queue.rejected")
+	st.Canceled = reg.Counter("mr.queue.canceled")
 	return st
 }
 

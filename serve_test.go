@@ -136,6 +136,47 @@ func TestServiceTimeout(t *testing.T) {
 	}
 }
 
+// TestServiceExpiredContextBeforeFiltering is the regression for the
+// serve-path deadline bug: the per-query deadline used to start only
+// AFTER constraint filtering / subspace projection, so a caller context
+// that was already expired still paid for the full dataset scan. The
+// deadline now covers the filtering work too: an expired context must
+// fail with its context error on every query path.
+func TestServiceExpiredContextBeforeFiltering(t *testing.T) {
+	svc := newTestService(t, mrskyline.ServiceConfig{Nodes: 2})
+	data, err := mrskyline.Generate("independent", 2000, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired before the call
+
+	unb := []mrskyline.Range{mrskyline.Unbounded(), mrskyline.Unbounded(), mrskyline.Unbounded()}
+	if _, err := svc.ComputeConstrained(ctx, data, unb, mrskyline.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("ComputeConstrained with expired context = %v, want context.Canceled", err)
+	}
+	if _, err := svc.ComputeSubspace(ctx, data, []int{0, 2}, mrskyline.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("ComputeSubspace with expired context = %v, want context.Canceled", err)
+	}
+	// An expired deadline surfaces as DeadlineExceeded likewise.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := svc.ComputeConstrained(dctx, data, unb, mrskyline.Options{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("ComputeConstrained with past deadline = %v, want DeadlineExceeded", err)
+	}
+	// Constraint filtering down to an empty set still honors the expired
+	// context (the empty-result fast path must not mask it).
+	none := []mrskyline.Range{{Min: 99, Max: 100}, mrskyline.Unbounded(), mrskyline.Unbounded()}
+	if _, err := svc.ComputeConstrained(ctx, data, none, mrskyline.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("ComputeConstrained(empty result) with expired context = %v, want context.Canceled", err)
+	}
+	// Validation errors still win over the context: bad arguments are
+	// caller bugs regardless of deadline.
+	if _, err := svc.ComputeSubspace(ctx, data, []int{0, 0}, mrskyline.Options{}); errors.Is(err, context.Canceled) {
+		t.Error("duplicate-dims validation masked by expired context")
+	}
+}
+
 func TestServiceOverload(t *testing.T) {
 	// MaxQueue < 0 rejects whenever the single in-flight slot is busy.
 	svc := newTestService(t, mrskyline.ServiceConfig{Nodes: 2, MaxInFlight: 1, MaxQueue: -1})
@@ -214,5 +255,40 @@ func TestServiceMetricsJSON(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("mr.queue.admitted missing from metrics JSON: %s", raw)
+	}
+}
+
+// TestSpillConfigSharedAcrossFrontEnds: every front end routes the spill
+// budget/dir pair through the same shared rule, so the same bad configs
+// fail everywhere — they used to be three slightly different checks.
+func TestSpillConfigSharedAcrossFrontEnds(t *testing.T) {
+	bad := []struct {
+		name   string
+		budget int64
+		dir    string
+	}{
+		{"negative budget", -1, ""},
+		{"dir without budget", 0, t.TempDir()},
+		{"missing dir", 1 << 20, "/no/such/dir/exists/here"},
+	}
+	for _, c := range bad {
+		if _, err := mrskyline.NewService(mrskyline.ServiceConfig{SpillBudget: c.budget, SpillDir: c.dir}); err == nil {
+			t.Errorf("NewService accepted %s", c.name)
+		}
+		opts := mrskyline.Options{SpillBudget: c.budget, SpillDir: c.dir}
+		if _, err := mrskyline.Compute(nil, opts); err == nil {
+			t.Errorf("Compute options accepted %s", c.name)
+		}
+	}
+	// Budget without dir is fine everywhere (the system temp dir is the
+	// default spill location).
+	if _, err := mrskyline.Compute(nil, mrskyline.Options{SpillBudget: 1 << 20}); err != nil {
+		t.Errorf("Compute rejected budget-without-dir: %v", err)
+	}
+	svc, err := mrskyline.NewService(mrskyline.ServiceConfig{SpillBudget: 1 << 20})
+	if err != nil {
+		t.Errorf("NewService rejected budget-without-dir: %v", err)
+	} else {
+		svc.Close()
 	}
 }

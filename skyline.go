@@ -213,11 +213,8 @@ func validateOptions(opts Options) error {
 	if opts.Reducers < 0 {
 		return fmt.Errorf("mrskyline: Reducers must be ≥ 0, got %d", opts.Reducers)
 	}
-	if opts.SpillBudget < 0 {
-		return fmt.Errorf("mrskyline: SpillBudget must be ≥ 0, got %d", opts.SpillBudget)
-	}
-	if opts.SpillDir != "" && opts.SpillBudget == 0 {
-		return fmt.Errorf("mrskyline: SpillDir is set but SpillBudget is 0")
+	if err := spill.ValidateSetup(opts.SpillBudget, opts.SpillDir); err != nil {
+		return fmt.Errorf("mrskyline: %w", err)
 	}
 	return nil
 }
