@@ -10,6 +10,7 @@
 //	skybench -exp fig9 -csv           # machine-readable output
 //	skybench -exp all -json           # write BENCH_<figure>.json per figure
 //	skybench -spillbench -spillbudget 33554432  # beyond-RAM shuffle bench
+//	skybench -recoverybench           # WAL crash-recovery bench
 //
 // By default cardinalities are scaled down (see -scale) so the full suite
 // completes on a laptop while preserving the figures' shapes, and task
@@ -38,37 +39,39 @@ func main() {
 	// tasks and exit instead of parsing flags.
 	rpcexec.WorkerMain()
 	var (
-		exp          = flag.String("exp", "all", "experiments to run: comma-separated ids or 'all' (ids: "+strings.Join(experiments.FigureNames(), ", ")+")")
-		scale        = flag.Float64("scale", experiments.DefaultScale, "cardinality scale factor relative to the paper (1 = full size)")
-		nodes        = flag.Int("nodes", 13, "simulated cluster nodes (paper: 13)")
-		paper        = flag.Bool("paper", false, "use the paper's exact heterogeneous 13-machine cluster")
-		slots        = flag.Int("slots", 2, "task slots per node")
-		mappers      = flag.Int("mappers", 0, "map tasks (0 = all slots)")
-		reds         = flag.Int("reducers", 0, "reduce tasks for MR-GPMRS (0 = one per node)")
-		ppd          = flag.Int("ppd", 0, "fixed partitions-per-dimension (0 = Section 3.3 heuristic)")
-		seed         = flag.Int64("seed", 1, "data generation seed")
-		noskip       = flag.Bool("noskip", false, "run even the combinations the paper reports as DNF")
-		asCSV        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		asJSON       = flag.Bool("json", false, "also write BENCH_<figure>.json bench records for perf trajectory tracking")
-		outdir       = flag.String("outdir", ".", "directory for -json output files")
-		mpar         = flag.Int("measurepar", 0, "concurrently measured tasks (0 = min(GOMAXPROCS, slots), 1 = serial isolation)")
-		faultrate    = flag.Float64("faultrate", 0, "deterministic fault-injection rate for crashes/stragglers/corruption (0 = fault-free)")
-		faultseed    = flag.Int64("faultseed", 0, "fault plan seed (0 = data seed; only with -faultrate > 0)")
-		spillbudget  = flag.Int64("spillbudget", 0, "external-memory shuffle budget in bytes (0 = all in RAM); map outputs beyond the budget spill to sorted run files and merge back under it")
-		spilldir     = flag.String("spilldir", "", "directory for spill run files (default: the system temp dir; only with -spillbudget > 0)")
-		spillbench   = flag.Bool("spillbench", false, "run the beyond-RAM spill bench instead of figures; writes BENCH_spill.json to -outdir")
-		serveload    = flag.Bool("serveload", false, "run the concurrent serving-load harness instead of figures; writes BENCH_serve.json to -outdir")
-		kernelbench  = flag.Bool("kernel", false, "run the dominance-kernel micro-benchmark (scalar vs columnar) instead of figures; writes BENCH_kernel.json to -outdir")
-		servequeries = flag.Int("servequeries", 64, "total queries for -serveload")
-		serveworkers = flag.Int("serveworkers", 8, "concurrent clients for -serveload")
-		servechurn   = flag.Float64("servechurn", 0, "update-heavy mix for -serveload: fraction of the dataset churned per delta batch against a maintained skyline (0 = queries only)")
-		servebatches = flag.Int("servebatches", 0, "delta batches for -servechurn (0 = default 16)")
-		executor     = flag.String("executor", "inproc", "MapReduce backend: inproc (simulated cluster figures) or process (multi-process workers over RPC; runs the backend comparison instead of figures and writes BENCH_executor.json to -outdir)")
-		workers      = flag.Int("workers", 4, "worker processes for -executor=process")
-		tracedir     = flag.String("tracedir", "", "with -executor=process, directory where each worker process writes its own Chrome trace (worker-<i>.trace.json)")
-		traceOut     = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto / chrome://tracing)")
-		cpuprof      = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memprof      = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		exp             = flag.String("exp", "all", "experiments to run: comma-separated ids or 'all' (ids: "+strings.Join(experiments.FigureNames(), ", ")+")")
+		scale           = flag.Float64("scale", experiments.DefaultScale, "cardinality scale factor relative to the paper (1 = full size)")
+		nodes           = flag.Int("nodes", 13, "simulated cluster nodes (paper: 13)")
+		paper           = flag.Bool("paper", false, "use the paper's exact heterogeneous 13-machine cluster")
+		slots           = flag.Int("slots", 2, "task slots per node")
+		mappers         = flag.Int("mappers", 0, "map tasks (0 = all slots)")
+		reds            = flag.Int("reducers", 0, "reduce tasks for MR-GPMRS (0 = one per node)")
+		ppd             = flag.Int("ppd", 0, "fixed partitions-per-dimension (0 = Section 3.3 heuristic)")
+		seed            = flag.Int64("seed", 1, "data generation seed")
+		noskip          = flag.Bool("noskip", false, "run even the combinations the paper reports as DNF")
+		asCSV           = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		asJSON          = flag.Bool("json", false, "also write BENCH_<figure>.json bench records for perf trajectory tracking")
+		outdir          = flag.String("outdir", ".", "directory for -json output files")
+		mpar            = flag.Int("measurepar", 0, "concurrently measured tasks (0 = min(GOMAXPROCS, slots), 1 = serial isolation)")
+		faultrate       = flag.Float64("faultrate", 0, "deterministic fault-injection rate for crashes/stragglers/corruption (0 = fault-free)")
+		faultseed       = flag.Int64("faultseed", 0, "fault plan seed (0 = data seed; only with -faultrate > 0)")
+		spillbudget     = flag.Int64("spillbudget", 0, "external-memory shuffle budget in bytes (0 = all in RAM); map outputs beyond the budget spill to sorted run files and merge back under it")
+		spilldir        = flag.String("spilldir", "", "directory for spill run files (default: the system temp dir; only with -spillbudget > 0)")
+		spillbench      = flag.Bool("spillbench", false, "run the beyond-RAM spill bench instead of figures; writes BENCH_spill.json to -outdir")
+		recoverybench   = flag.Bool("recoverybench", false, "run the WAL crash-recovery bench instead of figures; writes BENCH_recovery.json to -outdir")
+		recoverybatches = flag.Int("recoverybatches", 0, "delta batches for -recoverybench (0 = default 1200)")
+		serveload       = flag.Bool("serveload", false, "run the concurrent serving-load harness instead of figures; writes BENCH_serve.json to -outdir")
+		kernelbench     = flag.Bool("kernel", false, "run the dominance-kernel micro-benchmark (scalar vs columnar) instead of figures; writes BENCH_kernel.json to -outdir")
+		servequeries    = flag.Int("servequeries", 64, "total queries for -serveload")
+		serveworkers    = flag.Int("serveworkers", 8, "concurrent clients for -serveload")
+		servechurn      = flag.Float64("servechurn", 0, "update-heavy mix for -serveload: fraction of the dataset churned per delta batch against a maintained skyline (0 = queries only)")
+		servebatches    = flag.Int("servebatches", 0, "delta batches for -servechurn (0 = default 16)")
+		executor        = flag.String("executor", "inproc", "MapReduce backend: inproc (simulated cluster figures) or process (multi-process workers over RPC; runs the backend comparison instead of figures and writes BENCH_executor.json to -outdir)")
+		workers         = flag.Int("workers", 4, "worker processes for -executor=process")
+		tracedir        = flag.String("tracedir", "", "with -executor=process, directory where each worker process writes its own Chrome trace (worker-<i>.trace.json)")
+		traceOut        = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto / chrome://tracing)")
+		cpuprof         = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprof         = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -102,6 +105,32 @@ func main() {
 		}
 		fmt.Printf("spill: %d tuples (%s), budget %d B, dataset %d B, peak resident %d B\nwrote %s\n",
 			rec.Card, rec.Distribution, rec.Budget, rec.DatasetBytes, rec.PeakResidentBytes, path)
+		return
+	}
+
+	if *recoverybench {
+		rec, err := experiments.RunRecoveryBench(experiments.RecoveryBenchConfig{
+			Seed:    *seed,
+			Batches: *recoverybatches,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: -recoverybench: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outdir, "BENCH_recovery.json")
+		if err := experiments.WriteRecoveryBenchJSON(path, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: -recoverybench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, p := range rec.LogLength {
+			fmt.Printf("loglen   %5d batches  replay %6d records  recover %8.3f ms  identical %v\n",
+				p.Batches, p.ReplayedRecords, p.RecoverySec*1e3, p.Identical)
+		}
+		for _, p := range rec.CheckpointSweep {
+			fmt.Printf("ckpt %4d  %5d batches  snapshot %5d rows  replay %6d records  recover %8.3f ms  identical %v\n",
+				p.CheckpointEvery, p.Batches, p.SnapshotRows, p.ReplayedRecords, p.RecoverySec*1e3, p.Identical)
+		}
+		fmt.Printf("wrote %s\n", path)
 		return
 	}
 

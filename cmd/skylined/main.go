@@ -8,11 +8,12 @@
 //	POST /v1/skyline      {"data": [[..]], "algorithm": "MR-GPMRS", ...}
 //	POST /v1/constrained  {..., "constraints": [{"min":0.2,"max":1}, {}]}
 //	POST /v1/subspace     {..., "dims": [0, 2]}
-//	POST /v1/datasets     {"name":"hotels", "data":[[..]]} or
-//	                      {"name":"anti", "generate":{"distribution":"anticorrelated","card":1000,"dim":4,"seed":7}}
-//	GET  /v1/datasets     list cached datasets
-//	GET  /v1/stats        service load + metrics registry
-//	GET  /healthz         liveness
+//	POST   /v1/datasets        {"name":"hotels", "data":[[..]]} or
+//	                           {"name":"anti", "generate":{"distribution":"anticorrelated","card":1000,"dim":4,"seed":7}}
+//	GET    /v1/datasets        list cached datasets
+//	DELETE /v1/datasets/{name} drop a dataset (and its durable state)
+//	GET    /v1/stats           service load + metrics registry
+//	GET    /healthz            liveness
 //
 // A dataset registered with "maintain": true keeps its skyline
 // incrementally up to date under churn instead of recomputing per query:
@@ -20,6 +21,12 @@
 //	POST /v1/datasets/{name}/deltas   {"deltas":[{"op":"insert","row":[..]},{"op":"delete","row":[..]}]}
 //	GET  /v1/datasets/{name}/skyline  latest skyline + generation; ?since_gen=N
 //	                                  answers {"changed":false} cheaply when nothing moved
+//
+// With -datadir, maintained datasets are durable: every acknowledged
+// delta batch is in the write-ahead log under
+// <datadir>/datasets/<name>/ before the response is sent (policy per
+// -walsync), and on startup every dataset found there is restored to its
+// exact pre-shutdown skyline and generation.
 //
 // Query requests name a cached dataset ("dataset":"hotels") or carry rows
 // inline ("data"). Overload surfaces as 429, a deadline as 504, invalid
@@ -33,9 +40,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -61,20 +70,30 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-query deadline (0: none)")
 	spillBudget := flag.Int64("spillbudget", 0, "external-memory shuffle budget in bytes (0 = all in RAM)")
 	spillDir := flag.String("spilldir", "", "directory for spill run files (default: the system temp dir; only with -spillbudget > 0)")
+	dataDir := flag.String("datadir", "", "root directory for durable maintained datasets (empty: memory-only)")
+	walSync := flag.String("walsync", "always", "WAL fsync policy for durable datasets: always|batch|interval")
+	walSyncInterval := flag.Duration("walsyncinterval", 0, "fsync cadence for -walsync=interval (default 50ms)")
+	checkpointEvery := flag.Int("checkpointevery", 0, "checkpoint a durable dataset after this many delta batches (default 256, negative: only on shutdown)")
 	flag.Parse()
 
 	if err := experiments.ValidateSpillConfig(*spillBudget, *spillDir, flagSet("spillbudget"), flagSet("spilldir")); err != nil {
 		log.Fatalf("skylined: %v", err)
 	}
 
+	if *dataDir == "" && (flagSet("walsync") || flagSet("walsyncinterval") || flagSet("checkpointevery")) {
+		log.Fatalf("skylined: -walsync/-walsyncinterval/-checkpointevery require -datadir")
+	}
 	cfg := mrskyline.ServiceConfig{
-		Nodes:        *nodes,
-		SlotsPerNode: *slots,
-		MaxInFlight:  *maxInFlight,
-		MaxQueue:     *maxQueue,
-		QueryTimeout: *timeout,
-		SpillBudget:  *spillBudget,
-		SpillDir:     *spillDir,
+		Nodes:              *nodes,
+		SlotsPerNode:       *slots,
+		MaxInFlight:        *maxInFlight,
+		MaxQueue:           *maxQueue,
+		QueryTimeout:       *timeout,
+		SpillBudget:        *spillBudget,
+		SpillDir:           *spillDir,
+		WALSync:            *walSync,
+		WALSyncInterval:    *walSyncInterval,
+		WALCheckpointEvery: *checkpointEvery,
 	}
 	switch *executor {
 	case "inproc":
@@ -102,20 +121,43 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Shut worker processes down on SIGINT/SIGTERM (no-op for inproc).
+	web := newServer(svc, *dataDir)
+	if *dataDir != "" {
+		if err := web.restoreDatasets(); err != nil {
+			log.Fatalf("skylined: %v", err)
+		}
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting requests, write a
+	// final checkpoint for every durable dataset, shut worker processes
+	// down. A later restart with the same -datadir replays nothing.
+	httpSrv := &http.Server{Handler: web.handler()}
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	shutdownDone := make(chan struct{})
 	go func() {
 		<-sigs
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		httpSrv.Shutdown(ctx) // Serve returns ErrServerClosed
+		cancel()
+		web.closeDatasets()
 		svc.Close()
-		os.Exit(0)
+		close(shutdownDone)
 	}()
 	if *executor == "process" {
-		log.Printf("skylined: listening on %s (%d worker processes)", *addr, *workers)
+		log.Printf("skylined: listening on %s (%d worker processes)", ln.Addr(), *workers)
 	} else {
-		log.Printf("skylined: listening on %s (%d nodes × %d slots, %d in flight)", *addr, *nodes, *slots, *maxInFlight)
+		log.Printf("skylined: listening on %s (%d nodes × %d slots, %d in flight)", ln.Addr(), *nodes, *slots, *maxInFlight)
 	}
-	err = http.ListenAndServe(*addr, newServer(svc).handler())
+	err = httpSrv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		<-shutdownDone
+		return
+	}
+	web.closeDatasets()
 	svc.Close()
 	log.Fatal(err)
 }
@@ -137,6 +179,9 @@ func flagSet(name string) bool {
 // request body.
 type server struct {
 	svc *mrskyline.Service
+	// dataDir is the root for durable maintained datasets ("" = memory
+	// only); each lives in dataDir/datasets/<name>/.
+	dataDir string
 
 	mu       sync.RWMutex
 	datasets map[string]*dataset
@@ -144,10 +189,12 @@ type server struct {
 
 // dataset is one cache entry: plain rows, or a maintained skyline handle
 // when the dataset was registered with "maintain": true. Maintained
-// entries serve regular queries from their current resident rows.
+// entries serve regular queries from their current resident rows. dir is
+// the durable directory ("" for memory-only entries).
 type dataset struct {
 	data  [][]float64
 	maint *mrskyline.MaintainedSkyline
+	dir   string
 }
 
 // rows returns the dataset's current rows (a maintained dataset's
@@ -166,8 +213,94 @@ func (d *dataset) size() int {
 	return len(d.data)
 }
 
-func newServer(svc *mrskyline.Service) *server {
-	return &server{svc: svc, datasets: make(map[string]*dataset)}
+func newServer(svc *mrskyline.Service, dataDir string) *server {
+	return &server{svc: svc, dataDir: dataDir, datasets: make(map[string]*dataset)}
+}
+
+// datasetDir returns the durable directory for name, or "" when the
+// server runs memory-only.
+func (s *server) datasetDir(name string) string {
+	if s.dataDir == "" {
+		return ""
+	}
+	return filepath.Join(s.dataDir, "datasets", name)
+}
+
+// restoreDatasets reopens every durable maintained dataset found under
+// dataDir at startup. A directory holding no durable state is skipped
+// with a warning; corrupt state is a startup error — skylined refuses to
+// serve data it cannot prove correct.
+func (s *server) restoreDatasets() error {
+	root := filepath.Join(s.dataDir, "datasets")
+	ents, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if err := validateDatasetName(name); err != nil {
+			log.Printf("skylined: skipping %s: %v", filepath.Join(root, name), err)
+			continue
+		}
+		dir := filepath.Join(root, name)
+		h, err := s.svc.RestoreMaintained(mrskyline.MaintainOptions{DataDir: dir})
+		if errors.Is(err, mrskyline.ErrNoDurableState) {
+			log.Printf("skylined: skipping %s: no durable state", dir)
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("restoring dataset %q: %w", name, err)
+		}
+		s.datasets[name] = &dataset{maint: h, dir: dir}
+		log.Printf("skylined: restored dataset %q (%d rows, gen %d)", name, h.Size(), h.Generation())
+	}
+	return nil
+}
+
+// closeDatasets closes every maintained handle, writing final checkpoints
+// for the durable ones.
+func (s *server) closeDatasets() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, ds := range s.datasets {
+		if ds.maint == nil {
+			continue
+		}
+		if err := ds.maint.Close(); err != nil {
+			log.Printf("skylined: closing dataset %q: %v", name, err)
+		}
+	}
+}
+
+// validateDatasetName rejects names that could escape the datasets
+// directory or break filenames once they become on-disk paths: path
+// separators, "." / "..", NUL and other control bytes, and unbounded
+// length.
+func validateDatasetName(name string) error {
+	if name == "" {
+		return errors.New(`"name" is required`)
+	}
+	if len(name) > 128 {
+		return fmt.Errorf(`"name" is too long (%d bytes, max 128)`, len(name))
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf(`invalid dataset name %q`, name)
+	}
+	for i := 0; i < len(name); i++ {
+		switch c := name[i]; {
+		case c == '/' || c == '\\':
+			return fmt.Errorf(`dataset name %q must not contain path separators`, name)
+		case c < 0x20 || c == 0x7f:
+			return fmt.Errorf(`dataset name %q must not contain control characters`, name)
+		}
+	}
+	return nil
 }
 
 func (s *server) handler() http.Handler {
@@ -176,6 +309,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/constrained", s.postOnly(s.handleConstrained))
 	mux.HandleFunc("/v1/subspace", s.postOnly(s.handleSubspace))
 	mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
 	mux.HandleFunc("POST /v1/datasets/{name}/deltas", s.handleDeltas)
 	mux.HandleFunc("GET /v1/datasets/{name}/skyline", s.handleMaintainedSkyline)
 	mux.HandleFunc("/v1/stats", s.handleStats)
@@ -468,8 +602,8 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			writeError(w, &httpError{http.StatusBadRequest, "bad request body: " + err.Error()})
 			return
 		}
-		if req.Name == "" {
-			writeError(w, &httpError{http.StatusBadRequest, `"name" is required`})
+		if err := validateDatasetName(req.Name); err != nil {
+			writeError(w, &httpError{http.StatusBadRequest, err.Error()})
 			return
 		}
 		data := req.Data
@@ -496,19 +630,36 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		}
 		ds := &dataset{data: data}
 		if req.Maintain {
+			dir := s.datasetDir(req.Name)
+			if dir != "" {
+				// A durable dataset owns an on-disk directory; silently
+				// overwriting it would destroy logged state. Require an explicit
+				// DELETE first.
+				s.mu.RLock()
+				_, loaded := s.datasets[req.Name]
+				s.mu.RUnlock()
+				if loaded {
+					writeError(w, &httpError{http.StatusConflict, fmt.Sprintf("dataset %q already exists; DELETE it first", req.Name)})
+					return
+				}
+			}
 			h, err := s.svc.OpenMaintained(data, mrskyline.MaintainOptions{
 				Dim:        req.MaintainDim,
 				PPD:        req.MaintainPPD,
 				WindowSize: req.MaintainWindow,
 				Maximize:   req.Maximize,
+				DataDir:    dir,
 			})
 			if err != nil {
 				writeError(w, err)
 				return
 			}
-			ds = &dataset{maint: h}
+			ds = &dataset{maint: h, dir: dir}
 		}
 		s.mu.Lock()
+		if old := s.datasets[req.Name]; old != nil && old.maint != nil {
+			old.maint.Close()
+		}
 		s.datasets[req.Name] = ds
 		s.mu.Unlock()
 		resp := map[string]any{"name": req.Name, "rows": ds.size()}
@@ -521,6 +672,35 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET or POST required"})
 	}
+}
+
+// handleDeleteDataset drops a dataset: the maintained handle (if any) is
+// closed and its durable state — log segments and checkpoints — removed
+// from disk, so the name is immediately reusable.
+func (s *server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	ds, ok := s.datasets[name]
+	if ok {
+		delete(s.datasets, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, &httpError{http.StatusNotFound, fmt.Sprintf("unknown dataset %q", name)})
+		return
+	}
+	if ds.maint != nil {
+		if err := ds.maint.Close(); err != nil {
+			log.Printf("skylined: closing dataset %q: %v", name, err)
+		}
+	}
+	if ds.dir != "" {
+		if err := os.RemoveAll(ds.dir); err != nil {
+			writeError(w, &httpError{http.StatusInternalServerError, fmt.Sprintf("removing durable state: %v", err)})
+			return
+		}
+	}
+	writeJSON(w, map[string]any{"name": name, "deleted": true})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

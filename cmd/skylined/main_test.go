@@ -19,7 +19,7 @@ func newTestServer(t *testing.T, cfg mrskyline.ServiceConfig) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(svc).handler())
+	ts := httptest.NewServer(newServer(svc, "").handler())
 	t.Cleanup(ts.Close)
 	return ts
 }

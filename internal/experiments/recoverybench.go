@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"time"
+
+	"mrskyline/internal/maintain"
+	"mrskyline/internal/tuple"
+	"mrskyline/internal/wal"
+)
+
+// RecoveryBenchConfig shapes the crash-recovery bench.
+type RecoveryBenchConfig struct {
+	// Batches is the longest delta-log length measured (default 1200);
+	// BatchSize the mean deltas per batch (default 6); Dim the tuple
+	// dimensionality (default 3).
+	Batches   int
+	BatchSize int
+	Dim       int
+	// Seed makes the delta stream deterministic; defaults to 1.
+	Seed int64
+	// Sync is the fsync policy under test (default wal.SyncBatch — the
+	// recovery path is identical across policies; always-mode mostly
+	// measures the host's fsync latency instead).
+	Sync wal.SyncMode
+	// Dir hosts the durable directories (default: a fresh temp dir,
+	// removed after).
+	Dir string
+}
+
+func (c RecoveryBenchConfig) withDefaults() RecoveryBenchConfig {
+	if c.Batches == 0 {
+		c.Batches = 1200
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 6
+	}
+	if c.Dim == 0 {
+		c.Dim = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Sync == wal.SyncAlways {
+		// Zero value; per-batch fsync would make the bench measure disk
+		// latency, not recovery.
+		c.Sync = wal.SyncBatch
+	}
+	return c
+}
+
+// RecoveryPoint is one crash-and-recover measurement.
+type RecoveryPoint struct {
+	// CheckpointEvery is the automatic checkpoint interval in batches
+	// (negative: none — replay covers the whole log).
+	CheckpointEvery int `json:"checkpoint_every"`
+	// Batches is how many acknowledged delta batches preceded the crash.
+	Batches int `json:"batches"`
+	// SnapshotRows and ReplayedRecords describe the recovery work split:
+	// rows reseeded from the newest checkpoint vs records replayed from
+	// the log.
+	SnapshotRows    int   `json:"snapshot_rows"`
+	ReplayedRecords int64 `json:"replayed_records"`
+	// RecoverySec is the wall-clock to a serving-ready handle.
+	RecoverySec float64 `json:"recovery_seconds"`
+	// ApplySec is the pre-crash wall-clock spent applying (and logging)
+	// the batches — the durability overhead side of the trade.
+	ApplySec float64 `json:"apply_seconds"`
+	// Identical asserts the recovered skyline is byte-identical to a fresh
+	// rebuild of the acknowledged history.
+	Identical   bool   `json:"identical"`
+	FinalGen    uint64 `json:"final_gen"`
+	SkylineSize int    `json:"skyline_size"`
+}
+
+// RecoveryBenchRecord is the BENCH_recovery.json payload: recovery time
+// as a function of log length (no checkpoints), and the checkpoint
+// interval sweep at the full log length showing how checkpoints bound
+// replay.
+type RecoveryBenchRecord struct {
+	Dim       int    `json:"dim"`
+	BatchSize int    `json:"batch_size"`
+	Seed      int64  `json:"seed"`
+	Sync      string `json:"sync"`
+
+	LogLength       []RecoveryPoint `json:"log_length"`
+	CheckpointSweep []RecoveryPoint `json:"checkpoint_sweep"`
+}
+
+// recoveryDeltas builds the deterministic churn stream: inserts with a
+// fraction of deletes against surviving rows.
+func recoveryDeltas(seed int64, batches, batchSize, dim int) [][]maintain.Delta {
+	rng := rand.New(rand.NewSource(seed))
+	var pool tuple.List
+	out := make([][]maintain.Delta, batches)
+	for i := range out {
+		n := 1 + rng.Intn(2*batchSize-1)
+		b := make([]maintain.Delta, n)
+		for j := range b {
+			if len(pool) > 8 && rng.Float64() < 0.25 {
+				k := rng.Intn(len(pool))
+				b[j] = maintain.Delta{Op: maintain.OpDelete, Row: pool[k].Clone()}
+				pool = append(pool[:k], pool[k+1:]...)
+				continue
+			}
+			row := make(tuple.Tuple, dim)
+			for d := range row {
+				row[d] = rng.Float64()
+			}
+			pool = append(pool, row)
+			b[j] = maintain.Delta{Op: maintain.OpInsert, Row: row.Clone()}
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func recoverySeed(dim int) tuple.List {
+	rng := rand.New(rand.NewSource(99))
+	rows := make(tuple.List, 32)
+	for i := range rows {
+		rows[i] = make(tuple.Tuple, dim)
+		for d := range rows[i] {
+			rows[i][d] = rng.Float64()
+		}
+	}
+	return rows
+}
+
+// measureRecovery runs one crash scenario: apply `batches` batches under
+// the given checkpoint interval, abandon the handle the way a crash
+// would (no final checkpoint, no final sync), recover, and compare the
+// recovered skyline byte-for-byte against a fresh rebuild.
+func measureRecovery(dir string, cfg RecoveryBenchConfig, stream [][]maintain.Delta, batches, ckptEvery int) (RecoveryPoint, error) {
+	pt := RecoveryPoint{CheckpointEvery: ckptEvery, Batches: batches}
+	mcfg := maintain.Config{Dim: cfg.Dim, PPD: 4}
+	d, err := wal.Create(dir, recoverySeed(cfg.Dim).Clone(), mcfg, nil, wal.Options{
+		Sync:            cfg.Sync,
+		CheckpointEvery: ckptEvery,
+	})
+	if err != nil {
+		return pt, err
+	}
+	start := time.Now()
+	for _, b := range stream[:batches] {
+		if _, err := d.Apply(cloneDeltas(b)); err != nil {
+			return pt, err
+		}
+	}
+	pt.ApplySec = time.Since(start).Seconds()
+	if err := d.Abandon(); err != nil {
+		return pt, err
+	}
+
+	start = time.Now()
+	r, err := wal.Recover(dir, wal.Options{})
+	if err != nil {
+		return pt, err
+	}
+	pt.RecoverySec = time.Since(start).Seconds()
+	defer r.Close()
+	rs := r.Recovery()
+	pt.SnapshotRows = rs.SnapshotRows
+	pt.ReplayedRecords = rs.ReplayedRecords
+
+	ref, err := maintain.New(recoverySeed(cfg.Dim).Clone(), mcfg)
+	if err != nil {
+		return pt, err
+	}
+	for _, b := range stream[:batches] {
+		if _, err := ref.Apply(cloneDeltas(b)); err != nil {
+			return pt, err
+		}
+	}
+	got, want := r.Maintained().Snapshot(), ref.Snapshot()
+	pt.Identical = got.Gen == want.Gen && reflect.DeepEqual(got.Skyline, want.Skyline)
+	pt.FinalGen = got.Gen
+	pt.SkylineSize = len(got.Skyline)
+	if !pt.Identical {
+		return pt, fmt.Errorf("experiments: recovered skyline differs from rebuild (gen %d vs %d, %d vs %d rows)",
+			got.Gen, want.Gen, len(got.Skyline), len(want.Skyline))
+	}
+	return pt, nil
+}
+
+func cloneDeltas(b []maintain.Delta) []maintain.Delta {
+	out := make([]maintain.Delta, len(b))
+	for i, d := range b {
+		out[i] = maintain.Delta{Op: d.Op, Row: d.Row.Clone()}
+	}
+	return out
+}
+
+// RunRecoveryBench measures crash recovery of durable maintained
+// skylines: wall-clock to a serving-ready handle as the log grows
+// (checkpoints disabled), and again across checkpoint intervals at the
+// full log length. Every point asserts byte-identical recovery before it
+// is reported.
+func RunRecoveryBench(cfg RecoveryBenchConfig) (*RecoveryBenchRecord, error) {
+	cfg = cfg.withDefaults()
+	root := cfg.Dir
+	if root == "" {
+		d, err := os.MkdirTemp("", "skybench-recovery-")
+		if err != nil {
+			return nil, fmt.Errorf("experiments: recovery bench temp dir: %w", err)
+		}
+		defer os.RemoveAll(d)
+		root = d
+	}
+	stream := recoveryDeltas(cfg.Seed, cfg.Batches, cfg.BatchSize, cfg.Dim)
+	rec := &RecoveryBenchRecord{Dim: cfg.Dim, BatchSize: cfg.BatchSize, Seed: cfg.Seed, Sync: cfg.Sync.String()}
+
+	for n := cfg.Batches / 8; n <= cfg.Batches; n *= 2 {
+		dir := fmt.Sprintf("%s/loglen-%d", root, n)
+		pt, err := measureRecovery(dir, cfg, stream, n, -1)
+		if err != nil {
+			return rec, fmt.Errorf("experiments: log length %d: %w", n, err)
+		}
+		rec.LogLength = append(rec.LogLength, pt)
+	}
+	for _, every := range []int{32, 128, 512, -1} {
+		dir := fmt.Sprintf("%s/ckpt-%d", root, every)
+		pt, err := measureRecovery(dir, cfg, stream, cfg.Batches, every)
+		if err != nil {
+			return rec, fmt.Errorf("experiments: checkpoint interval %d: %w", every, err)
+		}
+		rec.CheckpointSweep = append(rec.CheckpointSweep, pt)
+	}
+	return rec, nil
+}
+
+// WriteRecoveryBenchJSON writes rec as indented JSON to path.
+func WriteRecoveryBenchJSON(path string, rec *RecoveryBenchRecord) error {
+	return writeJSONFile(path, rec)
+}

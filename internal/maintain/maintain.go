@@ -70,6 +70,12 @@ type Config struct {
 	// oldest resident tuple. Sliding windows are insert-only — explicit
 	// deletes are rejected, because eviction order is the only delete.
 	WindowCap int
+	// SeedGen, when positive, is the generation assigned to the seed
+	// publish (0 means 1, the fresh-build default). Durable recovery uses
+	// it to resume a handle's generation sequence from a checkpoint: a
+	// snapshot taken at generation G reseeds with SeedGen G, so replayed
+	// delta batches continue at G+1 exactly as they did before the crash.
+	SeedGen uint64
 }
 
 // Op is a delta operation.
@@ -247,6 +253,9 @@ func New(data tuple.List, cfg Config) (*Maintained, error) {
 		contrib: make(map[int]tuple.List),
 		dirty:   make(map[int]struct{}),
 	}
+	if cfg.SeedGen > 0 {
+		m.gen = cfg.SeedGen - 1
+	}
 	for _, t := range data {
 		m.insertLocked(t)
 	}
@@ -320,6 +329,41 @@ func (m *Maintained) Rows() tuple.List {
 	return out
 }
 
+// ArrivalRows returns a copy of every resident tuple in global arrival
+// order (the sequence inserts happened in, deletions excised). Reseeding a
+// fresh Maintained with this list reproduces the current state exactly:
+// per-cell member order, every cell window, the sliding-window eviction
+// order, and therefore the published skyline bytes — which is what makes
+// it the canonical checkpoint serialization for durable recovery.
+func (m *Maintained) ArrivalRows() tuple.List {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	type seqRow struct {
+		seq uint64
+		t   tuple.Tuple
+	}
+	rows := make([]seqRow, 0, m.size)
+	for _, c := range m.cells {
+		for _, mb := range c.members {
+			rows = append(rows, seqRow{seq: mb.seq, t: mb.t})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
+	out := make(tuple.List, len(rows))
+	for i, r := range rows {
+		out[i] = r.t.Clone()
+	}
+	return out
+}
+
+// Bounds returns copies of the grid domain ([lo, hi) per dimension). A
+// checkpoint persists them so recovery rebuilds the identical grid instead
+// of re-deriving a different domain from the surviving rows.
+func (m *Maintained) Bounds() (lo, hi tuple.Tuple) { return m.g.Lo(), m.g.Hi() }
+
+// WindowCap returns the sliding-window capacity (0 = unbounded).
+func (m *Maintained) WindowCap() int { return m.cap }
+
 // Stats returns the maintainer's work counters.
 func (m *Maintained) Stats() Stats {
 	m.mu.Lock()
@@ -368,24 +412,35 @@ func (m *Maintained) Delete(row tuple.Tuple) (bool, error) {
 	return res.Deleted > 0, nil
 }
 
-// Apply applies a batch of deltas atomically — the whole batch is
-// validated first and either every operation applies or none does — and
-// publishes exactly one new snapshot. Readers see either the previous
-// snapshot or the post-batch one, never an intermediate state.
-func (m *Maintained) Apply(deltas []Delta) (ApplyResult, error) {
+// CheckBatch validates a delta batch without applying it: row
+// dimensionality, finite values, known ops, and the sliding-window
+// insert-only rule. It is exactly Apply's up-front validation, exposed so
+// a write-ahead log can refuse a doomed batch before appending it.
+func (m *Maintained) CheckBatch(deltas []Delta) error {
 	for i, d := range deltas {
 		if err := m.checkRow(d.Row); err != nil {
-			return ApplyResult{}, fmt.Errorf("%w (delta %d)", err, i)
+			return fmt.Errorf("%w (delta %d)", err, i)
 		}
 		switch d.Op {
 		case OpInsert:
 		case OpDelete:
 			if m.cap > 0 {
-				return ApplyResult{}, fmt.Errorf("maintain: delete rejected (delta %d): sliding windows are insert-only", i)
+				return fmt.Errorf("maintain: delete rejected (delta %d): sliding windows are insert-only", i)
 			}
 		default:
-			return ApplyResult{}, fmt.Errorf("maintain: unknown op %v (delta %d)", d.Op, i)
+			return fmt.Errorf("maintain: unknown op %v (delta %d)", d.Op, i)
 		}
+	}
+	return nil
+}
+
+// Apply applies a batch of deltas atomically — the whole batch is
+// validated first and either every operation applies or none does — and
+// publishes exactly one new snapshot. Readers see either the previous
+// snapshot or the post-batch one, never an intermediate state.
+func (m *Maintained) Apply(deltas []Delta) (ApplyResult, error) {
+	if err := m.CheckBatch(deltas); err != nil {
+		return ApplyResult{}, err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

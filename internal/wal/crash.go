@@ -1,0 +1,30 @@
+package wal
+
+import "os"
+
+// testCrash, when non-nil, is invoked at named crash points so the chaos
+// suite can SIGKILL the process mid-operation at deterministic,
+// seed-selected moments. The hook receives the point name, the generation
+// being processed, and — at "append.write" only — the active segment file
+// plus the exact record bytes about to be written, so it can simulate a
+// torn write by persisting a prefix of them before killing the process.
+// A hook that returns is a no-op for that point.
+//
+// Production builds never set it: every call site costs one nil check.
+var testCrash func(point string, gen uint64, f *os.File, pending []byte)
+
+// The crash points, in the order a batch passes them:
+//
+//	append.write     before the record bytes reach the segment
+//	append.unsynced  record written, not yet fsynced
+//	append.synced    record fsynced, not yet applied (SyncAlways)
+//	applied          batch applied to the resident state, not yet acked
+//	ckpt.before      checkpoint captured, snapshot not yet written
+//	ckpt.written     snapshot tmp file synced, not yet renamed
+//	ckpt.renamed     snapshot live, old segments not yet truncated
+//	ckpt.done        checkpoint complete
+func crashPoint(point string, gen uint64, f *os.File, pending []byte) {
+	if testCrash != nil {
+		testCrash(point, gen, f, pending)
+	}
+}

@@ -1,0 +1,571 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"mrskyline/internal/maintain"
+	"mrskyline/internal/obs"
+	"mrskyline/internal/tuple"
+)
+
+// ErrClosed is returned by operations on a closed Durable.
+var ErrClosed = errors.New("wal: durable handle is closed")
+
+// ErrNoState is returned by Recover when dir holds no durable state.
+var ErrNoState = errors.New("wal: no durable state")
+
+// RecoveryStats describes what Recover did.
+type RecoveryStats struct {
+	// SnapshotGen and SnapshotRows describe the checkpoint recovery
+	// started from.
+	SnapshotGen  uint64 `json:"snapshot_gen"`
+	SnapshotRows int    `json:"snapshot_rows"`
+	// ReplayedRecords and ReplayedDeltas count the log records applied on
+	// top of the snapshot; SkippedRecords counts pre-snapshot remnants of
+	// an interrupted truncation.
+	ReplayedRecords int64 `json:"replayed_records"`
+	ReplayedDeltas  int64 `json:"replayed_deltas"`
+	SkippedRecords  int64 `json:"skipped_records"`
+	// TornBytes is the length of the discarded torn tail (0 on a clean
+	// shutdown); CorruptSnapshots counts newer snapshots skipped for
+	// checksum failures before an intact one loaded.
+	TornBytes        int64 `json:"torn_bytes"`
+	CorruptSnapshots int   `json:"corrupt_snapshots"`
+	// WallNs is the end-to-end recovery time.
+	WallNs int64 `json:"wall_ns"`
+}
+
+// Durable wraps a maintain.Maintained with write-ahead durability: Apply
+// logs the batch (fsynced per Options.Sync) before applying it, a
+// background checkpointer bounds replay length, and Recover reopens the
+// directory to the exact pre-crash state. Reads go straight to
+// Maintained() — they are lock-free exactly as before.
+//
+// All methods are safe for concurrent use. Writers serialize on an
+// internal mutex, as they already do inside maintain.
+type Durable struct {
+	dir  string
+	o    Options
+	m    *maintain.Maintained
+	meta []byte
+	reg  *obs.Registry
+
+	mu            sync.Mutex
+	log           *segmentLog
+	recsSinceCkpt int
+	failed        error
+	closing       bool
+	closed        bool
+
+	ckptMu  sync.Mutex
+	ckptReq chan struct{}
+	syncReq chan struct{}
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	rs  RecoveryStats
+	buf []byte
+}
+
+// Exists reports whether dir holds durable state (any snapshot or log
+// segment).
+func Exists(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if _, ok := parseSeq(e.Name(), "snap-", ".ckpt"); ok {
+			return true
+		}
+		if _, ok := parseSeq(e.Name(), "wal-", ".log"); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Create builds a fresh durable maintained skyline at dir: the seed state
+// is checkpointed immediately (so recovery always has a snapshot to start
+// from) and the log opens at the following generation. It takes ownership
+// of seed exactly like maintain.New. meta is an opaque caller blob
+// persisted in every snapshot and returned by Meta after recovery —
+// mrskyline stores the handle's orientation there. dir must not already
+// hold durable state.
+func Create(dir string, seed tuple.List, cfg maintain.Config, meta []byte, o Options) (*Durable, error) {
+	o = o.withDefaults()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	if Exists(dir) {
+		return nil, fmt.Errorf("wal: %s already holds durable state (recover or delete it first)", dir)
+	}
+	m, err := maintain.New(seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := newDurable(dir, m, meta, o)
+	gen := m.Generation()
+	if _, err := writeSnapshot(dir, d.snapshotState(gen, m.ArrivalRows())); err != nil {
+		return nil, err
+	}
+	d.log, err = openLog(dir, gen+1, o.SegmentBytes, o.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	d.rs = RecoveryStats{SnapshotGen: gen, SnapshotRows: m.Size()}
+	d.start()
+	return d, nil
+}
+
+// Recover reopens the durable state at dir: it loads the newest intact
+// snapshot, replays the remaining log records in generation order,
+// truncates a torn tail in the final segment, and resumes logging on a
+// fresh segment. The recovered skyline is byte-identical to the pre-crash
+// state of every wholly-logged batch. A checksum break anywhere but the
+// final segment's tail — or a generation gap — returns an error: the log
+// refuses to serve provably wrong data.
+func Recover(dir string, o Options) (*Durable, error) {
+	o = o.withDefaults()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	snaps, err := listDir(dir, "snap-", ".ckpt")
+	if err != nil {
+		return nil, err
+	}
+	segs, err := listDir(dir, "wal-", ".log")
+	if err != nil {
+		return nil, err
+	}
+	if len(snaps) == 0 {
+		if len(segs) == 0 {
+			return nil, fmt.Errorf("%w in %s", ErrNoState, dir)
+		}
+		return nil, fmt.Errorf("wal: %s has log segments but no snapshot", dir)
+	}
+
+	var rs RecoveryStats
+	var st *snapshotState
+	for i := len(snaps) - 1; i >= 0; i-- {
+		s, rerr := readSnapshot(snaps[i].path)
+		if rerr == nil {
+			st = s
+			break
+		}
+		if !errors.Is(rerr, errSnapCorrupt) {
+			return nil, rerr
+		}
+		rs.CorruptSnapshots++
+	}
+	if st == nil {
+		return nil, fmt.Errorf("wal: no intact snapshot in %s (%d corrupt)", dir, rs.CorruptSnapshots)
+	}
+	rs.SnapshotGen, rs.SnapshotRows = st.Gen, len(st.Rows)
+
+	m, err := maintain.New(st.Rows, maintain.Config{
+		Dim:       st.Dim,
+		PPD:       st.PPD,
+		Lo:        st.Lo,
+		Hi:        st.Hi,
+		WindowCap: st.WindowCap,
+		SeedGen:   st.Gen,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wal: reseeding from snapshot gen %d: %w", st.Gen, err)
+	}
+
+	cur := st.Gen
+	var sealed []segInfo
+	for i, sg := range segs {
+		payloads, goodOff, scanErr := scanSegment(sg.path)
+		segLast := sg.seq - 1
+		for _, p := range payloads {
+			gen, deltas, derr := decodeBatchRecord(p)
+			if derr != nil {
+				return nil, fmt.Errorf("wal: segment %s: %w", sg.path, derr)
+			}
+			switch {
+			case gen <= cur:
+				rs.SkippedRecords++
+			case gen == cur+1:
+				if _, aerr := m.Apply(deltas); aerr != nil {
+					return nil, fmt.Errorf("wal: replaying gen %d from %s: %w", gen, sg.path, aerr)
+				}
+				cur++
+				rs.ReplayedRecords++
+				rs.ReplayedDeltas += int64(len(deltas))
+			default:
+				return nil, fmt.Errorf("wal: generation gap in %s: record %d follows %d", sg.path, gen, cur)
+			}
+			segLast = gen
+		}
+		if scanErr != nil {
+			var te *tornError
+			if !errors.As(scanErr, &te) {
+				return nil, scanErr
+			}
+			if i != len(segs)-1 {
+				return nil, fmt.Errorf("wal: corrupt non-final segment: %w", scanErr)
+			}
+			// Torn tail: everything before goodOff replayed, the rest is an
+			// unacknowledgeable partial write — discard it durably.
+			rs.TornBytes = te.Lost
+			if goodOff <= int64(len(segMagic)) {
+				if err := os.Remove(sg.path); err != nil {
+					return nil, fmt.Errorf("wal: removing unreadable segment: %w", err)
+				}
+				continue
+			}
+			if err := truncateFile(sg.path, goodOff); err != nil {
+				return nil, err
+			}
+		}
+		if segLast < sg.seq {
+			// Zero usable records: drop the empty segment so the fresh
+			// active segment cannot collide with its name.
+			if err := os.Remove(sg.path); err != nil {
+				return nil, fmt.Errorf("wal: removing empty segment: %w", err)
+			}
+			continue
+		}
+		sealed = append(sealed, segInfo{firstGen: sg.seq, lastGen: segLast, path: sg.path})
+	}
+
+	d := newDurable(dir, m, st.Meta, o)
+	d.log, err = openLog(dir, cur+1, o.SegmentBytes, o.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	d.log.sealed = sealed
+	d.cleanup(st.Gen)
+	rs.WallNs = time.Since(start).Nanoseconds()
+	d.rs = rs
+	o.Metrics.Count("wal.recoveries", 1)
+	o.Metrics.Count("wal.replay.records", rs.ReplayedRecords)
+	o.Metrics.Count("wal.torn.bytes", rs.TornBytes)
+	o.Metrics.Observe("wal.recovery.ns", rs.WallNs)
+	d.start()
+	return d, nil
+}
+
+// truncateFile durably cuts path to size.
+func truncateFile(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("wal: opening segment for truncation: %w", err)
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: truncating torn tail: %w", err)
+	}
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return fmt.Errorf("wal: syncing truncated segment: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: closing truncated segment: %w", cerr)
+	}
+	return nil
+}
+
+func newDurable(dir string, m *maintain.Maintained, meta []byte, o Options) *Durable {
+	return &Durable{
+		dir:     dir,
+		o:       o,
+		m:       m,
+		meta:    append([]byte(nil), meta...),
+		reg:     o.Metrics,
+		ckptReq: make(chan struct{}, 1),
+		syncReq: make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+}
+
+// start launches the background checkpointer and, for the asynchronous
+// sync modes, the syncer.
+func (d *Durable) start() {
+	d.wg.Add(1)
+	go d.checkpointer()
+	if d.o.Sync == SyncBatch || d.o.Sync == SyncInterval {
+		d.wg.Add(1)
+		go d.syncer()
+	}
+}
+
+// Maintained returns the resident skyline for reads. Mutate it only
+// through Apply — direct writes would bypass the log.
+func (d *Durable) Maintained() *maintain.Maintained { return d.m }
+
+// Meta returns the opaque caller blob persisted with every snapshot.
+func (d *Durable) Meta() []byte { return append([]byte(nil), d.meta...) }
+
+// Dir returns the durable directory.
+func (d *Durable) Dir() string { return d.dir }
+
+// Recovery returns what Recover (or Create) did to open this handle.
+func (d *Durable) Recovery() RecoveryStats { return d.rs }
+
+// Apply validates the batch, appends it to the log (fsyncing per the
+// sync policy), applies it to the resident state and publishes the next
+// snapshot. The returned result is identical to maintain.Apply's. When
+// the log itself fails (disk full, I/O error) the handle becomes
+// read-only: every later Apply returns the sticky error and the resident
+// state stays consistent with the log's acknowledged prefix.
+func (d *Durable) Apply(deltas []maintain.Delta) (maintain.ApplyResult, error) {
+	if err := d.m.CheckBatch(deltas); err != nil {
+		return maintain.ApplyResult{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closing || d.closed {
+		return maintain.ApplyResult{}, ErrClosed
+	}
+	if d.failed != nil {
+		return maintain.ApplyResult{}, fmt.Errorf("wal: log failed earlier: %w", d.failed)
+	}
+	gen := d.m.Generation() + 1
+	d.buf = appendBatchRecord(d.buf[:0], gen, deltas)
+	if err := d.log.append(gen, d.buf); err != nil {
+		var fe *fatalError
+		if errors.As(err, &fe) {
+			d.failed = err
+		}
+		return maintain.ApplyResult{}, err
+	}
+	switch d.o.Sync {
+	case SyncAlways:
+		crashPoint("append.unsynced", gen, nil, nil)
+		if err := d.log.sync(); err != nil {
+			d.failed = err
+			return maintain.ApplyResult{}, err
+		}
+		crashPoint("append.synced", gen, nil, nil)
+	default:
+		select {
+		case d.syncReq <- struct{}{}:
+		default:
+		}
+	}
+	res, err := d.m.Apply(deltas)
+	if err != nil || res.Gen != gen {
+		// CheckBatch passed, so this cannot happen; if it somehow does, the
+		// log and the resident state have diverged — fail hard rather than
+		// keep logging against an unknown state.
+		if err == nil {
+			err = fmt.Errorf("wal: applied generation %d, logged %d", res.Gen, gen)
+		}
+		d.failed = err
+		return maintain.ApplyResult{}, d.failed
+	}
+	crashPoint("applied", gen, nil, nil)
+	d.recsSinceCkpt++
+	if d.o.CheckpointEvery > 0 && d.recsSinceCkpt >= d.o.CheckpointEvery {
+		d.recsSinceCkpt = 0
+		select {
+		case d.ckptReq <- struct{}{}:
+		default:
+		}
+	}
+	return res, nil
+}
+
+// syncer is the background fsync loop for SyncBatch (signal-driven,
+// coalescing) and SyncInterval (timer-driven).
+func (d *Durable) syncer() {
+	defer d.wg.Done()
+	var tick <-chan time.Time
+	if d.o.Sync == SyncInterval {
+		t := time.NewTicker(d.o.SyncEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-d.syncReq:
+			if d.o.Sync == SyncInterval {
+				continue // the ticker owns the cadence
+			}
+		case <-tick:
+		}
+		d.mu.Lock()
+		if !d.closed && d.failed == nil {
+			if err := d.log.sync(); err != nil {
+				d.failed = err
+			}
+		}
+		d.mu.Unlock()
+	}
+}
+
+// checkpointer runs requested checkpoints off the Apply path.
+func (d *Durable) checkpointer() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-d.ckptReq:
+			d.Checkpoint() // errors are sticky in d.failed when fatal; retried next trigger otherwise
+		}
+	}
+}
+
+// snapshotState captures the serializable view at gen.
+func (d *Durable) snapshotState(gen uint64, rows tuple.List) snapshotState {
+	lo, hi := d.m.Bounds()
+	return snapshotState{
+		Gen:       gen,
+		Dim:       d.m.Dim(),
+		PPD:       d.m.PPD(),
+		WindowCap: d.m.WindowCap(),
+		Lo:        lo,
+		Hi:        hi,
+		Meta:      d.meta,
+		Rows:      rows,
+	}
+}
+
+// Checkpoint serializes the resident state at its current generation G,
+// publishes it atomically (tmp + rename), and truncates every log segment
+// whose records are all ≤ G. Skipping it never loses data — it only
+// lengthens replay — so callers may treat errors as retryable unless the
+// handle has already failed.
+func (d *Durable) Checkpoint() error {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	start := time.Now()
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	if d.failed != nil {
+		d.mu.Unlock()
+		return d.failed
+	}
+	// The capture and the roll happen under the writer lock, so the sealed
+	// segments hold exactly the records ≤ gen and the fresh active segment
+	// starts at gen+1.
+	if err := d.log.sync(); err != nil {
+		d.failed = err
+		d.mu.Unlock()
+		return err
+	}
+	gen := d.m.Generation()
+	rows := d.m.ArrivalRows()
+	if d.log.records > 0 {
+		if err := d.log.roll(gen + 1); err != nil {
+			d.failed = err
+			d.mu.Unlock()
+			return err
+		}
+	}
+	d.recsSinceCkpt = 0
+	d.mu.Unlock()
+
+	crashPoint("ckpt.before", gen, nil, nil)
+	if _, err := writeSnapshot(d.dir, d.snapshotState(gen, rows)); err != nil {
+		return err
+	}
+	crashPoint("ckpt.renamed", gen, nil, nil)
+	d.cleanup(gen)
+	d.reg.Count("wal.checkpoints", 1)
+	d.reg.Observe("wal.checkpoint.ns", time.Since(start).Nanoseconds())
+	crashPoint("ckpt.done", gen, nil, nil)
+	return nil
+}
+
+// cleanup removes sealed segments fully covered by the snapshot at gen,
+// snapshots older than it, and stray .tmp files from interrupted
+// checkpoints.
+func (d *Durable) cleanup(gen uint64) {
+	d.mu.Lock()
+	keep := d.log.sealed[:0]
+	var drop []string
+	for _, sg := range d.log.sealed {
+		if sg.lastGen <= gen {
+			drop = append(drop, sg.path)
+		} else {
+			keep = append(keep, sg)
+		}
+	}
+	d.log.sealed = keep
+	d.mu.Unlock()
+	for _, path := range drop {
+		if os.Remove(path) == nil {
+			d.reg.Count("wal.segments.removed", 1)
+		}
+	}
+	if snaps, err := listDir(d.dir, "snap-", ".ckpt"); err == nil {
+		for _, sp := range snaps {
+			if sp.seq < gen {
+				os.Remove(sp.path)
+			}
+		}
+	}
+	if ents, err := os.ReadDir(d.dir); err == nil {
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name(), ".ckpt.tmp") {
+				os.Remove(filepath.Join(d.dir, e.Name()))
+			}
+		}
+	}
+}
+
+// Close writes a final checkpoint, truncates the log and releases the
+// files. The handle must not be used afterwards; Close is idempotent.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	if d.closed || d.closing {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closing = true
+	d.mu.Unlock()
+	close(d.stop)
+	d.wg.Wait()
+	ckptErr := d.Checkpoint()
+	d.mu.Lock()
+	d.closed = true
+	closeErr := d.log.close()
+	d.mu.Unlock()
+	if ckptErr != nil && !errors.Is(ckptErr, ErrClosed) {
+		return ckptErr
+	}
+	return closeErr
+}
+
+// Abandon releases the files WITHOUT a final checkpoint or sync, leaving
+// the directory exactly as a crash at this moment would — recovery tests
+// and benches use it to measure real replay. Idempotent.
+func (d *Durable) Abandon() error {
+	d.mu.Lock()
+	if d.closed || d.closing {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closing = true
+	d.mu.Unlock()
+	close(d.stop)
+	d.wg.Wait()
+	d.mu.Lock()
+	d.closed = true
+	err := d.log.f.Close()
+	d.mu.Unlock()
+	return err
+}

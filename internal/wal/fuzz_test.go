@@ -1,0 +1,137 @@
+package wal
+
+// Replay fuzzers: arbitrary bytes fed to the segment scanner, the record
+// decoder and the snapshot reader must produce recover-or-error behavior
+// — never a panic, never an over-allocation, and for the scanner never a
+// payload past the verified prefix. `go test` runs the seed corpus; `go
+// test -fuzz` explores further.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mrskyline/internal/maintain"
+	"mrskyline/internal/tuple"
+)
+
+// validSegmentBytes builds an intact two-record segment in memory by
+// writing one through the real writer.
+func validSegmentBytes(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	l, err := openLog(dir, 1, 1<<20, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for gen := uint64(1); gen <= 2; gen++ {
+		p := appendBatchRecord(nil, gen, mkBatches(int64(gen), 1, 3)[0])
+		if err := l.append(gen, p); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := l.close(); err != nil {
+		tb.Fatal(err)
+	}
+	b, err := os.ReadFile(segPath(dir, 1))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+func validSnapshotBytes(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	path, err := writeSnapshot(dir, snapshotState{
+		Gen: 5, Dim: 3, PPD: 4, Lo: tuple.Tuple{0, 0, 0}, Hi: tuple.Tuple{1, 1, 1},
+		Meta: []byte(`{"maximize":null}`), Rows: seedRows(3),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+func FuzzScanSegment(f *testing.F) {
+	valid := validSegmentBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte(segMagic))
+	f.Add([]byte{})
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x20
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		path := filepath.Join(t.TempDir(), "seg.log")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		payloads, goodOff, err := scanSegment(path)
+		if err == nil && goodOff != int64(len(b)) {
+			t.Fatalf("clean scan stopped at %d of %d bytes", goodOff, len(b))
+		}
+		if goodOff > int64(len(b)) {
+			t.Fatalf("goodOff %d past end of %d-byte input", goodOff, len(b))
+		}
+		// Whatever the scanner accepted, the decoder must handle without
+		// panicking too.
+		for _, p := range payloads {
+			decodeBatchRecord(p)
+		}
+	})
+}
+
+func FuzzDecodeBatchRecord(f *testing.F) {
+	f.Add(appendBatchRecord(nil, 3, mkBatches(1, 1, 3)[0]))
+	f.Add([]byte{recBatch})
+	f.Add([]byte{recBatch, 0x01, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		gen, deltas, err := decodeBatchRecord(b)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode to the identical bytes: the
+		// codec is a bijection on its valid range.
+		if got := appendBatchRecord(nil, gen, deltas); !bytes.Equal(got, b) {
+			t.Fatalf("decode/encode round-trip diverged:\n in  %x\n out %x", b, got)
+		}
+		for _, d := range deltas {
+			if d.Op != maintain.OpInsert && d.Op != maintain.OpDelete {
+				_ = d // unknown ops decode; maintain.CheckBatch rejects them
+			}
+		}
+	})
+}
+
+func FuzzReadSnapshot(f *testing.F) {
+	valid := validSnapshotBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(snapMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		path := filepath.Join(t.TempDir(), "snap.ckpt")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := readSnapshot(path)
+		if err != nil {
+			return
+		}
+		if len(st.Lo) != st.Dim || len(st.Hi) != st.Dim {
+			t.Fatalf("accepted snapshot with inconsistent domain: dim %d, lo %d, hi %d", st.Dim, len(st.Lo), len(st.Hi))
+		}
+		for _, r := range st.Rows {
+			if len(r) != st.Dim {
+				t.Fatalf("accepted snapshot with ragged row")
+			}
+		}
+	})
+}

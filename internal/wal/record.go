@@ -1,0 +1,73 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mrskyline/internal/maintain"
+	"mrskyline/internal/tuple"
+)
+
+// Record payloads. One record holds one delta batch — the atomic unit of
+// maintain.Apply — so recovery replays whole batches or none of them:
+//
+//	kind    1 byte   recBatch
+//	gen     uvarint  generation the batch publishes when applied
+//	count   uvarint  number of deltas
+//	deltas           count × (op byte, tuple wire encoding)
+const recBatch = 1
+
+// appendBatchRecord appends the wire form of one delta batch to dst.
+func appendBatchRecord(dst []byte, gen uint64, deltas []maintain.Delta) []byte {
+	dst = append(dst, recBatch)
+	dst = binary.AppendUvarint(dst, gen)
+	dst = binary.AppendUvarint(dst, uint64(len(deltas)))
+	for _, d := range deltas {
+		dst = append(dst, byte(d.Op))
+		dst = tuple.AppendEncode(dst, d.Row)
+	}
+	return dst
+}
+
+// decodeBatchRecord parses one batch record payload. Every length is
+// bounds-checked against the remaining bytes, so arbitrary (fuzzed) input
+// errors instead of panicking or over-allocating.
+func decodeBatchRecord(b []byte) (gen uint64, deltas []maintain.Delta, err error) {
+	if len(b) == 0 || b[0] != recBatch {
+		return 0, nil, fmt.Errorf("wal: unknown record kind")
+	}
+	off := 1
+	gen, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wal: truncated record generation")
+	}
+	off += n
+	count, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wal: truncated record delta count")
+	}
+	off += n
+	// A delta occupies at least 2 bytes (op + dim header), so count cannot
+	// exceed what remains.
+	if count > uint64(len(b)-off) {
+		return 0, nil, fmt.Errorf("wal: implausible delta count %d with %d bytes left", count, len(b)-off)
+	}
+	deltas = make([]maintain.Delta, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if off >= len(b) {
+			return 0, nil, fmt.Errorf("wal: truncated delta %d", i)
+		}
+		op := maintain.Op(b[off])
+		off++
+		row, m, err := tuple.Decode(b[off:])
+		if err != nil {
+			return 0, nil, fmt.Errorf("wal: delta %d: %w", i, err)
+		}
+		off += m
+		deltas = append(deltas, maintain.Delta{Op: op, Row: row})
+	}
+	if off != len(b) {
+		return 0, nil, fmt.Errorf("wal: %d trailing bytes after %d deltas", len(b)-off, count)
+	}
+	return gen, deltas, nil
+}

@@ -9,11 +9,14 @@ package mrskyline
 // maintenance counters into the service's metrics registry.
 
 import (
+	"encoding/json"
 	"fmt"
+	"time"
 
 	"mrskyline/internal/maintain"
 	"mrskyline/internal/obs"
 	"mrskyline/internal/tuple"
+	"mrskyline/internal/wal"
 )
 
 // MaintainOptions shapes OpenMaintained. The zero value derives
@@ -33,7 +36,36 @@ type MaintainOptions struct {
 	// over the insert stream: once the resident set reaches WindowSize,
 	// each insert evicts the oldest tuple. Sliding handles are insert-only.
 	WindowSize int
+
+	// DataDir, when non-empty, makes the handle durable: every delta batch
+	// is appended to a write-ahead log under DataDir before it is applied,
+	// background checkpoints bound replay length, and RestoreMaintained
+	// reopens the directory to the exact pre-crash state after a restart.
+	// The directory is created if missing, must be empty on first open, and
+	// must not be shared between handles. Empty keeps the handle
+	// memory-only, exactly as before.
+	DataDir string
+	// Sync selects the WAL fsync policy for durable handles: "always"
+	// (fsync before every acknowledged batch; the default), "batch" (group
+	// commit — acknowledged batches are fsynced by a background syncer,
+	// coalescing bursts) or "interval" (time-driven fsync every
+	// SyncInterval; crash loss window is at most one interval of
+	// acknowledged batches).
+	Sync string
+	// SyncInterval is the fsync cadence for Sync="interval" (default 50ms).
+	SyncInterval time.Duration
+	// CheckpointEvery triggers a background checkpoint after that many
+	// logged batches (default 256; negative disables automatic
+	// checkpoints — Close still writes a final one).
+	CheckpointEvery int
+	// SegmentBytes rolls the log to a new segment file once the active one
+	// reaches this size (default 1 MiB).
+	SegmentBytes int64
 }
+
+// ErrNoDurableState is wrapped by RestoreMaintained when the DataDir
+// holds no durable state (no checkpoint and no log). Test with errors.Is.
+var ErrNoDurableState = wal.ErrNoState
 
 // DeltaOp names a delta operation in wire form.
 type DeltaOp string
@@ -93,13 +125,43 @@ type MaintainStats struct {
 // Skyline and Continuous readers never block.
 type MaintainedSkyline struct {
 	m      *maintain.Maintained
+	d      *wal.Durable // nil for memory-only handles
 	orient Orientation
 	reg    *obs.Registry // nil unless opened through a Service
 }
 
+// durableMeta is the opaque blob persisted in every snapshot: the pieces
+// of MaintainOptions that wal's own snapshot header does not carry.
+type durableMeta struct {
+	Maximize []bool `json:"maximize,omitempty"`
+}
+
+// walOptions translates the public knobs into wal.Options.
+func walOptions(opts MaintainOptions, reg *obs.Registry) (wal.Options, error) {
+	mode := wal.SyncAlways
+	if opts.Sync != "" {
+		var err error
+		if mode, err = wal.ParseSyncMode(opts.Sync); err != nil {
+			return wal.Options{}, fmt.Errorf("mrskyline: %w", err)
+		}
+	}
+	return wal.Options{
+		Sync:            mode,
+		SyncEvery:       opts.SyncInterval,
+		SegmentBytes:    opts.SegmentBytes,
+		CheckpointEvery: opts.CheckpointEvery,
+		Metrics:         reg,
+	}, nil
+}
+
 // OpenMaintained seeds a maintained skyline with data. The data is
 // copied; later mutations of the caller's rows do not affect the handle.
+// With opts.DataDir set the handle is durable — see MaintainOptions.
 func OpenMaintained(data [][]float64, opts MaintainOptions) (*MaintainedSkyline, error) {
+	return openMaintained(data, opts, nil)
+}
+
+func openMaintained(data [][]float64, opts MaintainOptions, reg *obs.Registry) (*MaintainedSkyline, error) {
 	if opts.Maximize != nil && len(data) > 0 && len(opts.Maximize) != len(data[0]) {
 		return nil, fmt.Errorf("mrskyline: Maximize has %d entries for %d-dimensional data", len(opts.Maximize), len(data[0]))
 	}
@@ -108,30 +170,82 @@ func OpenMaintained(data [][]float64, opts MaintainOptions) (*MaintainedSkyline,
 	for i, row := range data {
 		seed[i] = tuple.Tuple(orient.Apply(row)).Clone()
 	}
-	m, err := maintain.New(seed, maintain.Config{
+	cfg := maintain.Config{
 		Dim:       opts.Dim,
 		PPD:       opts.PPD,
 		WindowCap: opts.WindowSize,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("mrskyline: %w", err)
 	}
-	return &MaintainedSkyline{m: m, orient: orient}, nil
-}
-
-// OpenMaintained seeds a maintained skyline attached to the service: its
-// maintenance counters (maintain.deltas.*, maintain.publishes) land in
-// the service's metrics registry alongside the mr.* series, so
-// MetricsJSON and /v1/stats cover churn too. The handle itself serves
-// reads from resident state and never runs MapReduce jobs on the
-// service's cluster.
-func (s *Service) OpenMaintained(data [][]float64, opts MaintainOptions) (*MaintainedSkyline, error) {
-	h, err := OpenMaintained(data, opts)
+	if opts.DataDir == "" {
+		m, err := maintain.New(seed, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("mrskyline: %w", err)
+		}
+		return &MaintainedSkyline{m: m, orient: orient, reg: reg}, nil
+	}
+	wo, err := walOptions(opts, reg)
 	if err != nil {
 		return nil, err
 	}
-	h.reg = s.trace.Metrics()
-	return h, nil
+	meta, err := json.Marshal(durableMeta{Maximize: opts.Maximize})
+	if err != nil {
+		return nil, fmt.Errorf("mrskyline: %w", err)
+	}
+	d, err := wal.Create(opts.DataDir, seed, cfg, meta, wo)
+	if err != nil {
+		return nil, fmt.Errorf("mrskyline: %w", err)
+	}
+	return &MaintainedSkyline{m: d.Maintained(), d: d, orient: orient, reg: reg}, nil
+}
+
+// RestoreMaintained reopens a durable maintained skyline from
+// opts.DataDir: the newest intact checkpoint is loaded, the write-ahead
+// log replayed, and the handle resumes at the exact generation and
+// skyline bytes of the last acknowledged batch (per the sync policy the
+// directory was written under). Grid shape, sliding-window size and
+// orientation come from the persisted state; opts.Dim, PPD, WindowSize
+// and Maximize are ignored. Restoring a directory that holds no durable
+// state returns an error wrapping ErrNoDurableState.
+func RestoreMaintained(opts MaintainOptions) (*MaintainedSkyline, error) {
+	return restoreMaintained(opts, nil)
+}
+
+func restoreMaintained(opts MaintainOptions, reg *obs.Registry) (*MaintainedSkyline, error) {
+	if opts.DataDir == "" {
+		return nil, fmt.Errorf("mrskyline: RestoreMaintained needs DataDir")
+	}
+	wo, err := walOptions(opts, reg)
+	if err != nil {
+		return nil, err
+	}
+	d, err := wal.Recover(opts.DataDir, wo)
+	if err != nil {
+		return nil, fmt.Errorf("mrskyline: %w", err)
+	}
+	var meta durableMeta
+	if raw := d.Meta(); len(raw) > 0 {
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			d.Abandon()
+			return nil, fmt.Errorf("mrskyline: corrupt handle metadata in %s: %w", opts.DataDir, err)
+		}
+	}
+	return &MaintainedSkyline{m: d.Maintained(), d: d, orient: NewOrientation(meta.Maximize), reg: reg}, nil
+}
+
+// OpenMaintained seeds a maintained skyline attached to the service: its
+// maintenance counters (maintain.deltas.*, maintain.publishes) and — for
+// durable handles — the wal.* durability series land in the service's
+// metrics registry alongside the mr.* series, so MetricsJSON and
+// /v1/stats cover churn too. The handle itself serves reads from resident
+// state and never runs MapReduce jobs on the service's cluster.
+func (s *Service) OpenMaintained(data [][]float64, opts MaintainOptions) (*MaintainedSkyline, error) {
+	return openMaintained(data, s.applyWALDefaults(opts), s.trace.Metrics())
+}
+
+// RestoreMaintained is the Service counterpart of the package-level
+// RestoreMaintained; recovery metrics (wal.recovery.ns, wal.replay.*)
+// land in the service's registry.
+func (s *Service) RestoreMaintained(opts MaintainOptions) (*MaintainedSkyline, error) {
+	return restoreMaintained(s.applyWALDefaults(opts), s.trace.Metrics())
 }
 
 // ApplyDeltas applies a batch of inserts and deletes atomically and
@@ -151,7 +265,13 @@ func (h *MaintainedSkyline) ApplyDeltas(deltas []Delta) (DeltaResult, error) {
 		}
 		batch[i].Row = tuple.Tuple(h.orient.Apply(d.Row)).Clone()
 	}
-	res, err := h.m.Apply(batch)
+	var res maintain.ApplyResult
+	var err error
+	if h.d != nil {
+		res, err = h.d.Apply(batch) // logged (and fsynced per policy) before applying
+	} else {
+		res, err = h.m.Apply(batch)
+	}
 	if err != nil {
 		return DeltaResult{}, fmt.Errorf("mrskyline: %w", err)
 	}
@@ -221,6 +341,30 @@ func (h *MaintainedSkyline) Stats() MaintainStats {
 		Gen:               st.Gen,
 		SkylineSize:       st.SkylineSize,
 	}
+}
+
+// Durable reports whether the handle persists its state to a DataDir.
+func (h *MaintainedSkyline) Durable() bool { return h.d != nil }
+
+// Checkpoint forces a durable handle to write a checkpoint now, bounding
+// the next recovery's replay to batches applied after it. It is a no-op
+// on memory-only handles. Automatic checkpoints (CheckpointEvery) make
+// calling this optional.
+func (h *MaintainedSkyline) Checkpoint() error {
+	if h.d == nil {
+		return nil
+	}
+	return h.d.Checkpoint()
+}
+
+// Close writes a final checkpoint and releases the handle's files. On
+// memory-only handles it is a no-op. The handle must not be used after
+// Close; Close is idempotent.
+func (h *MaintainedSkyline) Close() error {
+	if h.d == nil {
+		return nil
+	}
+	return h.d.Close()
 }
 
 // Continuous opens a continuous query over the maintained skyline: a

@@ -11,6 +11,7 @@ import (
 	"mrskyline/internal/mapreduce"
 	"mrskyline/internal/obs"
 	"mrskyline/internal/spill"
+	"mrskyline/internal/wal"
 )
 
 // ErrOverloaded is returned by Service queries rejected because the
@@ -47,6 +48,16 @@ type ServiceConfig struct {
 	// Executor is supplied (configure spilling on the executor instead).
 	SpillBudget int64
 	SpillDir    string
+	// WALSync, WALSyncInterval and WALCheckpointEvery are service-wide
+	// defaults for durable maintained handles (MaintainOptions.DataDir
+	// set) opened through this Service: any handle that leaves the
+	// corresponding MaintainOptions field zero inherits the service value.
+	// WALSync is "always", "batch" or "interval" (empty means the
+	// per-handle default, "always"). They do not affect memory-only
+	// handles.
+	WALSync            string
+	WALSyncInterval    time.Duration
+	WALCheckpointEvery int
 }
 
 // Service executes skyline queries on one long-lived simulated cluster —
@@ -66,6 +77,21 @@ type Service struct {
 	eng     *mapreduce.Engine // nil when an external Executor was supplied
 	trace   *obs.Tracer
 	timeout time.Duration
+	walCfg  ServiceConfig // only the WAL* fields are read back
+}
+
+// applyWALDefaults fills zero WAL knobs from the service-wide defaults.
+func (s *Service) applyWALDefaults(opts MaintainOptions) MaintainOptions {
+	if opts.Sync == "" {
+		opts.Sync = s.walCfg.WALSync
+	}
+	if opts.SyncInterval == 0 {
+		opts.SyncInterval = s.walCfg.WALSyncInterval
+	}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = s.walCfg.WALCheckpointEvery
+	}
+	return opts
 }
 
 // NewService builds a Service on a fresh simulated cluster, or on
@@ -77,8 +103,16 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if err := spill.ValidateSetup(cfg.SpillBudget, cfg.SpillDir); err != nil {
 		return nil, fmt.Errorf("mrskyline: %w", err)
 	}
+	if cfg.WALSync != "" {
+		if _, err := wal.ParseSyncMode(cfg.WALSync); err != nil {
+			return nil, fmt.Errorf("mrskyline: %w", err)
+		}
+	}
+	if cfg.WALSyncInterval < 0 {
+		return nil, fmt.Errorf("mrskyline: WALSyncInterval must be ≥ 0, got %v", cfg.WALSyncInterval)
+	}
 	if cfg.Executor != nil {
-		return &Service{exec: cfg.Executor, trace: cfg.Executor.WallTracer(), timeout: cfg.QueryTimeout}, nil
+		return &Service{exec: cfg.Executor, trace: cfg.Executor.WallTracer(), timeout: cfg.QueryTimeout, walCfg: cfg}, nil
 	}
 	nodes := cfg.Nodes
 	if nodes == 0 {
@@ -123,7 +157,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	tr := obs.New()
 	eng.SetTrace(tr)
 	eng.SetAdmission(maxInFlight, maxQueue)
-	return &Service{exec: eng, eng: eng, trace: tr, timeout: cfg.QueryTimeout}, nil
+	return &Service{exec: eng, eng: eng, trace: tr, timeout: cfg.QueryTimeout, walCfg: cfg}, nil
 }
 
 // Close releases the service's executor. With an external Executor that
